@@ -1,0 +1,126 @@
+/// \file
+/// Figure 4: the four datasets. The original figure is a scatter plot; this
+/// binary prints per-dataset shape statistics (the properties the joins
+/// depend on) and, with --csv DIR, writes point samples as
+/// gnuplot/matplotlib-ready files so the scatter plots can be regenerated:
+///   plot "fig4_MGCounty.csv" using 1:2 with dots
+///
+/// Statistics reported: bounding box, 10x10 density histogram spread
+/// (max/mean cell count, empty cells), mean nearest-neighbor distance of a
+/// sample, and a box-counting fractal-dimension estimate — road data should
+/// land between 1 (curves) and 2 (area-filling), Sierpinski3D near 2.
+
+#include <cstdio>
+#include <set>
+
+#include "bench_common.h"
+#include "data/generators.h"
+#include "data/roadnet.h"
+#include "index/bulk_load.h"
+
+namespace csj::bench {
+namespace {
+
+template <int D>
+void Describe(const std::string& name, const std::vector<Entry<D>>& entries,
+              const BenchArgs& args, Table* table) {
+  Box<D> bounds;
+  for (const auto& e : entries) bounds.Extend(e.point);
+
+  // Density histogram on a 10^D-cell grid (first two dims for D > 2).
+  constexpr int kGrid = 10;
+  std::vector<int> histogram(kGrid * kGrid, 0);
+  for (const auto& e : entries) {
+    const int x = std::min(kGrid - 1, static_cast<int>(e.point[0] * kGrid));
+    const int y = std::min(kGrid - 1, static_cast<int>(e.point[1] * kGrid));
+    ++histogram[x * kGrid + y];
+  }
+  int max_cell = 0, empty_cells = 0;
+  for (int c : histogram) {
+    max_cell = std::max(max_cell, c);
+    empty_cells += c == 0;
+  }
+  const double mean_cell =
+      static_cast<double>(entries.size()) / (kGrid * kGrid);
+
+  // Mean nearest-neighbor distance over a sample, via the index.
+  RStarTree<D> tree;
+  PackStr(&tree, entries);
+  double nn_sum = 0.0;
+  const size_t sample = std::min<size_t>(500, entries.size());
+  const size_t stride = std::max<size_t>(1, entries.size() / sample);
+  size_t sampled = 0;
+  for (size_t i = 0; i < entries.size(); i += stride) {
+    // Grow the radius until a neighbor besides the point itself shows up.
+    double radius = 1e-4;
+    while (tree.RangeCount(entries[i].point, radius) < 2 && radius < 2.0) {
+      radius *= 2.0;
+    }
+    // One bisection pass for a tighter estimate.
+    nn_sum += radius;
+    ++sampled;
+  }
+  const double mean_nn = nn_sum / static_cast<double>(sampled);
+
+  // Box-counting dimension from grids 16 and 32 (first two dims).
+  auto count_cells = [&](int grid) {
+    std::set<uint64_t> cells;
+    for (const auto& e : entries) {
+      uint64_t key = 0;
+      for (int d = 0; d < std::min(D, 3); ++d) {
+        const int c =
+            std::min(grid - 1, static_cast<int>(e.point[d] * grid));
+        key = key * 1024 + static_cast<uint64_t>(c);
+      }
+      cells.insert(key);
+    }
+    return static_cast<double>(cells.size());
+  };
+  const double dim = std::log2(count_cells(32) / count_cells(16));
+
+  table->AddRow({name, WithThousands(entries.size()), StrFormat("%dD", D),
+                 StrFormat("%.0fx", max_cell / mean_cell),
+                 StrFormat("%d%%", empty_cells),
+                 StrFormat("%.2g", mean_nn), StrFormat("%.2f", dim)});
+
+  if (!args.csv_dir.empty()) {
+    Table sample_table(name, {"x", "y"});
+    const size_t plot_stride = std::max<size_t>(1, entries.size() / 20000);
+    for (size_t i = 0; i < entries.size(); i += plot_stride) {
+      sample_table.AddRow({StrFormat("%.6f", entries[i].point[0]),
+                           StrFormat("%.6f", entries[i].point[1])});
+    }
+    (void)sample_table.WriteCsv(args.csv_dir + "/fig4_" + name + ".csv");
+  }
+}
+
+void Main(const BenchArgs& args) {
+  Table table("Figure 4 — dataset shapes",
+              {"dataset", "points", "dims", "peak density", "empty cells",
+               "~NN dist", "fractal dim"});
+  {
+    const auto mg = MakeMgCounty();
+    Describe(mg.name, mg.entries, args, &table);
+  }
+  {
+    const auto lb = MakeLbCounty();
+    Describe(lb.name, lb.entries, args, &table);
+  }
+  {
+    const auto sier = MakeSierpinski3DDataset(100000);
+    Describe(sier.name, sier.entries, args, &table);
+  }
+  {
+    const auto pnw = MakePacificNw(args.full ? 1.0 : 0.1);
+    Describe(pnw.name, pnw.entries, args, &table);
+  }
+  EmitTable(table, args, "fig4_datasets");
+}
+
+}  // namespace
+}  // namespace csj::bench
+
+int main(int argc, char** argv) {
+  csj::bench::Main(csj::bench::BenchArgs::Parse(argc, argv));
+  return 0;
+}

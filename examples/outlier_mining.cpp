@@ -1,0 +1,146 @@
+/// \file
+/// Outlier mining on compact join output (the paper's second motivating
+/// task): "we would expect outliers to be separate from large groups of
+/// data, so the focus should be on the small groups returned by the compact
+/// similarity join".
+///
+/// Scenario (astrophysics flavor): a synthetic galaxy catalog of dense
+/// clusters plus a handful of injected *isolated close pairs* — unusual
+/// pairs a scientist would want surfaced (e.g. candidate interacting
+/// galaxies). A standard join buries them in millions of intra-cluster
+/// links; the compact join returns big groups for the clusters and tiny
+/// groups for the outlier pairs, so scanning groups by size finds the
+/// needles immediately.
+///
+/// Run:  ./build/examples/outlier_mining
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <vector>
+
+#include "core/similarity_join.h"
+#include "core/sink.h"
+#include "data/generators.h"
+#include "index/rstar_tree.h"
+#include "util/format.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace csj;
+
+int Main() {
+  // Galaxy catalog: 20K points in 8 tight clusters...
+  const size_t kClustered = 20000;
+  auto points = GenerateGaussianClusters<2>(kClustered, 8, 0.01, 2026);
+
+  // ...plus 6 injected isolated pairs in the empty space between clusters.
+  Rng rng(7);
+  std::vector<std::pair<PointId, PointId>> injected;
+  for (int i = 0; i < 6; ++i) {
+    while (true) {
+      const Point2 spot{{rng.UniformDouble(0.05, 0.95),
+                         rng.UniformDouble(0.05, 0.95)}};
+      // Keep the spot far from every existing point so the pair is isolated.
+      bool isolated = true;
+      for (size_t j = 0; j < points.size(); j += 7) {
+        if (Distance(spot, points[j]) < 0.08) {
+          isolated = false;
+          break;
+        }
+      }
+      if (!isolated) continue;
+      const PointId a = static_cast<PointId>(points.size());
+      points.push_back(spot);
+      points.push_back(Point2{{spot[0] + 0.002, spot[1] + 0.001}});
+      injected.push_back({a, a + 1});
+      break;
+    }
+  }
+
+  RStarTree<2> tree;
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(static_cast<PointId>(i), points[i]);
+  }
+
+  JoinOptions options;
+  options.epsilon = 0.01;
+  MemorySink sink(IdWidthFor(points.size()));
+  const JoinStats stats = CompactSimilarityJoin(tree, options, &sink);
+
+  std::printf("catalog: %s points, eps = %g\n",
+              WithThousands(points.size()).c_str(), options.epsilon);
+  std::printf("compact join: %s groups + %s links, %s of output (vs ~%s links "
+              "for the standard join)\n",
+              WithThousands(stats.groups).c_str(),
+              WithThousands(stats.links).c_str(),
+              HumanBytes(stats.output_bytes).c_str(),
+              WithThousands(stats.ImpliedLinkUpperBound()).c_str());
+
+  // The pre-sort the paper describes: small groups are the outlier
+  // candidates; big groups are bulk structure we can skip entirely. A small
+  // group on the *fringe of a cluster* is not unusual though, so each
+  // candidate gets one cheap isolation probe: how many catalog points live
+  // within a few eps of it? An injected isolated pair sees only itself.
+  std::vector<std::vector<PointId>> candidates;
+  size_t small_groups = 0, skipped_members = 0, largest = 0;
+  for (const auto& group : sink.groups()) {
+    largest = std::max(largest, group.size());
+    if (group.size() > 3) {
+      skipped_members += group.size();
+      continue;  // bulk structure: not outlier material
+    }
+    ++small_groups;
+    uint64_t neighborhood = 0;
+    for (PointId id : group) {
+      neighborhood += tree.RangeCount(points[id], 4 * options.epsilon);
+    }
+    // Every member counts itself and its partners; a fully isolated group
+    // of k sees exactly k per member.
+    if (neighborhood <= group.size() * group.size()) {
+      candidates.push_back(group);
+    }
+  }
+  for (const auto& [a, b] : sink.links()) {
+    const uint64_t neighborhood =
+        tree.RangeCount(points[a], 4 * options.epsilon) +
+        tree.RangeCount(points[b], 4 * options.epsilon);
+    if (neighborhood <= 4) candidates.push_back({a, b});
+  }
+
+  std::printf("\npre-sort from the compact form: %s small groups to probe "
+              "(%s points of bulk structure skipped without expansion)\n",
+              WithThousands(small_groups).c_str(),
+              WithThousands(skipped_members).c_str());
+
+  std::printf("isolated candidates after the neighborhood probe:\n");
+  std::set<std::pair<PointId, PointId>> found;
+  for (const auto& members : candidates) {
+    bool is_injected = false;
+    for (const auto& [a, b] : injected) {
+      if (std::find(members.begin(), members.end(), a) != members.end() &&
+          std::find(members.begin(), members.end(), b) != members.end()) {
+        is_injected = true;
+        found.insert({a, b});
+      }
+    }
+    std::printf("  {");
+    for (size_t i = 0; i < members.size(); ++i) {
+      std::printf(i ? ", %u" : "%u", members[i]);
+    }
+    std::printf("}%s\n", is_injected ? "   <-- injected unusual pair" : "");
+  }
+
+  std::printf("\nrecovered %zu of %zu injected unusual pairs.\n", found.size(),
+              injected.size());
+  std::printf("for contrast, the largest (boring) group has %zu members — a "
+              "dense cluster the standard join would have reported as ~%s "
+              "separate links.\n",
+              largest, WithThousands(largest * (largest - 1) / 2).c_str());
+  return found.size() == injected.size() ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Main(); }

@@ -1,0 +1,144 @@
+/// \file
+/// Compact similarity join in a *general metric space*: near-duplicate
+/// detection over strings under edit distance. The paper (Section VII)
+/// notes the algorithms apply unchanged to metric data — the only
+/// requirement is the inclusion property — and this example exercises the
+/// metric layer end to end: a GenericMTree over strings, the ball-group
+/// compact join, and lossless verification.
+///
+/// Scenario: a customer table polluted with misspelled duplicates (a classic
+/// record-linkage task). The similarity join with eps = 2 edits links every
+/// duplicate cluster; the compact join reports each cluster once.
+///
+/// Run:  ./build/examples/string_dedup
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/expand.h"
+#include "core/sink.h"
+#include "metric/edit_distance.h"
+#include "metric/generic_mtree.h"
+#include "metric/metric_join.h"
+#include "util/format.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace csj;
+
+std::string Mutate(const std::string& name, Rng& rng) {
+  std::string out = name;
+  const int kind = static_cast<int>(rng.UniformInt(uint64_t{3}));
+  const size_t pos = rng.UniformInt(out.size());
+  if (kind == 0) {
+    out[pos] = static_cast<char>('a' + rng.UniformInt(uint64_t{26}));
+  } else if (kind == 1) {
+    out.insert(out.begin() + static_cast<long>(pos),
+               static_cast<char>('a' + rng.UniformInt(uint64_t{26})));
+  } else if (out.size() > 3) {
+    out.erase(out.begin() + static_cast<long>(pos));
+  }
+  return out;
+}
+
+int Main() {
+  // Build a synthetic customer table: 400 base names, each with 1-6
+  // misspelled copies.
+  const char* kFirst[] = {"johannes", "maria",  "giuseppe", "francesca",
+                          "wolfgang", "ingrid", "henrique", "margarida",
+                          "aleksandr", "tatiana", "matthias", "annelise"};
+  const char* kLast[] = {"schneider", "lindgren", "castellano", "ferreira",
+                         "kowalski",  "petrov",   "johansson",  "martinelli",
+                         "fernandes", "novak",    "keller",     "santos"};
+  Rng rng(2008);
+  std::vector<std::string> names;
+  std::vector<int> truth;  // ground-truth cluster of each record
+  int cluster = 0;
+  for (int base = 0; base < 400; ++base) {
+    const std::string name =
+        std::string(kFirst[rng.UniformInt(uint64_t{12})]) + " " +
+        kLast[rng.UniformInt(uint64_t{12})] +
+        StrFormat("%02llu",
+                  static_cast<unsigned long long>(rng.UniformInt(uint64_t{100})));
+    const int copies = 1 + static_cast<int>(rng.UniformInt(uint64_t{6}));
+    for (int c = 0; c < copies; ++c) {
+      std::string variant = name;
+      const int typos = static_cast<int>(rng.UniformInt(uint64_t{3}));
+      for (int t = 0; t < typos; ++t) variant = Mutate(variant, rng);
+      names.push_back(variant);
+      truth.push_back(cluster);
+    }
+    ++cluster;
+  }
+
+  GenericMTree<std::string, EditDistanceMetric> tree;
+  for (size_t i = 0; i < names.size(); ++i) {
+    tree.Insert(static_cast<PointId>(i), names[i]);
+  }
+  std::printf("customer table: %s records (%d true identities)\n",
+              WithThousands(names.size()).c_str(), cluster);
+
+  JoinOptions options;
+  options.epsilon = 2.0;  // up to 2 edits apart counts as "same person"
+  options.window_size = 10;
+
+  MemorySink standard(IdWidthFor(names.size()));
+  const JoinStats ssj = MetricStandardJoin(tree, options, &standard);
+  MemorySink compact(IdWidthFor(names.size()));
+  const JoinStats csj = MetricCompactJoin(tree, options, &compact);
+
+  std::printf("standard join: %s links, %s (%s)\n",
+              WithThousands(ssj.links).c_str(),
+              HumanBytes(ssj.output_bytes).c_str(),
+              HumanDuration(ssj.elapsed_seconds).c_str());
+  std::printf("compact join:  %s links + %s groups, %s (%s), "
+              "%s early stops\n",
+              WithThousands(csj.links).c_str(),
+              WithThousands(csj.groups).c_str(),
+              HumanBytes(csj.output_bytes).c_str(),
+              HumanDuration(csj.elapsed_seconds).c_str(),
+              WithThousands(csj.early_stops).c_str());
+
+  // Lossless check: both joins imply the same duplicate pairs.
+  const auto report =
+      CompareLinkSets(ExpandSelfJoin(compact), ExpandSelfJoin(standard));
+  std::printf("lossless check: %s\n", report.ToString().c_str());
+
+  // Duplicate-cluster quality: what fraction of group co-members really are
+  // the same identity?
+  uint64_t same = 0, total = 0;
+  for (const auto& group : compact.groups()) {
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        ++total;
+        same += truth[group[i]] == truth[group[j]];
+      }
+    }
+  }
+  if (total > 0) {
+    std::printf("group precision vs ground truth: %.1f%% of in-group pairs "
+                "are true duplicates\n",
+                100.0 * static_cast<double>(same) /
+                    static_cast<double>(total));
+  }
+  // A few sample groups.
+  std::printf("\nsample duplicate clusters found:\n");
+  int shown = 0;
+  for (const auto& group : compact.groups()) {
+    if (group.size() < 3 || shown >= 3) continue;
+    std::printf("  {");
+    for (size_t i = 0; i < group.size() && i < 4; ++i) {
+      std::printf(i ? ", \"%s\"" : "\"%s\"", names[group[i]].c_str());
+    }
+    if (group.size() > 4) std::printf(", ...");
+    std::printf("}\n");
+    ++shown;
+  }
+  return report.lossless() ? 0 : 1;
+}
+
+}  // namespace
+
+int main() { return Main(); }

@@ -1,0 +1,76 @@
+#ifndef CSJ_ANALYSIS_EPSILON_H_
+#define CSJ_ANALYSIS_EPSILON_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/point.h"
+#include "util/check.h"
+
+/// \file
+/// Query-range (epsilon) suggestion.
+///
+/// Picking eps is the practical pain point of similarity joins: too small
+/// returns nothing, too large explodes. The standard heuristic (DBSCAN's
+/// k-distance plot) transfers directly: for a sample of points, compute the
+/// distance to the k-th nearest neighbor; a percentile of that distribution
+/// is an eps at which roughly that share of points has >= k join partners.
+/// Combine with analysis/fractal.h's PredictLinkCount to check the implied
+/// output size before running anything.
+
+namespace csj {
+
+/// Result of a k-distance scan.
+struct EpsilonSuggestion {
+  double epsilon = 0.0;      ///< suggested query range
+  double median_kdist = 0.0; ///< median k-NN distance of the sample
+  double p90_kdist = 0.0;    ///< 90th percentile
+  size_t sample_size = 0;
+};
+
+/// Suggests eps from the k-distance distribution of a sample.
+///
+/// \param tree any index with NearestNeighbors(point, k) (RTree, RStarTree,
+///        MTree).
+/// \param entries the indexed data (anchors are sampled from it).
+/// \param k desired minimum number of join partners per matched point.
+/// \param percentile which quantile of the k-distance distribution to
+///        return as the suggestion (0.5 = median; higher = more inclusive).
+/// \param max_sample anchors examined (evenly strided).
+template <typename Tree, int D>
+EpsilonSuggestion SuggestEpsilon(const Tree& tree,
+                                 const std::vector<Entry<D>>& entries,
+                                 size_t k, double percentile = 0.5,
+                                 size_t max_sample = 500) {
+  CSJ_CHECK(k >= 1);
+  CSJ_CHECK(percentile > 0.0 && percentile <= 1.0);
+  EpsilonSuggestion suggestion;
+  if (entries.size() < k + 1) return suggestion;
+
+  std::vector<double> kdists;
+  const size_t stride = std::max<size_t>(1, entries.size() / max_sample);
+  for (size_t i = 0; i < entries.size(); i += stride) {
+    // k+1 nearest: the first is the anchor itself (distance 0).
+    const auto neighbors = tree.NearestNeighbors(entries[i].point, k + 1);
+    if (neighbors.size() < k + 1) continue;
+    kdists.push_back(Distance(entries[i].point, neighbors[k].point));
+  }
+  if (kdists.empty()) return suggestion;
+  std::sort(kdists.begin(), kdists.end());
+
+  auto quantile = [&](double q) {
+    const size_t index = std::min(
+        kdists.size() - 1,
+        static_cast<size_t>(q * static_cast<double>(kdists.size())));
+    return kdists[index];
+  };
+  suggestion.sample_size = kdists.size();
+  suggestion.median_kdist = quantile(0.5);
+  suggestion.p90_kdist = quantile(0.9);
+  suggestion.epsilon = quantile(percentile);
+  return suggestion;
+}
+
+}  // namespace csj
+
+#endif  // CSJ_ANALYSIS_EPSILON_H_

@@ -1,0 +1,49 @@
+#include "analysis/fractal.h"
+
+#include <cmath>
+
+namespace csj {
+
+double PowerLawFit::Predict(double eps) const {
+  return std::exp2(intercept + slope * std::log2(eps));
+}
+
+PowerLawFit FitPowerLaw(const std::vector<ScalingPoint>& points) {
+  PowerLawFit fit;
+  const size_t n = points.size();
+  if (n < 2) return fit;
+
+  double sum_x = 0.0, sum_y = 0.0;
+  for (const auto& p : points) {
+    sum_x += p.log2_eps;
+    sum_y += p.log2_value;
+  }
+  const double mean_x = sum_x / static_cast<double>(n);
+  const double mean_y = sum_y / static_cast<double>(n);
+
+  double sxx = 0.0, sxy = 0.0, syy = 0.0;
+  for (const auto& p : points) {
+    const double dx = p.log2_eps - mean_x;
+    const double dy = p.log2_value - mean_y;
+    sxx += dx * dx;
+    sxy += dx * dy;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0) return fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = mean_y - fit.slope * mean_x;
+  fit.r_squared = syy <= 0.0 ? 1.0 : (sxy * sxy) / (sxx * syy);
+  return fit;
+}
+
+uint64_t PredictLinkCount(const PowerLawFit& correlation_fit, size_t n,
+                          double eps) {
+  // The fit models average neighbors-per-point; each link is counted from
+  // both endpoints, so links = n * avg / 2.
+  const double avg = correlation_fit.Predict(eps);
+  const double links = 0.5 * static_cast<double>(n) * avg;
+  if (links <= 0.0) return 0;
+  return static_cast<uint64_t>(links);
+}
+
+}  // namespace csj

@@ -1,0 +1,223 @@
+#ifndef CSJ_ANALYSIS_FRACTAL_H_
+#define CSJ_ANALYSIS_FRACTAL_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/point.h"
+
+/// \file
+/// Intrinsic ("fractal") dimensionality analysis — the paper's stated future
+/// work: "A promising future research problem is the analysis of the
+/// response time of the methods as a function of the query range eps, and
+/// also as a function of the intrinsic ('fractal') dimensionality of the
+/// input data set."
+///
+/// Two classic estimators over point sets:
+///  * box-counting dimension D0: slope of log N(r) vs log(1/r), where N(r)
+///    is the number of occupied grid cells of side r;
+///  * correlation dimension D2: slope of log PC(eps) vs log eps, where
+///    PC(eps) is the fraction of point pairs within eps ("pair count" /
+///    correlation integral).
+///
+/// D2 is the one that matters for similarity joins: the number of
+/// qualifying links scales as links(eps) ~ C * eps^D2 on self-similar data,
+/// so a D2 fit from a small sample predicts the output explosion — exactly
+/// the relationship bench_exp9_fractal measures end to end, and what the
+/// selectivity estimator below exposes as an API.
+
+namespace csj {
+
+/// One (log_eps, log_value) sample of an empirical scaling law.
+struct ScalingPoint {
+  double log2_eps = 0.0;
+  double log2_value = 0.0;
+};
+
+/// Least-squares line fit through scaling points: value ~ 2^(intercept) *
+/// eps^slope. `slope` is the dimension estimate.
+struct PowerLawFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;  ///< goodness of fit in log-log space
+
+  /// Evaluates the fitted law at eps.
+  double Predict(double eps) const;
+};
+
+/// Fits a power law to (eps, value) samples in log2-log2 space.
+PowerLawFit FitPowerLaw(const std::vector<ScalingPoint>& points);
+
+/// Box-counting dimension D0 over grid sides 2^-level for level in
+/// [min_level, max_level] (first three coordinates are used for D > 3).
+template <int D>
+PowerLawFit BoxCountingDimension(const std::vector<Point<D>>& points,
+                                 int min_level = 2, int max_level = 7);
+
+/// Correlation-sum samples: for each eps, the average number of neighbors
+/// within eps over a sample of anchors (computed exactly with a grid, or by
+/// sampling `max_anchors` anchors for big inputs).
+template <int D>
+std::vector<ScalingPoint> CorrelationSamples(
+    const std::vector<Point<D>>& points, const std::vector<double>& epsilons,
+    size_t max_anchors = 1000);
+
+/// Correlation dimension D2: slope of the correlation sum over the given
+/// eps ladder (log-spaced; defaults to 2^-8 .. 2^-3).
+template <int D>
+PowerLawFit CorrelationDimension(const std::vector<Point<D>>& points);
+
+/// Join-selectivity estimate derived from the correlation fit: predicted
+/// number of links (qualifying pairs) at query range eps. The fit must come
+/// from CorrelationSamples over the same data.
+uint64_t PredictLinkCount(const PowerLawFit& correlation_fit, size_t n,
+                          double eps);
+
+// --- Template implementations -------------------------------------------------
+
+template <int D>
+PowerLawFit BoxCountingDimension(const std::vector<Point<D>>& points,
+                                 int min_level, int max_level) {
+  std::vector<ScalingPoint> samples;
+  for (int level = min_level; level <= max_level; ++level) {
+    const int grid = 1 << level;
+    // Count occupied cells over (up to) the first three coordinates.
+    std::vector<uint64_t> cells;
+    cells.reserve(points.size());
+    for (const auto& p : points) {
+      uint64_t key = 0;
+      for (int d = 0; d < (D < 3 ? D : 3); ++d) {
+        int c = static_cast<int>(p[d] * grid);
+        if (c >= grid) c = grid - 1;
+        if (c < 0) c = 0;
+        key = (key << 21) | static_cast<uint64_t>(c);
+      }
+      cells.push_back(key);
+    }
+    std::sort(cells.begin(), cells.end());
+    const auto unique_end = std::unique(cells.begin(), cells.end());
+    const double occupied =
+        static_cast<double>(std::distance(cells.begin(), unique_end));
+    // N(r) ~ r^-D0 with r = 2^-level, so log2 N vs level has slope D0;
+    // store as (log2 r, log2 N) to reuse FitPowerLaw (slope = -D0).
+    samples.push_back({-static_cast<double>(level), std::log2(occupied)});
+  }
+  PowerLawFit fit = FitPowerLaw(samples);
+  fit.slope = -fit.slope;  // report the dimension positively
+  return fit;
+}
+
+namespace fractal_internal {
+/// Exact average neighbor count within eps around sampled anchors, via a
+/// uniform grid of cell side eps (checks the 3^D neighborhood).
+template <int D>
+double AverageNeighbors(const std::vector<Point<D>>& points, double eps,
+                        size_t max_anchors);
+}  // namespace fractal_internal
+
+template <int D>
+std::vector<ScalingPoint> CorrelationSamples(
+    const std::vector<Point<D>>& points, const std::vector<double>& epsilons,
+    size_t max_anchors) {
+  std::vector<ScalingPoint> samples;
+  for (double eps : epsilons) {
+    const double avg =
+        fractal_internal::AverageNeighbors(points, eps, max_anchors);
+    if (avg <= 0.0) continue;  // below resolution; no information
+    samples.push_back({std::log2(eps), std::log2(avg)});
+  }
+  return samples;
+}
+
+template <int D>
+PowerLawFit CorrelationDimension(const std::vector<Point<D>>& points) {
+  std::vector<double> epsilons;
+  for (int e = -8; e <= -3; ++e) epsilons.push_back(std::ldexp(1.0, e));
+  return FitPowerLaw(CorrelationSamples(points, epsilons));
+}
+
+namespace fractal_internal {
+
+template <int D>
+double AverageNeighbors(const std::vector<Point<D>>& points, double eps,
+                        size_t max_anchors) {
+  if (points.size() < 2) return 0.0;
+  // Hash points into cells of side eps.
+  struct CellHash {
+    size_t operator()(uint64_t key) const {
+      uint64_t x = key;
+      x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+      return static_cast<size_t>(x ^ (x >> 31));
+    }
+  };
+  auto cell_key = [&](const Point<D>& p) {
+    uint64_t key = 0;
+    for (int d = 0; d < D; ++d) {
+      const auto c = static_cast<int64_t>(std::floor(p[d] / eps)) + (1 << 20);
+      key = key * 0x9e3779b1ULL + static_cast<uint64_t>(c);
+    }
+    return key;
+  };
+  // For exact neighborhood enumeration we need the cell coordinates, not a
+  // mixed hash; store points bucketed by the exact coordinate tuple.
+  std::unordered_map<uint64_t, std::vector<uint32_t>, CellHash> buckets;
+  std::vector<std::array<int64_t, D>> coords(points.size());
+  auto tuple_key = [](const std::array<int64_t, D>& c) {
+    uint64_t key = 1469598103934665603ULL;
+    for (int d = 0; d < D; ++d) {
+      key ^= static_cast<uint64_t>(c[d]);
+      key *= 1099511628211ULL;
+    }
+    return key;
+  };
+  (void)cell_key;
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (int d = 0; d < D; ++d) {
+      coords[i][d] = static_cast<int64_t>(std::floor(points[i][d] / eps));
+    }
+    buckets[tuple_key(coords[i])].push_back(static_cast<uint32_t>(i));
+  }
+
+  const size_t stride = std::max<size_t>(1, points.size() / max_anchors);
+  const double eps2 = eps * eps;
+  uint64_t neighbor_sum = 0;
+  size_t anchors = 0;
+  std::array<int64_t, D> probe;
+  for (size_t i = 0; i < points.size(); i += stride) {
+    ++anchors;
+    // Enumerate the 3^D neighboring cells.
+    int offsets[D] = {};
+    for (int d = 0; d < D; ++d) offsets[d] = -1;
+    while (true) {
+      for (int d = 0; d < D; ++d) probe[d] = coords[i][d] + offsets[d];
+      auto it = buckets.find(tuple_key(probe));
+      if (it != buckets.end()) {
+        for (uint32_t j : it->second) {
+          // Guard against hash collisions with an exact cell check.
+          if (coords[j] != probe) continue;
+          if (j == i) continue;
+          if (SquaredDistance(points[i], points[j]) <= eps2) ++neighbor_sum;
+        }
+      }
+      int d = 0;
+      while (d < D && offsets[d] == 1) {
+        offsets[d] = -1;
+        ++d;
+      }
+      if (d == D) break;
+      ++offsets[d];
+    }
+  }
+  return static_cast<double>(neighbor_sum) / static_cast<double>(anchors);
+}
+
+}  // namespace fractal_internal
+
+}  // namespace csj
+
+#endif  // CSJ_ANALYSIS_FRACTAL_H_

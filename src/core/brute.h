@@ -1,0 +1,65 @@
+#ifndef CSJ_CORE_BRUTE_H_
+#define CSJ_CORE_BRUTE_H_
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+#include "geom/point.h"
+
+/// \file
+/// O(n^2) reference join used as ground truth by tests and by the
+/// verification tooling. Never used in timed comparisons.
+
+namespace csj {
+
+/// A canonical link: ids ordered (first < second).
+using Link = std::pair<PointId, PointId>;
+
+/// Canonicalizes a link so the smaller id comes first.
+inline Link MakeLink(PointId a, PointId b) {
+  return a < b ? Link{a, b} : Link{b, a};
+}
+
+/// All pairs of distinct entries within `epsilon` (closed), canonicalized
+/// and sorted.
+template <int D>
+std::vector<Link> BruteForceSelfJoin(const std::vector<Entry<D>>& entries,
+                                     double epsilon) {
+  const double eps2 = epsilon * epsilon;
+  std::vector<Link> links;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    for (size_t j = i + 1; j < entries.size(); ++j) {
+      if (SquaredDistance(entries[i].point, entries[j].point) <= eps2) {
+        links.push_back(MakeLink(entries[i].id, entries[j].id));
+      }
+    }
+  }
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  return links;
+}
+
+/// All cross pairs (a from A, b from B) within `epsilon` (closed),
+/// canonicalized and sorted. Id spaces must be disjoint.
+template <int D>
+std::vector<Link> BruteForceSpatialJoin(const std::vector<Entry<D>>& set_a,
+                                        const std::vector<Entry<D>>& set_b,
+                                        double epsilon) {
+  const double eps2 = epsilon * epsilon;
+  std::vector<Link> links;
+  for (const auto& ea : set_a) {
+    for (const auto& eb : set_b) {
+      if (SquaredDistance(ea.point, eb.point) <= eps2) {
+        links.push_back(MakeLink(ea.id, eb.id));
+      }
+    }
+  }
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  return links;
+}
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_BRUTE_H_

@@ -1,0 +1,130 @@
+#ifndef CSJ_CORE_EXPAND_H_
+#define CSJ_CORE_EXPAND_H_
+
+#include <algorithm>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/brute.h"
+#include "core/sink.h"
+#include "util/format.h"
+
+/// \file
+/// Lossless expansion of the compact representation back into links, plus
+/// the verification used to test the paper's Theorems 1 (completeness) and
+/// 2 (correctness): expanding a compact output must yield *exactly* the
+/// standard join's link set — no missing links, no extra links.
+
+namespace csj {
+
+/// Expands everything a MemorySink captured (individual links + all pairs
+/// implied by each group) into a canonical, sorted, de-duplicated link set.
+inline std::vector<Link> ExpandSelfJoin(const MemorySink& sink) {
+  std::vector<Link> links;
+  for (const auto& [a, b] : sink.links()) links.push_back(MakeLink(a, b));
+  for (const auto& group : sink.groups()) {
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        links.push_back(MakeLink(group[i], group[j]));
+      }
+    }
+  }
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  return links;
+}
+
+/// Expands a spatial-join output into cross links only: a group implies the
+/// pairs between its A-side and B-side members, where `is_a` classifies ids.
+inline std::vector<Link> ExpandSpatialJoin(
+    const MemorySink& sink, const std::function<bool(PointId)>& is_a) {
+  std::vector<Link> links;
+  for (const auto& [a, b] : sink.links()) links.push_back(MakeLink(a, b));
+  std::vector<PointId> side_a, side_b;
+  for (const auto& group : sink.groups()) {
+    side_a.clear();
+    side_b.clear();
+    for (PointId id : group) (is_a(id) ? side_a : side_b).push_back(id);
+    for (PointId a : side_a) {
+      for (PointId b : side_b) links.push_back(MakeLink(a, b));
+    }
+  }
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  return links;
+}
+
+/// Streams every implied link of a join output to `fn(PointId, PointId)`
+/// without materializing the expansion — the right tool when the standard
+/// join would not fit in memory (the output-explosion case). Links are
+/// visited in emission order and pairs implied by several overlapping
+/// groups are visited once per group; canonicalize/deduplicate downstream
+/// if needed (ExpandSelfJoin does both, at O(total links) memory).
+template <typename Fn>
+void ForEachImpliedLink(
+    const std::vector<std::pair<PointId, PointId>>& links,
+    const std::vector<std::vector<PointId>>& groups, Fn&& fn) {
+  for (const auto& [a, b] : links) fn(a, b);
+  for (const auto& group : groups) {
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        fn(group[i], group[j]);
+      }
+    }
+  }
+}
+
+/// MemorySink overload.
+template <typename Fn>
+void ForEachImpliedLink(const MemorySink& sink, Fn&& fn) {
+  ForEachImpliedLink(sink.links(), sink.groups(), std::forward<Fn>(fn));
+}
+
+/// Result of comparing a compact output against a reference link set.
+struct LosslessReport {
+  std::vector<Link> missing;  ///< in reference, absent from expansion
+  std::vector<Link> extra;    ///< in expansion, absent from reference
+
+  bool lossless() const { return missing.empty() && extra.empty(); }
+
+  std::string ToString() const {
+    if (lossless()) return "lossless: expansion == reference";
+    std::string out = StrFormat("NOT lossless: %zu missing, %zu extra",
+                                missing.size(), extra.size());
+    auto preview = [&out](const char* tag, const std::vector<Link>& v) {
+      for (size_t i = 0; i < v.size() && i < 5; ++i) {
+        out += StrFormat("\n  %s (%u, %u)", tag, v[i].first, v[i].second);
+      }
+    };
+    preview("missing", missing);
+    preview("extra", extra);
+    return out;
+  }
+};
+
+/// Set-difference comparison of two canonical (sorted, unique) link sets.
+inline LosslessReport CompareLinkSets(const std::vector<Link>& expansion,
+                                      const std::vector<Link>& reference) {
+  LosslessReport report;
+  std::set_difference(reference.begin(), reference.end(), expansion.begin(),
+                      expansion.end(), std::back_inserter(report.missing));
+  std::set_difference(expansion.begin(), expansion.end(), reference.begin(),
+                      reference.end(), std::back_inserter(report.extra));
+  return report;
+}
+
+/// One-call verification for self-joins: expands `compact` and compares it
+/// with the brute-force join of `entries` at `epsilon`.
+template <int D>
+LosslessReport VerifySelfJoinLossless(const MemorySink& compact,
+                                      const std::vector<Entry<D>>& entries,
+                                      double epsilon) {
+  return CompareLinkSets(ExpandSelfJoin(compact),
+                         BruteForceSelfJoin(entries, epsilon));
+}
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_EXPAND_H_

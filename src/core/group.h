@@ -1,0 +1,212 @@
+#ifndef CSJ_CORE_GROUP_H_
+#define CSJ_CORE_GROUP_H_
+
+#include <deque>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/join_stats.h"
+#include "core/sink.h"
+#include "geom/box.h"
+#include "util/timer.h"
+
+/// \file
+/// Groups and the g-most-recent-groups merge window of CSJ(g).
+///
+/// A group is a set of point ids plus a bounding MBR whose diagonal is kept
+/// <= epsilon, which guarantees (Section V-A) that all members mutually
+/// satisfy the range — membership tests, insertions and boundary updates are
+/// all constant time. The window implements mergeIntoPrevGroup from the
+/// paper's Figure 3: a link is merged into the first of the g most recent
+/// groups whose tentatively-extended MBR still has diagonal <= epsilon;
+/// otherwise it founds a new group.
+
+namespace csj {
+
+/// One output group under construction.
+template <int D>
+class Group {
+ public:
+  /// New group from a single link (two points).
+  Group(PointId id_a, const Point<D>& a, PointId id_b, const Point<D>& b) {
+    box_.Extend(a);
+    box_.Extend(b);
+    members_.push_back(id_a);
+    if (id_b != id_a) members_.push_back(id_b);
+  }
+
+  /// New group from a whole subtree (the early-stopping rule). `box` must
+  /// cover all member points and have diagonal <= epsilon.
+  Group(std::vector<PointId> members, const Box<D>& box)
+      : box_(box), members_(std::move(members)) {}
+
+  /// Squared diagonal the MBR would have if extended to cover the link —
+  /// the dry-run of the merge test (used by the best-fit window policy).
+  double ExtensionSquaredDiagonal(const Point<D>& a, const Point<D>& b) const {
+    Box<D> extended = box_;
+    extended.Extend(a);
+    extended.Extend(b);
+    return extended.SquaredDiagonal();
+  }
+
+  /// Attempts to absorb the link (a, b): extends the MBR tentatively and
+  /// commits only if the extended diagonal is still within eps (squared
+  /// comparison; no sqrt). Returns true on success.
+  bool TryAddLink(double eps_squared, PointId id_a, const Point<D>& a,
+                  PointId id_b, const Point<D>& b) {
+    Box<D> extended = box_;
+    extended.Extend(a);
+    extended.Extend(b);
+    if (extended.SquaredDiagonal() > eps_squared) return false;
+    box_ = extended;
+    AddMember(id_a);
+    AddMember(id_b);
+    return true;
+  }
+
+  /// Unconditional absorb (caller already verified the bound via
+  /// ExtensionSquaredDiagonal).
+  void AddLink(PointId id_a, const Point<D>& a, PointId id_b,
+               const Point<D>& b) {
+    box_.Extend(a);
+    box_.Extend(b);
+    AddMember(id_a);
+    AddMember(id_b);
+  }
+
+  const Box<D>& box() const { return box_; }
+  const std::vector<PointId>& members() const { return members_; }
+  size_t size() const { return members_.size(); }
+
+ private:
+  void AddMember(PointId id) {
+    // The dedup set is built lazily: most groups (especially big subtree
+    // groups) never receive a merged link, so they never pay for it.
+    if (member_set_.empty()) {
+      member_set_.insert(members_.begin(), members_.end());
+    }
+    if (member_set_.insert(id).second) members_.push_back(id);
+  }
+
+  Box<D> box_;
+  std::vector<PointId> members_;
+  std::unordered_set<PointId> member_set_;
+};
+
+/// The CSJ(g) merge window: holds the g most recently created groups; older
+/// groups are emitted to the sink as they are evicted, and Flush() emits the
+/// remainder at the end of the join.
+template <int D>
+class GroupWindow {
+ public:
+  /// \param capacity the paper's g (>= 1).
+  /// \param epsilon query range.
+  /// \param sink receives evicted/flushed groups. Not owned.
+  /// \param stats implied-link accounting. Not owned.
+  /// \param write_timer if non-null, sink time is accumulated there.
+  GroupWindow(int capacity, double epsilon, JoinSink* sink, JoinStats* stats,
+              StopwatchAccumulator* write_timer)
+      : capacity_(static_cast<size_t>(capacity)),
+        eps_squared_(epsilon * epsilon),
+        sink_(sink),
+        stats_(stats),
+        write_timer_(write_timer) {
+    CSJ_CHECK(capacity >= 1);
+  }
+
+  /// mergeIntoPrevGroup (Figure 3): try the g most recent groups, newest
+  /// first; on failure start a new group containing just this link.
+  /// \param promote_on_merge move a successfully-extended group to the
+  ///        most-recent slot (ablation; the default keeps creation order).
+  void MergeLink(PointId id_a, const Point<D>& a, PointId id_b,
+                 const Point<D>& b, bool promote_on_merge) {
+    for (size_t i = window_.size(); i-- > 0;) {
+      ++stats_->merge_attempts;
+      if (window_[i].TryAddLink(eps_squared_, id_a, a, id_b, b)) {
+        ++stats_->merges;
+        if (promote_on_merge && i + 1 != window_.size()) {
+          Group<D> g = std::move(window_[i]);
+          window_.erase(window_.begin() + static_cast<long>(i));
+          window_.push_back(std::move(g));
+        }
+        return;
+      }
+    }
+    Push(Group<D>(id_a, a, id_b, b));
+  }
+
+  /// Best-fit variant of mergeIntoPrevGroup: evaluates every window group
+  /// and commits to the one whose extended MBR stays *tightest* (Section
+  /// V-B notes that insertion/grouping choices change output size; best-fit
+  /// trades g dry-run extensions — still O(g), still constant per group —
+  /// for better packing).
+  void MergeLinkBestFit(PointId id_a, const Point<D>& a, PointId id_b,
+                        const Point<D>& b, bool promote_on_merge) {
+    size_t best = window_.size();
+    double best_diag = eps_squared_;
+    for (size_t i = window_.size(); i-- > 0;) {
+      ++stats_->merge_attempts;
+      const double diag = window_[i].ExtensionSquaredDiagonal(a, b);
+      if (diag <= best_diag) {
+        best_diag = diag;
+        best = i;
+      }
+    }
+    if (best == window_.size()) {
+      Push(Group<D>(id_a, a, id_b, b));
+      return;
+    }
+    ++stats_->merges;
+    window_[best].AddLink(id_a, a, id_b, b);
+    if (promote_on_merge && best + 1 != window_.size()) {
+      Group<D> g = std::move(window_[best]);
+      window_.erase(window_.begin() + static_cast<long>(best));
+      window_.push_back(std::move(g));
+    }
+  }
+
+  /// createNewGroup(n): admit a subtree group to the window so later links
+  /// may merge into it.
+  void AddSubtreeGroup(std::vector<PointId> members, const Box<D>& box) {
+    if (members.size() < 2) return;  // a singleton implies no links
+    Push(Group<D>(std::move(members), box));
+  }
+
+  /// Emits everything still buffered. Call exactly once, after the traversal.
+  void Flush() {
+    while (!window_.empty()) {
+      Emit(window_.front());
+      window_.pop_front();
+    }
+  }
+
+  size_t live_groups() const { return window_.size(); }
+
+ private:
+  void Push(Group<D> group) {
+    window_.push_back(std::move(group));
+    if (window_.size() > capacity_) {
+      Emit(window_.front());
+      window_.pop_front();
+    }
+  }
+
+  void Emit(const Group<D>& group) {
+    if (group.size() < 2) return;
+    stats_->AddImpliedGroup(group.size());
+    ScopedStopwatch watch(write_timer_);
+    sink_->Group(group.members());
+  }
+
+  size_t capacity_;
+  double eps_squared_;
+  JoinSink* sink_;
+  JoinStats* stats_;
+  StopwatchAccumulator* write_timer_;
+  std::deque<Group<D>> window_;
+};
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_GROUP_H_

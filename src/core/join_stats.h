@@ -1,0 +1,71 @@
+#ifndef CSJ_CORE_JOIN_STATS_H_
+#define CSJ_CORE_JOIN_STATS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/join_options.h"
+#include "util/format.h"
+
+/// \file
+/// Per-join statistics returned by every driver.
+
+namespace csj {
+
+/// Everything a single join run reports. Output counters mirror the sink;
+/// work counters are maintained by the driver.
+struct JoinStats {
+  JoinAlgorithm algorithm = JoinAlgorithm::kSSJ;
+  double epsilon = 0.0;
+  int window_size = 0;
+
+  // Output shape.
+  uint64_t links = 0;               ///< individually emitted links
+  uint64_t groups = 0;              ///< emitted groups
+  uint64_t group_member_total = 0;  ///< sum of group sizes
+  uint64_t output_bytes = 0;        ///< exact bytes of the text format
+
+  // Work counters.
+  uint64_t distance_computations = 0;
+  uint64_t node_accesses = 0;   ///< node visits (0 if no tracker installed)
+  uint64_t page_requests = 0;   ///< simulated page requests
+  uint64_t page_disk_reads = 0; ///< simulated LRU misses
+  uint64_t early_stops = 0;     ///< subtree groups from the stopping rule
+  uint64_t merge_attempts = 0;  ///< link-into-group trials (CSJ)
+  uint64_t merges = 0;          ///< successful merges (CSJ)
+
+  // Timing.
+  double elapsed_seconds = 0.0;  ///< total join wall time (includes writes)
+  double write_seconds = 0.0;    ///< sink time, if measure_write_time was set
+
+  /// Number of links the output *implies*: each emitted group of k members
+  /// stands for k*(k-1)/2 links, plus the individual links. For a lossless
+  /// compact join this matches SSJ's link count minus duplicates (groups may
+  /// overlap, so implied counts can exceed the distinct-link count).
+  uint64_t ImpliedLinkUpperBound() const { return implied_links_; }
+  void AddImpliedGroup(uint64_t k) { implied_links_ += k * (k - 1) / 2; }
+  void AddImpliedLink() { ++implied_links_; }
+
+  std::string ToString() const {
+    return StrFormat(
+        "%s eps=%g g=%d: links=%llu groups=%llu bytes=%llu dist=%llu "
+        "early_stops=%llu merges=%llu/%llu time=%s write=%s",
+        JoinAlgorithmName(algorithm), epsilon, window_size,
+        static_cast<unsigned long long>(links),
+        static_cast<unsigned long long>(groups),
+        static_cast<unsigned long long>(output_bytes),
+        static_cast<unsigned long long>(distance_computations),
+        static_cast<unsigned long long>(early_stops),
+        static_cast<unsigned long long>(merges),
+        static_cast<unsigned long long>(merge_attempts),
+        HumanDuration(elapsed_seconds).c_str(),
+        HumanDuration(write_seconds).c_str());
+  }
+
+ private:
+  uint64_t implied_links_ = 0;
+};
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_JOIN_STATS_H_

@@ -1,0 +1,42 @@
+#ifndef CSJ_CORE_OUTPUT_READER_H_
+#define CSJ_CORE_OUTPUT_READER_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "geom/point.h"
+#include "util/status.h"
+
+/// \file
+/// Reader for the paper's join-output text format: one whitespace-separated
+/// id list per line; two ids form a link, three or more form a group. This
+/// is the consumer side of the storage story — a server (e.g. the NVO
+/// scenario in the paper's introduction) persists the compact output, then
+/// re-reads and expands it when the client finally retrieves the result.
+
+namespace csj {
+
+/// Parsed join output.
+struct JoinOutput {
+  std::vector<std::pair<PointId, PointId>> links;
+  std::vector<std::vector<PointId>> groups;
+
+  /// Total number of links the output implies (links + sum of C(k,2)),
+  /// counting duplicates implied by overlapping groups.
+  uint64_t ImpliedLinks() const {
+    uint64_t total = links.size();
+    for (const auto& g : groups) {
+      total += g.size() * (g.size() - 1) / 2;
+    }
+    return total;
+  }
+};
+
+/// Reads a join-output file. Lines with fewer than two ids are rejected
+/// (a single id implies nothing and is never emitted by the writers).
+Result<JoinOutput> ReadJoinOutput(const std::string& path);
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_OUTPUT_READER_H_

@@ -1,0 +1,77 @@
+#include "core/output_stats.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/format.h"
+
+namespace csj {
+
+OutputStats ComputeOutputStats(
+    const std::vector<std::pair<PointId, PointId>>& links,
+    const std::vector<std::vector<PointId>>& groups, int id_width) {
+  OutputStats stats;
+  stats.links = links.size();
+  stats.groups = groups.size();
+  stats.implied_links = links.size();
+
+  std::unordered_set<PointId> members;
+  for (const auto& group : groups) {
+    const uint64_t k = group.size();
+    stats.group_member_total += k;
+    stats.largest_group = std::max(stats.largest_group, k);
+    stats.smallest_group =
+        stats.smallest_group == 0 ? k : std::min(stats.smallest_group, k);
+    stats.implied_links += k * (k - 1) / 2;
+    members.insert(group.begin(), group.end());
+
+    // Power-of-two bucket: sizes in (2^i, 2^(i+1)] land in bucket i.
+    size_t bucket = 0;
+    while ((uint64_t{2} << bucket) < k) ++bucket;
+    if (stats.size_histogram.size() <= bucket) {
+      stats.size_histogram.resize(bucket + 1, 0);
+    }
+    ++stats.size_histogram[bucket];
+  }
+  stats.distinct_members = members.size();
+  if (stats.groups > 0) {
+    stats.mean_group_size = static_cast<double>(stats.group_member_total) /
+                            static_cast<double>(stats.groups);
+  }
+
+  const uint64_t per_id = static_cast<uint64_t>(id_width) + 1;
+  stats.output_bytes =
+      (2 * stats.links + stats.group_member_total) * per_id;
+  stats.link_listing_bytes = 2 * stats.implied_links * per_id;
+  return stats;
+}
+
+std::string OutputStats::ToString() const {
+  std::string out = StrFormat(
+      "links=%s groups=%s (sizes: min=%s mean=%.1f max=%s, overlap=%.2fx)\n",
+      WithThousands(links).c_str(), WithThousands(groups).c_str(),
+      WithThousands(smallest_group).c_str(), mean_group_size,
+      WithThousands(largest_group).c_str(), overlap_factor());
+  out += StrFormat(
+      "implied links=%s; %s vs %s as a plain link listing (%.1f%% saved)\n",
+      WithThousands(implied_links).c_str(), HumanBytes(output_bytes).c_str(),
+      HumanBytes(link_listing_bytes).c_str(), 100.0 * savings());
+  if (!size_histogram.empty()) {
+    out += "group sizes: ";
+    uint64_t lo = 2;
+    for (size_t i = 0; i < size_histogram.size(); ++i) {
+      const uint64_t hi = uint64_t{2} << i;
+      if (size_histogram[i] > 0) {
+        out += StrFormat("[%llu-%llu]:%s ",
+                         static_cast<unsigned long long>(lo),
+                         static_cast<unsigned long long>(hi),
+                         WithThousands(size_histogram[i]).c_str());
+      }
+      lo = hi + 1;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace csj

@@ -1,0 +1,441 @@
+#ifndef CSJ_CORE_SIMILARITY_JOIN_H_
+#define CSJ_CORE_SIMILARITY_JOIN_H_
+
+#include <algorithm>
+#include <atomic>
+#include <utility>
+#include <vector>
+
+#include "core/group.h"
+#include "core/join_options.h"
+#include "core/join_stats.h"
+#include "core/sink.h"
+#include "index/spatial_index.h"
+#include "util/timer.h"
+
+/// \file
+/// The paper's three join algorithms over any SpatialIndex:
+///
+///  * StandardSimilarityJoin  (SSJ)    — recursive tree join, links only.
+///  * NaiveCompactJoin        (N-CSJ)  — SSJ + the subtree early-stopping
+///    rule: a node whose bounding-shape diameter is <= eps becomes one group.
+///  * CompactSimilarityJoin   (CSJ(g)) — N-CSJ + merging of individual links
+///    into the g most recently created groups.
+///
+/// All three share one traversal (Figure 3 of the paper): the single-node
+/// recursion handles pairs within one subtree; the dual-node recursion
+/// handles pairs that bridge two subtrees, pruned by MinDistance. The dual
+/// variants (spatial joins of two different trees) run the dual-node
+/// recursion over two indexes with compatible bounding shapes.
+
+namespace csj {
+
+namespace internal {
+
+/// One join execution. TreeA and TreeB must share a bounding-shape type
+/// (Box with Box, Ball with Ball); for self-joins they are the same tree.
+template <typename TreeA, typename TreeB>
+class JoinDriver {
+ public:
+  static constexpr int D = TreeA::kDim;
+  static_assert(TreeA::kDim == TreeB::kDim, "dimension mismatch");
+
+  JoinDriver(const TreeA& tree_a, const TreeB& tree_b, bool self_join,
+             JoinAlgorithm algorithm, const JoinOptions& options,
+             JoinSink* sink)
+      : tree_a_(tree_a),
+        tree_b_(tree_b),
+        self_join_(self_join),
+        algorithm_(algorithm),
+        options_(options),
+        eps_(options.epsilon),
+        eps_squared_(options.epsilon * options.epsilon),
+        sink_(sink),
+        window_(std::max(options.window_size, 1), options.epsilon, sink,
+                &stats_, options.measure_write_time ? &write_timer_ : nullptr) {
+    CSJ_CHECK(options.epsilon > 0.0) << "epsilon must be positive";
+    CSJ_CHECK(sink != nullptr);
+    stats_.algorithm = algorithm;
+    stats_.epsilon = options.epsilon;
+    stats_.window_size =
+        algorithm == JoinAlgorithm::kCSJ ? options.window_size : 0;
+  }
+
+  /// One unit of work for the parallel driver: a single-subtree self-join
+  /// (second == kInvalidNode) or a qualifying subtree pair.
+  struct Task {
+    NodeId first = kInvalidNode;
+    NodeId second = kInvalidNode;
+  };
+
+  /// Processes tasks pulled from a shared cursor (used by the parallel
+  /// join; each worker owns one driver + sink). Self-join trees only.
+  JoinStats RunTasks(const std::vector<Task>& tasks,
+                     std::atomic<size_t>* cursor) {
+    WallTimer timer;
+    CSJ_CHECK(self_join_);
+    while (true) {
+      const size_t index = cursor->fetch_add(1, std::memory_order_relaxed);
+      if (index >= tasks.size()) break;
+      const Task& task = tasks[index];
+      if (task.second == kInvalidNode) {
+        SelfJoin(task.first);
+      } else {
+        SelfDualJoin(task.first, task.second);
+      }
+    }
+    if (algorithm_ == JoinAlgorithm::kCSJ) window_.Flush();
+    FinalizeStats(timer);
+    return stats_;
+  }
+
+  JoinStats Run() {
+    WallTimer timer;
+    if (options_.tracker != nullptr) options_.tracker->Reset();
+
+    if (self_join_) {
+      if (tree_a_.Root() != kInvalidNode && tree_a_.size() >= 2) {
+        SelfJoin(tree_a_.Root());
+      }
+    } else if (tree_a_.Root() != kInvalidNode &&
+               tree_b_.Root() != kInvalidNode) {
+      if (MinDist(tree_a_.Root(), tree_b_.Root()) <= eps_) {
+        DualJoin(tree_a_.Root(), tree_b_.Root());
+      }
+    }
+    if (algorithm_ == JoinAlgorithm::kCSJ) window_.Flush();
+    FinalizeStats(timer);
+    return stats_;
+  }
+
+ private:
+  void FinalizeStats(const WallTimer& timer) {
+    stats_.elapsed_seconds = timer.ElapsedSeconds();
+    stats_.write_seconds = write_timer_.TotalSeconds();
+    stats_.links = sink_->num_links();
+    stats_.groups = sink_->num_groups();
+    stats_.group_member_total = sink_->group_member_total();
+    stats_.output_bytes = sink_->bytes();
+    if (options_.tracker != nullptr) {
+      const NodeAccessStats access = options_.tracker->stats();
+      stats_.node_accesses = access.node_accesses;
+      stats_.page_requests = access.pages.requests;
+      stats_.page_disk_reads = access.pages.disk_reads;
+    }
+  }
+
+  bool Compact() const { return algorithm_ != JoinAlgorithm::kSSJ; }
+
+  void TouchA(NodeId n) {
+    if (options_.tracker != nullptr) options_.tracker->Touch(n);
+  }
+  void TouchB(NodeId n) {
+    // Offset the second tree's node ids so the two trees do not collide on
+    // simulated pages.
+    if (options_.tracker != nullptr) {
+      options_.tracker->Touch(n + (self_join_ ? 0u : 0x40000000u));
+    }
+  }
+
+  double MinDist(NodeId a, NodeId b) const {
+    return MinDistance(tree_a_.Shape(a), tree_b_.Shape(b));
+  }
+
+  // --- Single-node recursion (Figure 3, simJoin(n)) -------------------------
+
+  void SelfJoin(NodeId n) {
+    TouchA(n);
+    if (Compact() && options_.early_stop &&
+        tree_a_.MaxDiameter(n) <= eps_) {
+      EmitSubtreeGroup(n);
+      return;
+    }
+    if (tree_a_.IsLeaf(n)) {
+      const auto entries = tree_a_.Entries(n);
+      for (size_t i = 0; i < entries.size(); ++i) {
+        for (size_t j = i + 1; j < entries.size(); ++j) {
+          ++stats_.distance_computations;
+          if (SquaredDistance(entries[i].point, entries[j].point) <=
+              eps_squared_) {
+            EmitLink(entries[i], entries[j]);
+          }
+        }
+      }
+      return;
+    }
+    const auto children = tree_a_.Children(n);
+    for (NodeId child : children) SelfJoin(child);
+
+    if (options_.sort_child_pairs) {
+      // Brinkhoff-style ordering: qualifying pairs by ascending MinDistance.
+      std::vector<std::pair<double, std::pair<NodeId, NodeId>>> pairs;
+      for (size_t i = 0; i < children.size(); ++i) {
+        for (size_t j = i + 1; j < children.size(); ++j) {
+          const double dist = tree_a_.MinDistance(children[i], children[j]);
+          if (dist <= eps_) pairs.push_back({dist, {children[i], children[j]}});
+        }
+      }
+      std::sort(pairs.begin(), pairs.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (const auto& [dist, pair] : pairs) SelfDualJoin(pair.first, pair.second);
+    } else {
+      for (size_t i = 0; i < children.size(); ++i) {
+        for (size_t j = i + 1; j < children.size(); ++j) {
+          if (tree_a_.MinDistance(children[i], children[j]) <= eps_) {
+            SelfDualJoin(children[i], children[j]);
+          }
+        }
+      }
+    }
+  }
+
+  /// Dual-node recursion within the self-joined tree (simJoin(n1, n2)).
+  void SelfDualJoin(NodeId n1, NodeId n2) {
+    TouchA(n1);
+    TouchA(n2);
+    if (Compact() && options_.early_stop &&
+        tree_a_.MaxDiameter(n1, n2) <= eps_) {
+      EmitSubtreePairGroupSelf(n1, n2);
+      return;
+    }
+    const bool leaf1 = tree_a_.IsLeaf(n1);
+    const bool leaf2 = tree_a_.IsLeaf(n2);
+    if (leaf1 && leaf2) {
+      for (const auto& e1 : tree_a_.Entries(n1)) {
+        for (const auto& e2 : tree_a_.Entries(n2)) {
+          ++stats_.distance_computations;
+          if (SquaredDistance(e1.point, e2.point) <= eps_squared_) {
+            EmitLink(e1, e2);
+          }
+        }
+      }
+      return;
+    }
+    if (leaf1) {
+      for (NodeId c2 : tree_a_.Children(n2)) {
+        if (tree_a_.MinDistance(n1, c2) <= eps_) SelfDualJoin(n1, c2);
+      }
+      return;
+    }
+    if (leaf2) {
+      for (NodeId c1 : tree_a_.Children(n1)) {
+        if (tree_a_.MinDistance(c1, n2) <= eps_) SelfDualJoin(c1, n2);
+      }
+      return;
+    }
+    for (NodeId c1 : tree_a_.Children(n1)) {
+      for (NodeId c2 : tree_a_.Children(n2)) {
+        if (tree_a_.MinDistance(c1, c2) <= eps_) SelfDualJoin(c1, c2);
+      }
+    }
+  }
+
+  // --- Dual-tree recursion (spatial join, Section IV-D) ----------------------
+
+  void DualJoin(NodeId a, NodeId b) {
+    TouchA(a);
+    TouchB(b);
+    if (Compact() && options_.early_stop &&
+        UnionDiameterBound(tree_a_.Shape(a), tree_b_.Shape(b)) <= eps_) {
+      EmitSubtreePairGroupDual(a, b);
+      return;
+    }
+    const bool leaf_a = tree_a_.IsLeaf(a);
+    const bool leaf_b = tree_b_.IsLeaf(b);
+    if (leaf_a && leaf_b) {
+      for (const auto& ea : tree_a_.Entries(a)) {
+        for (const auto& eb : tree_b_.Entries(b)) {
+          ++stats_.distance_computations;
+          if (SquaredDistance(ea.point, eb.point) <= eps_squared_) {
+            EmitLink(ea, eb);
+          }
+        }
+      }
+      return;
+    }
+    if (leaf_a) {
+      for (NodeId cb : tree_b_.Children(b)) {
+        if (MinDist(a, cb) <= eps_) DualJoin(a, cb);
+      }
+      return;
+    }
+    if (leaf_b) {
+      for (NodeId ca : tree_a_.Children(a)) {
+        if (MinDist(ca, b) <= eps_) DualJoin(ca, b);
+      }
+      return;
+    }
+    for (NodeId ca : tree_a_.Children(a)) {
+      for (NodeId cb : tree_b_.Children(b)) {
+        if (MinDist(ca, cb) <= eps_) DualJoin(ca, cb);
+      }
+    }
+  }
+
+  // --- Emission ---------------------------------------------------------------
+
+  void EmitLink(const Entry<D>& e1, const Entry<D>& e2) {
+    if (algorithm_ == JoinAlgorithm::kCSJ) {
+      if (options_.window_policy == WindowPolicy::kBestFit) {
+        window_.MergeLinkBestFit(e1.id, e1.point, e2.id, e2.point,
+                                 options_.promote_on_merge);
+      } else {
+        window_.MergeLink(e1.id, e1.point, e2.id, e2.point,
+                          options_.promote_on_merge);
+      }
+      return;
+    }
+    stats_.AddImpliedLink();
+    ScopedStopwatch watch(options_.measure_write_time ? &write_timer_
+                                                      : nullptr);
+    sink_->Link(e1.id, e2.id);
+  }
+
+  /// Early-stopping rule on one subtree: all points below n become a group.
+  void EmitSubtreeGroup(NodeId n) {
+    ++stats_.early_stops;
+    std::vector<PointId> members;
+    Box<D> box;
+    ForEachEntryInSubtree(tree_a_, n, options_.tracker,
+                          [&](const Entry<D>& e) {
+                            members.push_back(e.id);
+                            box.Extend(e.point);
+                          });
+    EmitGroup(std::move(members), box);
+  }
+
+  /// Early-stopping rule on a pair of subtrees of the self-joined tree.
+  void EmitSubtreePairGroupSelf(NodeId n1, NodeId n2) {
+    ++stats_.early_stops;
+    std::vector<PointId> members;
+    Box<D> box;
+    auto collect = [&](const Entry<D>& e) {
+      members.push_back(e.id);
+      box.Extend(e.point);
+    };
+    ForEachEntryInSubtree(tree_a_, n1, options_.tracker, collect);
+    ForEachEntryInSubtree(tree_a_, n2, options_.tracker, collect);
+    EmitGroup(std::move(members), box);
+  }
+
+  /// Early-stopping rule across the two spatial-join trees.
+  void EmitSubtreePairGroupDual(NodeId a, NodeId b) {
+    ++stats_.early_stops;
+    std::vector<PointId> members;
+    Box<D> box;
+    auto collect = [&](const Entry<D>& e) {
+      members.push_back(e.id);
+      box.Extend(e.point);
+    };
+    ForEachEntryInSubtree(tree_a_, a, options_.tracker, collect);
+    ForEachEntryInSubtree(tree_b_, b, options_.tracker, collect);
+    EmitGroup(std::move(members), box);
+  }
+
+  void EmitGroup(std::vector<PointId> members, const Box<D>& box) {
+    if (members.size() < 2) return;  // no links implied; nothing to report
+    if (algorithm_ == JoinAlgorithm::kCSJ) {
+      // Admit to the merge window so later bridging links can join it.
+      window_.AddSubtreeGroup(std::move(members), box);
+      return;
+    }
+    stats_.AddImpliedGroup(members.size());
+    ScopedStopwatch watch(options_.measure_write_time ? &write_timer_
+                                                      : nullptr);
+    sink_->Group(members);
+  }
+
+  const TreeA& tree_a_;
+  const TreeB& tree_b_;
+  bool self_join_;
+  JoinAlgorithm algorithm_;
+  const JoinOptions& options_;
+  double eps_;
+  double eps_squared_;
+  JoinSink* sink_;
+  JoinStats stats_;
+  StopwatchAccumulator write_timer_;
+  GroupWindow<D> window_;
+};
+
+}  // namespace internal
+
+/// Standard similarity self-join (SSJ): every qualifying pair is emitted as
+/// an individual link. The baseline of all experiments.
+template <SpatialIndex Tree>
+JoinStats StandardSimilarityJoin(const Tree& tree, const JoinOptions& options,
+                                 JoinSink* sink) {
+  internal::JoinDriver<Tree, Tree> driver(tree, tree, /*self_join=*/true,
+                                          JoinAlgorithm::kSSJ, options, sink);
+  return driver.Run();
+}
+
+/// Naive compact self-join (N-CSJ): subtrees whose bounding-shape diameter is
+/// within epsilon are emitted as whole groups; everything else as links.
+template <SpatialIndex Tree>
+JoinStats NaiveCompactJoin(const Tree& tree, const JoinOptions& options,
+                           JoinSink* sink) {
+  internal::JoinDriver<Tree, Tree> driver(tree, tree, /*self_join=*/true,
+                                          JoinAlgorithm::kNCSJ, options, sink);
+  return driver.Run();
+}
+
+/// Compact self-join CSJ(g): N-CSJ plus merging of individual links into the
+/// g most recent groups (options.window_size).
+template <SpatialIndex Tree>
+JoinStats CompactSimilarityJoin(const Tree& tree, const JoinOptions& options,
+                                JoinSink* sink) {
+  internal::JoinDriver<Tree, Tree> driver(tree, tree, /*self_join=*/true,
+                                          JoinAlgorithm::kCSJ, options, sink);
+  return driver.Run();
+}
+
+/// Standard spatial join of two trees (cross pairs only). The two trees must
+/// use the same bounding-shape family and disjoint point-id spaces.
+template <SpatialIndex TreeA, SpatialIndex TreeB>
+JoinStats StandardSpatialJoin(const TreeA& tree_a, const TreeB& tree_b,
+                              const JoinOptions& options, JoinSink* sink) {
+  internal::JoinDriver<TreeA, TreeB> driver(
+      tree_a, tree_b, /*self_join=*/false, JoinAlgorithm::kSSJ, options, sink);
+  return driver.Run();
+}
+
+/// Naive compact spatial join.
+template <SpatialIndex TreeA, SpatialIndex TreeB>
+JoinStats NaiveCompactSpatialJoin(const TreeA& tree_a, const TreeB& tree_b,
+                                  const JoinOptions& options, JoinSink* sink) {
+  internal::JoinDriver<TreeA, TreeB> driver(tree_a, tree_b,
+                                            /*self_join=*/false,
+                                            JoinAlgorithm::kNCSJ, options,
+                                            sink);
+  return driver.Run();
+}
+
+/// Compact spatial join CSJ(g) over two trees.
+template <SpatialIndex TreeA, SpatialIndex TreeB>
+JoinStats CompactSpatialJoin(const TreeA& tree_a, const TreeB& tree_b,
+                             const JoinOptions& options, JoinSink* sink) {
+  internal::JoinDriver<TreeA, TreeB> driver(
+      tree_a, tree_b, /*self_join=*/false, JoinAlgorithm::kCSJ, options, sink);
+  return driver.Run();
+}
+
+/// Dispatch by runtime algorithm value (used by the benchmark harnesses).
+template <SpatialIndex Tree>
+JoinStats RunSelfJoin(JoinAlgorithm algorithm, const Tree& tree,
+                      const JoinOptions& options, JoinSink* sink) {
+  switch (algorithm) {
+    case JoinAlgorithm::kSSJ:
+      return StandardSimilarityJoin(tree, options, sink);
+    case JoinAlgorithm::kNCSJ:
+      return NaiveCompactJoin(tree, options, sink);
+    case JoinAlgorithm::kCSJ:
+      return CompactSimilarityJoin(tree, options, sink);
+  }
+  CSJ_CHECK(false) << "unknown algorithm";
+  return JoinStats();
+}
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_SIMILARITY_JOIN_H_

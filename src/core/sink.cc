@@ -1,0 +1,48 @@
+#include "core/sink.h"
+
+namespace csj {
+
+FileSink::FileSink(int id_width, std::string path)
+    : JoinSink(id_width), path_(std::move(path)) {
+  open_status_ = file_.Open(path_);
+  scratch_.reserve(256);
+}
+
+void FileSink::AppendId(PointId id, char terminator) {
+  // Zero-padded fixed-width decimal, hand-rolled to avoid per-id allocation.
+  char buf[24];
+  int pos = 24;
+  uint64_t v = id;
+  do {
+    buf[--pos] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  int digits = 24 - pos;
+  for (int i = digits; i < id_width(); ++i) scratch_.push_back('0');
+  scratch_.append(buf + pos, buf + 24);
+  scratch_.push_back(terminator);
+}
+
+void FileSink::DoLink(PointId a, PointId b) {
+  if (!open_status_.ok()) return;
+  scratch_.clear();
+  AppendId(a, ' ');
+  AppendId(b, '\n');
+  file_.Append(scratch_);
+}
+
+void FileSink::DoGroup(std::span<const PointId> members) {
+  if (!open_status_.ok()) return;
+  scratch_.clear();
+  for (size_t i = 0; i < members.size(); ++i) {
+    AppendId(members[i], i + 1 == members.size() ? '\n' : ' ');
+  }
+  file_.Append(scratch_);
+}
+
+Status FileSink::Finish() {
+  CSJ_RETURN_IF_ERROR(open_status_);
+  return file_.Close();
+}
+
+}  // namespace csj

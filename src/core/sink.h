@@ -1,0 +1,145 @@
+#ifndef CSJ_CORE_SINK_H_
+#define CSJ_CORE_SINK_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "storage/output_file.h"
+#include "util/format.h"
+#include "util/status.h"
+
+/// \file
+/// Join-output sinks.
+///
+/// The paper measures output size as the byte size of a text file in which
+/// every data point id is zero-padded to a fixed width, a link is a line
+/// "0001 0002" and a group is a line "0001 0002 0003 ...". All sinks share
+/// that format so byte counts are identical whether the output is actually
+/// written (FileSink), only counted (CountingSink), or retained in memory for
+/// verification (MemorySink).
+
+namespace csj {
+
+/// Receives the join output. Counting of links/groups/bytes happens here in
+/// the base class; subclasses only materialize.
+class JoinSink {
+ public:
+  /// \param id_width zero-padding width; use IdWidthFor(n) for n points.
+  explicit JoinSink(int id_width) : id_width_(id_width) {
+    CSJ_CHECK(id_width >= 1);
+  }
+  virtual ~JoinSink() = default;
+
+  JoinSink(const JoinSink&) = delete;
+  JoinSink& operator=(const JoinSink&) = delete;
+
+  /// Emits one individual link.
+  void Link(PointId a, PointId b) {
+    ++num_links_;
+    bytes_ += 2 * static_cast<uint64_t>(id_width_ + 1);
+    DoLink(a, b);
+  }
+
+  /// Emits one group of mutually-qualifying points (k >= 2).
+  void Group(std::span<const PointId> members) {
+    CSJ_DCHECK(members.size() >= 2);
+    ++num_groups_;
+    group_member_total_ += members.size();
+    bytes_ += members.size() * static_cast<uint64_t>(id_width_ + 1);
+    DoGroup(members);
+  }
+
+  /// Completes the output (flushes files). Must be called exactly once.
+  virtual Status Finish() { return Status::OK(); }
+
+  int id_width() const { return id_width_; }
+  uint64_t num_links() const { return num_links_; }
+  uint64_t num_groups() const { return num_groups_; }
+  uint64_t group_member_total() const { return group_member_total_; }
+
+  /// Exact size in bytes of the paper's text representation of everything
+  /// emitted so far (each id takes id_width chars followed by a separator or
+  /// the newline).
+  uint64_t bytes() const { return bytes_; }
+
+ protected:
+  virtual void DoLink(PointId a, PointId b) = 0;
+  virtual void DoGroup(std::span<const PointId> members) = 0;
+
+ private:
+  int id_width_;
+  uint64_t num_links_ = 0;
+  uint64_t num_groups_ = 0;
+  uint64_t group_member_total_ = 0;
+  uint64_t bytes_ = 0;
+};
+
+/// Convenience: zero-pad width for ids in [0, n).
+inline int IdWidthFor(uint64_t n) {
+  return DecimalWidth(n == 0 ? 0 : n - 1);
+}
+
+/// Counts links/groups/bytes without materializing anything. The default
+/// sink for timing experiments where write time must be excluded.
+class CountingSink final : public JoinSink {
+ public:
+  explicit CountingSink(int id_width) : JoinSink(id_width) {}
+
+ protected:
+  void DoLink(PointId, PointId) override {}
+  void DoGroup(std::span<const PointId>) override {}
+};
+
+/// Writes the paper's text format to a file through a buffered OutputFile.
+class FileSink final : public JoinSink {
+ public:
+  FileSink(int id_width, std::string path);
+
+  Status Finish() override;
+
+  const std::string& path() const { return path_; }
+  /// Bytes actually written so far (matches bytes() after Finish()).
+  uint64_t file_bytes() const { return file_.bytes_written(); }
+  /// Status of the deferred Open (checked in Finish, surfaced early here).
+  const Status& open_status() const { return open_status_; }
+
+ protected:
+  void DoLink(PointId a, PointId b) override;
+  void DoGroup(std::span<const PointId> members) override;
+
+ private:
+  void AppendId(PointId id, char terminator);
+
+  std::string path_;
+  OutputFile file_;
+  Status open_status_;
+  std::string scratch_;
+};
+
+/// Retains every link and group in memory, for tests and expansion.
+class MemorySink final : public JoinSink {
+ public:
+  explicit MemorySink(int id_width) : JoinSink(id_width) {}
+
+  const std::vector<std::pair<PointId, PointId>>& links() const {
+    return links_;
+  }
+  const std::vector<std::vector<PointId>>& groups() const { return groups_; }
+
+ protected:
+  void DoLink(PointId a, PointId b) override { links_.emplace_back(a, b); }
+  void DoGroup(std::span<const PointId> members) override {
+    groups_.emplace_back(members.begin(), members.end());
+  }
+
+ private:
+  std::vector<std::pair<PointId, PointId>> links_;
+  std::vector<std::vector<PointId>> groups_;
+};
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_SINK_H_

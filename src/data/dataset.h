@@ -1,0 +1,89 @@
+#ifndef CSJ_DATA_DATASET_H_
+#define CSJ_DATA_DATASET_H_
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/point.h"
+#include "util/check.h"
+
+/// \file
+/// Datasets: named point collections with ids, plus the unit-square
+/// normalization the paper applies to every input ("All data sets were
+/// normalized to fit into the unit square").
+
+namespace csj {
+
+/// A named, id-stamped point set.
+template <int D>
+struct Dataset {
+  std::string name;
+  std::vector<Entry<D>> entries;
+
+  size_t size() const { return entries.size(); }
+};
+
+/// Stamps consecutive ids starting at `first_id` onto points.
+template <int D>
+std::vector<Entry<D>> ToEntries(const std::vector<Point<D>>& points,
+                                PointId first_id = 0) {
+  std::vector<Entry<D>> entries(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    entries[i] = Entry<D>{static_cast<PointId>(first_id + i), points[i]};
+  }
+  return entries;
+}
+
+/// Extracts the bare points of a dataset (for brute-force checks).
+template <int D>
+std::vector<Point<D>> ToPoints(const std::vector<Entry<D>>& entries) {
+  std::vector<Point<D>> points(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) points[i] = entries[i].point;
+  return points;
+}
+
+/// Rescales points into the unit cube [0,1]^D.
+///
+/// \param preserve_aspect when true (default), all axes are scaled by the
+///        single factor that makes the largest extent 1, keeping shapes
+///        undistorted (distances in all axes stay comparable); when false,
+///        each axis is stretched to [0,1] independently.
+template <int D>
+void NormalizeToUnitCube(std::vector<Point<D>>* points,
+                         bool preserve_aspect = true) {
+  if (points->empty()) return;
+  Box<D> bounds;
+  for (const auto& p : *points) bounds.Extend(p);
+
+  double scales[D];
+  if (preserve_aspect) {
+    double max_extent = 0.0;
+    for (int d = 0; d < D; ++d) max_extent = std::max(max_extent, bounds.Extent(d));
+    const double s = max_extent > 0.0 ? 1.0 / max_extent : 1.0;
+    for (int d = 0; d < D; ++d) scales[d] = s;
+  } else {
+    for (int d = 0; d < D; ++d) {
+      const double extent = bounds.Extent(d);
+      scales[d] = extent > 0.0 ? 1.0 / extent : 1.0;
+    }
+  }
+  for (auto& p : *points) {
+    for (int d = 0; d < D; ++d) p[d] = (p[d] - bounds.lo[d]) * scales[d];
+  }
+}
+
+/// Entry-vector overload.
+template <int D>
+void NormalizeToUnitCube(std::vector<Entry<D>>* entries,
+                         bool preserve_aspect = true) {
+  if (entries->empty()) return;
+  std::vector<Point<D>> points = ToPoints(*entries);
+  NormalizeToUnitCube(&points, preserve_aspect);
+  for (size_t i = 0; i < entries->size(); ++i) (*entries)[i].point = points[i];
+}
+
+}  // namespace csj
+
+#endif  // CSJ_DATA_DATASET_H_

@@ -1,0 +1,179 @@
+#ifndef CSJ_DATA_GENERATORS_H_
+#define CSJ_DATA_GENERATORS_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "geom/point.h"
+#include "util/random.h"
+
+/// \file
+/// Synthetic point-set generators.
+///
+/// The Sierpinski generators reproduce the paper's Sierpinski3D workload (a
+/// 3-D Sierpinski pyramid sampled by the chaos game); uniform and
+/// Gaussian-cluster generators drive tests and the EGO extension benchmarks.
+/// All generators are deterministic in (parameters, seed).
+
+namespace csj {
+
+/// n uniform points in the unit cube.
+template <int D>
+std::vector<Point<D>> GenerateUniform(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point<D>> points(n);
+  for (auto& p : points) {
+    for (int d = 0; d < D; ++d) p[d] = rng.UniformDouble();
+  }
+  return points;
+}
+
+/// n points from k Gaussian clusters with the given per-axis sigma; cluster
+/// centers are uniform in the unit cube, points are clamped into it.
+template <int D>
+std::vector<Point<D>> GenerateGaussianClusters(size_t n, int k, double sigma,
+                                               uint64_t seed) {
+  CSJ_CHECK(k >= 1);
+  Rng rng(seed);
+  std::vector<Point<D>> centers(static_cast<size_t>(k));
+  for (auto& c : centers) {
+    for (int d = 0; d < D; ++d) c[d] = rng.UniformDouble();
+  }
+  std::vector<Point<D>> points(n);
+  for (auto& p : points) {
+    const auto& c = centers[rng.UniformInt(static_cast<uint64_t>(k))];
+    for (int d = 0; d < D; ++d) {
+      double v = c[d] + rng.Gaussian(0.0, sigma);
+      if (v < 0.0) v = 0.0;
+      if (v > 1.0) v = 1.0;
+      p[d] = v;
+    }
+  }
+  return points;
+}
+
+namespace generators_internal {
+
+/// Chaos-game sampling of the Sierpinski simplex with V vertices in D
+/// dimensions: iteratively jump halfway toward a random vertex. The attractor
+/// is the Sierpinski triangle (D=2, V=3) or pyramid (D=3, V=4).
+template <int D, int V>
+std::vector<Point<D>> ChaosGame(const Point<D> (&vertices)[V], size_t n,
+                                uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point<D>> points;
+  points.reserve(n);
+  Point<D> current;
+  for (int d = 0; d < D; ++d) current[d] = rng.UniformDouble();
+  // Discard burn-in iterations so every kept point is (numerically) on the
+  // attractor.
+  constexpr int kBurnIn = 32;
+  for (size_t i = 0; i < n + kBurnIn; ++i) {
+    const auto& v = vertices[rng.UniformInt(static_cast<uint64_t>(V))];
+    for (int d = 0; d < D; ++d) current[d] = 0.5 * (current[d] + v[d]);
+    if (i >= kBurnIn) points.push_back(current);
+  }
+  return points;
+}
+
+}  // namespace generators_internal
+
+/// n points on the 2-D Sierpinski triangle inside the unit square.
+inline std::vector<Point2> GenerateSierpinski2D(size_t n, uint64_t seed) {
+  static constexpr Point2 kVertices[3] = {
+      Point2{{0.0, 0.0}}, Point2{{1.0, 0.0}}, Point2{{0.5, 1.0}}};
+  return generators_internal::ChaosGame<2, 3>(kVertices, n, seed);
+}
+
+/// n points on the 3-D Sierpinski pyramid (tetrahedron) inside the unit
+/// cube — the paper's Sierpinski3D data set.
+inline std::vector<Point3> GenerateSierpinski3D(size_t n, uint64_t seed) {
+  static constexpr Point3 kVertices[4] = {
+      Point3{{0.0, 0.0, 0.0}}, Point3{{1.0, 0.0, 0.0}},
+      Point3{{0.5, 1.0, 0.0}}, Point3{{0.5, 0.5, 1.0}}};
+  return generators_internal::ChaosGame<3, 4>(kVertices, n, seed);
+}
+
+/// Parameters of the Soneira-Peebles hierarchical clustering model — the
+/// classic synthetic galaxy catalog (the paper's astrophysics motivation).
+/// Starting from one sphere of radius `top_radius`, each level places `eta`
+/// child spheres at uniform positions inside the parent with radius shrunk
+/// by `lambda`; galaxies are the centers of the last level. The resulting
+/// point set has a power-law correlation function with fractal dimension
+/// approximately log(eta) / log(lambda).
+struct SoneiraPeeblesOptions {
+  int levels = 6;
+  int eta = 4;          ///< children per sphere
+  double lambda = 2.2;  ///< radius shrink factor per level (> 1)
+  double top_radius = 0.45;
+  size_t num_points = 0;  ///< 0 = natural count (eta^levels); else resampled
+  uint64_t seed = 19;
+};
+
+/// Soneira-Peebles hierarchical galaxy catalog in the unit square/cube.
+template <int D>
+std::vector<Point<D>> GenerateSoneiraPeebles(
+    const SoneiraPeeblesOptions& options) {
+  CSJ_CHECK(options.levels >= 1 && options.eta >= 1);
+  CSJ_CHECK(options.lambda > 1.0);
+  Rng rng(options.seed);
+
+  Point<D> center;
+  for (int d = 0; d < D; ++d) center[d] = 0.5;
+  std::vector<Point<D>> current = {center};
+  double radius = options.top_radius;
+
+  auto sample_in_ball = [&](const Point<D>& c, double r) {
+    // Rejection sampling inside the D-ball.
+    while (true) {
+      Point<D> p;
+      double norm2 = 0.0;
+      for (int d = 0; d < D; ++d) {
+        const double v = rng.UniformDouble(-1.0, 1.0);
+        p[d] = v;
+        norm2 += v * v;
+      }
+      if (norm2 > 1.0) continue;
+      for (int d = 0; d < D; ++d) {
+        p[d] = std::clamp(c[d] + p[d] * r, 0.0, 1.0);
+      }
+      return p;
+    }
+  };
+
+  for (int level = 0; level < options.levels; ++level) {
+    radius /= options.lambda;
+    std::vector<Point<D>> next;
+    next.reserve(current.size() * static_cast<size_t>(options.eta));
+    for (const auto& c : current) {
+      for (int k = 0; k < options.eta; ++k) {
+        next.push_back(sample_in_ball(c, radius * options.lambda));
+      }
+    }
+    current = std::move(next);
+  }
+
+  if (options.num_points == 0 || options.num_points == current.size()) {
+    return current;
+  }
+  // Resample to the requested count: subsample, or densify by jittering
+  // existing galaxies within the smallest-level radius.
+  std::vector<Point<D>> out;
+  out.reserve(options.num_points);
+  if (options.num_points < current.size()) {
+    rng.Shuffle(current);
+    out.assign(current.begin(),
+               current.begin() + static_cast<long>(options.num_points));
+  } else {
+    out = current;
+    while (out.size() < options.num_points) {
+      const auto& base = current[rng.UniformInt(current.size())];
+      out.push_back(sample_in_ball(base, radius));
+    }
+  }
+  return out;
+}
+
+}  // namespace csj
+
+#endif  // CSJ_DATA_GENERATORS_H_

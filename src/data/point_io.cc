@@ -1,0 +1,58 @@
+#include "data/point_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/format.h"
+
+namespace csj::io_internal {
+
+Status WritePointsText(const std::string& path,
+                       const std::vector<std::vector<double>>& rows) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  for (const auto& row : rows) {
+    for (size_t d = 0; d < row.size(); ++d) {
+      std::fprintf(f, d + 1 == row.size() ? "%.17g\n" : "%.17g ", row[d]);
+    }
+  }
+  if (std::fclose(f) != 0) return Status::IoError("close failed: " + path);
+  return Status::OK();
+}
+
+Result<std::vector<std::vector<double>>> ReadPointsText(
+    const std::string& path, int expected_dims) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::NotFound("cannot open: " + path);
+  std::vector<std::vector<double>> rows;
+  char line[512];
+  int line_no = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_no;
+    // Skip blank and comment lines.
+    char* cursor = line;
+    while (*cursor == ' ' || *cursor == '\t') ++cursor;
+    if (*cursor == '\0' || *cursor == '\n' || *cursor == '#') continue;
+
+    std::vector<double> row;
+    while (true) {
+      char* end = nullptr;
+      const double value = std::strtod(cursor, &end);
+      if (end == cursor) break;
+      row.push_back(value);
+      cursor = end;
+    }
+    if (static_cast<int>(row.size()) != expected_dims) {
+      std::fclose(f);
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: expected %d columns, found %zu", path.c_str(),
+                    line_no, expected_dims, row.size()));
+    }
+    rows.push_back(std::move(row));
+  }
+  std::fclose(f);
+  return rows;
+}
+
+}  // namespace csj::io_internal

@@ -1,0 +1,51 @@
+#ifndef CSJ_DATA_POINT_IO_H_
+#define CSJ_DATA_POINT_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "geom/point.h"
+#include "util/status.h"
+
+/// \file
+/// Point-set file I/O: whitespace-separated text, one point per line
+/// ("x y [z]"), compatible with gnuplot and with the usual distribution
+/// format of the county/TIGER point sets — so the real data, if obtained,
+/// can be dropped in for the synthetic substitutes.
+
+namespace csj {
+
+namespace io_internal {
+Status WritePointsText(const std::string& path,
+                       const std::vector<std::vector<double>>& rows);
+Result<std::vector<std::vector<double>>> ReadPointsText(
+    const std::string& path, int expected_dims);
+}  // namespace io_internal
+
+/// Writes one "x y [z]" line per point.
+template <int D>
+Status SavePoints(const std::string& path,
+                  const std::vector<Point<D>>& points) {
+  std::vector<std::vector<double>> rows(points.size(),
+                                        std::vector<double>(D));
+  for (size_t i = 0; i < points.size(); ++i) {
+    for (int d = 0; d < D; ++d) rows[i][d] = points[i][d];
+  }
+  return io_internal::WritePointsText(path, rows);
+}
+
+/// Reads a point-per-line text file; fails if any row does not have exactly
+/// D columns.
+template <int D>
+Result<std::vector<Point<D>>> LoadPoints(const std::string& path) {
+  CSJ_ASSIGN_OR_RETURN(auto rows, io_internal::ReadPointsText(path, D));
+  std::vector<Point<D>> points(rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) {
+    for (int d = 0; d < D; ++d) points[i][d] = rows[i][static_cast<size_t>(d)];
+  }
+  return points;
+}
+
+}  // namespace csj
+
+#endif  // CSJ_DATA_POINT_IO_H_

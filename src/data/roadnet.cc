@@ -1,0 +1,187 @@
+#include "data/roadnet.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/generators.h"
+#include "util/check.h"
+#include "util/random.h"
+
+namespace csj {
+
+namespace {
+
+struct Segment {
+  Point2 a;
+  Point2 b;
+};
+
+/// Midpoint-displacement subdivision: recursively splits a segment at its
+/// middle, jittered perpendicular to the segment, and records every vertex.
+/// This is what gives the point set its "road polyline" character.
+void Subdivide(const Point2& a, const Point2& b, int depth,
+               double displacement, Rng& rng, std::vector<Point2>* out) {
+  if (depth == 0) return;
+  const double dx = b[0] - a[0];
+  const double dy = b[1] - a[1];
+  const double len = std::sqrt(dx * dx + dy * dy);
+  Point2 mid{{0.5 * (a[0] + b[0]), 0.5 * (a[1] + b[1])}};
+  if (len > 1e-9) {
+    // Perpendicular unit vector times a random share of the displacement.
+    const double offset = displacement * len * rng.UniformDouble(-1.0, 1.0);
+    mid[0] += -dy / len * offset;
+    mid[1] += dx / len * offset;
+  }
+  mid[0] = std::clamp(mid[0], 0.0, 1.0);
+  mid[1] = std::clamp(mid[1], 0.0, 1.0);
+  out->push_back(mid);
+  Subdivide(a, mid, depth - 1, displacement, rng, out);
+  Subdivide(mid, b, depth - 1, displacement, rng, out);
+}
+
+/// Nearest `k` other cities by distance (small n; brute force).
+std::vector<size_t> NearestCities(const std::vector<Point2>& cities, size_t i,
+                                  int k) {
+  std::vector<std::pair<double, size_t>> by_dist;
+  for (size_t j = 0; j < cities.size(); ++j) {
+    if (j == i) continue;
+    by_dist.push_back({SquaredDistance(cities[i], cities[j]), j});
+  }
+  std::sort(by_dist.begin(), by_dist.end());
+  std::vector<size_t> out;
+  for (int t = 0; t < k && t < static_cast<int>(by_dist.size()); ++t) {
+    out.push_back(by_dist[static_cast<size_t>(t)].second);
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<Point2> GenerateRoadNetwork(const RoadNetOptions& options) {
+  CSJ_CHECK(options.num_points >= 16);
+  CSJ_CHECK(options.num_cities >= 2);
+  Rng rng(options.seed);
+
+  // 1. Urban centers, kept away from the boundary.
+  std::vector<Point2> cities(static_cast<size_t>(options.num_cities));
+  for (auto& c : cities) {
+    c[0] = rng.UniformDouble(0.08, 0.92);
+    c[1] = rng.UniformDouble(0.08, 0.92);
+  }
+
+  // 2. Road skeleton: highways between nearby cities + arterials radiating
+  //    from each center.
+  std::vector<Segment> skeleton;
+  for (size_t i = 0; i < cities.size(); ++i) {
+    for (size_t j : NearestCities(cities, i, options.highway_links)) {
+      if (j > i) skeleton.push_back({cities[i], cities[j]});
+    }
+  }
+  for (const auto& city : cities) {
+    for (int a = 0; a < options.arterials_per_city; ++a) {
+      const double angle = rng.UniformDouble(0.0, 2.0 * M_PI);
+      const double length = rng.UniformDouble(0.02, 4.0 * options.urban_sigma);
+      Point2 end{{std::clamp(city[0] + std::cos(angle) * length, 0.0, 1.0),
+                  std::clamp(city[1] + std::sin(angle) * length, 0.0, 1.0)}};
+      skeleton.push_back({city, end});
+    }
+  }
+
+  // 3. Sample road vertices along every segment via midpoint displacement.
+  std::vector<Point2> road_points;
+  for (const auto& seg : skeleton) {
+    road_points.push_back(seg.a);
+    road_points.push_back(seg.b);
+    Subdivide(seg.a, seg.b, options.subdivision_depth, options.displacement,
+              rng, &road_points);
+  }
+
+  // 4. Dense urban street grids: jittered lattice points around each city
+  //    (TIGER-style city blocks), sized to the urban_fraction budget.
+  const size_t urban_target = static_cast<size_t>(
+      options.urban_fraction * static_cast<double>(options.num_points));
+  std::vector<Point2> urban_points;
+  urban_points.reserve(urban_target);
+  while (urban_points.size() < urban_target) {
+    const auto& city = cities[rng.UniformInt(cities.size())];
+    // Snap a Gaussian draw onto a street grid with ~100 blocks per sigma
+    // box, then jitter slightly: points line up in rows/columns like block
+    // corners do.
+    const double grid = options.urban_sigma / 5.0;
+    double x = city[0] + rng.Gaussian(0.0, options.urban_sigma);
+    double y = city[1] + rng.Gaussian(0.0, options.urban_sigma);
+    x = std::round(x / grid) * grid + rng.Gaussian(0.0, grid * 0.05);
+    y = std::round(y / grid) * grid + rng.Gaussian(0.0, grid * 0.05);
+    if (x < 0.0 || x > 1.0 || y < 0.0 || y > 1.0) continue;
+    urban_points.push_back(Point2{{x, y}});
+  }
+
+  // 5. Assemble exactly num_points: all urban points plus a sample (or
+  //    repetition) of road vertices.
+  std::vector<Point2> all = std::move(urban_points);
+  const size_t road_budget = options.num_points - all.size();
+  if (road_points.size() >= road_budget) {
+    rng.Shuffle(road_points);
+    all.insert(all.end(), road_points.begin(),
+               road_points.begin() + static_cast<long>(road_budget));
+  } else {
+    all.insert(all.end(), road_points.begin(), road_points.end());
+    // Densify: extra vertices interpolated on random skeleton segments.
+    while (all.size() < options.num_points) {
+      const auto& seg = skeleton[rng.UniformInt(skeleton.size())];
+      const double t = rng.UniformDouble();
+      all.push_back(Point2{{seg.a[0] + t * (seg.b[0] - seg.a[0]),
+                            seg.a[1] + t * (seg.b[1] - seg.a[1])}});
+    }
+  }
+  NormalizeToUnitCube(&all, /*preserve_aspect=*/true);
+  return all;
+}
+
+Dataset<2> MakeMgCounty() {
+  RoadNetOptions options;
+  options.num_points = 27000;
+  options.seed = 27;
+  options.num_cities = 8;
+  Dataset<2> out;
+  out.name = "MGCounty";
+  out.entries = ToEntries(GenerateRoadNetwork(options));
+  return out;
+}
+
+Dataset<2> MakeLbCounty() {
+  RoadNetOptions options;
+  options.num_points = 36000;
+  options.seed = 36;
+  options.num_cities = 12;
+  options.urban_fraction = 0.5;  // Long Beach is denser urban sprawl
+  Dataset<2> out;
+  out.name = "LBeach";
+  out.entries = ToEntries(GenerateRoadNetwork(options));
+  return out;
+}
+
+Dataset<2> MakePacificNw(double scale) {
+  CSJ_CHECK(scale > 0.0 && scale <= 1.0);
+  RoadNetOptions options;
+  options.num_points =
+      static_cast<size_t>(1500000.0 * scale);
+  options.seed = 1015;
+  options.num_cities = 24;       // Seattle/Portland/Boise/Spokane/...
+  options.subdivision_depth = 8; // long rural highways have many vertices
+  options.urban_fraction = 0.45;
+  options.urban_sigma = 0.02;
+  Dataset<2> out;
+  out.name = "PacificNW";
+  out.entries = ToEntries(GenerateRoadNetwork(options));
+  return out;
+}
+
+Dataset<3> MakeSierpinski3DDataset(size_t n) {
+  Dataset<3> out;
+  out.name = "Sierpinski3D";
+  out.entries = ToEntries(GenerateSierpinski3D(n, /*seed=*/3));
+  return out;
+}
+
+}  // namespace csj

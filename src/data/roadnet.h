@@ -1,0 +1,55 @@
+#ifndef CSJ_DATA_ROADNET_H_
+#define CSJ_DATA_ROADNET_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "data/dataset.h"
+#include "geom/point.h"
+
+/// \file
+/// Synthetic road-network point sets.
+///
+/// The paper's three real data sets (Montgomery County 27K, Long Beach
+/// County 36K, Pacific-NW TIGER road endpoints 1.5M) are not available
+/// offline, so we substitute a seeded generator that reproduces their
+/// statistical character: points that are endpoints/vertices of road
+/// segments — i.e. they lie on a hierarchical network of 1-D curves
+/// (highways, arterials, local streets) with strong urban clustering and
+/// wildly non-uniform density. DESIGN.md documents this substitution.
+
+namespace csj {
+
+/// Road-network generator parameters.
+struct RoadNetOptions {
+  size_t num_points = 27000;
+  uint64_t seed = 27;
+
+  int num_cities = 10;         ///< urban centers (highway endpoints)
+  int highway_links = 2;       ///< highways per city to nearest neighbors
+  int subdivision_depth = 6;   ///< midpoint-displacement depth per segment
+  double displacement = 0.12;  ///< relative perpendicular jitter per split
+  double urban_fraction = 0.4; ///< share of points in dense street grids
+  double urban_sigma = 0.035;  ///< spatial spread of a city's street grid
+  int arterials_per_city = 14; ///< mid-level roads radiating from centers
+};
+
+/// Generates a road-like 2-D point set in the unit square.
+std::vector<Point2> GenerateRoadNetwork(const RoadNetOptions& options);
+
+/// The paper's data-set stand-ins (fixed seeds and sizes; normalized to the
+/// unit square):
+///   MG County  — 27K points   (seed 27)
+///   LB County  — 36K points   (seed 36)
+///   Pacific NW — 1.5M points  (seed 1015); `scale` shrinks it for quick runs
+Dataset<2> MakeMgCounty();
+Dataset<2> MakeLbCounty();
+Dataset<2> MakePacificNw(double scale = 1.0);
+
+/// The paper's synthetic workload: 100K (default) chaos-game points on a 3-D
+/// Sierpinski pyramid.
+Dataset<3> MakeSierpinski3DDataset(size_t n = 100000);
+
+}  // namespace csj
+
+#endif  // CSJ_DATA_ROADNET_H_

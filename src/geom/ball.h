@@ -1,0 +1,73 @@
+#ifndef CSJ_GEOM_BALL_H_
+#define CSJ_GEOM_BALL_H_
+
+#include <algorithm>
+#include <string>
+
+#include "geom/point.h"
+
+/// \file
+/// Bounding balls: the bounding shape of M-tree nodes and the conservative
+/// metric-space group shape (Section V-A discusses bounding circles; we use a
+/// fixed-center ball of radius eps/2 so that membership is constant time and
+/// any two members are provably within eps of each other).
+
+namespace csj {
+
+/// A closed ball { x : d(center, x) <= radius }.
+template <int D>
+struct Ball {
+  Point<D> center;
+  double radius = 0.0;
+
+  Ball() = default;
+  Ball(const Point<D>& c, double r) : center(c), radius(r) { CSJ_DCHECK(r >= 0.0); }
+
+  /// True if p lies inside the (closed) ball.
+  bool Contains(const Point<D>& p) const {
+    return Distance(center, p) <= radius;
+  }
+
+  /// Upper bound on the distance between any two points in the ball.
+  double MaxDiameter() const { return 2.0 * radius; }
+
+  std::string ToString() const {
+    return "Ball{" + center.ToString() + StrFormat(", r=%.6g}", radius);
+  }
+};
+
+/// Minimum possible distance between points of two balls (0 if they overlap).
+template <int D>
+inline double MinDistance(const Ball<D>& a, const Ball<D>& b) {
+  return std::max(0.0, Distance(a.center, b.center) - a.radius - b.radius);
+}
+
+/// Maximum possible distance between points of two balls.
+template <int D>
+inline double MaxDistance(const Ball<D>& a, const Ball<D>& b) {
+  return Distance(a.center, b.center) + a.radius + b.radius;
+}
+
+/// Upper bound on the distance between any two points drawn from a ∪ b:
+/// the largest of either diameter and the across-balls bound.
+template <int D>
+inline double UnionDiameterBound(const Ball<D>& a, const Ball<D>& b) {
+  const double across = Distance(a.center, b.center) + a.radius + b.radius;
+  return std::max({2.0 * a.radius, 2.0 * b.radius, across});
+}
+
+/// Minimum possible distance from a point to a ball (0 if inside).
+template <int D>
+inline double MinDistance(const Point<D>& p, const Ball<D>& b) {
+  return std::max(0.0, Distance(p, b.center) - b.radius);
+}
+
+/// Maximum possible distance from a point to a ball.
+template <int D>
+inline double MaxDistance(const Point<D>& p, const Ball<D>& b) {
+  return Distance(p, b.center) + b.radius;
+}
+
+}  // namespace csj
+
+#endif  // CSJ_GEOM_BALL_H_

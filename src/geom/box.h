@@ -1,0 +1,255 @@
+#ifndef CSJ_GEOM_BOX_H_
+#define CSJ_GEOM_BOX_H_
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include "geom/point.h"
+
+/// \file
+/// Axis-aligned minimum bounding hyper-rectangles (MBRs).
+///
+/// The MBR is the paper's group bounding shape (Section V-A): extending a box
+/// and checking that its diagonal stays below the query range are both
+/// constant time, which is what makes CSJ(g)'s merge step as cheap as the
+/// standard join's pair test. Min/max distances between boxes drive the
+/// tree-traversal pruning and the early-stopping rule.
+
+namespace csj {
+
+/// Axis-aligned box in D dimensions. An empty box (default-constructed) has
+/// inverted bounds and absorbs any point/box via Extend().
+template <int D>
+struct Box {
+  static constexpr int kDim = D;
+
+  std::array<double, D> lo;
+  std::array<double, D> hi;
+
+  Box() {
+    lo.fill(std::numeric_limits<double>::infinity());
+    hi.fill(-std::numeric_limits<double>::infinity());
+  }
+
+  /// Box covering exactly one point.
+  explicit Box(const Point<D>& p) {
+    for (int i = 0; i < D; ++i) lo[i] = hi[i] = p[i];
+  }
+
+  /// Box with explicit corners; lo must be <= hi component-wise.
+  Box(const Point<D>& low, const Point<D>& high) {
+    for (int i = 0; i < D; ++i) {
+      CSJ_DCHECK(low[i] <= high[i]);
+      lo[i] = low[i];
+      hi[i] = high[i];
+    }
+  }
+
+  /// True if no point has ever been added.
+  bool empty() const { return lo[0] > hi[0]; }
+
+  /// Grows the box to cover p.
+  void Extend(const Point<D>& p) {
+    for (int i = 0; i < D; ++i) {
+      lo[i] = std::min(lo[i], p[i]);
+      hi[i] = std::max(hi[i], p[i]);
+    }
+  }
+
+  /// Grows the box to cover another box.
+  void Extend(const Box& other) {
+    for (int i = 0; i < D; ++i) {
+      lo[i] = std::min(lo[i], other.lo[i]);
+      hi[i] = std::max(hi[i], other.hi[i]);
+    }
+  }
+
+  /// The box covering both arguments.
+  static Box Union(const Box& a, const Box& b) {
+    Box out = a;
+    out.Extend(b);
+    return out;
+  }
+
+  /// True if p lies inside (closed) this box.
+  bool Contains(const Point<D>& p) const {
+    for (int i = 0; i < D; ++i) {
+      if (p[i] < lo[i] || p[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  /// True if other is fully inside (closed) this box.
+  bool Contains(const Box& other) const {
+    for (int i = 0; i < D; ++i) {
+      if (other.lo[i] < lo[i] || other.hi[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  /// True if the boxes share at least one point.
+  bool Intersects(const Box& other) const {
+    for (int i = 0; i < D; ++i) {
+      if (other.hi[i] < lo[i] || other.lo[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  /// Side length along dimension i (0 for an empty box).
+  double Extent(int i) const { return empty() ? 0.0 : hi[i] - lo[i]; }
+
+  /// Hyper-volume; 0 for an empty box.
+  double Volume() const {
+    if (empty()) return 0.0;
+    double v = 1.0;
+    for (int i = 0; i < D; ++i) v *= hi[i] - lo[i];
+    return v;
+  }
+
+  /// Surface measure used by the R*-tree split heuristic: sum of extents
+  /// ("margin" in the R*-tree paper).
+  double Margin() const {
+    if (empty()) return 0.0;
+    double m = 0.0;
+    for (int i = 0; i < D; ++i) m += hi[i] - lo[i];
+    return m;
+  }
+
+  /// Center of the box.
+  Point<D> Center() const {
+    Point<D> c;
+    for (int i = 0; i < D; ++i) c[i] = 0.5 * (lo[i] + hi[i]);
+    return c;
+  }
+
+  /// Squared length of the main diagonal — the squared maximum distance
+  /// between any two points inside the box. This is maxMBR(.) in the paper;
+  /// comparing it against eps^2 implements the early-stopping rule without a
+  /// sqrt.
+  double SquaredDiagonal() const {
+    if (empty()) return 0.0;
+    double sum = 0.0;
+    for (int i = 0; i < D; ++i) {
+      const double e = hi[i] - lo[i];
+      sum += e * e;
+    }
+    return sum;
+  }
+
+  /// Length of the main diagonal (the "maximum diameter" of the MBR).
+  double Diagonal() const { return std::sqrt(SquaredDiagonal()); }
+
+  /// Volume of Union(this, other) minus Volume(this): the enlargement cost
+  /// used by R-tree ChooseLeaf.
+  double EnlargementTo(const Box& other) const {
+    return Union(*this, other).Volume() - Volume();
+  }
+
+  /// Volume of the intersection with other (0 if disjoint).
+  double OverlapVolume(const Box& other) const {
+    double v = 1.0;
+    for (int i = 0; i < D; ++i) {
+      const double lo_i = std::max(lo[i], other.lo[i]);
+      const double hi_i = std::min(hi[i], other.hi[i]);
+      if (hi_i <= lo_i) return 0.0;
+      v *= hi_i - lo_i;
+    }
+    return v;
+  }
+
+  std::string ToString() const {
+    std::string out = "[";
+    for (int i = 0; i < D; ++i) {
+      if (i != 0) out += " x ";
+      out += StrFormat("(%.6g, %.6g)", lo[i], hi[i]);
+    }
+    out += "]";
+    return out;
+  }
+
+  friend bool operator==(const Box& a, const Box& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+};
+
+using Box2 = Box<2>;
+using Box3 = Box<3>;
+
+/// Squared minimum distance between two boxes (0 when they intersect).
+template <int D>
+inline double SquaredMinDistance(const Box<D>& a, const Box<D>& b) {
+  double sum = 0.0;
+  for (int i = 0; i < D; ++i) {
+    double gap = 0.0;
+    if (b.hi[i] < a.lo[i]) {
+      gap = a.lo[i] - b.hi[i];
+    } else if (a.hi[i] < b.lo[i]) {
+      gap = b.lo[i] - a.hi[i];
+    }
+    sum += gap * gap;
+  }
+  return sum;
+}
+
+/// Minimum distance between two boxes.
+template <int D>
+inline double MinDistance(const Box<D>& a, const Box<D>& b) {
+  return std::sqrt(SquaredMinDistance(a, b));
+}
+
+/// Squared maximum distance between any point of a and any point of b.
+/// Equals the squared diagonal of Union(a, b) only when the boxes nest
+/// "outward"; in general it is the per-axis max of the farthest corners.
+template <int D>
+inline double SquaredMaxDistance(const Box<D>& a, const Box<D>& b) {
+  double sum = 0.0;
+  for (int i = 0; i < D; ++i) {
+    const double span1 = std::fabs(a.hi[i] - b.lo[i]);
+    const double span2 = std::fabs(b.hi[i] - a.lo[i]);
+    const double span = std::max(span1, span2);
+    sum += span * span;
+  }
+  return sum;
+}
+
+/// Maximum distance between any point of a and any point of b.
+template <int D>
+inline double MaxDistance(const Box<D>& a, const Box<D>& b) {
+  return std::sqrt(SquaredMaxDistance(a, b));
+}
+
+/// Upper bound on the distance between any two points drawn from a ∪ b:
+/// the diagonal of the union box (tight for boxes). Drives the dual-node
+/// early-stopping rule.
+template <int D>
+inline double UnionDiameterBound(const Box<D>& a, const Box<D>& b) {
+  return Box<D>::Union(a, b).Diagonal();
+}
+
+/// Squared minimum distance from a point to a box (0 when inside).
+template <int D>
+inline double SquaredMinDistance(const Point<D>& p, const Box<D>& b) {
+  double sum = 0.0;
+  for (int i = 0; i < D; ++i) {
+    double gap = 0.0;
+    if (p[i] < b.lo[i]) {
+      gap = b.lo[i] - p[i];
+    } else if (p[i] > b.hi[i]) {
+      gap = p[i] - b.hi[i];
+    }
+    sum += gap * gap;
+  }
+  return sum;
+}
+
+/// Minimum distance from a point to a box.
+template <int D>
+inline double MinDistance(const Point<D>& p, const Box<D>& b) {
+  return std::sqrt(SquaredMinDistance(p, b));
+}
+
+}  // namespace csj
+
+#endif  // CSJ_GEOM_BOX_H_

@@ -1,0 +1,68 @@
+#include "geom/hilbert.h"
+
+#include "util/check.h"
+
+namespace csj {
+
+namespace {
+
+/// Rotates/flips a quadrant appropriately (classic Hilbert d2xy/xy2d helper).
+void HilbertRotate(uint32_t side, uint32_t* x, uint32_t* y, uint32_t rx,
+                   uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = side - 1 - *x;
+      *y = side - 1 - *y;
+    }
+    // Swap x and y.
+    const uint32_t t = *x;
+    *x = *y;
+    *y = t;
+  }
+}
+
+}  // namespace
+
+uint64_t HilbertIndex2D(int order, uint32_t x, uint32_t y) {
+  CSJ_CHECK(order >= 1 && order <= 31) << "order=" << order;
+  const uint32_t side = 1u << order;
+  CSJ_DCHECK(x < side && y < side);
+  uint64_t d = 0;
+  for (uint32_t s = side / 2; s > 0; s /= 2) {
+    const uint32_t rx = (x & s) > 0 ? 1 : 0;
+    const uint32_t ry = (y & s) > 0 ? 1 : 0;
+    d += static_cast<uint64_t>(s) * s * ((3 * rx) ^ ry);
+    HilbertRotate(s, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+void HilbertPoint2D(int order, uint64_t index, uint32_t* x, uint32_t* y) {
+  CSJ_CHECK(order >= 1 && order <= 31) << "order=" << order;
+  const uint32_t side = 1u << order;
+  uint64_t t = index;
+  *x = 0;
+  *y = 0;
+  for (uint32_t s = 1; s < side; s *= 2) {
+    const uint32_t rx = 1 & static_cast<uint32_t>(t / 2);
+    const uint32_t ry = 1 & static_cast<uint32_t>(t ^ rx);
+    HilbertRotate(s, x, y, rx, ry);
+    *x += s * rx;
+    *y += s * ry;
+    t /= 4;
+  }
+}
+
+uint64_t MortonIndex(const uint32_t* coords, int dims, int bits) {
+  CSJ_CHECK(dims >= 1 && dims <= 3);
+  CSJ_CHECK(bits >= 1 && bits * dims <= 63);
+  uint64_t out = 0;
+  for (int b = bits - 1; b >= 0; --b) {
+    for (int d = 0; d < dims; ++d) {
+      out = (out << 1) | ((coords[d] >> b) & 1u);
+    }
+  }
+  return out;
+}
+
+}  // namespace csj

@@ -1,0 +1,27 @@
+#ifndef CSJ_GEOM_HILBERT_H_
+#define CSJ_GEOM_HILBERT_H_
+
+#include <cstdint>
+
+/// \file
+/// Space-filling curve indices for bulk loading (paper refs [22-24] motivate
+/// packing/bulk-load support). 2-D uses the Hilbert curve; higher dimensions
+/// fall back to Morton (Z-order) interleaving, which is what practical bulk
+/// loaders use when a d-dimensional Hilbert mapping is not worth the cost.
+
+namespace csj {
+
+/// Maps grid cell (x, y), both in [0, 2^order), to its 1-D Hilbert index.
+/// order must be in [1, 31].
+uint64_t HilbertIndex2D(int order, uint32_t x, uint32_t y);
+
+/// Inverse of HilbertIndex2D: recovers (x, y) from a Hilbert index.
+void HilbertPoint2D(int order, uint64_t index, uint32_t* x, uint32_t* y);
+
+/// Morton (Z-order) interleave of up to 3 coordinates quantized to
+/// `bits` bits each (bits * dims must be <= 63).
+uint64_t MortonIndex(const uint32_t* coords, int dims, int bits);
+
+}  // namespace csj
+
+#endif  // CSJ_GEOM_HILBERT_H_

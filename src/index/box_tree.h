@@ -1,0 +1,547 @@
+#ifndef CSJ_INDEX_BOX_TREE_H_
+#define CSJ_INDEX_BOX_TREE_H_
+
+#include <cmath>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <queue>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/point.h"
+#include "index/spatial_index.h"
+#include "util/check.h"
+#include "util/format.h"
+
+/// \file
+/// Shared machinery of the MBR-based trees (R-tree, R*-tree).
+///
+/// Both trees store nodes in an arena (std::deque, so node references stay
+/// stable), keep parent links for bottom-up MBR adjustment, and expose the
+/// SpatialIndex concept the join algorithms are written against. Insert-time
+/// policy (ChooseLeaf/ChooseSubtree, split, forced reinsert) lives in the
+/// derived classes; deletion, queries, validation and statistics live here.
+
+namespace csj {
+
+/// Summary statistics of a box tree (used by benches and tests).
+struct TreeStats {
+  uint64_t num_entries = 0;
+  uint64_t num_nodes = 0;
+  uint64_t num_leaves = 0;
+  int height = 0;  ///< number of levels; 1 = root is a leaf
+  double avg_leaf_fill = 0.0;
+  double avg_internal_fill = 0.0;
+
+  std::string ToString() const {
+    return StrFormat(
+        "entries=%llu nodes=%llu leaves=%llu height=%d leaf_fill=%.2f "
+        "internal_fill=%.2f",
+        static_cast<unsigned long long>(num_entries),
+        static_cast<unsigned long long>(num_nodes),
+        static_cast<unsigned long long>(num_leaves), height, avg_leaf_fill,
+        avg_internal_fill);
+  }
+};
+
+/// CRTP base for MBR trees. Derived must provide:
+///   void Insert(PointId id, const PointT& point);
+template <int D, typename Derived>
+class BoxTreeBase {
+ public:
+  static constexpr int kDim = D;
+  /// Concurrent const reads are safe (no mutable caches).
+  static constexpr bool kThreadSafeReads = true;
+  using PointT = Point<D>;
+  using BoxT = Box<D>;
+  using EntryT = Entry<D>;
+
+  /// One tree node. Leaves hold entries; internal nodes hold child ids.
+  struct Node {
+    BoxT mbr;
+    NodeId parent = kInvalidNode;
+    int level = 0;  ///< 0 for leaves, increasing toward the root
+    bool is_leaf = true;
+    std::vector<NodeId> children;
+    std::vector<EntryT> entries;
+
+    size_t fanout() const { return is_leaf ? entries.size() : children.size(); }
+  };
+
+  // --- SpatialIndex concept -------------------------------------------------
+
+  NodeId Root() const { return root_; }
+  bool IsLeaf(NodeId n) const { return node(n).is_leaf; }
+
+  std::span<const NodeId> Children(NodeId n) const {
+    const Node& nd = node(n);
+    CSJ_DCHECK(!nd.is_leaf);
+    return nd.children;
+  }
+
+  std::span<const EntryT> Entries(NodeId n) const {
+    const Node& nd = node(n);
+    CSJ_DCHECK(nd.is_leaf);
+    return nd.entries;
+  }
+
+  /// Diagonal of the node's MBR: an upper bound (tight for boxes) on the
+  /// distance between any two data points below the node.
+  double MaxDiameter(NodeId n) const { return node(n).mbr.Diagonal(); }
+
+  /// Diagonal of the union MBR: bounds every pairwise distance among points
+  /// drawn from either subtree, which is what the dual-node early-stopping
+  /// rule needs.
+  double MaxDiameter(NodeId a, NodeId b) const {
+    return BoxT::Union(node(a).mbr, node(b).mbr).Diagonal();
+  }
+
+  double MinDistance(NodeId a, NodeId b) const {
+    return csj::MinDistance(node(a).mbr, node(b).mbr);
+  }
+
+  /// The node's bounding shape, for cross-tree (spatial join) bounds.
+  using ShapeT = BoxT;
+  const ShapeT& Shape(NodeId n) const { return node(n).mbr; }
+
+  uint64_t size() const { return size_; }
+  uint64_t NodeCount() const { return live_nodes_; }
+
+  // --- Tree inspection ------------------------------------------------------
+
+  bool empty() const { return root_ == kInvalidNode; }
+  const BoxT& NodeBox(NodeId n) const { return node(n).mbr; }
+  int NodeLevel(NodeId n) const { return node(n).level; }
+  NodeId Parent(NodeId n) const { return node(n).parent; }
+  int Height() const { return empty() ? 0 : node(root_).level + 1; }
+
+  size_t max_fanout() const { return max_fanout_; }
+  size_t min_fanout() const { return min_fanout_; }
+
+  /// Gathers fill/shape statistics over the whole tree.
+  TreeStats Stats() const {
+    TreeStats stats;
+    stats.num_entries = size_;
+    stats.height = Height();
+    if (empty()) return stats;
+    uint64_t leaf_items = 0, internal_items = 0, internals = 0;
+    ForEachNode([&](NodeId id) {
+      const Node& nd = node(id);
+      ++stats.num_nodes;
+      if (nd.is_leaf) {
+        ++stats.num_leaves;
+        leaf_items += nd.entries.size();
+      } else {
+        ++internals;
+        internal_items += nd.children.size();
+      }
+    });
+    if (stats.num_leaves > 0) {
+      stats.avg_leaf_fill = static_cast<double>(leaf_items) /
+                            (static_cast<double>(stats.num_leaves) * max_fanout_);
+    }
+    if (internals > 0) {
+      stats.avg_internal_fill = static_cast<double>(internal_items) /
+                                (static_cast<double>(internals) * max_fanout_);
+    }
+    return stats;
+  }
+
+  /// Applies fn(NodeId) to every live node, pre-order.
+  template <typename Fn>
+  void ForEachNode(Fn&& fn) const {
+    if (empty()) return;
+    std::vector<NodeId> stack = {root_};
+    while (!stack.empty()) {
+      const NodeId id = stack.back();
+      stack.pop_back();
+      fn(id);
+      const Node& nd = node(id);
+      if (!nd.is_leaf) {
+        for (NodeId child : nd.children) stack.push_back(child);
+      }
+    }
+  }
+
+  // --- Queries ---------------------------------------------------------------
+
+  /// All entries whose point lies within `radius` (closed) of `center`,
+  /// in unspecified order.
+  std::vector<EntryT> RangeQuery(const PointT& center, double radius) const {
+    std::vector<EntryT> out;
+    if (empty()) return out;
+    const double r2 = radius * radius;
+    std::vector<NodeId> stack = {root_};
+    while (!stack.empty()) {
+      const Node& nd = node(stack.back());
+      stack.pop_back();
+      if (SquaredMinDistance(center, nd.mbr) > r2) continue;
+      if (nd.is_leaf) {
+        for (const EntryT& e : nd.entries) {
+          if (SquaredDistance(center, e.point) <= r2) out.push_back(e);
+        }
+      } else {
+        for (NodeId child : nd.children) stack.push_back(child);
+      }
+    }
+    return out;
+  }
+
+  /// Number of entries within `radius` (closed) of `center`, without
+  /// materializing them (used by output-size estimators).
+  uint64_t RangeCount(const PointT& center, double radius) const {
+    if (empty()) return 0;
+    uint64_t count = 0;
+    const double r2 = radius * radius;
+    std::vector<NodeId> stack = {root_};
+    while (!stack.empty()) {
+      const Node& nd = node(stack.back());
+      stack.pop_back();
+      if (SquaredMinDistance(center, nd.mbr) > r2) continue;
+      if (nd.is_leaf) {
+        for (const EntryT& e : nd.entries) {
+          count += SquaredDistance(center, e.point) <= r2;
+        }
+      } else {
+        for (NodeId child : nd.children) stack.push_back(child);
+      }
+    }
+    return count;
+  }
+
+  /// All entries whose point lies inside (closed) `query`.
+  std::vector<EntryT> WindowQuery(const BoxT& query) const {
+    std::vector<EntryT> out;
+    if (empty()) return out;
+    std::vector<NodeId> stack = {root_};
+    while (!stack.empty()) {
+      const Node& nd = node(stack.back());
+      stack.pop_back();
+      if (!query.Intersects(nd.mbr)) continue;
+      if (nd.is_leaf) {
+        for (const EntryT& e : nd.entries) {
+          if (query.Contains(e.point)) out.push_back(e);
+        }
+      } else {
+        for (NodeId child : nd.children) stack.push_back(child);
+      }
+    }
+    return out;
+  }
+
+  /// True if an entry with this exact (id, point) exists.
+  bool Contains(PointId id, const PointT& point) const {
+    return FindLeaf(id, point) != kInvalidNode;
+  }
+
+  /// The k entries nearest to `center` (ties broken arbitrarily), closest
+  /// first. Classic best-first search over node MBR min-distances.
+  std::vector<EntryT> NearestNeighbors(const PointT& center, size_t k) const {
+    std::vector<EntryT> out;
+    if (empty() || k == 0) return out;
+
+    struct Candidate {
+      double dist2;
+      bool is_entry;
+      NodeId node;
+      EntryT entry;
+      bool operator>(const Candidate& other) const {
+        return dist2 > other.dist2;
+      }
+    };
+    std::priority_queue<Candidate, std::vector<Candidate>,
+                        std::greater<Candidate>>
+        frontier;
+    frontier.push({SquaredMinDistance(center, node(root_).mbr), false, root_,
+                   EntryT{}});
+    while (!frontier.empty() && out.size() < k) {
+      const Candidate top = frontier.top();
+      frontier.pop();
+      if (top.is_entry) {
+        out.push_back(top.entry);
+        continue;
+      }
+      const Node& nd = node(top.node);
+      if (nd.is_leaf) {
+        for (const EntryT& e : nd.entries) {
+          frontier.push({SquaredDistance(center, e.point), true,
+                         kInvalidNode, e});
+        }
+      } else {
+        for (NodeId child : nd.children) {
+          frontier.push({SquaredMinDistance(center, node(child).mbr), false,
+                         child, EntryT{}});
+        }
+      }
+    }
+    return out;
+  }
+
+  // --- Deletion ---------------------------------------------------------------
+
+  /// Removes the entry (id, point); returns false if absent. Underfull nodes
+  /// are condensed and their entries re-inserted (Guttman's CondenseTree).
+  bool Remove(PointId id, const PointT& point) {
+    const NodeId leaf = FindLeaf(id, point);
+    if (leaf == kInvalidNode) return false;
+    Node& nd = node(leaf);
+    for (size_t i = 0; i < nd.entries.size(); ++i) {
+      if (nd.entries[i].id == id && nd.entries[i].point == point) {
+        nd.entries[i] = nd.entries.back();
+        nd.entries.pop_back();
+        break;
+      }
+    }
+    --size_;
+    std::vector<EntryT> orphans;
+    CondenseTree(leaf, &orphans);
+    // Orphans were detached structurally but are still counted in size_;
+    // uncount them, then re-insert (each Insert counts it once).
+    size_ -= orphans.size();
+    for (const EntryT& e : orphans) {
+      ++pending_reinserts_;
+      derived().Insert(e.id, e.point);
+      --pending_reinserts_;
+    }
+    // Shrink the root while it is an internal node with a single child.
+    while (root_ != kInvalidNode && !node(root_).is_leaf &&
+           node(root_).children.size() == 1) {
+      const NodeId old_root = root_;
+      root_ = node(old_root).children[0];
+      node(root_).parent = kInvalidNode;
+      FreeNode(old_root);
+    }
+    if (size_ == 0 && root_ != kInvalidNode && node(root_).fanout() == 0) {
+      FreeNode(root_);
+      root_ = kInvalidNode;
+    }
+    return true;
+  }
+
+  // --- Validation -------------------------------------------------------------
+
+  /// Exhaustively checks the structural invariants; aborts with a message on
+  /// violation. Used by tests after every batch of mutations.
+  void CheckInvariants() const {
+    if (empty()) {
+      CSJ_CHECK_EQ(size_, 0u);
+      return;
+    }
+    uint64_t counted = 0;
+    CheckSubtree(root_, kInvalidNode, &counted);
+    CSJ_CHECK_EQ(counted, size_) << "entry count mismatch";
+  }
+
+ protected:
+  BoxTreeBase(size_t max_fanout, size_t min_fanout)
+      : max_fanout_(max_fanout), min_fanout_(min_fanout) {
+    CSJ_CHECK(max_fanout_ >= 4) << "max fanout too small";
+    CSJ_CHECK(min_fanout_ >= 1 && min_fanout_ <= max_fanout_ / 2);
+  }
+
+  Derived& derived() { return static_cast<Derived&>(*this); }
+
+  Node& node(NodeId id) {
+    CSJ_DCHECK(id < arena_.size());
+    return arena_[id];
+  }
+  const Node& node(NodeId id) const {
+    CSJ_DCHECK(id < arena_.size());
+    return arena_[id];
+  }
+
+  NodeId AllocNode(bool is_leaf, int level) {
+    NodeId id;
+    if (!free_list_.empty()) {
+      id = free_list_.back();
+      free_list_.pop_back();
+      arena_[id] = Node();
+    } else {
+      id = static_cast<NodeId>(arena_.size());
+      arena_.emplace_back();
+    }
+    Node& nd = arena_[id];
+    nd.is_leaf = is_leaf;
+    nd.level = level;
+    ++live_nodes_;
+    return id;
+  }
+
+  void FreeNode(NodeId id) {
+    free_list_.push_back(id);
+    --live_nodes_;
+  }
+
+  /// Recomputes the MBR of `n` from its children/entries.
+  void RecomputeMbr(NodeId n) {
+    Node& nd = node(n);
+    nd.mbr = BoxT();
+    if (nd.is_leaf) {
+      for (const EntryT& e : nd.entries) nd.mbr.Extend(e.point);
+    } else {
+      for (NodeId child : nd.children) nd.mbr.Extend(node(child).mbr);
+    }
+  }
+
+  /// Recomputes MBRs from `n` up to the root.
+  void RecomputeMbrPath(NodeId n) {
+    while (n != kInvalidNode) {
+      RecomputeMbr(n);
+      n = node(n).parent;
+    }
+  }
+
+  /// Extends MBRs on the path from `n` to the root to cover `box`.
+  void ExtendMbrPath(NodeId n, const BoxT& box) {
+    while (n != kInvalidNode) {
+      node(n).mbr.Extend(box);
+      n = node(n).parent;
+    }
+  }
+
+  /// Attaches `child` under `parent` and extends MBRs upward. Does not handle
+  /// overflow — callers do.
+  void AttachChild(NodeId parent, NodeId child) {
+    Node& p = node(parent);
+    CSJ_DCHECK(!p.is_leaf);
+    p.children.push_back(child);
+    node(child).parent = parent;
+    ExtendMbrPath(parent, node(child).mbr);
+  }
+
+  /// Makes a new root with the two given children (post root-split).
+  void GrowRoot(NodeId a, NodeId b) {
+    const int level = node(a).level + 1;
+    const NodeId new_root = AllocNode(/*is_leaf=*/false, level);
+    Node& r = node(new_root);
+    r.children = {a, b};
+    node(a).parent = new_root;
+    node(b).parent = new_root;
+    RecomputeMbr(new_root);
+    root_ = new_root;
+  }
+
+  /// Depth-first exact search for the leaf holding (id, point).
+  NodeId FindLeaf(PointId id, const PointT& point) const {
+    if (empty()) return kInvalidNode;
+    std::vector<NodeId> stack = {root_};
+    while (!stack.empty()) {
+      const NodeId nid = stack.back();
+      stack.pop_back();
+      const Node& nd = node(nid);
+      if (!nd.mbr.Contains(point)) continue;
+      if (nd.is_leaf) {
+        for (const EntryT& e : nd.entries) {
+          if (e.id == id && e.point == point) return nid;
+        }
+      } else {
+        for (NodeId child : nd.children) stack.push_back(child);
+      }
+    }
+    return kInvalidNode;
+  }
+
+  /// Guttman CondenseTree: walks up from `start`, dropping underfull nodes
+  /// and collecting their entries into `orphans` for re-insertion.
+  void CondenseTree(NodeId start, std::vector<EntryT>* orphans) {
+    NodeId n = start;
+    while (n != kInvalidNode) {
+      Node& nd = node(n);
+      const NodeId parent = nd.parent;
+      if (parent != kInvalidNode && nd.fanout() < min_fanout_) {
+        // Detach from parent, salvage payload.
+        Node& p = node(parent);
+        for (size_t i = 0; i < p.children.size(); ++i) {
+          if (p.children[i] == n) {
+            p.children[i] = p.children.back();
+            p.children.pop_back();
+            break;
+          }
+        }
+        CollectEntries(n, orphans);
+        FreeSubtree(n);
+      } else {
+        RecomputeMbr(n);
+      }
+      n = parent;
+    }
+  }
+
+  void CollectEntries(NodeId n, std::vector<EntryT>* out) const {
+    const Node& nd = node(n);
+    if (nd.is_leaf) {
+      out->insert(out->end(), nd.entries.begin(), nd.entries.end());
+      return;
+    }
+    for (NodeId child : nd.children) CollectEntries(child, out);
+  }
+
+  void FreeSubtree(NodeId n) {
+    const Node& nd = node(n);
+    if (!nd.is_leaf) {
+      for (NodeId child : nd.children) FreeSubtree(child);
+    }
+    FreeNode(n);
+  }
+
+  void CheckSubtree(NodeId n, NodeId expected_parent, uint64_t* counted) const {
+    const Node& nd = node(n);
+    CSJ_CHECK_EQ(nd.parent, expected_parent) << "bad parent link at node " << n;
+    const bool is_root = n == root_;
+    if (!is_root) {
+      CSJ_CHECK_GE(nd.fanout(), min_fanout_) << "underfull node " << n;
+    }
+    CSJ_CHECK_LE(nd.fanout(), max_fanout_) << "overfull node " << n;
+    if (nd.is_leaf) {
+      CSJ_CHECK_EQ(nd.level, 0) << "leaf at non-zero level";
+      BoxT box;
+      for (const EntryT& e : nd.entries) {
+        CSJ_CHECK(nd.mbr.Contains(e.point)) << "entry escapes leaf MBR";
+        box.Extend(e.point);
+      }
+      if (!nd.entries.empty()) {
+        CSJ_CHECK(BoxesAlmostEqual(box, nd.mbr)) << "leaf MBR not tight";
+      }
+      *counted += nd.entries.size();
+      return;
+    }
+    CSJ_CHECK_GT(nd.children.size(), 0u) << "internal node with no children";
+    BoxT box;
+    for (NodeId child : nd.children) {
+      CSJ_CHECK_EQ(node(child).level, nd.level - 1) << "unbalanced tree";
+      CSJ_CHECK(nd.mbr.Contains(node(child).mbr)) << "child escapes parent MBR";
+      box.Extend(node(child).mbr);
+      CheckSubtree(child, n, counted);
+    }
+    CSJ_CHECK(BoxesAlmostEqual(box, nd.mbr)) << "internal MBR not tight";
+  }
+
+  static bool BoxesAlmostEqual(const BoxT& a, const BoxT& b) {
+    for (int i = 0; i < D; ++i) {
+      if (std::fabs(a.lo[i] - b.lo[i]) > 1e-12) return false;
+      if (std::fabs(a.hi[i] - b.hi[i]) > 1e-12) return false;
+    }
+    return true;
+  }
+
+  size_t max_fanout_;
+  size_t min_fanout_;
+  NodeId root_ = kInvalidNode;
+  uint64_t size_ = 0;
+  uint64_t live_nodes_ = 0;
+  int pending_reinserts_ = 0;  ///< depth of Remove-triggered reinsertion
+  std::deque<Node> arena_;
+  std::vector<NodeId> free_list_;
+
+  template <int, typename>
+  friend class BulkLoader;
+  template <typename>
+  friend class TreeSerializer;
+};
+
+}  // namespace csj
+
+#endif  // CSJ_INDEX_BOX_TREE_H_

@@ -1,0 +1,236 @@
+#ifndef CSJ_INDEX_BULK_LOAD_H_
+#define CSJ_INDEX_BULK_LOAD_H_
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/hilbert.h"
+#include "index/spatial_index.h"
+#include "util/check.h"
+
+/// \file
+/// Bulk loading for the MBR trees: Sort-Tile-Recursive (STR, Leutenegger et
+/// al.) and space-filling-curve packing (Hilbert in 2-D, Morton otherwise).
+///
+/// The paper's Discussion notes that when no index exists one must be built,
+/// and cites bulk-loading work [22-24] as the practical answer; the large
+/// Pacific-NW experiments are only tractable with packed trees. PackStr /
+/// PackHilbert fill an *empty* RTree or RStarTree with a fully packed,
+/// balanced structure that the join algorithms then traverse normally.
+
+namespace csj {
+
+/// Bulk-load options.
+struct BulkLoadOptions {
+  /// Fraction of max_fanout each packed node is filled to. Full packing (1.0)
+  /// minimizes node count; slightly lower leaves room for later inserts.
+  double fill_fraction = 1.0;
+};
+
+namespace bulk_internal {
+
+/// Recursive STR tiling: reorders items so that consecutive chunks of
+/// `capacity` form spatially coherent tiles.
+template <typename Item, typename GetCoord, int D>
+void StrRecurse(std::vector<Item>& items, size_t lo, size_t hi, int dim,
+                size_t capacity, GetCoord get_coord) {
+  const size_t n = hi - lo;
+  if (n <= capacity) return;
+  std::sort(items.begin() + lo, items.begin() + hi,
+            [&](const Item& a, const Item& b) {
+              return get_coord(a, dim) < get_coord(b, dim);
+            });
+  if (dim == D - 1) return;
+
+  const double leaves = std::ceil(static_cast<double>(n) / capacity);
+  const double dims_left = D - dim;
+  const size_t slabs = static_cast<size_t>(
+      std::ceil(std::pow(leaves, 1.0 / dims_left)));
+  const size_t slab_size =
+      (n + slabs - 1) / slabs;
+  for (size_t start = lo; start < hi; start += slab_size) {
+    const size_t end = std::min(start + slab_size, hi);
+    StrRecurse<Item, GetCoord, D>(items, start, end, dim + 1, capacity,
+                                  get_coord);
+  }
+}
+
+}  // namespace bulk_internal
+
+/// Fills the empty tree with `entries` using STR packing. The resulting tree
+/// is balanced, has (near-)full nodes, and satisfies all invariants checked
+/// by Tree::CheckInvariants().
+template <typename Tree>
+void PackStr(Tree* tree, std::vector<Entry<Tree::kDim>> entries,
+             const BulkLoadOptions& options = BulkLoadOptions());
+
+/// Fills the empty tree with `entries` sorted along a space-filling curve
+/// (Hilbert for 2-D, Morton for other dimensionalities).
+template <typename Tree>
+void PackHilbert(Tree* tree, std::vector<Entry<Tree::kDim>> entries,
+                 const BulkLoadOptions& options = BulkLoadOptions());
+
+/// Grants bulk loaders access to the tree internals.
+template <int D, typename Tree>
+class BulkLoader {
+ public:
+  using EntryT = Entry<D>;
+  using PointT = Point<D>;
+
+  static void BuildFromOrderedEntries(Tree* tree, std::vector<EntryT>& entries,
+                                      size_t leaf_capacity,
+                                      size_t node_capacity, bool str_upper) {
+    CSJ_CHECK(tree->root_ == kInvalidNode) << "bulk load requires empty tree";
+    CSJ_CHECK(!entries.empty());
+
+    // Build leaves from consecutive chunks.
+    std::vector<NodeId> level_nodes;
+    for (size_t start = 0; start < entries.size(); start += leaf_capacity) {
+      const size_t end = std::min(start + leaf_capacity, entries.size());
+      const NodeId leaf = tree->AllocNode(/*is_leaf=*/true, /*level=*/0);
+      auto& nd = tree->arena_[leaf];
+      nd.entries.assign(entries.begin() + start, entries.begin() + end);
+      tree->RecomputeMbr(leaf);
+      level_nodes.push_back(leaf);
+    }
+
+    // Pack upper levels until one node remains.
+    int level = 1;
+    while (level_nodes.size() > 1) {
+      if (str_upper) {
+        auto get_coord = [&](NodeId id, int dim) {
+          return tree->arena_[id].mbr.Center()[dim];
+        };
+        bulk_internal::StrRecurse<NodeId, decltype(get_coord), D>(
+            level_nodes, 0, level_nodes.size(), 0, node_capacity, get_coord);
+      }
+      std::vector<NodeId> next;
+      for (size_t start = 0; start < level_nodes.size();
+           start += node_capacity) {
+        const size_t end = std::min(start + node_capacity, level_nodes.size());
+        const NodeId parent = tree->AllocNode(/*is_leaf=*/false, level);
+        auto& nd = tree->arena_[parent];
+        nd.children.assign(level_nodes.begin() + start,
+                           level_nodes.begin() + end);
+        for (NodeId child : nd.children) tree->arena_[child].parent = parent;
+        tree->RecomputeMbr(parent);
+        next.push_back(parent);
+      }
+      level_nodes = std::move(next);
+      ++level;
+    }
+
+    tree->root_ = level_nodes[0];
+    tree->size_ = entries.size();
+    FixupUnderfullTail(tree);
+  }
+
+  /// Packing can leave the last node of each level underfull; repair by
+  /// stealing from its left sibling so CheckInvariants' min-fill holds.
+  static void FixupUnderfullTail(Tree* tree) {
+    // Walk every level; for any non-root node under min fill with a left
+    // sibling, rebalance the two.
+    std::vector<NodeId> stack = {tree->root_};
+    while (!stack.empty()) {
+      const NodeId nid = stack.back();
+      stack.pop_back();
+      auto& nd = tree->arena_[nid];
+      if (nd.is_leaf) continue;
+      for (size_t i = 0; i < nd.children.size(); ++i) {
+        auto& child = tree->arena_[nd.children[i]];
+        if (child.fanout() < tree->min_fanout_ && i > 0) {
+          auto& left = tree->arena_[nd.children[i - 1]];
+          const size_t deficit = tree->min_fanout_ - child.fanout();
+          CSJ_CHECK_GE(left.fanout(), tree->min_fanout_ + deficit)
+              << "cannot repair underfull packed node";
+          if (child.is_leaf) {
+            child.entries.insert(child.entries.begin(),
+                                 left.entries.end() - deficit,
+                                 left.entries.end());
+            left.entries.resize(left.entries.size() - deficit);
+          } else {
+            for (size_t k = left.children.size() - deficit;
+                 k < left.children.size(); ++k) {
+              child.children.push_back(left.children[k]);
+              tree->arena_[left.children[k]].parent = nd.children[i];
+            }
+            left.children.resize(left.children.size() - deficit);
+          }
+          tree->RecomputeMbr(nd.children[i - 1]);
+          tree->RecomputeMbr(nd.children[i]);
+        }
+        stack.push_back(nd.children[i]);
+      }
+    }
+  }
+};
+
+template <typename Tree>
+void PackStr(Tree* tree, std::vector<Entry<Tree::kDim>> entries,
+             const BulkLoadOptions& options) {
+  constexpr int D = Tree::kDim;
+  if (entries.empty()) return;
+  // Capacity must allow the underfull-tail repair (>= 2m - 1 per node).
+  const size_t capacity = std::max<size_t>(
+      2 * tree->min_fanout(),
+      static_cast<size_t>(options.fill_fraction *
+                          static_cast<double>(tree->max_fanout())));
+  auto get_coord = [](const Entry<D>& e, int dim) { return e.point[dim]; };
+  bulk_internal::StrRecurse<Entry<D>, decltype(get_coord), D>(
+      entries, 0, entries.size(), 0, capacity, get_coord);
+  BulkLoader<D, Tree>::BuildFromOrderedEntries(tree, entries, capacity,
+                                               capacity, /*str_upper=*/true);
+}
+
+template <typename Tree>
+void PackHilbert(Tree* tree, std::vector<Entry<Tree::kDim>> entries,
+                 const BulkLoadOptions& options) {
+  constexpr int D = Tree::kDim;
+  if (entries.empty()) return;
+  const size_t capacity = std::max<size_t>(
+      2 * tree->min_fanout(),
+      static_cast<size_t>(options.fill_fraction *
+                          static_cast<double>(tree->max_fanout())));
+
+  // Quantize coordinates to a grid and sort by curve index.
+  Box<D> bounds;
+  for (const auto& e : entries) bounds.Extend(e.point);
+  constexpr int kOrder = 16;  // 2^16 grid per axis
+  const double side = static_cast<double>((1u << kOrder) - 1);
+  auto quantize = [&](const Entry<D>& e, int dim) -> uint32_t {
+    const double extent = bounds.Extent(dim);
+    if (extent <= 0.0) return 0;
+    const double t = (e.point[dim] - bounds.lo[dim]) / extent;
+    return static_cast<uint32_t>(t * side);
+  };
+
+  std::vector<std::pair<uint64_t, size_t>> keyed(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    uint64_t key;
+    if constexpr (D == 2) {
+      key = HilbertIndex2D(kOrder, quantize(entries[i], 0),
+                           quantize(entries[i], 1));
+    } else {
+      uint32_t coords[3] = {0, 0, 0};
+      const int dims = D < 3 ? D : 3;
+      const int bits = 63 / dims < kOrder ? 63 / dims : kOrder;
+      for (int d = 0; d < dims; ++d) {
+        coords[d] = quantize(entries[i], d) >> (kOrder - bits);
+      }
+      key = MortonIndex(coords, dims, bits);
+    }
+    keyed[i] = {key, i};
+  }
+  std::sort(keyed.begin(), keyed.end());
+  std::vector<Entry<D>> ordered(entries.size());
+  for (size_t i = 0; i < entries.size(); ++i) ordered[i] = entries[keyed[i].second];
+
+  BulkLoader<D, Tree>::BuildFromOrderedEntries(tree, ordered, capacity,
+                                               capacity, /*str_upper=*/false);
+}
+
+}  // namespace csj
+
+#endif  // CSJ_INDEX_BULK_LOAD_H_

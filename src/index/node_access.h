@@ -1,0 +1,62 @@
+#ifndef CSJ_INDEX_NODE_ACCESS_H_
+#define CSJ_INDEX_NODE_ACCESS_H_
+
+#include <cstdint>
+
+#include "storage/buffer_pool.h"
+
+/// \file
+/// Node-access accounting shared by all tree families.
+///
+/// The join drivers call Touch() once per node they visit. The tracker maps
+/// node ids to simulated disk pages (several nodes per page, as a packed
+/// on-disk layout would) and feeds the page stream through the LRU
+/// BufferPoolSim, reproducing the paper's Experiment 3 measurement that page
+/// and cache access counts are essentially identical across SSJ / N-CSJ /
+/// CSJ(g).
+
+namespace csj {
+
+/// Per-join node/page access statistics.
+struct NodeAccessStats {
+  uint64_t node_accesses = 0;
+  BufferPoolStats pages;
+};
+
+/// Counts node visits and simulates their page traffic.
+class NodeAccessTracker {
+ public:
+  /// \param nodes_per_page how many tree nodes share one simulated page.
+  /// \param cache_pages LRU pool capacity in pages.
+  NodeAccessTracker(int nodes_per_page, size_t cache_pages)
+      : nodes_per_page_(nodes_per_page > 0 ? nodes_per_page : 1),
+        pool_(cache_pages) {}
+
+  /// Records a visit to tree node `node_id`.
+  void Touch(uint32_t node_id) {
+    ++node_accesses_;
+    pool_.Access(node_id / static_cast<uint32_t>(nodes_per_page_));
+  }
+
+  /// Clears counters and cache contents.
+  void Reset() {
+    node_accesses_ = 0;
+    pool_.Reset();
+  }
+
+  NodeAccessStats stats() const {
+    NodeAccessStats s;
+    s.node_accesses = node_accesses_;
+    s.pages = pool_.stats();
+    return s;
+  }
+
+ private:
+  int nodes_per_page_;
+  uint64_t node_accesses_ = 0;
+  BufferPoolSim pool_;
+};
+
+}  // namespace csj
+
+#endif  // CSJ_INDEX_NODE_ACCESS_H_

@@ -1,0 +1,448 @@
+#ifndef CSJ_INDEX_PAGED_TREE_H_
+#define CSJ_INDEX_PAGED_TREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <list>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "geom/box.h"
+#include "geom/point.h"
+#include "index/spatial_index.h"
+#include "util/format.h"
+#include "util/status.h"
+
+/// \file
+/// Disk-resident read path: a similarity join running straight off a tree
+/// file through a real block cache.
+///
+/// The paper's experiments measure joins over disk-resident R*-trees. The
+/// in-memory trees plus the NodeAccessTracker *simulate* that; PagedTree
+/// makes it real: WritePagedTree lays an R-tree/R*-tree out into fixed-size
+/// blocks in a file, and PagedTree::Open serves the SpatialIndex interface
+/// by reading blocks on demand (pread) through an LRU block cache, counting
+/// actual reads. All join algorithms run unmodified on it — Children() and
+/// Entries() return by value so cached blocks may be evicted mid-traversal.
+///
+/// Directory information (per-node MBR + leaf flag) is kept in memory after
+/// Open, mirroring how a real R-tree obtains child MBRs from the parent
+/// node it has already read; only node payloads (entry coordinates, child
+/// lists) go through the block cache.
+///
+/// File format "CSJPAGE1" (little-endian):
+///   magic | u32 dim | u32 block_size | u64 entries | u32 node_count
+///   | u32 root
+///   node table: per node { u64 offset, u32 length, u8 is_leaf,
+///                          2*D f64 mbr }
+///   blob area: node payloads, each fully contained in as few blocks as
+///   alignment allows; leaf payload = u32 count + count * (u32 id, D f64),
+///   internal payload = u32 count + count * u32 child-index.
+
+namespace csj {
+
+/// Tuning knobs for the paged read path.
+struct PagedTreeOptions {
+  uint32_t block_size = 4096;   ///< write-time layout / read-time IO unit
+  size_t cache_blocks = 256;    ///< LRU capacity of the block cache
+};
+
+/// Real IO counters of a PagedTree.
+struct PagedIoStats {
+  uint64_t block_requests = 0;
+  uint64_t block_cache_hits = 0;
+  uint64_t disk_reads = 0;      ///< actual pread calls (block misses)
+  uint64_t node_decodes = 0;
+
+  std::string ToString() const {
+    return StrFormat(
+        "block_requests=%llu hits=%llu disk_reads=%llu node_decodes=%llu",
+        static_cast<unsigned long long>(block_requests),
+        static_cast<unsigned long long>(block_cache_hits),
+        static_cast<unsigned long long>(disk_reads),
+        static_cast<unsigned long long>(node_decodes));
+  }
+};
+
+/// Serializes any box tree (public API only) into the paged layout.
+template <typename Tree>
+Status WritePagedTree(const Tree& tree, const std::string& path,
+                      const PagedTreeOptions& options = PagedTreeOptions());
+
+/// Read-only disk-resident tree satisfying SpatialIndex.
+template <int D>
+class PagedTree {
+ public:
+  static constexpr int kDim = D;
+  /// The block cache mutates on reads: NOT safe for concurrent use.
+  static constexpr bool kThreadSafeReads = false;
+  using PointT = Point<D>;
+  using BoxT = Box<D>;
+  using EntryT = Entry<D>;
+  using ShapeT = BoxT;
+
+  /// Opens a file written by WritePagedTree.
+  static Result<PagedTree> Open(const std::string& path,
+                                const PagedTreeOptions& options =
+                                    PagedTreeOptions());
+
+  PagedTree(PagedTree&& other) noexcept { *this = std::move(other); }
+  PagedTree& operator=(PagedTree&& other) noexcept {
+    if (this == &other) return *this;
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = std::exchange(other.file_, nullptr);
+    path_ = std::move(other.path_);
+    options_ = other.options_;
+    blob_start_ = other.blob_start_;
+    size_ = other.size_;
+    root_ = other.root_;
+    directory_ = std::move(other.directory_);
+    lru_ = std::move(other.lru_);
+    cache_ = std::move(other.cache_);
+    io_stats_ = other.io_stats_;
+    return *this;
+  }
+  PagedTree(const PagedTree&) = delete;
+  PagedTree& operator=(const PagedTree&) = delete;
+  ~PagedTree() {
+    if (file_ != nullptr) std::fclose(file_);
+  }
+
+  // --- SpatialIndex concept ---------------------------------------------------
+
+  NodeId Root() const { return root_; }
+  bool IsLeaf(NodeId n) const { return directory_[n].is_leaf; }
+
+  /// Child ids, by value: safe across block-cache evictions.
+  std::vector<NodeId> Children(NodeId n) const;
+
+  /// Leaf entries, by value.
+  std::vector<EntryT> Entries(NodeId n) const;
+
+  double MaxDiameter(NodeId n) const { return directory_[n].mbr.Diagonal(); }
+  double MaxDiameter(NodeId a, NodeId b) const {
+    return BoxT::Union(directory_[a].mbr, directory_[b].mbr).Diagonal();
+  }
+  double MinDistance(NodeId a, NodeId b) const {
+    return csj::MinDistance(directory_[a].mbr, directory_[b].mbr);
+  }
+  const BoxT& Shape(NodeId n) const { return directory_[n].mbr; }
+
+  uint64_t size() const { return size_; }
+  uint64_t NodeCount() const { return directory_.size(); }
+  bool empty() const { return directory_.empty(); }
+
+  /// Real IO statistics since Open/ResetIoStats.
+  const PagedIoStats& io_stats() const { return io_stats_; }
+  void ResetIoStats() { io_stats_ = PagedIoStats(); }
+
+ private:
+  struct DirectoryEntry {
+    uint64_t offset = 0;
+    uint32_t length = 0;
+    bool is_leaf = true;
+    BoxT mbr;
+  };
+
+  PagedTree() = default;
+
+  /// Fetches the raw payload bytes of a node through the block cache.
+  Status FetchNodeBytes(NodeId n, std::vector<char>* out) const;
+  /// Returns a pointer to the cached block, reading it on a miss.
+  Result<const std::vector<char>*> GetBlock(uint64_t block_index) const;
+
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  PagedTreeOptions options_;
+  uint64_t blob_start_ = 0;
+  uint64_t size_ = 0;
+  NodeId root_ = kInvalidNode;
+  std::vector<DirectoryEntry> directory_;
+
+  // Block cache (mutable: logically const reads).
+  mutable std::list<uint64_t> lru_;
+  mutable std::unordered_map<
+      uint64_t, std::pair<std::list<uint64_t>::iterator, std::vector<char>>>
+      cache_;
+  mutable PagedIoStats io_stats_;
+};
+
+// --- Implementation ---------------------------------------------------------------
+
+namespace paged_internal {
+
+inline constexpr char kMagic[8] = {'C', 'S', 'J', 'P', 'A', 'G', 'E', '1'};
+
+inline bool WriteRaw(std::FILE* f, const void* data, size_t size) {
+  return std::fwrite(data, 1, size, f) == size;
+}
+inline bool ReadRaw(std::FILE* f, void* data, size_t size) {
+  return std::fread(data, 1, size, f) == size;
+}
+
+template <typename T>
+void AppendPod(std::vector<char>* out, const T& value) {
+  const char* raw = reinterpret_cast<const char*>(&value);
+  out->insert(out->end(), raw, raw + sizeof(T));
+}
+
+template <typename T>
+bool ReadPod(const std::vector<char>& in, size_t* pos, T* value) {
+  if (*pos + sizeof(T) > in.size()) return false;
+  std::memcpy(value, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+}  // namespace paged_internal
+
+template <typename Tree>
+Status WritePagedTree(const Tree& tree, const std::string& path,
+                      const PagedTreeOptions& options) {
+  namespace pi = paged_internal;
+  constexpr int D = Tree::kDim;
+  if (options.block_size < 256) {
+    return Status::InvalidArgument("block_size too small");
+  }
+
+  // Pre-order enumeration via the public API.
+  std::vector<NodeId> order;
+  std::unordered_map<NodeId, uint32_t> remap;
+  if (tree.Root() != kInvalidNode) {
+    std::vector<NodeId> stack = {tree.Root()};
+    while (!stack.empty()) {
+      const NodeId n = stack.back();
+      stack.pop_back();
+      remap[n] = static_cast<uint32_t>(order.size());
+      order.push_back(n);
+      if (!tree.IsLeaf(n)) {
+        for (NodeId c : tree.Children(n)) stack.push_back(c);
+      }
+    }
+  }
+
+  // Encode payloads and assign block-aligned offsets: a payload never spans
+  // a block boundary unless it is bigger than one block.
+  std::vector<std::vector<char>> payloads(order.size());
+  std::vector<uint64_t> offsets(order.size());
+  uint64_t cursor = 0;
+  for (size_t i = 0; i < order.size(); ++i) {
+    std::vector<char>& payload = payloads[i];
+    const NodeId n = order[i];
+    if (tree.IsLeaf(n)) {
+      const auto entries = tree.Entries(n);
+      pi::AppendPod(&payload, static_cast<uint32_t>(entries.size()));
+      for (const auto& e : entries) {
+        pi::AppendPod(&payload, static_cast<uint32_t>(e.id));
+        for (int d = 0; d < D; ++d) pi::AppendPod(&payload, e.point[d]);
+      }
+    } else {
+      const auto children = tree.Children(n);
+      pi::AppendPod(&payload, static_cast<uint32_t>(children.size()));
+      for (NodeId c : children) pi::AppendPod(&payload, remap.at(c));
+    }
+    const uint64_t block = options.block_size;
+    if (cursor / block != (cursor + payload.size() - 1) / block &&
+        payload.size() <= block) {
+      cursor = (cursor / block + 1) * block;  // bump to next block boundary
+    }
+    offsets[i] = cursor;
+    cursor += payload.size();
+  }
+
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  auto fail = [&] {
+    std::fclose(f);
+    return Status::IoError("short write: " + path);
+  };
+
+  const uint32_t dim = D;
+  const uint32_t block_size = options.block_size;
+  const uint64_t entries = tree.size();
+  const uint32_t node_count = static_cast<uint32_t>(order.size());
+  const uint32_t root = 0;  // pre-order: the root is always first
+  if (!pi::WriteRaw(f, pi::kMagic, 8) || !pi::WriteRaw(f, &dim, 4) ||
+      !pi::WriteRaw(f, &block_size, 4) || !pi::WriteRaw(f, &entries, 8) ||
+      !pi::WriteRaw(f, &node_count, 4) || !pi::WriteRaw(f, &root, 4)) {
+    return fail();
+  }
+  for (size_t i = 0; i < order.size(); ++i) {
+    const NodeId n = order[i];
+    const uint64_t offset = offsets[i];
+    const uint32_t length = static_cast<uint32_t>(payloads[i].size());
+    const uint8_t is_leaf = tree.IsLeaf(n) ? 1 : 0;
+    const auto& mbr = tree.NodeBox(n);
+    if (!pi::WriteRaw(f, &offset, 8) || !pi::WriteRaw(f, &length, 4) ||
+        !pi::WriteRaw(f, &is_leaf, 1) ||
+        !pi::WriteRaw(f, mbr.lo.data(), sizeof(double) * D) ||
+        !pi::WriteRaw(f, mbr.hi.data(), sizeof(double) * D)) {
+      return fail();
+    }
+  }
+  // Blob area, zero-padded to honor the assigned offsets.
+  uint64_t written = 0;
+  const std::vector<char> zeros(4096, 0);
+  for (size_t i = 0; i < order.size(); ++i) {
+    while (written < offsets[i]) {
+      const size_t pad = static_cast<size_t>(
+          std::min<uint64_t>(offsets[i] - written, zeros.size()));
+      if (!pi::WriteRaw(f, zeros.data(), pad)) return fail();
+      written += pad;
+    }
+    if (!pi::WriteRaw(f, payloads[i].data(), payloads[i].size())) {
+      return fail();
+    }
+    written += payloads[i].size();
+  }
+  if (std::fclose(f) != 0) return Status::IoError("close failed: " + path);
+  return Status::OK();
+}
+
+template <int D>
+Result<PagedTree<D>> PagedTree<D>::Open(const std::string& path,
+                                        const PagedTreeOptions& options) {
+  namespace pi = paged_internal;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open: " + path);
+
+  PagedTree tree;
+  tree.file_ = f;
+  tree.path_ = path;
+  tree.options_ = options;
+
+  char magic[8];
+  uint32_t dim = 0, block_size = 0, node_count = 0, root = 0;
+  uint64_t entries = 0;
+  if (!pi::ReadRaw(f, magic, 8) || std::memcmp(magic, pi::kMagic, 8) != 0) {
+    return Status::InvalidArgument("not a CSJPAGE1 file: " + path);
+  }
+  if (!pi::ReadRaw(f, &dim, 4) || !pi::ReadRaw(f, &block_size, 4) ||
+      !pi::ReadRaw(f, &entries, 8) || !pi::ReadRaw(f, &node_count, 4) ||
+      !pi::ReadRaw(f, &root, 4)) {
+    return Status::IoError("truncated header: " + path);
+  }
+  if (dim != static_cast<uint32_t>(D)) {
+    return Status::InvalidArgument(
+        StrFormat("dimension mismatch: file %u, tree %d", dim, D));
+  }
+  tree.options_.block_size = block_size;
+  if (tree.options_.cache_blocks < 1) tree.options_.cache_blocks = 1;
+  tree.size_ = entries;
+  tree.directory_.resize(node_count);
+  for (auto& entry : tree.directory_) {
+    uint8_t is_leaf = 0;
+    if (!pi::ReadRaw(f, &entry.offset, 8) ||
+        !pi::ReadRaw(f, &entry.length, 4) || !pi::ReadRaw(f, &is_leaf, 1) ||
+        !pi::ReadRaw(f, entry.mbr.lo.data(), sizeof(double) * D) ||
+        !pi::ReadRaw(f, entry.mbr.hi.data(), sizeof(double) * D)) {
+      return Status::IoError("truncated node table: " + path);
+    }
+    entry.is_leaf = is_leaf != 0;
+  }
+  tree.blob_start_ = static_cast<uint64_t>(std::ftell(f));
+  tree.root_ = node_count == 0 ? kInvalidNode : root;
+  return tree;
+}
+
+template <int D>
+Result<const std::vector<char>*> PagedTree<D>::GetBlock(
+    uint64_t block_index) const {
+  ++io_stats_.block_requests;
+  auto it = cache_.find(block_index);
+  if (it != cache_.end()) {
+    ++io_stats_.block_cache_hits;
+    lru_.splice(lru_.begin(), lru_, it->second.first);
+    return &it->second.second;
+  }
+  ++io_stats_.disk_reads;
+  std::vector<char> block(options_.block_size);
+  const uint64_t file_offset =
+      blob_start_ + block_index * options_.block_size;
+  if (std::fseek(file_, static_cast<long>(file_offset), SEEK_SET) != 0) {
+    return Status::IoError("seek failed: " + path_);
+  }
+  const size_t got = std::fread(block.data(), 1, block.size(), file_);
+  block.resize(got);  // the last block may be short
+  lru_.push_front(block_index);
+  auto [inserted, fresh] =
+      cache_.try_emplace(block_index, lru_.begin(), std::move(block));
+  CSJ_CHECK(fresh);
+  if (lru_.size() > options_.cache_blocks) {
+    cache_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  return &inserted->second.second;
+}
+
+template <int D>
+Status PagedTree<D>::FetchNodeBytes(NodeId n, std::vector<char>* out) const {
+  const DirectoryEntry& entry = directory_[n];
+  out->clear();
+  out->reserve(entry.length);
+  uint64_t remaining = entry.length;
+  uint64_t position = entry.offset;
+  while (remaining > 0) {
+    const uint64_t block_index = position / options_.block_size;
+    const uint64_t within = position % options_.block_size;
+    CSJ_ASSIGN_OR_RETURN(const std::vector<char>* block,
+                         GetBlock(block_index));
+    if (within >= block->size()) {
+      return Status::IoError("node payload past end of file: " + path_);
+    }
+    const uint64_t take =
+        std::min<uint64_t>(remaining, block->size() - within);
+    out->insert(out->end(), block->data() + within,
+                block->data() + within + take);
+    remaining -= take;
+    position += take;
+  }
+  ++io_stats_.node_decodes;
+  return Status::OK();
+}
+
+template <int D>
+std::vector<NodeId> PagedTree<D>::Children(NodeId n) const {
+  CSJ_DCHECK(!directory_[n].is_leaf);
+  std::vector<char> bytes;
+  CSJ_CHECK(FetchNodeBytes(n, &bytes).ok()) << "IO error reading node " << n;
+  size_t pos = 0;
+  uint32_t count = 0;
+  CSJ_CHECK(paged_internal::ReadPod(bytes, &pos, &count));
+  std::vector<NodeId> children(count);
+  for (auto& child : children) {
+    uint32_t idx = 0;
+    CSJ_CHECK(paged_internal::ReadPod(bytes, &pos, &idx));
+    CSJ_CHECK(idx < directory_.size()) << "corrupt child index";
+    child = idx;
+  }
+  return children;
+}
+
+template <int D>
+std::vector<Entry<D>> PagedTree<D>::Entries(NodeId n) const {
+  CSJ_DCHECK(directory_[n].is_leaf);
+  std::vector<char> bytes;
+  CSJ_CHECK(FetchNodeBytes(n, &bytes).ok()) << "IO error reading node " << n;
+  size_t pos = 0;
+  uint32_t count = 0;
+  CSJ_CHECK(paged_internal::ReadPod(bytes, &pos, &count));
+  std::vector<EntryT> entries(count);
+  for (auto& e : entries) {
+    uint32_t id = 0;
+    CSJ_CHECK(paged_internal::ReadPod(bytes, &pos, &id));
+    e.id = id;
+    for (int d = 0; d < D; ++d) {
+      CSJ_CHECK(paged_internal::ReadPod(bytes, &pos, &e.point[d]));
+    }
+  }
+  return entries;
+}
+
+}  // namespace csj
+
+#endif  // CSJ_INDEX_PAGED_TREE_H_

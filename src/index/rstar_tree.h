@@ -1,0 +1,342 @@
+#ifndef CSJ_INDEX_RSTAR_TREE_H_
+#define CSJ_INDEX_RSTAR_TREE_H_
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "index/box_tree.h"
+
+/// \file
+/// R*-tree (Beckmann, Kriegel, Schneider, Seeger, SIGMOD 1990).
+///
+/// The paper's default index: all of Experiment 1-3 run on a standard R*-tree
+/// (the UCR Spatial Index Library in the original; reimplemented here).
+/// Implements the three R* innovations: ChooseSubtree with minimum overlap
+/// enlargement at the leaf level, the margin-driven topological split, and
+/// forced reinsertion of the 30% most-distant entries on first overflow per
+/// level.
+
+namespace csj {
+
+/// Construction parameters.
+struct RStarOptions {
+  size_t max_fanout = 64;       ///< M
+  size_t min_fanout = 26;       ///< m (~40% of M)
+  double reinsert_fraction = 0.3;  ///< p: share of entries evicted on overflow
+  bool forced_reinsert = true;  ///< disablable for ablation studies
+};
+
+/// R*-tree over D-dimensional points.
+template <int D>
+class RStarTree : public BoxTreeBase<D, RStarTree<D>> {
+ public:
+  using Base = BoxTreeBase<D, RStarTree<D>>;
+  using typename Base::BoxT;
+  using typename Base::EntryT;
+  using typename Base::Node;
+  using typename Base::PointT;
+
+  explicit RStarTree(const RStarOptions& options = RStarOptions())
+      : Base(options.max_fanout, options.min_fanout), options_(options) {
+    CSJ_CHECK(options.reinsert_fraction > 0.0 &&
+              options.reinsert_fraction < 0.5);
+  }
+
+  /// Inserts one point (multiset semantics).
+  void Insert(PointId id, const PointT& point) {
+    // Forced reinsertion is allowed once per level per top-level insert
+    // ("overflow treatment"), tracked by reinserted_levels_.
+    if (reinsert_depth_ == 0) reinserted_levels_.clear();
+    ++reinsert_depth_;
+    InsertEntry(EntryT{id, point});
+    --reinsert_depth_;
+    ++this->size_;
+  }
+
+ private:
+  void InsertEntry(const EntryT& entry) {
+    if (this->root_ == kInvalidNode) {
+      this->root_ = this->AllocNode(/*is_leaf=*/true, /*level=*/0);
+    }
+    const BoxT ebox(entry.point);
+    const NodeId leaf = ChooseSubtree(ebox, /*target_level=*/0);
+    this->node(leaf).entries.push_back(entry);
+    this->ExtendMbrPath(leaf, ebox);
+    OverflowTreatment(leaf);
+  }
+
+  /// Re-hangs an orphaned subtree at its original level.
+  void InsertSubtree(NodeId subtree) {
+    const int target_level = this->node(subtree).level + 1;
+    CSJ_DCHECK(this->root_ != kInvalidNode);
+    const NodeId target = ChooseSubtree(this->node(subtree).mbr, target_level);
+    this->AttachChild(target, subtree);
+    OverflowTreatment(target);
+  }
+
+  /// R* ChooseSubtree: descend to `target_level`, minimizing overlap
+  /// enlargement when children are leaves, volume enlargement otherwise.
+  NodeId ChooseSubtree(const BoxT& box, int target_level) const {
+    NodeId n = this->root_;
+    while (this->node(n).level > target_level) {
+      const Node& nd = this->node(n);
+      CSJ_DCHECK(!nd.is_leaf);
+      n = nd.level - 1 == 0 ? ChooseByOverlap(nd, box) : ChooseByVolume(nd, box);
+    }
+    return n;
+  }
+
+  /// Minimum overlap-enlargement child (ties: volume enlargement, volume).
+  NodeId ChooseByOverlap(const Node& nd, const BoxT& box) const {
+    NodeId best = kInvalidNode;
+    double best_overlap = std::numeric_limits<double>::infinity();
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_volume = std::numeric_limits<double>::infinity();
+    for (NodeId child : nd.children) {
+      const BoxT& cb = this->node(child).mbr;
+      const BoxT extended = BoxT::Union(cb, box);
+      double overlap_delta = 0.0;
+      for (NodeId other : nd.children) {
+        if (other == child) continue;
+        const BoxT& ob = this->node(other).mbr;
+        overlap_delta += extended.OverlapVolume(ob) - cb.OverlapVolume(ob);
+      }
+      const double enlargement = cb.EnlargementTo(box);
+      const double volume = cb.Volume();
+      if (overlap_delta < best_overlap ||
+          (overlap_delta == best_overlap &&
+           (enlargement < best_enlargement ||
+            (enlargement == best_enlargement && volume < best_volume)))) {
+        best = child;
+        best_overlap = overlap_delta;
+        best_enlargement = enlargement;
+        best_volume = volume;
+      }
+    }
+    return best;
+  }
+
+  /// Minimum volume-enlargement child (ties: volume).
+  NodeId ChooseByVolume(const Node& nd, const BoxT& box) const {
+    NodeId best = kInvalidNode;
+    double best_enlargement = std::numeric_limits<double>::infinity();
+    double best_volume = std::numeric_limits<double>::infinity();
+    for (NodeId child : nd.children) {
+      const BoxT& cb = this->node(child).mbr;
+      const double enlargement = cb.EnlargementTo(box);
+      const double volume = cb.Volume();
+      if (enlargement < best_enlargement ||
+          (enlargement == best_enlargement && volume < best_volume)) {
+        best = child;
+        best_enlargement = enlargement;
+        best_volume = volume;
+      }
+    }
+    return best;
+  }
+
+  /// R* OverflowTreatment: first overflow on a level triggers forced
+  /// reinsertion; subsequent overflows (or the root) split, possibly
+  /// cascading upward.
+  void OverflowTreatment(NodeId n) {
+    while (n != kInvalidNode &&
+           this->node(n).fanout() > this->max_fanout_) {
+      const int level = this->node(n).level;
+      if (options_.forced_reinsert && n != this->root_ &&
+          reinserted_levels_.find(level) == reinserted_levels_.end()) {
+        reinserted_levels_.insert(level);
+        ReinsertWorst(n);
+        return;  // the recursive reinsertions finished any further overflow
+      }
+      const NodeId sibling = SplitNode(n);
+      const NodeId parent = this->node(n).parent;
+      if (parent == kInvalidNode) {
+        this->GrowRoot(n, sibling);
+        return;
+      }
+      this->RecomputeMbrPath(parent);
+      this->AttachChild(parent, sibling);
+      n = parent;
+    }
+  }
+
+  /// Forced reinsertion: evicts the p-fraction of items whose centers are
+  /// farthest from the node's MBR center and re-inserts them ("far
+  /// reinsert"), which re-shapes neighborhoods and defers splits.
+  void ReinsertWorst(NodeId n) {
+    Node& nd = this->node(n);
+    const size_t evict = std::max<size_t>(
+        1, static_cast<size_t>(options_.reinsert_fraction *
+                               static_cast<double>(nd.fanout())));
+    const PointT center = nd.mbr.Center();
+
+    if (nd.is_leaf) {
+      std::sort(nd.entries.begin(), nd.entries.end(),
+                [&](const EntryT& a, const EntryT& b) {
+                  return SquaredDistance(center, a.point) >
+                         SquaredDistance(center, b.point);
+                });
+      std::vector<EntryT> evicted(nd.entries.begin(),
+                                  nd.entries.begin() + evict);
+      nd.entries.erase(nd.entries.begin(), nd.entries.begin() + evict);
+      this->RecomputeMbrPath(n);
+      for (const EntryT& e : evicted) InsertEntry(e);
+    } else {
+      std::sort(nd.children.begin(), nd.children.end(),
+                [&](NodeId a, NodeId b) {
+                  return SquaredDistance(center,
+                                         this->node(a).mbr.Center()) >
+                         SquaredDistance(center, this->node(b).mbr.Center());
+                });
+      std::vector<NodeId> evicted(nd.children.begin(),
+                                  nd.children.begin() + evict);
+      nd.children.erase(nd.children.begin(), nd.children.begin() + evict);
+      this->RecomputeMbrPath(n);
+      for (NodeId subtree : evicted) InsertSubtree(subtree);
+    }
+  }
+
+  /// R* topological split: choose the axis with minimal margin sum, then the
+  /// distribution with minimal overlap (ties: minimal combined volume).
+  NodeId SplitNode(NodeId n) {
+    Node& nd = this->node(n);
+    const NodeId sibling = this->AllocNode(nd.is_leaf, nd.level);
+    Node& left = this->node(n);
+    Node& right = this->node(sibling);
+
+    if (left.is_leaf) {
+      auto get_box = [](const EntryT& e) { return BoxT(e.point); };
+      auto [a, b] = RStarPartition(left.entries, get_box);
+      left.entries = std::move(a);
+      right.entries = std::move(b);
+    } else {
+      auto get_box = [this](NodeId c) { return this->node(c).mbr; };
+      auto [a, b] = RStarPartition(left.children, get_box);
+      left.children = std::move(a);
+      right.children = std::move(b);
+      for (NodeId c : left.children) this->node(c).parent = n;
+      for (NodeId c : right.children) this->node(c).parent = sibling;
+    }
+    this->RecomputeMbr(n);
+    this->RecomputeMbr(sibling);
+    return sibling;
+  }
+
+  template <typename Item, typename GetBox>
+  std::pair<std::vector<Item>, std::vector<Item>> RStarPartition(
+      std::vector<Item>& items, GetBox get_box) {
+    const size_t m = this->min_fanout_;
+    const size_t total = items.size();
+    CSJ_DCHECK(total >= 2 * m);
+
+    // ChooseSplitAxis: for each axis consider items sorted by lo and by hi;
+    // sum the margins of all legal distributions; pick the axis (and sort
+    // key) with the smallest sum.
+    int best_axis = 0;
+    bool best_by_hi = false;
+    double best_margin_sum = std::numeric_limits<double>::infinity();
+    std::vector<size_t> order(total);
+    for (int axis = 0; axis < D; ++axis) {
+      for (int by_hi = 0; by_hi < 2; ++by_hi) {
+        SortOrder(items, get_box, axis, by_hi != 0, &order);
+        const double margin_sum = MarginSum(items, get_box, order, m);
+        if (margin_sum < best_margin_sum) {
+          best_margin_sum = margin_sum;
+          best_axis = axis;
+          best_by_hi = by_hi != 0;
+        }
+      }
+    }
+
+    // ChooseSplitIndex on the winning axis: minimal overlap, then volume.
+    SortOrder(items, get_box, best_axis, best_by_hi, &order);
+    std::vector<BoxT> prefix(total), suffix(total);
+    BoxT acc;
+    for (size_t i = 0; i < total; ++i) {
+      acc.Extend(get_box(items[order[i]]));
+      prefix[i] = acc;
+    }
+    acc = BoxT();
+    for (size_t i = total; i-- > 0;) {
+      acc.Extend(get_box(items[order[i]]));
+      suffix[i] = acc;
+    }
+
+    size_t best_k = m;
+    double best_overlap = std::numeric_limits<double>::infinity();
+    double best_volume = std::numeric_limits<double>::infinity();
+    for (size_t k = m; k <= total - m; ++k) {
+      const double overlap = prefix[k - 1].OverlapVolume(suffix[k]);
+      const double volume = prefix[k - 1].Volume() + suffix[k].Volume();
+      if (overlap < best_overlap ||
+          (overlap == best_overlap && volume < best_volume)) {
+        best_overlap = overlap;
+        best_volume = volume;
+        best_k = k;
+      }
+    }
+
+    std::vector<Item> group_a, group_b;
+    group_a.reserve(best_k);
+    group_b.reserve(total - best_k);
+    for (size_t i = 0; i < total; ++i) {
+      auto& target = i < best_k ? group_a : group_b;
+      target.push_back(std::move(items[order[i]]));
+    }
+    return {std::move(group_a), std::move(group_b)};
+  }
+
+  template <typename Item, typename GetBox>
+  static void SortOrder(const std::vector<Item>& items, GetBox get_box,
+                        int axis, bool by_hi, std::vector<size_t>* order) {
+    for (size_t i = 0; i < items.size(); ++i) (*order)[i] = i;
+    std::sort(order->begin(), order->end(), [&](size_t a, size_t b) {
+      const BoxT box_a = get_box(items[a]);
+      const BoxT box_b = get_box(items[b]);
+      if (by_hi) {
+        if (box_a.hi[axis] != box_b.hi[axis])
+          return box_a.hi[axis] < box_b.hi[axis];
+        return box_a.lo[axis] < box_b.lo[axis];
+      }
+      if (box_a.lo[axis] != box_b.lo[axis])
+        return box_a.lo[axis] < box_b.lo[axis];
+      return box_a.hi[axis] < box_b.hi[axis];
+    });
+  }
+
+  template <typename Item, typename GetBox>
+  static double MarginSum(const std::vector<Item>& items, GetBox get_box,
+                          const std::vector<size_t>& order, size_t m) {
+    const size_t total = items.size();
+    std::vector<BoxT> prefix(total), suffix(total);
+    BoxT acc;
+    for (size_t i = 0; i < total; ++i) {
+      acc.Extend(get_box(items[order[i]]));
+      prefix[i] = acc;
+    }
+    acc = BoxT();
+    for (size_t i = total; i-- > 0;) {
+      acc.Extend(get_box(items[order[i]]));
+      suffix[i] = acc;
+    }
+    double sum = 0.0;
+    for (size_t k = m; k <= total - m; ++k) {
+      sum += prefix[k - 1].Margin() + suffix[k].Margin();
+    }
+    return sum;
+  }
+
+  RStarOptions options_;
+  std::set<int> reinserted_levels_;
+  int reinsert_depth_ = 0;
+};
+
+using RStarTree2 = RStarTree<2>;
+using RStarTree3 = RStarTree<3>;
+
+}  // namespace csj
+
+#endif  // CSJ_INDEX_RSTAR_TREE_H_

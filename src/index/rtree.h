@@ -1,0 +1,339 @@
+#ifndef CSJ_INDEX_RTREE_H_
+#define CSJ_INDEX_RTREE_H_
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "index/box_tree.h"
+
+/// \file
+/// Guttman's R-tree (SIGMOD 1984) with linear and quadratic node splitting.
+///
+/// One of the three index substrates the paper's Experiment 4 runs the join
+/// algorithms on. Insertion follows the original ChooseLeaf
+/// (least-enlargement) descent; splits implement both the linear-cost and
+/// quadratic-cost algorithms from the paper, selectable via RTreeOptions.
+
+namespace csj {
+
+/// Node-splitting policy for the Guttman R-tree.
+enum class RTreeSplit {
+  kLinear,     ///< linear-cost PickSeeds/assignment
+  kQuadratic,  ///< quadratic-cost PickSeeds + PickNext
+};
+
+/// Construction parameters.
+struct RTreeOptions {
+  size_t max_fanout = 64;  ///< M: max children/entries per node
+  size_t min_fanout = 26;  ///< m: min fill (~40% of M), m <= M/2
+  RTreeSplit split = RTreeSplit::kQuadratic;
+};
+
+/// Guttman R-tree over D-dimensional points.
+template <int D>
+class RTree : public BoxTreeBase<D, RTree<D>> {
+ public:
+  using Base = BoxTreeBase<D, RTree<D>>;
+  using typename Base::BoxT;
+  using typename Base::EntryT;
+  using typename Base::Node;
+  using typename Base::PointT;
+
+  explicit RTree(const RTreeOptions& options = RTreeOptions())
+      : Base(options.max_fanout, options.min_fanout), split_(options.split) {}
+
+  /// Inserts one point. Duplicate (id, point) pairs are allowed; the tree is
+  /// a multiset, like the paper's workloads (TIGER data has duplicate
+  /// endpoints).
+  void Insert(PointId id, const PointT& point) {
+    if (this->root_ == kInvalidNode) {
+      this->root_ = this->AllocNode(/*is_leaf=*/true, /*level=*/0);
+    }
+    const NodeId leaf = ChooseLeaf(point);
+    Node& nd = this->node(leaf);
+    nd.entries.push_back(EntryT{id, point});
+    this->ExtendMbrPath(leaf, BoxT(point));
+    ++this->size_;
+    if (nd.entries.size() > this->max_fanout_) SplitAndAdjust(leaf);
+  }
+
+  RTreeSplit split_policy() const { return split_; }
+
+ private:
+  /// Guttman ChooseLeaf: descend picking the child needing least volume
+  /// enlargement (ties: smaller volume).
+  NodeId ChooseLeaf(const PointT& point) const {
+    const BoxT pbox(point);
+    NodeId n = this->root_;
+    while (!this->node(n).is_leaf) {
+      const Node& nd = this->node(n);
+      NodeId best = kInvalidNode;
+      double best_enlargement = std::numeric_limits<double>::infinity();
+      double best_volume = std::numeric_limits<double>::infinity();
+      for (NodeId child : nd.children) {
+        const BoxT& cb = this->node(child).mbr;
+        const double enlargement = cb.EnlargementTo(pbox);
+        const double volume = cb.Volume();
+        if (enlargement < best_enlargement ||
+            (enlargement == best_enlargement && volume < best_volume)) {
+          best = child;
+          best_enlargement = enlargement;
+          best_volume = volume;
+        }
+      }
+      n = best;
+    }
+    return n;
+  }
+
+  /// Splits `n`, attaches the new sibling, and propagates splits upward
+  /// (Guttman AdjustTree).
+  void SplitAndAdjust(NodeId n) {
+    while (true) {
+      const NodeId sibling = SplitNode(n);
+      const NodeId parent = this->node(n).parent;
+      if (parent == kInvalidNode) {
+        this->GrowRoot(n, sibling);
+        return;
+      }
+      this->RecomputeMbrPath(parent);
+      this->AttachChild(parent, sibling);
+      if (this->node(parent).children.size() <= this->max_fanout_) return;
+      n = parent;
+    }
+  }
+
+  /// Splits an overflowing node in place; returns the new sibling id.
+  NodeId SplitNode(NodeId n) {
+    Node& nd = this->node(n);
+    const NodeId sibling = this->AllocNode(nd.is_leaf, nd.level);
+    // Re-fetch: AllocNode may have grown the arena (deque keeps references
+    // valid, but stay defensive and uniform with the R* code).
+    Node& left = this->node(n);
+    Node& right = this->node(sibling);
+
+    if (left.is_leaf) {
+      std::vector<EntryT> items = std::move(left.entries);
+      left.entries.clear();
+      auto get_box = [](const EntryT& e) { return BoxT(e.point); };
+      auto [to_left, to_right] = Partition(items, get_box);
+      left.entries = std::move(to_left);
+      right.entries = std::move(to_right);
+    } else {
+      std::vector<NodeId> items = std::move(left.children);
+      left.children.clear();
+      auto get_box = [this](NodeId c) { return this->node(c).mbr; };
+      auto [to_left, to_right] = Partition(items, get_box);
+      left.children = std::move(to_left);
+      right.children = std::move(to_right);
+      for (NodeId c : right.children) this->node(c).parent = sibling;
+      for (NodeId c : left.children) this->node(c).parent = n;
+    }
+    this->RecomputeMbr(n);
+    this->RecomputeMbr(sibling);
+    return sibling;
+  }
+
+  /// Splits `items` into two groups per the configured policy.
+  template <typename Item, typename GetBox>
+  std::pair<std::vector<Item>, std::vector<Item>> Partition(
+      std::vector<Item>& items, GetBox get_box) {
+    const size_t min_fill = this->min_fanout_;
+    size_t seed_a = 0, seed_b = 1;
+    if (split_ == RTreeSplit::kLinear) {
+      PickSeedsLinear(items, get_box, &seed_a, &seed_b);
+    } else {
+      PickSeedsQuadratic(items, get_box, &seed_a, &seed_b);
+    }
+
+    std::vector<Item> group_a, group_b;
+    BoxT box_a = get_box(items[seed_a]);
+    BoxT box_b = get_box(items[seed_b]);
+    group_a.push_back(std::move(items[seed_a]));
+    group_b.push_back(std::move(items[seed_b]));
+
+    std::vector<Item> rest;
+    rest.reserve(items.size() - 2);
+    for (size_t i = 0; i < items.size(); ++i) {
+      if (i != seed_a && i != seed_b) rest.push_back(std::move(items[i]));
+    }
+
+    if (split_ == RTreeSplit::kQuadratic) {
+      AssignQuadratic(rest, get_box, min_fill, &group_a, &box_a, &group_b,
+                      &box_b);
+    } else {
+      AssignLinear(rest, get_box, min_fill, &group_a, &box_a, &group_b, &box_b);
+    }
+    return {std::move(group_a), std::move(group_b)};
+  }
+
+  /// Linear PickSeeds: the pair with greatest normalized separation along any
+  /// dimension.
+  template <typename Item, typename GetBox>
+  static void PickSeedsLinear(const std::vector<Item>& items, GetBox get_box,
+                              size_t* seed_a, size_t* seed_b) {
+    double best_separation = -1.0;
+    *seed_a = 0;
+    *seed_b = 1;
+    for (int dim = 0; dim < D; ++dim) {
+      size_t highest_lo = 0, lowest_hi = 0;
+      double min_lo = std::numeric_limits<double>::infinity();
+      double max_hi = -std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < items.size(); ++i) {
+        const BoxT box = get_box(items[i]);
+        if (box.lo[dim] > get_box(items[highest_lo]).lo[dim]) highest_lo = i;
+        if (box.hi[dim] < get_box(items[lowest_hi]).hi[dim]) lowest_hi = i;
+        min_lo = std::min(min_lo, box.lo[dim]);
+        max_hi = std::max(max_hi, box.hi[dim]);
+      }
+      const double width = max_hi - min_lo;
+      if (width <= 0.0 || highest_lo == lowest_hi) continue;
+      const double separation =
+          (get_box(items[highest_lo]).lo[dim] -
+           get_box(items[lowest_hi]).hi[dim]) /
+          width;
+      if (separation > best_separation) {
+        best_separation = separation;
+        *seed_a = lowest_hi;
+        *seed_b = highest_lo;
+      }
+    }
+    if (*seed_a == *seed_b) *seed_b = (*seed_a + 1) % items.size();
+  }
+
+  /// Quadratic PickSeeds: the pair wasting the most dead volume.
+  template <typename Item, typename GetBox>
+  static void PickSeedsQuadratic(const std::vector<Item>& items, GetBox get_box,
+                                 size_t* seed_a, size_t* seed_b) {
+    double worst_waste = -std::numeric_limits<double>::infinity();
+    *seed_a = 0;
+    *seed_b = 1;
+    for (size_t i = 0; i + 1 < items.size(); ++i) {
+      const BoxT box_i = get_box(items[i]);
+      for (size_t j = i + 1; j < items.size(); ++j) {
+        const BoxT box_j = get_box(items[j]);
+        const double waste =
+            BoxT::Union(box_i, box_j).Volume() - box_i.Volume() - box_j.Volume();
+        if (waste > worst_waste) {
+          worst_waste = waste;
+          *seed_a = i;
+          *seed_b = j;
+        }
+      }
+    }
+  }
+
+  /// Quadratic assignment: repeatedly pick the item with the strongest group
+  /// preference (PickNext) and place it; force-assign when one group must
+  /// take all remaining items to reach min fill.
+  template <typename Item, typename GetBox>
+  static void AssignQuadratic(std::vector<Item>& rest, GetBox get_box,
+                              size_t min_fill, std::vector<Item>* group_a,
+                              BoxT* box_a, std::vector<Item>* group_b,
+                              BoxT* box_b) {
+    std::vector<bool> placed(rest.size(), false);
+    size_t remaining = rest.size();
+    while (remaining > 0) {
+      if (group_a->size() + remaining == min_fill) {
+        for (size_t i = 0; i < rest.size(); ++i) {
+          if (!placed[i]) {
+            box_a->Extend(get_box(rest[i]));
+            group_a->push_back(std::move(rest[i]));
+          }
+        }
+        return;
+      }
+      if (group_b->size() + remaining == min_fill) {
+        for (size_t i = 0; i < rest.size(); ++i) {
+          if (!placed[i]) {
+            box_b->Extend(get_box(rest[i]));
+            group_b->push_back(std::move(rest[i]));
+          }
+        }
+        return;
+      }
+      // PickNext: max |enlargement difference|.
+      size_t pick = 0;
+      double best_diff = -1.0;
+      double pick_da = 0.0, pick_db = 0.0;
+      for (size_t i = 0; i < rest.size(); ++i) {
+        if (placed[i]) continue;
+        const BoxT box = get_box(rest[i]);
+        const double da = box_a->EnlargementTo(box);
+        const double db = box_b->EnlargementTo(box);
+        const double diff = std::fabs(da - db);
+        if (diff > best_diff) {
+          best_diff = diff;
+          pick = i;
+          pick_da = da;
+          pick_db = db;
+        }
+      }
+      placed[pick] = true;
+      --remaining;
+      const BoxT box = get_box(rest[pick]);
+      bool to_a;
+      if (pick_da != pick_db) {
+        to_a = pick_da < pick_db;
+      } else if (box_a->Volume() != box_b->Volume()) {
+        to_a = box_a->Volume() < box_b->Volume();
+      } else {
+        to_a = group_a->size() <= group_b->size();
+      }
+      if (to_a) {
+        box_a->Extend(box);
+        group_a->push_back(std::move(rest[pick]));
+      } else {
+        box_b->Extend(box);
+        group_b->push_back(std::move(rest[pick]));
+      }
+    }
+  }
+
+  /// Linear assignment: single pass, each item to the group needing less
+  /// enlargement, with min-fill forcing.
+  template <typename Item, typename GetBox>
+  static void AssignLinear(std::vector<Item>& rest, GetBox get_box,
+                           size_t min_fill, std::vector<Item>* group_a,
+                           BoxT* box_a, std::vector<Item>* group_b,
+                           BoxT* box_b) {
+    for (size_t i = 0; i < rest.size(); ++i) {
+      const size_t remaining = rest.size() - i;
+      const BoxT box = get_box(rest[i]);
+      bool to_a;
+      if (group_a->size() + remaining == min_fill) {
+        to_a = true;
+      } else if (group_b->size() + remaining == min_fill) {
+        to_a = false;
+      } else {
+        const double da = box_a->EnlargementTo(box);
+        const double db = box_b->EnlargementTo(box);
+        if (da != db) {
+          to_a = da < db;
+        } else if (box_a->Volume() != box_b->Volume()) {
+          to_a = box_a->Volume() < box_b->Volume();
+        } else {
+          to_a = group_a->size() <= group_b->size();
+        }
+      }
+      if (to_a) {
+        box_a->Extend(box);
+        group_a->push_back(std::move(rest[i]));
+      } else {
+        box_b->Extend(box);
+        group_b->push_back(std::move(rest[i]));
+      }
+    }
+  }
+
+  RTreeSplit split_;
+};
+
+using RTree2 = RTree<2>;
+using RTree3 = RTree<3>;
+
+}  // namespace csj
+
+#endif  // CSJ_INDEX_RTREE_H_

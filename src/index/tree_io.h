@@ -1,0 +1,260 @@
+#ifndef CSJ_INDEX_TREE_IO_H_
+#define CSJ_INDEX_TREE_IO_H_
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "index/box_tree.h"
+#include "util/format.h"
+#include "util/status.h"
+
+/// \file
+/// Binary serialization of the MBR trees (RTree / RStarTree): the exact node
+/// structure round-trips, so a server can build an index once, persist it,
+/// and answer later join queries without rebuilding (the paper's Discussion
+/// notes that tree creation is expensive in computation time and memory).
+///
+/// Format (little-endian, versioned):
+///   magic "CSJTREE1" | u32 dim | u32 max_fanout | u32 min_fanout
+///   u64 entry_count | u32 node_count | u32 root_index
+///   nodes in pre-order: u8 is_leaf | i32 level | 2*D f64 mbr |
+///     u32 fanout | children (u32 pre-order indexes) or entries
+///     (u32 id + D f64 coords)
+
+namespace csj {
+
+namespace tree_io_internal {
+
+inline bool WriteRaw(std::FILE* f, const void* data, size_t size) {
+  return std::fwrite(data, 1, size, f) == size;
+}
+
+inline bool ReadRaw(std::FILE* f, void* data, size_t size) {
+  return std::fread(data, 1, size, f) == size;
+}
+
+inline constexpr char kMagic[8] = {'C', 'S', 'J', 'T', 'R', 'E', 'E', '1'};
+
+}  // namespace tree_io_internal
+
+/// Serializer with friend access to the tree internals.
+template <typename Tree>
+class TreeSerializer {
+ public:
+  static constexpr int D = Tree::kDim;
+  using Node = typename Tree::Node;
+
+  static Status Save(const Tree& tree, const std::string& path) {
+    namespace ti = tree_io_internal;
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+    Status status = SaveTo(tree, f);
+    if (std::fclose(f) != 0 && status.ok()) {
+      status = Status::IoError("close failed: " + path);
+    }
+    return status;
+  }
+
+  static Status Load(Tree* tree, const std::string& path) {
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    if (f == nullptr) return Status::NotFound("cannot open: " + path);
+    Status status = LoadFrom(tree, f);
+    std::fclose(f);
+    return status;
+  }
+
+ private:
+  static Status SaveTo(const Tree& tree, std::FILE* f) {
+    namespace ti = tree_io_internal;
+    // Collect live nodes in pre-order and build the id remap.
+    std::vector<NodeId> order;
+    std::vector<uint32_t> remap(tree.arena_.size(), 0);
+    if (!tree.empty()) {
+      std::vector<NodeId> stack = {tree.root_};
+      while (!stack.empty()) {
+        const NodeId id = stack.back();
+        stack.pop_back();
+        remap[id] = static_cast<uint32_t>(order.size());
+        order.push_back(id);
+        const Node& nd = tree.arena_[id];
+        if (!nd.is_leaf) {
+          for (NodeId child : nd.children) stack.push_back(child);
+        }
+      }
+    }
+
+    auto fail = [] { return Status::IoError("short write"); };
+    if (!ti::WriteRaw(f, ti::kMagic, sizeof(ti::kMagic))) return fail();
+    const uint32_t dim = D;
+    const uint32_t max_fanout = static_cast<uint32_t>(tree.max_fanout_);
+    const uint32_t min_fanout = static_cast<uint32_t>(tree.min_fanout_);
+    const uint64_t entries = tree.size_;
+    const uint32_t node_count = static_cast<uint32_t>(order.size());
+    const uint32_t root_index = order.empty() ? 0 : remap[tree.root_];
+    if (!ti::WriteRaw(f, &dim, 4) || !ti::WriteRaw(f, &max_fanout, 4) ||
+        !ti::WriteRaw(f, &min_fanout, 4) || !ti::WriteRaw(f, &entries, 8) ||
+        !ti::WriteRaw(f, &node_count, 4) || !ti::WriteRaw(f, &root_index, 4)) {
+      return fail();
+    }
+
+    for (const NodeId id : order) {
+      const Node& nd = tree.arena_[id];
+      const uint8_t is_leaf = nd.is_leaf ? 1 : 0;
+      const int32_t level = nd.level;
+      if (!ti::WriteRaw(f, &is_leaf, 1) || !ti::WriteRaw(f, &level, 4) ||
+          !ti::WriteRaw(f, nd.mbr.lo.data(), sizeof(double) * D) ||
+          !ti::WriteRaw(f, nd.mbr.hi.data(), sizeof(double) * D)) {
+        return fail();
+      }
+      const uint32_t fanout = static_cast<uint32_t>(nd.fanout());
+      if (!ti::WriteRaw(f, &fanout, 4)) return fail();
+      if (nd.is_leaf) {
+        for (const auto& e : nd.entries) {
+          const uint32_t id32 = e.id;
+          if (!ti::WriteRaw(f, &id32, 4) ||
+              !ti::WriteRaw(f, e.point.coords.data(), sizeof(double) * D)) {
+            return fail();
+          }
+        }
+      } else {
+        for (NodeId child : nd.children) {
+          const uint32_t idx = remap[child];
+          if (!ti::WriteRaw(f, &idx, 4)) return fail();
+        }
+      }
+    }
+    return Status::OK();
+  }
+
+  static Status LoadFrom(Tree* tree, std::FILE* f) {
+    namespace ti = tree_io_internal;
+    if (!tree->empty()) {
+      return Status::FailedPrecondition("Load requires an empty tree");
+    }
+    auto fail = [] { return Status::IoError("truncated tree file"); };
+
+    char magic[8];
+    if (!ti::ReadRaw(f, magic, 8)) return fail();
+    if (std::memcmp(magic, ti::kMagic, 8) != 0) {
+      return Status::InvalidArgument("not a CSJTREE1 file");
+    }
+    uint32_t dim = 0, max_fanout = 0, min_fanout = 0, node_count = 0,
+             root_index = 0;
+    uint64_t entries = 0;
+    if (!ti::ReadRaw(f, &dim, 4) || !ti::ReadRaw(f, &max_fanout, 4) ||
+        !ti::ReadRaw(f, &min_fanout, 4) || !ti::ReadRaw(f, &entries, 8) ||
+        !ti::ReadRaw(f, &node_count, 4) || !ti::ReadRaw(f, &root_index, 4)) {
+      return fail();
+    }
+    if (dim != static_cast<uint32_t>(D)) {
+      return Status::InvalidArgument(
+          StrFormat("dimension mismatch: file %u, tree %d", dim, D));
+    }
+    if (max_fanout != tree->max_fanout_ || min_fanout != tree->min_fanout_) {
+      return Status::InvalidArgument(StrFormat(
+          "fanout mismatch: file (%u, %u), tree (%zu, %zu)", max_fanout,
+          min_fanout, tree->max_fanout_, tree->min_fanout_));
+    }
+    if (node_count == 0) return Status::OK();
+    if (root_index >= node_count) {
+      return Status::InvalidArgument("root index out of range");
+    }
+
+    for (uint32_t i = 0; i < node_count; ++i) {
+      uint8_t is_leaf = 0;
+      int32_t level = 0;
+      const NodeId id = tree->AllocNode(false, 0);
+      Node& nd = tree->arena_[id];
+      if (!ti::ReadRaw(f, &is_leaf, 1) || !ti::ReadRaw(f, &level, 4) ||
+          !ti::ReadRaw(f, nd.mbr.lo.data(), sizeof(double) * D) ||
+          !ti::ReadRaw(f, nd.mbr.hi.data(), sizeof(double) * D)) {
+        return fail();
+      }
+      nd.is_leaf = is_leaf != 0;
+      nd.level = level;
+      uint32_t fanout = 0;
+      if (!ti::ReadRaw(f, &fanout, 4)) return fail();
+      if (fanout > max_fanout) {
+        return Status::InvalidArgument("node fanout exceeds max");
+      }
+      if (nd.is_leaf) {
+        nd.entries.resize(fanout);
+        for (auto& e : nd.entries) {
+          uint32_t id32 = 0;
+          if (!ti::ReadRaw(f, &id32, 4) ||
+              !ti::ReadRaw(f, e.point.coords.data(), sizeof(double) * D)) {
+            return fail();
+          }
+          e.id = id32;
+        }
+      } else {
+        nd.children.resize(fanout);
+        for (auto& child : nd.children) {
+          uint32_t idx = 0;
+          if (!ti::ReadRaw(f, &idx, 4)) return fail();
+          if (idx >= node_count) {
+            return Status::InvalidArgument("child index out of range");
+          }
+          child = idx;
+        }
+      }
+    }
+
+    // Wire parents and validate child links.
+    for (uint32_t i = 0; i < node_count; ++i) {
+      Node& nd = tree->arena_[i];
+      if (nd.is_leaf) continue;
+      for (NodeId child : nd.children) {
+        tree->arena_[child].parent = i;
+      }
+    }
+    tree->root_ = root_index;
+    tree->arena_[root_index].parent = kInvalidNode;
+    tree->size_ = entries;
+    return Status::OK();
+  }
+};
+
+/// Header fields of a serialized tree, readable without loading it (used to
+/// configure a tree object with matching fanout before LoadTree).
+struct TreeFileInfo {
+  uint32_t dim = 0;
+  uint32_t max_fanout = 0;
+  uint32_t min_fanout = 0;
+  uint64_t entries = 0;
+};
+
+inline Result<TreeFileInfo> PeekTreeFile(const std::string& path) {
+  namespace ti = tree_io_internal;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open: " + path);
+  char magic[8];
+  TreeFileInfo info;
+  const bool ok = ti::ReadRaw(f, magic, 8) &&
+                  std::memcmp(magic, ti::kMagic, 8) == 0 &&
+                  ti::ReadRaw(f, &info.dim, 4) &&
+                  ti::ReadRaw(f, &info.max_fanout, 4) &&
+                  ti::ReadRaw(f, &info.min_fanout, 4) &&
+                  ti::ReadRaw(f, &info.entries, 8);
+  std::fclose(f);
+  if (!ok) return Status::InvalidArgument("not a CSJTREE1 file: " + path);
+  return info;
+}
+
+/// Saves an MBR tree to `path`.
+template <typename Tree>
+Status SaveTree(const Tree& tree, const std::string& path) {
+  return TreeSerializer<Tree>::Save(tree, path);
+}
+
+/// Loads into an empty, identically-configured tree.
+template <typename Tree>
+Status LoadTree(Tree* tree, const std::string& path) {
+  return TreeSerializer<Tree>::Load(tree, path);
+}
+
+}  // namespace csj
+
+#endif  // CSJ_INDEX_TREE_IO_H_

@@ -1,0 +1,420 @@
+#ifndef CSJ_METRIC_GENERIC_MTREE_H_
+#define CSJ_METRIC_GENERIC_MTREE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "geom/point.h"
+#include "index/spatial_index.h"
+#include "util/check.h"
+#include "util/random.h"
+
+/// \file
+/// M-tree over *arbitrary items* under a user-supplied metric.
+///
+/// The paper's second problem statement covers general metric spaces: the
+/// join algorithms only need min/max distances between node bounding shapes
+/// and the inclusion property, never coordinates. This tree makes that
+/// concrete: items can be strings under edit distance, spectra under DTW,
+/// anything with a metric. The coordinate M-tree in index/mtree.h is the
+/// Euclidean specialization used by the paper's Experiment 4; this one backs
+/// the metric compact join in metric/metric_join.h.
+///
+/// Distance functor requirements: `double operator()(const Item&, const
+/// Item&) const`, a true metric (symmetry + triangle inequality); the tree's
+/// bounds are invalid otherwise.
+
+namespace csj {
+
+/// An item paired with its id.
+template <typename Item>
+struct MetricEntry {
+  PointId id = 0;
+  Item item{};
+};
+
+/// Construction parameters (mirrors MTreeOptions).
+struct GenericMTreeOptions {
+  size_t max_fanout = 16;
+  size_t min_fanout = 2;
+  /// Promotion candidates examined per split (sampled pairs).
+  int sampled_pairs = 48;
+  uint64_t seed = 0x5eedULL;
+};
+
+/// M-tree over Item under Metric.
+template <typename Item, typename Metric>
+class GenericMTree {
+ public:
+  using EntryT = MetricEntry<Item>;
+
+  explicit GenericMTree(Metric metric = Metric(),
+                        const GenericMTreeOptions& options =
+                            GenericMTreeOptions())
+      : metric_(std::move(metric)), options_(options), rng_(options.seed) {
+    CSJ_CHECK(options.max_fanout >= 4);
+    CSJ_CHECK(options.min_fanout >= 1 &&
+              options.min_fanout <= options.max_fanout / 2);
+  }
+
+  // --- Join interface (the metric analog of SpatialIndex) --------------------
+
+  NodeId Root() const { return root_; }
+  bool IsLeaf(NodeId n) const { return node(n).is_leaf; }
+
+  std::span<const NodeId> Children(NodeId n) const {
+    CSJ_DCHECK(!node(n).is_leaf);
+    return node(n).children;
+  }
+
+  std::span<const EntryT> Entries(NodeId n) const {
+    CSJ_DCHECK(node(n).is_leaf);
+    return node(n).entries;
+  }
+
+  /// Ball bound on pairwise distances within the subtree.
+  double MaxDiameter(NodeId n) const { return 2.0 * node(n).radius; }
+
+  /// Bound over the union of two subtrees.
+  double MaxDiameter(NodeId a, NodeId b) const {
+    const Node& na = node(a);
+    const Node& nb = node(b);
+    const double across =
+        metric_(na.center, nb.center) + na.radius + nb.radius;
+    return std::max({2.0 * na.radius, 2.0 * nb.radius, across});
+  }
+
+  double MinDistance(NodeId a, NodeId b) const {
+    const Node& na = node(a);
+    const Node& nb = node(b);
+    return std::max(0.0,
+                    metric_(na.center, nb.center) - na.radius - nb.radius);
+  }
+
+  uint64_t size() const { return size_; }
+  uint64_t NodeCount() const { return live_nodes_; }
+  bool empty() const { return root_ == kInvalidNode; }
+  int Height() const { return empty() ? 0 : node(root_).level + 1; }
+  const Metric& metric() const { return metric_; }
+
+  /// Routing item and covering radius of a node (for diagnostics).
+  const Item& NodeCenter(NodeId n) const { return node(n).center; }
+  double NodeRadius(NodeId n) const { return node(n).radius; }
+
+  // --- Mutation ----------------------------------------------------------------
+
+  void Insert(PointId id, const Item& item) {
+    if (root_ == kInvalidNode) {
+      root_ = AllocNode(/*is_leaf=*/true, /*level=*/0);
+      Node& r = node(root_);
+      r.center = item;
+      r.entries.push_back(EntryT{id, item});
+      ++size_;
+      return;
+    }
+    const NodeId leaf = ChooseLeaf(item);
+    node(leaf).entries.push_back(EntryT{id, item});
+    ++size_;
+    if (node(leaf).entries.size() > options_.max_fanout) Split(leaf);
+  }
+
+  // --- Queries -------------------------------------------------------------------
+
+  /// All entries within `radius` (closed) of `query`.
+  std::vector<EntryT> RangeQuery(const Item& query, double radius) const {
+    std::vector<EntryT> out;
+    if (empty()) return out;
+    std::vector<NodeId> stack = {root_};
+    while (!stack.empty()) {
+      const Node& nd = node(stack.back());
+      stack.pop_back();
+      if (metric_(query, nd.center) > radius + nd.radius) continue;
+      if (nd.is_leaf) {
+        for (const EntryT& e : nd.entries) {
+          if (metric_(query, e.item) <= radius) out.push_back(e);
+        }
+      } else {
+        for (NodeId child : nd.children) stack.push_back(child);
+      }
+    }
+    return out;
+  }
+
+  // --- Validation -------------------------------------------------------------------
+
+  void CheckInvariants() const {
+    if (empty()) {
+      CSJ_CHECK_EQ(size_, 0u);
+      return;
+    }
+    uint64_t counted = 0;
+    CheckSubtree(root_, kInvalidNode, &counted);
+    CSJ_CHECK_EQ(counted, size_);
+  }
+
+ private:
+  struct Node {
+    Item center{};
+    double radius = 0.0;
+    NodeId parent = kInvalidNode;
+    int level = 0;
+    bool is_leaf = true;
+    std::vector<NodeId> children;
+    std::vector<EntryT> entries;
+
+    size_t fanout() const { return is_leaf ? entries.size() : children.size(); }
+  };
+
+  Node& node(NodeId id) {
+    CSJ_DCHECK(id < arena_.size());
+    return arena_[id];
+  }
+  const Node& node(NodeId id) const {
+    CSJ_DCHECK(id < arena_.size());
+    return arena_[id];
+  }
+
+  NodeId AllocNode(bool is_leaf, int level) {
+    const NodeId id = static_cast<NodeId>(arena_.size());
+    arena_.emplace_back();
+    arena_.back().is_leaf = is_leaf;
+    arena_.back().level = level;
+    ++live_nodes_;
+    return id;
+  }
+
+  NodeId ChooseLeaf(const Item& item) {
+    NodeId n = root_;
+    while (true) {
+      Node& nd = node(n);
+      nd.radius = std::max(nd.radius, metric_(nd.center, item));
+      if (nd.is_leaf) return n;
+      NodeId best = kInvalidNode;
+      double best_cost = std::numeric_limits<double>::infinity();
+      bool best_covers = false;
+      for (NodeId child : nd.children) {
+        const Node& c = node(child);
+        const double dist = metric_(c.center, item);
+        const bool covers = dist <= c.radius;
+        const double cost = covers ? dist : dist - c.radius;
+        if ((covers && !best_covers) ||
+            (covers == best_covers && cost < best_cost)) {
+          best = child;
+          best_cost = cost;
+          best_covers = covers;
+        }
+      }
+      n = best;
+    }
+  }
+
+  /// Sampled promotion minimizing the larger generalized-hyperplane radius.
+  template <typename GetItem>
+  std::pair<size_t, size_t> Promote(size_t n, GetItem get) {
+    CSJ_DCHECK(n >= 2);
+    auto evaluate = [&](size_t a, size_t b) {
+      double ra = 0.0, rb = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        const double da = metric_(get(i), get(a));
+        const double db = metric_(get(i), get(b));
+        if (da <= db) {
+          ra = std::max(ra, da);
+        } else {
+          rb = std::max(rb, db);
+        }
+      }
+      return std::max(ra, rb);
+    };
+    size_t best_a = 0, best_b = 1;
+    double best = evaluate(0, 1);
+    const int trials = options_.sampled_pairs;
+    for (int t = 0; t < trials; ++t) {
+      const size_t a = rng_.UniformInt(static_cast<uint64_t>(n));
+      size_t b = rng_.UniformInt(static_cast<uint64_t>(n));
+      while (b == a) b = rng_.UniformInt(static_cast<uint64_t>(n));
+      const double score = evaluate(a, b);
+      if (score < best) {
+        best = score;
+        best_a = a;
+        best_b = b;
+      }
+    }
+    return {best_a, best_b};
+  }
+
+  void Split(NodeId n) {
+    while (true) {
+      Node& nd = node(n);
+      const NodeId sibling = AllocNode(nd.is_leaf, nd.level);
+      Node& left = node(n);
+      Node& right = node(sibling);
+
+      if (left.is_leaf) {
+        std::vector<EntryT> items = std::move(left.entries);
+        left.entries.clear();
+        auto [a, b] =
+            Promote(items.size(), [&](size_t i) -> const Item& {
+              return items[i].item;
+            });
+        left.center = items[a].item;
+        right.center = items[b].item;
+        for (const EntryT& e : items) {
+          const double da = metric_(e.item, left.center);
+          const double db = metric_(e.item, right.center);
+          if (da <= db) {
+            left.entries.push_back(e);
+          } else {
+            right.entries.push_back(e);
+          }
+        }
+        RebalanceLeaves(&left, &right);
+        left.radius = 0.0;
+        for (const EntryT& e : left.entries) {
+          left.radius = std::max(left.radius, metric_(left.center, e.item));
+        }
+        right.radius = 0.0;
+        for (const EntryT& e : right.entries) {
+          right.radius = std::max(right.radius, metric_(right.center, e.item));
+        }
+      } else {
+        std::vector<NodeId> items = std::move(left.children);
+        left.children.clear();
+        auto [a, b] = Promote(items.size(), [&](size_t i) -> const Item& {
+          return node(items[i]).center;
+        });
+        left.center = node(items[a]).center;
+        right.center = node(items[b]).center;
+        for (NodeId c : items) {
+          const double da = metric_(node(c).center, left.center);
+          const double db = metric_(node(c).center, right.center);
+          if (da <= db) {
+            left.children.push_back(c);
+          } else {
+            right.children.push_back(c);
+          }
+        }
+        RebalanceInternal(&left, &right);
+        for (NodeId c : left.children) node(c).parent = n;
+        for (NodeId c : right.children) node(c).parent = sibling;
+        left.radius = CoveringRadius(left);
+        right.radius = CoveringRadius(right);
+      }
+
+      const NodeId parent = left.parent;
+      if (parent == kInvalidNode) {
+        const NodeId new_root = AllocNode(/*is_leaf=*/false, left.level + 1);
+        Node& r = node(new_root);
+        r.children = {n, sibling};
+        node(n).parent = new_root;
+        node(sibling).parent = new_root;
+        r.center = node(n).center;
+        r.radius = CoveringRadius(r);
+        root_ = new_root;
+        return;
+      }
+      Node& p = node(parent);
+      p.children.push_back(sibling);
+      node(sibling).parent = parent;
+      if (p.children.size() <= options_.max_fanout) return;
+      n = parent;
+    }
+  }
+
+  void RebalanceLeaves(Node* left, Node* right) {
+    auto donate = [&](Node* from, Node* to) {
+      while (to->entries.size() < options_.min_fanout) {
+        size_t pick = 0;
+        double best = std::numeric_limits<double>::infinity();
+        for (size_t i = 0; i < from->entries.size(); ++i) {
+          const double d = metric_(from->entries[i].item, to->center);
+          if (d < best) {
+            best = d;
+            pick = i;
+          }
+        }
+        to->entries.push_back(from->entries[pick]);
+        from->entries[pick] = from->entries.back();
+        from->entries.pop_back();
+      }
+    };
+    if (left->entries.size() < options_.min_fanout) donate(right, left);
+    if (right->entries.size() < options_.min_fanout) donate(left, right);
+  }
+
+  void RebalanceInternal(Node* left, Node* right) {
+    auto donate = [&](Node* from, Node* to) {
+      while (to->children.size() < options_.min_fanout) {
+        size_t pick = 0;
+        double best = std::numeric_limits<double>::infinity();
+        for (size_t i = 0; i < from->children.size(); ++i) {
+          const double d = metric_(node(from->children[i]).center, to->center);
+          if (d < best) {
+            best = d;
+            pick = i;
+          }
+        }
+        to->children.push_back(from->children[pick]);
+        from->children[pick] = from->children.back();
+        from->children.pop_back();
+      }
+    };
+    if (left->children.size() < options_.min_fanout) donate(right, left);
+    if (right->children.size() < options_.min_fanout) donate(left, right);
+  }
+
+  double CoveringRadius(const Node& nd) const {
+    double r = 0.0;
+    for (NodeId child : nd.children) {
+      const Node& c = node(child);
+      r = std::max(r, metric_(nd.center, c.center) + c.radius);
+    }
+    return r;
+  }
+
+  void CheckSubtree(NodeId n, NodeId expected_parent, uint64_t* counted) const {
+    const Node& nd = node(n);
+    CSJ_CHECK_EQ(nd.parent, expected_parent);
+    CSJ_CHECK_LE(nd.fanout(), options_.max_fanout);
+    if (n != root_) {
+      CSJ_CHECK_GE(nd.fanout(), options_.min_fanout);
+    }
+    CheckCovering(n, nd.center, nd.radius);
+    if (nd.is_leaf) {
+      CSJ_CHECK_EQ(nd.level, 0);
+      *counted += nd.entries.size();
+      return;
+    }
+    for (NodeId child : nd.children) {
+      CSJ_CHECK_EQ(node(child).level, nd.level - 1);
+      CheckSubtree(child, n, counted);
+    }
+  }
+
+  void CheckCovering(NodeId n, const Item& center, double radius) const {
+    const Node& nd = node(n);
+    if (nd.is_leaf) {
+      for (const EntryT& e : nd.entries) {
+        CSJ_CHECK_LE(metric_(center, e.item), radius + 1e-9)
+            << "item escapes covering radius";
+      }
+      return;
+    }
+    for (NodeId child : nd.children) CheckCovering(child, center, radius);
+  }
+
+  Metric metric_;
+  GenericMTreeOptions options_;
+  Rng rng_;
+  NodeId root_ = kInvalidNode;
+  uint64_t size_ = 0;
+  uint64_t live_nodes_ = 0;
+  std::deque<Node> arena_;
+};
+
+}  // namespace csj
+
+#endif  // CSJ_METRIC_GENERIC_MTREE_H_

@@ -1,0 +1,44 @@
+#include "storage/buffer_pool.h"
+
+#include "util/check.h"
+#include "util/format.h"
+
+namespace csj {
+
+BufferPoolSim::BufferPoolSim(size_t capacity_pages)
+    : capacity_(capacity_pages) {
+  CSJ_CHECK(capacity_pages >= 1);
+}
+
+void BufferPoolSim::Access(uint64_t page) {
+  ++stats_.requests;
+  auto it = index_.find(page);
+  if (it != index_.end()) {
+    ++stats_.hits;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return;
+  }
+  ++stats_.disk_reads;
+  lru_.push_front(page);
+  index_[page] = lru_.begin();
+  if (lru_.size() > capacity_) {
+    index_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void BufferPoolSim::Reset() {
+  stats_ = BufferPoolStats();
+  lru_.clear();
+  index_.clear();
+}
+
+std::string BufferPoolSim::Summary() const {
+  return StrFormat("requests=%llu hits=%llu disk_reads=%llu hit_rate=%.2f%%",
+                   static_cast<unsigned long long>(stats_.requests),
+                   static_cast<unsigned long long>(stats_.hits),
+                   static_cast<unsigned long long>(stats_.disk_reads),
+                   100.0 * stats_.HitRate());
+}
+
+}  // namespace csj

@@ -1,0 +1,65 @@
+#ifndef CSJ_UTIL_CHECK_H_
+#define CSJ_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+/// \file
+/// Fatal assertion macros for programmer errors.
+///
+/// The library does not use exceptions; invariant violations abort with a
+/// message that names the failing condition and source location. CSJ_CHECK is
+/// always on; CSJ_DCHECK compiles away in NDEBUG builds (use it on hot paths).
+
+namespace csj::internal {
+
+/// Stream-style message collector that aborts on destruction.
+class CheckFailure {
+ public:
+  CheckFailure(const char* file, int line, const char* condition) {
+    stream_ << "CHECK failed at " << file << ":" << line << ": " << condition;
+  }
+
+  [[noreturn]] ~CheckFailure() {
+    std::string message = stream_.str();
+    std::fprintf(stderr, "%s\n", message.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailure& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace csj::internal
+
+#define CSJ_CHECK(condition)                                             \
+  if (condition) {                                                       \
+  } else                                                                 \
+    ::csj::internal::CheckFailure(__FILE__, __LINE__, #condition) << ": "
+
+#define CSJ_CHECK_EQ(a, b) CSJ_CHECK((a) == (b))
+#define CSJ_CHECK_NE(a, b) CSJ_CHECK((a) != (b))
+#define CSJ_CHECK_LT(a, b) CSJ_CHECK((a) < (b))
+#define CSJ_CHECK_LE(a, b) CSJ_CHECK((a) <= (b))
+#define CSJ_CHECK_GT(a, b) CSJ_CHECK((a) > (b))
+#define CSJ_CHECK_GE(a, b) CSJ_CHECK((a) >= (b))
+
+#ifdef NDEBUG
+#define CSJ_DCHECK(condition) \
+  if (true) {                 \
+  } else                      \
+    ::csj::internal::CheckFailure(__FILE__, __LINE__, #condition)
+#else
+#define CSJ_DCHECK(condition) CSJ_CHECK(condition)
+#endif
+
+#endif  // CSJ_UTIL_CHECK_H_

@@ -1,0 +1,79 @@
+#include "util/format.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace csj {
+
+int DecimalWidth(uint64_t max_value) {
+  int width = 1;
+  while (max_value >= 10) {
+    max_value /= 10;
+    ++width;
+  }
+  return width;
+}
+
+std::string ZeroPad(uint64_t value, int width) {
+  std::string digits = std::to_string(value);
+  if (static_cast<int>(digits.size()) >= width) return digits;
+  return std::string(width - digits.size(), '0') + digits;
+}
+
+std::string HumanBytes(uint64_t bytes) {
+  static const char* kUnits[] = {"B", "KB", "MB", "GB", "TB"};
+  double value = static_cast<double>(bytes);
+  int unit = 0;
+  while (value >= 1024.0 && unit < 4) {
+    value /= 1024.0;
+    ++unit;
+  }
+  if (unit == 0) return StrFormat("%llu B", static_cast<unsigned long long>(bytes));
+  return StrFormat("%.2f %s", value, kUnits[unit]);
+}
+
+std::string HumanDuration(double seconds) {
+  if (seconds >= 1.0) return StrFormat("%.3f s", seconds);
+  if (seconds >= 1e-3) return StrFormat("%.3f ms", seconds * 1e3);
+  if (seconds >= 1e-6) return StrFormat("%.3f us", seconds * 1e6);
+  return StrFormat("%.0f ns", seconds * 1e9);
+}
+
+std::string WithThousands(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count != 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  return std::string(out.rbegin(), out.rend());
+}
+
+std::string StrJoin(const std::vector<std::string>& pieces,
+                    const std::string& separator) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i != 0) out += separator;
+    out += pieces[i];
+  }
+  return out;
+}
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  va_list args_copy;
+  va_copy(args_copy, args);
+  const int size = std::vsnprintf(nullptr, 0, fmt, args);
+  va_end(args);
+  std::string out(size > 0 ? static_cast<size_t>(size) : 0, '\0');
+  if (size > 0) {
+    std::vsnprintf(out.data(), out.size() + 1, fmt, args_copy);
+  }
+  va_end(args_copy);
+  return out;
+}
+
+}  // namespace csj

@@ -1,0 +1,139 @@
+#ifndef CSJ_UTIL_STATUS_H_
+#define CSJ_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+/// \file
+/// Error propagation without exceptions: Status and Result<T>.
+///
+/// Runtime failures that a caller can reasonably handle (missing files,
+/// malformed input) are reported through Status; programmer errors abort via
+/// CSJ_CHECK. This mirrors the Arrow/RocksDB convention.
+
+namespace csj {
+
+/// Coarse error categories; the message carries the detail.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIoError,
+  kOutOfRange,
+  kFailedPrecondition,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a status code ("IO_ERROR", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// Success-or-error value. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. Access to the value when not ok() aborts.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status, so `return value;` and
+  /// `return Status::IoError(...)` both work in a Result-returning function.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : payload_(std::move(status)) {  // NOLINT
+    CSJ_CHECK(!std::get<Status>(payload_).ok())
+        << "Result constructed from OK status but no value";
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    if (ok()) return kOk;
+    return std::get<Status>(payload_);
+  }
+
+  const T& value() const& {
+    CSJ_CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T& value() & {
+    CSJ_CHECK(ok()) << status().ToString();
+    return std::get<T>(payload_);
+  }
+  T&& value() && {
+    CSJ_CHECK(ok()) << status().ToString();
+    return std::move(std::get<T>(payload_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define CSJ_RETURN_IF_ERROR(expr)          \
+  do {                                     \
+    ::csj::Status _csj_status = (expr);    \
+    if (!_csj_status.ok()) return _csj_status; \
+  } while (false)
+
+#define CSJ_STATUS_CONCAT_IMPL(a, b) a##b
+#define CSJ_STATUS_CONCAT(a, b) CSJ_STATUS_CONCAT_IMPL(a, b)
+
+/// Assigns the value of a Result expression to `lhs`, or returns its Status.
+#define CSJ_ASSIGN_OR_RETURN(lhs, expr)                                \
+  auto CSJ_STATUS_CONCAT(_csj_result_, __LINE__) = (expr);             \
+  if (!CSJ_STATUS_CONCAT(_csj_result_, __LINE__).ok())                 \
+    return CSJ_STATUS_CONCAT(_csj_result_, __LINE__).status();         \
+  lhs = std::move(CSJ_STATUS_CONCAT(_csj_result_, __LINE__)).value()
+
+}  // namespace csj
+
+#endif  // CSJ_UTIL_STATUS_H_

@@ -1,0 +1,50 @@
+#ifndef CSJ_UTIL_TABLE_H_
+#define CSJ_UTIL_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// Aligned-text and CSV table emission for the benchmark harnesses.
+///
+/// Every experiment binary prints one table per paper figure/table through
+/// this class so the rows that EXPERIMENTS.md quotes are reproducible
+/// verbatim, and can additionally be dumped as CSV for plotting.
+
+namespace csj {
+
+/// Collects rows of strings and prints them with aligned columns.
+class Table {
+ public:
+  /// \param title caption printed above the table.
+  /// \param header column names.
+  Table(std::string title, std::vector<std::string> header)
+      : title_(std::move(title)), header_(std::move(header)) {}
+
+  /// Appends one row; must have exactly as many cells as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the aligned table to a string.
+  std::string ToString() const;
+
+  /// Prints to stdout.
+  void Print(std::FILE* out = stdout) const;
+
+  /// Writes the table as a CSV file (header + rows).
+  Status WriteCsv(const std::string& path) const;
+
+  size_t num_rows() const { return rows_.size(); }
+  const std::vector<std::vector<std::string>>& rows() const { return rows_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace csj
+
+#endif  // CSJ_UTIL_TABLE_H_

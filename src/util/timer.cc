@@ -1,0 +1,4 @@
+#include "util/timer.h"
+
+// WallTimer and StopwatchAccumulator are fully inline; this translation unit
+// exists so the header gets compiled standalone at least once.

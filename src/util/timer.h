@@ -1,0 +1,81 @@
+#ifndef CSJ_UTIL_TIMER_H_
+#define CSJ_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+/// \file
+/// Wall-clock timing used by the benchmark harnesses.
+///
+/// The paper reports similarity-join runtimes that include all disk accesses;
+/// our harnesses time whole join invocations with WallTimer and split
+/// computation from write time with StopwatchAccumulator (Experiment 3).
+
+namespace csj {
+
+/// Monotonic wall-clock timer.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart, in seconds.
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+  /// Elapsed time in nanoseconds.
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates time over many start/stop intervals (e.g. total time spent in
+/// sink writes during one join).
+class StopwatchAccumulator {
+ public:
+  void Start() { timer_.Restart(); }
+  void Stop() { total_nanos_ += timer_.ElapsedNanos(); }
+
+  void Reset() { total_nanos_ = 0; }
+
+  uint64_t TotalNanos() const { return total_nanos_; }
+  double TotalSeconds() const { return static_cast<double>(total_nanos_) * 1e-9; }
+  double TotalMillis() const { return static_cast<double>(total_nanos_) * 1e-6; }
+
+ private:
+  WallTimer timer_;
+  uint64_t total_nanos_ = 0;
+};
+
+/// RAII interval on a StopwatchAccumulator.
+class ScopedStopwatch {
+ public:
+  explicit ScopedStopwatch(StopwatchAccumulator* acc) : acc_(acc) {
+    if (acc_ != nullptr) acc_->Start();
+  }
+  ~ScopedStopwatch() {
+    if (acc_ != nullptr) acc_->Stop();
+  }
+
+  ScopedStopwatch(const ScopedStopwatch&) = delete;
+  ScopedStopwatch& operator=(const ScopedStopwatch&) = delete;
+
+ private:
+  StopwatchAccumulator* acc_;
+};
+
+}  // namespace csj
+
+#endif  // CSJ_UTIL_TIMER_H_

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "index/node_access.h"
+#include "storage/buffer_pool.h"
+
+namespace csj {
+namespace {
+
+TEST(BufferPoolTest, ColdMissesThenHits) {
+  BufferPoolSim pool(4);
+  pool.Access(1);
+  pool.Access(2);
+  pool.Access(1);
+  EXPECT_EQ(pool.stats().requests, 3u);
+  EXPECT_EQ(pool.stats().disk_reads, 2u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_NEAR(pool.stats().HitRate(), 1.0 / 3.0, 1e-12);
+}
+
+TEST(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  BufferPoolSim pool(2);
+  pool.Access(1);  // miss, cache {1}
+  pool.Access(2);  // miss, cache {2,1}
+  pool.Access(1);  // hit,  cache {1,2}
+  pool.Access(3);  // miss, evicts 2
+  pool.Access(2);  // miss again (was evicted)
+  pool.Access(1);  // miss: access(3) and access(2) evicted 1? LRU after 3:
+                   // {3,1} -> access 2 evicts 1 -> {2,3} -> 1 misses.
+  EXPECT_EQ(pool.stats().requests, 6u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().disk_reads, 5u);
+  EXPECT_EQ(pool.resident_pages(), 2u);
+}
+
+TEST(BufferPoolTest, CapacityOnePage) {
+  BufferPoolSim pool(1);
+  pool.Access(7);
+  pool.Access(7);
+  pool.Access(8);
+  pool.Access(7);
+  EXPECT_EQ(pool.stats().hits, 1u);
+  EXPECT_EQ(pool.stats().disk_reads, 3u);
+}
+
+TEST(BufferPoolTest, ResetClearsEverything) {
+  BufferPoolSim pool(2);
+  pool.Access(1);
+  pool.Access(2);
+  pool.Reset();
+  EXPECT_EQ(pool.stats().requests, 0u);
+  EXPECT_EQ(pool.resident_pages(), 0u);
+  pool.Access(1);  // cold again
+  EXPECT_EQ(pool.stats().disk_reads, 1u);
+}
+
+TEST(BufferPoolTest, SummaryMentionsCounts) {
+  BufferPoolSim pool(2);
+  pool.Access(1);
+  const std::string s = pool.Summary();
+  EXPECT_NE(s.find("requests=1"), std::string::npos);
+  EXPECT_NE(s.find("disk_reads=1"), std::string::npos);
+}
+
+TEST(NodeAccessTrackerTest, MapsNodesToPages) {
+  // 4 nodes per page: nodes 0-3 -> page 0, nodes 4-7 -> page 1.
+  NodeAccessTracker tracker(4, /*cache_pages=*/8);
+  tracker.Touch(0);
+  tracker.Touch(1);
+  tracker.Touch(2);
+  tracker.Touch(4);
+  const NodeAccessStats stats = tracker.stats();
+  EXPECT_EQ(stats.node_accesses, 4u);
+  EXPECT_EQ(stats.pages.requests, 4u);
+  EXPECT_EQ(stats.pages.disk_reads, 2u);  // two distinct pages
+  EXPECT_EQ(stats.pages.hits, 2u);
+}
+
+TEST(NodeAccessTrackerTest, ResetZeroes) {
+  NodeAccessTracker tracker(2, 4);
+  tracker.Touch(0);
+  tracker.Reset();
+  EXPECT_EQ(tracker.stats().node_accesses, 0u);
+  EXPECT_EQ(tracker.stats().pages.requests, 0u);
+}
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "data/generators.h"
+#include "index/node_access.h"
+#include "index/bulk_load.h"
+#include "index/rstar_tree.h"
+#include "index/rtree.h"
+#include "util/random.h"
+
+namespace csj {
+namespace {
+
+template <int D>
+std::vector<Entry<D>> RandomEntries(size_t n, uint64_t seed) {
+  auto points = GenerateUniform<D>(n, seed);
+  std::vector<Entry<D>> entries(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries[i] = Entry<D>{static_cast<PointId>(i), points[i]};
+  }
+  return entries;
+}
+
+template <typename Tree, int D>
+void ExpectSameContent(const Tree& tree, const std::vector<Entry<D>>& entries) {
+  std::set<PointId> found;
+  ForEachEntryInSubtree(tree, tree.Root(),
+                        static_cast<NodeAccessTracker*>(nullptr),
+                        [&](const Entry<D>& e) { found.insert(e.id); });
+  std::set<PointId> expected;
+  for (const auto& e : entries) expected.insert(e.id);
+  EXPECT_EQ(found, expected);
+}
+
+TEST(BulkLoadTest, StrPacksValidTree) {
+  RStarTree<2> tree;
+  const auto entries = RandomEntries<2>(10000, 3);
+  PackStr(&tree, entries);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), entries.size());
+  ExpectSameContent(tree, entries);
+}
+
+TEST(BulkLoadTest, StrPacks3D) {
+  RTree<3> tree;
+  const auto entries = RandomEntries<3>(5000, 5);
+  PackStr(&tree, entries);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), entries.size());
+  ExpectSameContent(tree, entries);
+}
+
+TEST(BulkLoadTest, HilbertPacksValidTree2D) {
+  RStarTree<2> tree;
+  const auto entries = RandomEntries<2>(8000, 7);
+  PackHilbert(&tree, entries);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), entries.size());
+  ExpectSameContent(tree, entries);
+}
+
+TEST(BulkLoadTest, HilbertPacksValidTree3DViaMorton) {
+  RStarTree<3> tree;
+  const auto entries = RandomEntries<3>(6000, 9);
+  PackHilbert(&tree, entries);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), entries.size());
+  ExpectSameContent(tree, entries);
+}
+
+TEST(BulkLoadTest, TinyInputs) {
+  for (size_t n : {1u, 2u, 3u, 63u, 64u, 65u, 128u}) {
+    RStarTree<2> tree;
+    const auto entries = RandomEntries<2>(n, 100 + n);
+    PackStr(&tree, entries);
+    tree.CheckInvariants();
+    EXPECT_EQ(tree.size(), n);
+    ExpectSameContent(tree, entries);
+  }
+}
+
+TEST(BulkLoadTest, EmptyInputLeavesTreeEmpty) {
+  RStarTree<2> tree;
+  PackStr(&tree, std::vector<Entry<2>>{});
+  EXPECT_TRUE(tree.empty());
+  tree.CheckInvariants();
+}
+
+TEST(BulkLoadTest, PackedTreesAreFullerThanInserted) {
+  const auto entries = RandomEntries<2>(20000, 17);
+  RStarTree<2> inserted;
+  for (const auto& e : entries) inserted.Insert(e.id, e.point);
+  RStarTree<2> packed;
+  PackStr(&packed, entries);
+  const TreeStats ins = inserted.Stats();
+  const TreeStats pak = packed.Stats();
+  EXPECT_LT(pak.num_nodes, ins.num_nodes);
+  EXPECT_GT(pak.avg_leaf_fill, ins.avg_leaf_fill);
+  EXPECT_GT(pak.avg_leaf_fill, 0.9);
+}
+
+TEST(BulkLoadTest, FillFractionRespected) {
+  RStarTree<2> tree;  // max 64, min 26
+  BulkLoadOptions options;
+  options.fill_fraction = 0.85;
+  const auto entries = RandomEntries<2>(10000, 19);
+  PackStr(&tree, entries, options);
+  tree.CheckInvariants();
+  const TreeStats stats = tree.Stats();
+  EXPECT_LE(stats.avg_leaf_fill, 0.87);
+  EXPECT_GT(stats.avg_leaf_fill, 0.7);
+}
+
+TEST(BulkLoadTest, RangeQueriesWorkOnPackedTree) {
+  RStarTree<2> tree;
+  const auto entries = RandomEntries<2>(5000, 23);
+  PackHilbert(&tree, entries);
+  Rng rng(24);
+  for (int q = 0; q < 30; ++q) {
+    const Point2 center{{rng.UniformDouble(), rng.UniformDouble()}};
+    const double radius = rng.UniformDouble(0.0, 0.2);
+    std::set<PointId> expected;
+    for (const auto& e : entries) {
+      if (Distance(center, e.point) <= radius) expected.insert(e.id);
+    }
+    std::set<PointId> got;
+    for (const auto& e : tree.RangeQuery(center, radius)) got.insert(e.id);
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST(BulkLoadTest, InsertAfterPackKeepsInvariants) {
+  RStarTree<2> tree;
+  auto entries = RandomEntries<2>(3000, 29);
+  BulkLoadOptions options;
+  options.fill_fraction = 0.9;
+  PackStr(&tree, entries, options);
+  // Dynamic inserts on top of a packed tree must keep working.
+  const auto extra = RandomEntries<2>(500, 31);
+  for (const auto& e : extra) {
+    tree.Insert(e.id + 100000, e.point);
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 3500u);
+}
+
+}  // namespace
+}  // namespace csj

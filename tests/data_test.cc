@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "data/point_io.h"
+#include "data/roadnet.h"
+#include "geom/box.h"
+
+namespace csj {
+namespace {
+
+// --- Generators ----------------------------------------------------------------
+
+TEST(GeneratorsTest, UniformInUnitCubeAndDeterministic) {
+  const auto a = GenerateUniform<2>(1000, 42);
+  const auto b = GenerateUniform<2>(1000, 42);
+  EXPECT_EQ(a, b);
+  for (const auto& p : a) {
+    EXPECT_GE(p[0], 0.0);
+    EXPECT_LT(p[0], 1.0);
+    EXPECT_GE(p[1], 0.0);
+    EXPECT_LT(p[1], 1.0);
+  }
+  const auto c = GenerateUniform<2>(1000, 43);
+  EXPECT_NE(a, c);
+}
+
+TEST(GeneratorsTest, GaussianClustersAreClustered) {
+  const auto points = GenerateGaussianClusters<2>(2000, 3, 0.01, 7);
+  ASSERT_EQ(points.size(), 2000u);
+  // With sigma=0.01 and 3 clusters, the average nearest-point distance is
+  // far below uniform; cheap proxy: count pairs closer than 0.02 among a
+  // sample — must vastly exceed the uniform expectation.
+  int close = 0;
+  for (size_t i = 0; i < 200; ++i) {
+    for (size_t j = i + 1; j < 200; ++j) {
+      if (Distance(points[i], points[j]) < 0.02) ++close;
+    }
+  }
+  EXPECT_GT(close, 200);
+}
+
+TEST(GeneratorsTest, Sierpinski2DPointsOnAttractor) {
+  const auto points = GenerateSierpinski2D(5000, 11);
+  ASSERT_EQ(points.size(), 5000u);
+  // Every point lies in the triangle's bounding box...
+  for (const auto& p : points) {
+    EXPECT_GE(p[0], 0.0);
+    EXPECT_LE(p[0], 1.0);
+    EXPECT_GE(p[1], 0.0);
+    EXPECT_LE(p[1], 1.0);
+  }
+  // ...and the central (removed) triangle is empty: points with
+  // y in (0.25, 0.5) and x in (0.375, 0.625) would be inside the first
+  // removed hole. (The hole for the triangle (0,0),(1,0),(.5,1) is the
+  // middle triangle with vertices (.5,0),(.25,.5),(.75,.5); test a disc
+  // well inside it.)
+  for (const auto& p : points) {
+    EXPECT_GT(Distance(p, Point2{{0.5, 0.33}}), 0.05)
+        << "point inside the removed central hole";
+  }
+}
+
+TEST(GeneratorsTest, Sierpinski3DFractalDimension) {
+  // Box-counting estimate of the attractor's fractal dimension; for the
+  // Sierpinski tetrahedron it is exactly 2 (log4/log2). Accept [1.7, 2.3].
+  const auto points = GenerateSierpinski3D(60000, 5);
+  auto count_boxes = [&](int grid) {
+    std::set<uint64_t> cells;
+    for (const auto& p : points) {
+      const auto cell = [&](double v) {
+        int c = static_cast<int>(v * grid);
+        if (c >= grid) c = grid - 1;
+        if (c < 0) c = 0;
+        return static_cast<uint64_t>(c);
+      };
+      cells.insert(cell(p[0]) + cell(p[1]) * 1024 + cell(p[2]) * 1024 * 1024);
+    }
+    return cells.size();
+  };
+  const double n1 = static_cast<double>(count_boxes(8));
+  const double n2 = static_cast<double>(count_boxes(16));
+  const double dim = std::log2(n2 / n1);
+  EXPECT_GT(dim, 1.7);
+  EXPECT_LT(dim, 2.3);
+}
+
+// --- Normalization -----------------------------------------------------------------
+
+TEST(DatasetTest, NormalizePreserveAspect) {
+  std::vector<Point2> points = {{{10.0, 100.0}}, {{30.0, 110.0}}};
+  NormalizeToUnitCube(&points, /*preserve_aspect=*/true);
+  // Largest extent (x: 20) maps to 1; y extent 10 maps to 0.5.
+  EXPECT_DOUBLE_EQ(points[0][0], 0.0);
+  EXPECT_DOUBLE_EQ(points[1][0], 1.0);
+  EXPECT_DOUBLE_EQ(points[0][1], 0.0);
+  EXPECT_DOUBLE_EQ(points[1][1], 0.5);
+}
+
+TEST(DatasetTest, NormalizeStretch) {
+  std::vector<Point2> points = {{{10.0, 100.0}}, {{30.0, 110.0}}};
+  NormalizeToUnitCube(&points, /*preserve_aspect=*/false);
+  EXPECT_DOUBLE_EQ(points[1][1], 1.0);
+}
+
+TEST(DatasetTest, NormalizeDegenerateAxis) {
+  std::vector<Point2> points = {{{1.0, 5.0}}, {{2.0, 5.0}}};
+  NormalizeToUnitCube(&points, /*preserve_aspect=*/false);
+  EXPECT_DOUBLE_EQ(points[0][1], 0.0);  // constant axis maps to 0, no NaN
+  EXPECT_DOUBLE_EQ(points[1][0], 1.0);
+}
+
+TEST(DatasetTest, ToEntriesStampsIds) {
+  const auto points = GenerateUniform<2>(10, 1);
+  const auto entries = ToEntries(points, 100);
+  ASSERT_EQ(entries.size(), 10u);
+  EXPECT_EQ(entries[0].id, 100u);
+  EXPECT_EQ(entries[9].id, 109u);
+  EXPECT_EQ(entries[3].point, points[3]);
+}
+
+// --- Road network -------------------------------------------------------------------
+
+TEST(RoadNetTest, GeneratesRequestedCountInUnitSquare) {
+  RoadNetOptions options;
+  options.num_points = 5000;
+  options.seed = 1;
+  const auto points = GenerateRoadNetwork(options);
+  ASSERT_EQ(points.size(), 5000u);
+  Box2 bounds;
+  for (const auto& p : points) {
+    bounds.Extend(p);
+    EXPECT_GE(p[0], 0.0);
+    EXPECT_LE(p[0], 1.0);
+    EXPECT_GE(p[1], 0.0);
+    EXPECT_LE(p[1], 1.0);
+  }
+  EXPECT_GT(bounds.Extent(0), 0.9);  // fills the square after normalization
+}
+
+TEST(RoadNetTest, DeterministicPerSeed) {
+  RoadNetOptions options;
+  options.num_points = 2000;
+  options.seed = 5;
+  EXPECT_EQ(GenerateRoadNetwork(options), GenerateRoadNetwork(options));
+  options.seed = 6;
+  EXPECT_NE(GenerateRoadNetwork(RoadNetOptions{.num_points = 2000, .seed = 5}),
+            GenerateRoadNetwork(options));
+}
+
+TEST(RoadNetTest, DensityIsNonUniform) {
+  RoadNetOptions options;
+  options.num_points = 20000;
+  options.seed = 9;
+  const auto points = GenerateRoadNetwork(options);
+  // Histogram over a 10x10 grid: road data must be far from uniform.
+  int histogram[100] = {0};
+  for (const auto& p : points) {
+    int x = std::min(9, static_cast<int>(p[0] * 10));
+    int y = std::min(9, static_cast<int>(p[1] * 10));
+    ++histogram[x * 10 + y];
+  }
+  int max_cell = 0, empty_cells = 0;
+  for (int c : histogram) {
+    max_cell = std::max(max_cell, c);
+    empty_cells += c < 20;
+  }
+  EXPECT_GT(max_cell, 3 * 200);  // some cell has >3x the uniform share
+  EXPECT_GT(empty_cells, 5);     // and rural emptiness exists
+}
+
+TEST(RoadNetTest, PaperDatasetFactories) {
+  const auto mg = MakeMgCounty();
+  EXPECT_EQ(mg.name, "MGCounty");
+  EXPECT_EQ(mg.size(), 27000u);
+  const auto lb = MakeLbCounty();
+  EXPECT_EQ(lb.name, "LBeach");
+  EXPECT_EQ(lb.size(), 36000u);
+  const auto pnw = MakePacificNw(0.01);  // 1% scale for the test
+  EXPECT_EQ(pnw.name, "PacificNW");
+  EXPECT_EQ(pnw.size(), 15000u);
+  const auto sier = MakeSierpinski3DDataset(1000);
+  EXPECT_EQ(sier.name, "Sierpinski3D");
+  EXPECT_EQ(sier.size(), 1000u);
+}
+
+// --- Point I/O ----------------------------------------------------------------------
+
+TEST(PointIoTest, RoundTrip2D) {
+  const auto points = GenerateUniform<2>(500, 77);
+  const std::string path = testing::TempDir() + "/csj_points2.txt";
+  ASSERT_TRUE(SavePoints(path, points).ok());
+  auto loaded = LoadPoints<2>(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, points);
+}
+
+TEST(PointIoTest, RoundTrip3D) {
+  const auto points = GenerateSierpinski3D(200, 3);
+  const std::string path = testing::TempDir() + "/csj_points3.txt";
+  ASSERT_TRUE(SavePoints(path, points).ok());
+  auto loaded = LoadPoints<3>(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(*loaded, points);
+}
+
+TEST(PointIoTest, MissingFileIsNotFound) {
+  auto result = LoadPoints<2>("/no/such/file.txt");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PointIoTest, DimensionMismatchRejected) {
+  const std::string path = testing::TempDir() + "/csj_points_bad.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("0.1 0.2 0.3\n", f);
+  std::fclose(f);
+  auto result = LoadPoints<2>(path);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PointIoTest, SkipsCommentsAndBlankLines) {
+  const std::string path = testing::TempDir() + "/csj_points_comments.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# header\n\n0.5 0.25\n  \n0.75 1.0\n", f);
+  std::fclose(f);
+  auto result = LoadPoints<2>(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_DOUBLE_EQ((*result)[0][0], 0.5);
+  EXPECT_DOUBLE_EQ((*result)[1][1], 1.0);
+}
+
+// --- Soneira-Peebles ------------------------------------------------------------
+
+TEST(SoneiraPeeblesTest, NaturalCountAndBounds) {
+  SoneiraPeeblesOptions options;
+  options.levels = 5;
+  options.eta = 3;
+  const auto points = GenerateSoneiraPeebles<2>(options);
+  EXPECT_EQ(points.size(), 243u);  // eta^levels
+  for (const auto& p : points) {
+    EXPECT_GE(p[0], 0.0);
+    EXPECT_LE(p[0], 1.0);
+    EXPECT_GE(p[1], 0.0);
+    EXPECT_LE(p[1], 1.0);
+  }
+}
+
+TEST(SoneiraPeeblesTest, ResamplingHitsRequestedCount) {
+  SoneiraPeeblesOptions options;
+  options.levels = 5;
+  options.eta = 3;
+  options.num_points = 100;  // subsample
+  EXPECT_EQ(GenerateSoneiraPeebles<2>(options).size(), 100u);
+  options.num_points = 1000;  // densify
+  EXPECT_EQ(GenerateSoneiraPeebles<2>(options).size(), 1000u);
+}
+
+TEST(SoneiraPeeblesTest, DeterministicPerSeed) {
+  SoneiraPeeblesOptions options;
+  options.levels = 4;
+  EXPECT_EQ(GenerateSoneiraPeebles<3>(options),
+            GenerateSoneiraPeebles<3>(options));
+  SoneiraPeeblesOptions other = options;
+  other.seed = options.seed + 1;
+  EXPECT_NE(GenerateSoneiraPeebles<3>(options),
+            GenerateSoneiraPeebles<3>(other));
+}
+
+TEST(SoneiraPeeblesTest, HierarchicalClusteringIsStrong) {
+  // Galaxies are far more clustered than uniform: compare close-pair counts
+  // on samples of each.
+  SoneiraPeeblesOptions options;
+  options.levels = 7;
+  options.eta = 4;
+  options.num_points = 4000;
+  const auto galaxies = GenerateSoneiraPeebles<2>(options);
+  const auto uniform = GenerateUniform<2>(4000, 99);
+  auto close_pairs = [](const std::vector<Point2>& pts) {
+    int count = 0;
+    for (size_t i = 0; i < 400; ++i) {
+      for (size_t j = i + 1; j < 400; ++j) {
+        count += Distance(pts[i], pts[j]) < 0.01;
+      }
+    }
+    return count;
+  };
+  EXPECT_GT(close_pairs(galaxies), 5 * std::max(1, close_pairs(uniform)));
+}
+
+}  // namespace
+}  // namespace csj

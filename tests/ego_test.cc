@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/brute.h"
+#include "core/ego.h"
+#include "core/expand.h"
+#include "core/sink.h"
+#include "data/generators.h"
+
+namespace csj {
+namespace {
+
+std::vector<Entry<2>> MakeWorkload2D(int which, size_t n, uint64_t seed) {
+  std::vector<Point2> points;
+  switch (which) {
+    case 0:
+      points = GenerateUniform<2>(n, seed);
+      break;
+    case 1:
+      points = GenerateGaussianClusters<2>(n, 4, 0.02, seed);
+      break;
+    default:
+      points = GenerateSierpinski2D(n, seed);
+      break;
+  }
+  std::vector<Entry<2>> entries(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    entries[i] = Entry<2>{static_cast<PointId>(i), points[i]};
+  }
+  return entries;
+}
+
+TEST(EgoJoinTest, EmptyAndSingleton) {
+  EgoOptions options;
+  options.epsilon = 0.1;
+  {
+    MemorySink sink(1);
+    const JoinStats stats = EgoSimilarityJoin<2>({}, options, &sink);
+    EXPECT_EQ(stats.links, 0u);
+  }
+  {
+    MemorySink sink(1);
+    const std::vector<Entry<2>> one = {{0, Point2{{0.5, 0.5}}}};
+    const JoinStats stats = CompactEgoJoin(one, options, &sink);
+    EXPECT_EQ(stats.links + stats.groups, 0u);
+  }
+}
+
+TEST(EgoJoinTest, StandardMatchesBruteForce) {
+  for (int workload = 0; workload < 3; ++workload) {
+    const auto entries = MakeWorkload2D(workload, 400, 900 + workload);
+    for (double eps : {0.004, 0.03, 0.15}) {
+      EgoOptions options;
+      options.epsilon = eps;
+      MemorySink sink(3);
+      const JoinStats stats = EgoSimilarityJoin(entries, options, &sink);
+      const auto reference = BruteForceSelfJoin(entries, eps);
+      EXPECT_EQ(stats.links, reference.size())
+          << "workload=" << workload << " eps=" << eps;
+      EXPECT_EQ(ExpandSelfJoin(sink), reference);
+    }
+  }
+}
+
+TEST(EgoJoinTest, CompactIsLossless) {
+  for (int workload = 0; workload < 3; ++workload) {
+    const auto entries = MakeWorkload2D(workload, 400, 800 + workload);
+    for (double eps : {0.004, 0.03, 0.15}) {
+      EgoOptions options;
+      options.epsilon = eps;
+      MemorySink sink(3);
+      CompactEgoJoin(entries, options, &sink);
+      const auto report = CompareLinkSets(ExpandSelfJoin(sink),
+                                          BruteForceSelfJoin(entries, eps));
+      EXPECT_TRUE(report.lossless())
+          << "workload=" << workload << " eps=" << eps << ": "
+          << report.ToString();
+    }
+  }
+}
+
+TEST(EgoJoinTest, CompactNeverLargerThanStandard) {
+  const auto entries = MakeWorkload2D(1, 800, 17);
+  for (double eps : {0.01, 0.05, 0.2}) {
+    EgoOptions options;
+    options.epsilon = eps;
+    CountingSink standard(3);
+    EgoSimilarityJoin(entries, options, &standard);
+    CountingSink compact(3);
+    CompactEgoJoin(entries, options, &compact);
+    EXPECT_LE(compact.bytes(), standard.bytes()) << "eps=" << eps;
+  }
+}
+
+TEST(EgoJoinTest, EarlyStopProducesGroupsOnDenseData) {
+  // A tight cluster must collapse into group output, not links.
+  std::vector<Entry<2>> entries;
+  for (PointId i = 0; i < 100; ++i) {
+    entries.push_back(
+        {i, Point2{{0.5 + 0.0001 * (i % 10), 0.5 + 0.0001 * (i / 10)}}});
+  }
+  EgoOptions options;
+  options.epsilon = 0.05;
+  MemorySink sink(3);
+  const JoinStats stats = CompactEgoJoin(entries, options, &sink);
+  EXPECT_GT(stats.early_stops, 0u);
+  EXPECT_GT(stats.groups, 0u);
+  // 100 mutually-close points: compact output must be tiny vs 4950 links.
+  EXPECT_LT(sink.bytes(), 4950u * 2u * 4u / 4u);
+}
+
+TEST(EgoJoinTest, EarlyStopDisabledStillLossless) {
+  const auto entries = MakeWorkload2D(1, 300, 41);
+  EgoOptions options;
+  options.epsilon = 0.05;
+  options.early_stop = false;
+  MemorySink sink(3);
+  const JoinStats stats = CompactEgoJoin(entries, options, &sink);
+  EXPECT_EQ(stats.early_stops, 0u);
+  EXPECT_TRUE(CompareLinkSets(ExpandSelfJoin(sink),
+                              BruteForceSelfJoin(entries, options.epsilon))
+                  .lossless());
+}
+
+TEST(EgoJoinTest, LeafSizeDoesNotChangeResult) {
+  const auto entries = MakeWorkload2D(0, 500, 53);
+  const auto reference = BruteForceSelfJoin(entries, 0.07);
+  for (size_t leaf : {2u, 8u, 64u, 1024u}) {
+    EgoOptions options;
+    options.epsilon = 0.07;
+    options.leaf_size = leaf;
+    MemorySink sink(3);
+    CompactEgoJoin(entries, options, &sink);
+    EXPECT_TRUE(CompareLinkSets(ExpandSelfJoin(sink), reference).lossless())
+        << "leaf_size=" << leaf;
+  }
+}
+
+TEST(EgoJoinTest, HighDimensionalLossless) {
+  // EGO is the paper's pointer for high-dimensional, index-free joins.
+  const auto points = GenerateUniform<5>(300, 71);
+  std::vector<Entry<5>> entries(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    entries[i] = Entry<5>{static_cast<PointId>(i), points[i]};
+  }
+  EgoOptions options;
+  options.epsilon = 0.35;
+  MemorySink sink(3);
+  CompactEgoJoin(entries, options, &sink);
+  EXPECT_TRUE(CompareLinkSets(ExpandSelfJoin(sink),
+                              BruteForceSelfJoin(entries, options.epsilon))
+                  .lossless());
+}
+
+TEST(EgoJoinTest, NegativeCoordinatesSupported) {
+  // floor-based cells must behave across zero.
+  std::vector<Entry<2>> entries = {
+      {0, Point2{{-0.01, -0.01}}},
+      {1, Point2{{0.01, 0.01}}},
+      {2, Point2{{-0.5, 0.5}}},
+  };
+  EgoOptions options;
+  options.epsilon = 0.1;
+  MemorySink sink(1);
+  EgoSimilarityJoin(entries, options, &sink);
+  EXPECT_EQ(ExpandSelfJoin(sink), BruteForceSelfJoin(entries, 0.1));
+}
+
+
+TEST(EgoSpatialJoinTest, MatchesBruteForceCrossJoin) {
+  const auto set_a = MakeWorkload2D(1, 300, 710);
+  auto raw_b = MakeWorkload2D(1, 300, 711);
+  std::vector<Entry<2>> set_b;
+  for (const auto& e : raw_b) set_b.push_back({e.id + 10000, e.point});
+  auto is_a = [](PointId id) { return id < 10000; };
+
+  for (double eps : {0.01, 0.06}) {
+    EgoOptions options;
+    options.epsilon = eps;
+    const auto reference = BruteForceSpatialJoin(set_a, set_b, eps);
+
+    MemorySink standard(5);
+    const JoinStats ssj = EgoSpatialJoin(set_a, set_b, options, &standard);
+    EXPECT_EQ(ssj.links, reference.size()) << "eps=" << eps;
+    EXPECT_EQ(ExpandSpatialJoin(standard, is_a), reference);
+
+    MemorySink compact(5);
+    CompactEgoSpatialJoin(set_a, set_b, options, &compact);
+    EXPECT_TRUE(
+        CompareLinkSets(ExpandSpatialJoin(compact, is_a), reference)
+            .lossless())
+        << "eps=" << eps;
+    EXPECT_LE(compact.bytes(), standard.bytes());
+  }
+}
+
+TEST(EgoSpatialJoinTest, EmptySides) {
+  EgoOptions options;
+  options.epsilon = 0.1;
+  const std::vector<Entry<2>> some = {{0, Point2{{0.5, 0.5}}}};
+  MemorySink sink(1);
+  EXPECT_EQ(EgoSpatialJoin<2>({}, some, options, &sink).links, 0u);
+  EXPECT_EQ(EgoSpatialJoin<2>(some, {}, options, &sink).links, 0u);
+  EXPECT_EQ(EgoSpatialJoin<2>({}, {}, options, &sink).links, 0u);
+}
+
+TEST(EgoSpatialJoinTest, DisjointRegionsProduceNothing) {
+  std::vector<Entry<2>> set_a, set_b;
+  for (PointId i = 0; i < 50; ++i) {
+    set_a.push_back({i, Point2{{0.1 + 0.001 * i, 0.1}}});
+    set_b.push_back({1000 + i, Point2{{0.9, 0.9 - 0.001 * i}}});
+  }
+  EgoOptions options;
+  options.epsilon = 0.05;
+  MemorySink sink(4);
+  const JoinStats stats = CompactEgoSpatialJoin(set_a, set_b, options, &sink);
+  EXPECT_EQ(stats.links + stats.groups, 0u);
+}
+
+TEST(EgoJoinTest, WindowSweepLossless) {
+  const auto entries = MakeWorkload2D(2, 400, 97);
+  const auto reference = BruteForceSelfJoin(entries, 0.06);
+  for (int g : {1, 5, 10, 100}) {
+    EgoOptions options;
+    options.epsilon = 0.06;
+    options.window_size = g;
+    MemorySink sink(3);
+    CompactEgoJoin(entries, options, &sink);
+    EXPECT_TRUE(CompareLinkSets(ExpandSelfJoin(sink), reference).lossless())
+        << "g=" << g;
+  }
+}
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "analysis/epsilon.h"
+#include "core/brute.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "index/mtree.h"
+#include "index/rstar_tree.h"
+
+namespace csj {
+namespace {
+
+TEST(EpsilonTest, TooFewPointsReturnsZero) {
+  RStarTree<2> tree;
+  std::vector<Entry<2>> entries = {{0, Point2{{0.1, 0.1}}}};
+  tree.Insert(0, entries[0].point);
+  const auto suggestion = SuggestEpsilon(tree, entries, 3);
+  EXPECT_EQ(suggestion.epsilon, 0.0);
+  EXPECT_EQ(suggestion.sample_size, 0u);
+}
+
+TEST(EpsilonTest, GridHasKnownKDistances) {
+  // A 20x20 grid with spacing 0.05: the 1-NN distance is exactly 0.05 for
+  // every point, so any percentile suggests 0.05.
+  RStarTree<2> tree;
+  std::vector<Entry<2>> entries;
+  PointId id = 0;
+  for (int x = 0; x < 20; ++x) {
+    for (int y = 0; y < 20; ++y) {
+      const Entry<2> e{id++, Point2{{x * 0.05, y * 0.05}}};
+      entries.push_back(e);
+      tree.Insert(e.id, e.point);
+    }
+  }
+  const auto suggestion = SuggestEpsilon(tree, entries, 1, 0.5, 400);
+  EXPECT_NEAR(suggestion.epsilon, 0.05, 1e-9);
+  EXPECT_NEAR(suggestion.median_kdist, 0.05, 1e-9);
+}
+
+TEST(EpsilonTest, SuggestionYieldsRoughlyKPartners) {
+  // On uniform data, joining at the suggested eps should give at least k
+  // partners to about `percentile` of the points.
+  const auto entries = ToEntries(GenerateUniform<2>(2000, 5));
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const size_t k = 4;
+  const auto suggestion = SuggestEpsilon(tree, entries, k, 0.5);
+  ASSERT_GT(suggestion.epsilon, 0.0);
+
+  size_t with_k_partners = 0;
+  for (const auto& e : entries) {
+    if (tree.RangeCount(e.point, suggestion.epsilon) >= k + 1) {
+      ++with_k_partners;
+    }
+  }
+  const double share = static_cast<double>(with_k_partners) /
+                       static_cast<double>(entries.size());
+  EXPECT_GT(share, 0.30);
+  EXPECT_LT(share, 0.75);
+}
+
+TEST(EpsilonTest, HigherPercentileSuggestsLargerEps) {
+  const auto entries = ToEntries(GenerateGaussianClusters<2>(1500, 5, 0.03, 9));
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const auto median = SuggestEpsilon(tree, entries, 3, 0.5);
+  const auto p90 = SuggestEpsilon(tree, entries, 3, 0.9);
+  EXPECT_GT(p90.epsilon, median.epsilon);
+  EXPECT_DOUBLE_EQ(p90.epsilon, median.p90_kdist);
+}
+
+TEST(EpsilonTest, WorksOnMTree) {
+  const auto entries = ToEntries(GenerateUniform<2>(800, 13));
+  MTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const auto suggestion = SuggestEpsilon(tree, entries, 2);
+  EXPECT_GT(suggestion.epsilon, 0.0);
+  EXPECT_GT(suggestion.sample_size, 100u);
+}
+
+}  // namespace
+}  // namespace csj

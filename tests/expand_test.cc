@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/brute.h"
+#include "core/expand.h"
+#include "core/sink.h"
+
+namespace csj {
+namespace {
+
+TEST(ExpandTest, LinksPassThroughCanonicalized) {
+  MemorySink sink(1);
+  sink.Link(5, 2);
+  sink.Link(1, 3);
+  sink.Link(2, 5);  // duplicate in reversed order
+  const auto links = ExpandSelfJoin(sink);
+  EXPECT_EQ(links, (std::vector<Link>{{1, 3}, {2, 5}}));
+}
+
+TEST(ExpandTest, GroupsExpandToAllPairs) {
+  MemorySink sink(1);
+  const std::vector<PointId> group = {1, 2, 3};
+  sink.Group(group);
+  const auto links = ExpandSelfJoin(sink);
+  EXPECT_EQ(links, (std::vector<Link>{{1, 2}, {1, 3}, {2, 3}}));
+}
+
+TEST(ExpandTest, OverlappingGroupsDeduplicate) {
+  MemorySink sink(1);
+  const std::vector<PointId> g1 = {1, 2, 3};
+  const std::vector<PointId> g2 = {2, 3, 4};
+  sink.Group(g1);
+  sink.Group(g2);
+  const auto links = ExpandSelfJoin(sink);
+  // (2,3) implied by both groups appears once.
+  EXPECT_EQ(links,
+            (std::vector<Link>{{1, 2}, {1, 3}, {2, 3}, {2, 4}, {3, 4}}));
+}
+
+TEST(ExpandTest, MixedLinksAndGroups) {
+  MemorySink sink(1);
+  sink.Link(9, 8);
+  const std::vector<PointId> group = {1, 2};
+  sink.Group(group);
+  const auto links = ExpandSelfJoin(sink);
+  EXPECT_EQ(links, (std::vector<Link>{{1, 2}, {8, 9}}));
+}
+
+TEST(ExpandTest, SpatialExpansionOnlyCrossPairs) {
+  MemorySink sink(2);
+  // Group mixing A-side (ids < 100) and B-side members.
+  const std::vector<PointId> group = {1, 2, 101, 102};
+  sink.Group(group);
+  const auto links =
+      ExpandSpatialJoin(sink, [](PointId id) { return id < 100; });
+  // Only A x B pairs; (1,2) and (101,102) are NOT implied by a spatial join.
+  EXPECT_EQ(links,
+            (std::vector<Link>{{1, 101}, {1, 102}, {2, 101}, {2, 102}}));
+}
+
+TEST(ExpandTest, CompareLinkSetsFindsMissingAndExtra) {
+  const std::vector<Link> expansion = {{1, 2}, {3, 4}};
+  const std::vector<Link> reference = {{1, 2}, {5, 6}};
+  const auto report = CompareLinkSets(expansion, reference);
+  EXPECT_FALSE(report.lossless());
+  EXPECT_EQ(report.missing, (std::vector<Link>{{5, 6}}));
+  EXPECT_EQ(report.extra, (std::vector<Link>{{3, 4}}));
+  const std::string text = report.ToString();
+  EXPECT_NE(text.find("1 missing"), std::string::npos);
+  EXPECT_NE(text.find("1 extra"), std::string::npos);
+}
+
+TEST(ExpandTest, IdenticalSetsAreLossless) {
+  const std::vector<Link> links = {{1, 2}, {3, 4}};
+  const auto report = CompareLinkSets(links, links);
+  EXPECT_TRUE(report.lossless());
+  EXPECT_EQ(report.ToString(), "lossless: expansion == reference");
+}
+
+TEST(ExpandTest, StreamingVisitorMatchesMaterializedExpansion) {
+  MemorySink sink(1);
+  sink.Link(9, 8);
+  const std::vector<PointId> g1 = {1, 2, 3};
+  const std::vector<PointId> g2 = {2, 3, 4};
+  sink.Group(g1);
+  sink.Group(g2);
+
+  std::vector<Link> streamed;
+  ForEachImpliedLink(sink, [&](PointId a, PointId b) {
+    streamed.push_back(MakeLink(a, b));
+  });
+  // 1 link + C(3,2) + C(3,2) visits, duplicates included.
+  EXPECT_EQ(streamed.size(), 1u + 3u + 3u);
+  std::sort(streamed.begin(), streamed.end());
+  streamed.erase(std::unique(streamed.begin(), streamed.end()),
+                 streamed.end());
+  EXPECT_EQ(streamed, ExpandSelfJoin(sink));
+}
+
+TEST(BruteForceTest, SelfJoinClosedPredicate) {
+  const std::vector<Entry<2>> entries = {
+      {0, Point2{{0.0, 0.0}}},
+      {1, Point2{{0.1, 0.0}}},   // exactly eps away
+      {2, Point2{{0.25, 0.0}}},  // too far
+  };
+  const auto links = BruteForceSelfJoin(entries, 0.1);
+  EXPECT_EQ(links, (std::vector<Link>{{0, 1}}));
+}
+
+TEST(BruteForceTest, SpatialJoinCrossOnly) {
+  const std::vector<Entry<2>> set_a = {{0, Point2{{0.0, 0.0}}},
+                                       {1, Point2{{0.001, 0.0}}}};
+  const std::vector<Entry<2>> set_b = {{100, Point2{{0.0, 0.001}}}};
+  const auto links = BruteForceSpatialJoin(set_a, set_b, 0.01);
+  // (0,1) is within eps but is an A-A pair, excluded.
+  EXPECT_EQ(links, (std::vector<Link>{{0, 100}, {1, 100}}));
+}
+
+TEST(BruteForceTest, MakeLinkCanonicalizes) {
+  EXPECT_EQ(MakeLink(5, 2), (Link{2, 5}));
+  EXPECT_EQ(MakeLink(2, 5), (Link{2, 5}));
+}
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "analysis/fractal.h"
+#include "core/brute.h"
+#include "data/generators.h"
+#include "data/roadnet.h"
+
+namespace csj {
+namespace {
+
+TEST(PowerLawFitTest, ExactLineRecovered) {
+  // value = 8 * eps^1.5  ->  log2 value = 3 + 1.5 log2 eps.
+  std::vector<ScalingPoint> samples;
+  for (double le : {-8.0, -6.0, -4.0, -2.0}) {
+    samples.push_back({le, 3.0 + 1.5 * le});
+  }
+  const PowerLawFit fit = FitPowerLaw(samples);
+  EXPECT_NEAR(fit.slope, 1.5, 1e-12);
+  EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-12);
+  EXPECT_NEAR(fit.Predict(0.25), 8.0 * std::pow(0.25, 1.5), 1e-9);
+}
+
+TEST(PowerLawFitTest, DegenerateInputs) {
+  EXPECT_EQ(FitPowerLaw({}).slope, 0.0);
+  EXPECT_EQ(FitPowerLaw({{1.0, 2.0}}).slope, 0.0);
+  // All x equal: no slope information.
+  EXPECT_EQ(FitPowerLaw({{1.0, 2.0}, {1.0, 3.0}}).slope, 0.0);
+}
+
+TEST(FractalTest, BoxCountingUniform2DIsTwo) {
+  const auto points = GenerateUniform<2>(60000, 5);
+  const PowerLawFit fit = BoxCountingDimension(points, 2, 6);
+  EXPECT_NEAR(fit.slope, 2.0, 0.25);
+}
+
+TEST(FractalTest, BoxCountingSierpinski2D) {
+  // The Sierpinski triangle has dimension log 3 / log 2 ~ 1.585.
+  const auto points = GenerateSierpinski2D(80000, 7);
+  const PowerLawFit fit = BoxCountingDimension(points, 2, 6);
+  EXPECT_NEAR(fit.slope, 1.585, 0.2);
+}
+
+TEST(FractalTest, CorrelationUniform2DIsTwo) {
+  const auto points = GenerateUniform<2>(40000, 9);
+  const PowerLawFit fit = CorrelationDimension(points);
+  EXPECT_NEAR(fit.slope, 2.0, 0.25);
+  EXPECT_GT(fit.r_squared, 0.98);
+}
+
+TEST(FractalTest, CorrelationSierpinski2D) {
+  const auto points = GenerateSierpinski2D(60000, 11);
+  const PowerLawFit fit = CorrelationDimension(points);
+  EXPECT_NEAR(fit.slope, 1.585, 0.2);
+}
+
+TEST(FractalTest, CorrelationSierpinski3DIsTwo) {
+  // The Sierpinski tetrahedron has dimension log 4 / log 2 = 2 even though
+  // it lives in 3-D space — the canonical "intrinsic < embedding" case.
+  const auto points = GenerateSierpinski3D(60000, 13);
+  const PowerLawFit fit = CorrelationDimension(points);
+  EXPECT_NEAR(fit.slope, 2.0, 0.25);
+}
+
+TEST(FractalTest, LineHasDimensionOne) {
+  std::vector<Point2> points(20000);
+  Rng rng(15);
+  for (auto& p : points) p = Point2{{rng.UniformDouble(), 0.5}};
+  const PowerLawFit fit = CorrelationDimension(points);
+  EXPECT_NEAR(fit.slope, 1.0, 0.15);
+}
+
+TEST(FractalTest, RoadNetworkBetweenOneAndTwo) {
+  RoadNetOptions options;
+  options.num_points = 30000;
+  options.seed = 27;
+  const auto points = GenerateRoadNetwork(options);
+  const PowerLawFit fit = CorrelationDimension(points);
+  EXPECT_GT(fit.slope, 1.0);
+  EXPECT_LT(fit.slope, 2.0);
+}
+
+TEST(FractalTest, PredictLinkCountMatchesBruteForceWithinFactor) {
+  // The headline use: a D2 fit from a cheap sample predicts the join output
+  // size across eps within a small factor on self-similar data.
+  const auto points = GenerateSierpinski2D(4000, 17);
+  std::vector<Entry<2>> entries(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    entries[i] = Entry<2>{static_cast<PointId>(i), points[i]};
+  }
+  const PowerLawFit fit = CorrelationDimension(points);
+  for (double eps : {0.01, 0.03, 0.08}) {
+    const uint64_t actual = BruteForceSelfJoin(entries, eps).size();
+    const uint64_t predicted = PredictLinkCount(fit, entries.size(), eps);
+    ASSERT_GT(actual, 0u);
+    const double ratio =
+        static_cast<double>(predicted) / static_cast<double>(actual);
+    EXPECT_GT(ratio, 0.4) << "eps=" << eps;
+    EXPECT_LT(ratio, 2.5) << "eps=" << eps;
+  }
+}
+
+TEST(FractalTest, CorrelationSamplesMonotone) {
+  // More range, more neighbors: the correlation sum is non-decreasing.
+  const auto points = GenerateUniform<2>(20000, 19);
+  std::vector<double> epsilons;
+  for (int e = -8; e <= -2; ++e) epsilons.push_back(std::ldexp(1.0, e));
+  const auto samples = CorrelationSamples(points, epsilons);
+  for (size_t i = 1; i < samples.size(); ++i) {
+    EXPECT_GE(samples[i].log2_value, samples[i - 1].log2_value);
+  }
+}
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "geom/ball.h"
+#include "geom/box.h"
+#include "geom/hilbert.h"
+#include "geom/point.h"
+#include "util/random.h"
+
+namespace csj {
+namespace {
+
+// --- Point ----------------------------------------------------------------------
+
+TEST(PointTest, Distances) {
+  Point2 a{{0.0, 0.0}};
+  Point2 b{{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(SquaredDistance(a, b), 25.0);
+  EXPECT_DOUBLE_EQ(Distance(a, b), 5.0);
+  EXPECT_DOUBLE_EQ(L1Distance(a, b), 7.0);
+  EXPECT_DOUBLE_EQ(LInfDistance(a, b), 4.0);
+}
+
+TEST(PointTest, DistanceUnderMetric) {
+  Point2 a{{0.0, 0.0}};
+  Point2 b{{3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(DistanceUnder(MetricKind::kL2, a, b), 5.0);
+  EXPECT_DOUBLE_EQ(DistanceUnder(MetricKind::kL1, a, b), 7.0);
+  EXPECT_DOUBLE_EQ(DistanceUnder(MetricKind::kLInf, a, b), 4.0);
+}
+
+TEST(PointTest, MetricAxioms2D) {
+  Rng rng(5);
+  for (int trial = 0; trial < 200; ++trial) {
+    Point2 a{{rng.UniformDouble(), rng.UniformDouble()}};
+    Point2 b{{rng.UniformDouble(), rng.UniformDouble()}};
+    Point2 c{{rng.UniformDouble(), rng.UniformDouble()}};
+    // Symmetry, identity, triangle inequality.
+    EXPECT_DOUBLE_EQ(Distance(a, b), Distance(b, a));
+    EXPECT_DOUBLE_EQ(Distance(a, a), 0.0);
+    EXPECT_LE(Distance(a, c), Distance(a, b) + Distance(b, c) + 1e-12);
+  }
+}
+
+TEST(PointTest, ToStringRendersCoordinates) {
+  Point3 p{{1.0, 2.5, -3.0}};
+  EXPECT_EQ(p.ToString(), "(1, 2.5, -3)");
+}
+
+// --- Box ------------------------------------------------------------------------
+
+TEST(BoxTest, EmptyBoxBehaviour) {
+  Box2 box;
+  EXPECT_TRUE(box.empty());
+  EXPECT_DOUBLE_EQ(box.Volume(), 0.0);
+  EXPECT_DOUBLE_EQ(box.Diagonal(), 0.0);
+  EXPECT_DOUBLE_EQ(box.Margin(), 0.0);
+  box.Extend(Point2{{0.5, 0.5}});
+  EXPECT_FALSE(box.empty());
+  EXPECT_DOUBLE_EQ(box.Volume(), 0.0);  // degenerate point box
+  EXPECT_TRUE(box.Contains(Point2{{0.5, 0.5}}));
+}
+
+TEST(BoxTest, ExtendAndContain) {
+  Box2 box(Point2{{0.0, 0.0}});
+  box.Extend(Point2{{2.0, 1.0}});
+  EXPECT_TRUE(box.Contains(Point2{{1.0, 0.5}}));
+  EXPECT_FALSE(box.Contains(Point2{{3.0, 0.5}}));
+  EXPECT_DOUBLE_EQ(box.Volume(), 2.0);
+  EXPECT_DOUBLE_EQ(box.Margin(), 3.0);
+  EXPECT_DOUBLE_EQ(box.Diagonal(), std::sqrt(5.0));
+}
+
+TEST(BoxTest, UnionAndIntersection) {
+  Box2 a(Point2{{0.0, 0.0}}, Point2{{1.0, 1.0}});
+  Box2 b(Point2{{0.5, 0.5}}, Point2{{2.0, 2.0}});
+  Box2 u = Box2::Union(a, b);
+  EXPECT_TRUE(u.Contains(a));
+  EXPECT_TRUE(u.Contains(b));
+  EXPECT_TRUE(a.Intersects(b));
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(b), 0.25);
+  Box2 disjoint(Point2{{5.0, 5.0}}, Point2{{6.0, 6.0}});
+  EXPECT_FALSE(a.Intersects(disjoint));
+  EXPECT_DOUBLE_EQ(a.OverlapVolume(disjoint), 0.0);
+}
+
+TEST(BoxTest, EnlargementTo) {
+  Box2 a(Point2{{0.0, 0.0}}, Point2{{1.0, 1.0}});
+  Box2 same = a;
+  EXPECT_DOUBLE_EQ(a.EnlargementTo(same), 0.0);
+  Box2 bigger(Point2{{0.0, 0.0}}, Point2{{2.0, 1.0}});
+  EXPECT_DOUBLE_EQ(a.EnlargementTo(bigger), 1.0);
+}
+
+TEST(BoxTest, MinMaxDistanceBoxes) {
+  Box2 a(Point2{{0.0, 0.0}}, Point2{{1.0, 1.0}});
+  Box2 b(Point2{{2.0, 0.0}}, Point2{{3.0, 1.0}});
+  EXPECT_DOUBLE_EQ(MinDistance(a, b), 1.0);
+  EXPECT_DOUBLE_EQ(MaxDistance(a, b), std::sqrt(9.0 + 1.0));
+  // Overlapping boxes: min distance 0.
+  Box2 c(Point2{{0.5, 0.5}}, Point2{{1.5, 1.5}});
+  EXPECT_DOUBLE_EQ(MinDistance(a, c), 0.0);
+}
+
+TEST(BoxTest, PointToBoxDistance) {
+  Box2 box(Point2{{0.0, 0.0}}, Point2{{1.0, 1.0}});
+  EXPECT_DOUBLE_EQ(MinDistance(Point2{{0.5, 0.5}}, box), 0.0);
+  EXPECT_DOUBLE_EQ(MinDistance(Point2{{2.0, 0.5}}, box), 1.0);
+  EXPECT_DOUBLE_EQ(MinDistance(Point2{{2.0, 2.0}}, box), std::sqrt(2.0));
+}
+
+/// Property: MinDistance/MaxDistance between boxes really bound the distance
+/// of arbitrary contained points.
+TEST(BoxTest, MinMaxDistanceBoundsRandomPoints) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto random_box = [&] {
+      Point2 p{{rng.UniformDouble(), rng.UniformDouble()}};
+      Point2 q{{rng.UniformDouble(), rng.UniformDouble()}};
+      Box2 box(p);
+      box.Extend(q);
+      return box;
+    };
+    const Box2 a = random_box();
+    const Box2 b = random_box();
+    auto sample = [&](const Box2& box) {
+      return Point2{{rng.UniformDouble(box.lo[0], box.hi[0]),
+                     rng.UniformDouble(box.lo[1], box.hi[1])}};
+    };
+    for (int i = 0; i < 20; ++i) {
+      const Point2 pa = sample(a);
+      const Point2 pb = sample(b);
+      const double d = Distance(pa, pb);
+      EXPECT_GE(d, MinDistance(a, b) - 1e-12);
+      EXPECT_LE(d, MaxDistance(a, b) + 1e-12);
+    }
+  }
+}
+
+/// Property: the union diagonal bounds every pairwise distance of points
+/// drawn from either box (the dual-node early-stop bound).
+TEST(BoxTest, UnionDiameterBoundsUnionPairs) {
+  Rng rng(43);
+  for (int trial = 0; trial < 100; ++trial) {
+    Box2 a(Point2{{rng.UniformDouble(), rng.UniformDouble()}});
+    a.Extend(Point2{{rng.UniformDouble(), rng.UniformDouble()}});
+    Box2 b(Point2{{rng.UniformDouble(), rng.UniformDouble()}});
+    b.Extend(Point2{{rng.UniformDouble(), rng.UniformDouble()}});
+    const double bound = UnionDiameterBound(a, b);
+    auto sample = [&](const Box2& box) {
+      return Point2{{rng.UniformDouble(box.lo[0], box.hi[0]),
+                     rng.UniformDouble(box.lo[1], box.hi[1])}};
+    };
+    for (int i = 0; i < 20; ++i) {
+      const Box2 source = i % 2 == 0 ? a : b;
+      const Box2 target = rng.Bernoulli(0.5) ? a : b;
+      EXPECT_LE(Distance(sample(source), sample(target)), bound + 1e-12);
+    }
+  }
+}
+
+TEST(BoxTest, SquaredDiagonalMatchesDiagonal) {
+  Box3 box(Point3{{0.0, 0.0, 0.0}}, Point3{{1.0, 2.0, 2.0}});
+  EXPECT_DOUBLE_EQ(box.SquaredDiagonal(), 9.0);
+  EXPECT_DOUBLE_EQ(box.Diagonal(), 3.0);
+}
+
+TEST(BoxTest, CenterAndExtent) {
+  Box2 box(Point2{{0.0, 2.0}}, Point2{{4.0, 6.0}});
+  EXPECT_EQ(box.Center(), (Point2{{2.0, 4.0}}));
+  EXPECT_DOUBLE_EQ(box.Extent(0), 4.0);
+  EXPECT_DOUBLE_EQ(box.Extent(1), 4.0);
+}
+
+// --- Ball -----------------------------------------------------------------------
+
+TEST(BallTest, ContainsAndDiameter) {
+  Ball<2> ball(Point2{{0.0, 0.0}}, 1.0);
+  EXPECT_TRUE(ball.Contains(Point2{{0.6, 0.6}}));
+  EXPECT_FALSE(ball.Contains(Point2{{0.8, 0.8}}));
+  EXPECT_DOUBLE_EQ(ball.MaxDiameter(), 2.0);
+}
+
+TEST(BallTest, BallBallDistances) {
+  Ball<2> a(Point2{{0.0, 0.0}}, 1.0);
+  Ball<2> b(Point2{{5.0, 0.0}}, 1.5);
+  EXPECT_DOUBLE_EQ(MinDistance(a, b), 2.5);
+  EXPECT_DOUBLE_EQ(MaxDistance(a, b), 7.5);
+  // Overlapping balls have min distance 0.
+  Ball<2> c(Point2{{1.0, 0.0}}, 1.0);
+  EXPECT_DOUBLE_EQ(MinDistance(a, c), 0.0);
+}
+
+TEST(BallTest, PointBallDistances) {
+  Ball<2> ball(Point2{{0.0, 0.0}}, 2.0);
+  EXPECT_DOUBLE_EQ(MinDistance(Point2{{1.0, 0.0}}, ball), 0.0);
+  EXPECT_DOUBLE_EQ(MinDistance(Point2{{5.0, 0.0}}, ball), 3.0);
+  EXPECT_DOUBLE_EQ(MaxDistance(Point2{{5.0, 0.0}}, ball), 7.0);
+}
+
+TEST(BallTest, UnionDiameterBoundCoversContainment) {
+  // b inside a: the bound must still be at least a's diameter.
+  Ball<2> a(Point2{{0.0, 0.0}}, 3.0);
+  Ball<2> b(Point2{{0.5, 0.0}}, 0.1);
+  EXPECT_GE(UnionDiameterBound(a, b), 6.0);
+}
+
+/// Property: ball min/max distances bound distances of random members.
+TEST(BallTest, MinMaxBoundsRandomMembers) {
+  Rng rng(77);
+  for (int trial = 0; trial < 100; ++trial) {
+    Ball<2> a(Point2{{rng.UniformDouble(), rng.UniformDouble()}},
+              rng.UniformDouble(0.0, 0.5));
+    Ball<2> b(Point2{{rng.UniformDouble(), rng.UniformDouble()}},
+              rng.UniformDouble(0.0, 0.5));
+    auto sample = [&](const Ball<2>& ball) {
+      // Rejection-sample a point inside the ball.
+      while (true) {
+        Point2 p{{rng.UniformDouble(-1.0, 1.0), rng.UniformDouble(-1.0, 1.0)}};
+        const double norm = std::sqrt(p[0] * p[0] + p[1] * p[1]);
+        if (norm <= 1.0) {
+          return Point2{{ball.center[0] + p[0] * ball.radius,
+                         ball.center[1] + p[1] * ball.radius}};
+        }
+      }
+    };
+    for (int i = 0; i < 10; ++i) {
+      const double d = Distance(sample(a), sample(b));
+      EXPECT_GE(d, MinDistance(a, b) - 1e-12);
+      EXPECT_LE(d, MaxDistance(a, b) + 1e-12);
+      EXPECT_LE(d, UnionDiameterBound(a, b) + 1e-12);
+    }
+  }
+}
+
+// --- Hilbert / Morton --------------------------------------------------------------
+
+TEST(HilbertTest, RoundTrip) {
+  const int order = 6;
+  const uint32_t side = 1u << order;
+  std::set<uint64_t> seen;
+  for (uint32_t x = 0; x < side; ++x) {
+    for (uint32_t y = 0; y < side; ++y) {
+      const uint64_t d = HilbertIndex2D(order, x, y);
+      EXPECT_LT(d, static_cast<uint64_t>(side) * side);
+      seen.insert(d);
+      uint32_t rx = 0, ry = 0;
+      HilbertPoint2D(order, d, &rx, &ry);
+      EXPECT_EQ(rx, x);
+      EXPECT_EQ(ry, y);
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<size_t>(side) * side);  // bijection
+}
+
+TEST(HilbertTest, AdjacentIndicesAreAdjacentCells) {
+  // The defining property of the Hilbert curve: consecutive indices map to
+  // grid cells at L1 distance exactly 1.
+  const int order = 5;
+  const uint32_t side = 1u << order;
+  uint32_t px = 0, py = 0;
+  HilbertPoint2D(order, 0, &px, &py);
+  for (uint64_t d = 1; d < static_cast<uint64_t>(side) * side; ++d) {
+    uint32_t x = 0, y = 0;
+    HilbertPoint2D(order, d, &x, &y);
+    const uint32_t l1 = (x > px ? x - px : px - x) + (y > py ? y - py : py - y);
+    ASSERT_EQ(l1, 1u) << "discontinuity at index " << d;
+    px = x;
+    py = y;
+  }
+}
+
+TEST(MortonTest, InterleavesBits) {
+  const uint32_t coords2[2] = {0b11u, 0b00u};
+  // x=11, y=00 interleaved x-major: 1010.
+  EXPECT_EQ(MortonIndex(coords2, 2, 2), 0b1010u);
+  const uint32_t coords3[3] = {1u, 1u, 1u};
+  EXPECT_EQ(MortonIndex(coords3, 3, 1), 0b111u);
+}
+
+TEST(MortonTest, PreservesLocalityCoarsely) {
+  const uint32_t a[2] = {5, 5};
+  const uint32_t b[2] = {5, 6};
+  const uint32_t far[2] = {60, 60};
+  const uint64_t ia = MortonIndex(a, 2, 6);
+  const uint64_t ib = MortonIndex(b, 2, 6);
+  const uint64_t ifar = MortonIndex(far, 2, 6);
+  const auto diff = [](uint64_t x, uint64_t y) { return x > y ? x - y : y - x; };
+  EXPECT_LT(diff(ia, ib), diff(ia, ifar));
+}
+
+}  // namespace
+}  // namespace csj

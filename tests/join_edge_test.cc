@@ -1,0 +1,275 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/brute.h"
+#include "core/ego.h"
+#include "core/expand.h"
+#include "core/similarity_join.h"
+#include "core/sink.h"
+#include "data/generators.h"
+#include "index/rstar_tree.h"
+#include "index/rtree.h"
+
+namespace csj {
+namespace {
+
+std::vector<Entry<2>> UniformEntries(size_t n, uint64_t seed) {
+  auto points = GenerateUniform<2>(n, seed);
+  std::vector<Entry<2>> entries(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries[i] = Entry<2>{static_cast<PointId>(i), points[i]};
+  }
+  return entries;
+}
+
+TEST(JoinEdgeTest, EpsilonLargerThanSpaceMakesOneGroup) {
+  // Every pair qualifies: the compact join should collapse the whole tree
+  // into a single group at the root (early stop at the top).
+  const auto entries = UniformEntries(500, 3);
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  JoinOptions options;
+  options.epsilon = 2.0;  // > sqrt(2), the diameter of the unit square
+  MemorySink sink(3);
+  const JoinStats stats = CompactSimilarityJoin(tree, options, &sink);
+  EXPECT_EQ(stats.groups, 1u);
+  EXPECT_EQ(stats.links, 0u);
+  EXPECT_EQ(sink.groups()[0].size(), 500u);
+  EXPECT_EQ(stats.ImpliedLinkUpperBound(), 500u * 499u / 2u);
+}
+
+TEST(JoinEdgeTest, TinyEpsilonEmitsNothingOnSeparatedPoints) {
+  // A grid with spacing 0.1 and eps = 1e-9: nothing qualifies.
+  RStarTree<2> tree;
+  PointId id = 0;
+  for (int x = 0; x < 10; ++x) {
+    for (int y = 0; y < 10; ++y) {
+      tree.Insert(id++, Point2{{x * 0.1, y * 0.1}});
+    }
+  }
+  JoinOptions options;
+  options.epsilon = 1e-9;
+  MemorySink sink(3);
+  const JoinStats stats = StandardSimilarityJoin(tree, options, &sink);
+  EXPECT_EQ(stats.links + stats.groups, 0u);
+}
+
+TEST(JoinEdgeTest, GridSpacingExactlyEpsilon) {
+  // Grid spacing == eps: each point links to its 4-neighbors exactly
+  // (closed predicate), diagonals (eps*sqrt2) do not qualify.
+  std::vector<Entry<2>> entries;
+  RStarTree<2> tree;
+  PointId id = 0;
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      // 0.125 is a dyadic rational: adjacent distances are *exactly* eps.
+      const Entry<2> e{id++, Point2{{x * 0.125, y * 0.125}}};
+      entries.push_back(e);
+      tree.Insert(e.id, e.point);
+    }
+  }
+  JoinOptions options;
+  options.epsilon = 0.125;
+  MemorySink sink(2);
+  StandardSimilarityJoin(tree, options, &sink);
+  // 8x8 grid: horizontal links 7*8, vertical 8*7 = 112 total.
+  EXPECT_EQ(sink.num_links(), 112u);
+  EXPECT_EQ(ExpandSelfJoin(sink), BruteForceSelfJoin(entries, 0.125));
+}
+
+TEST(JoinEdgeTest, AllPointsIdenticalCollapses) {
+  RStarTree<2> tree;
+  std::vector<Entry<2>> entries;
+  for (PointId i = 0; i < 300; ++i) {
+    entries.push_back({i, Point2{{0.42, 0.42}}});
+    tree.Insert(i, entries.back().point);
+  }
+  JoinOptions options;
+  options.epsilon = 1e-6;
+  MemorySink sink(3);
+  const JoinStats stats = CompactSimilarityJoin(tree, options, &sink);
+  // Lossless and compact: far fewer output units than the 44850 links.
+  EXPECT_TRUE(CompareLinkSets(ExpandSelfJoin(sink),
+                              BruteForceSelfJoin(entries, options.epsilon))
+                  .lossless());
+  EXPECT_LT(stats.groups + stats.links, 50u);
+}
+
+TEST(JoinEdgeTest, TinyFanoutDeepTreeLossless) {
+  RStarOptions tree_options;
+  tree_options.max_fanout = 4;
+  tree_options.min_fanout = 2;
+  RStarTree<2> tree(tree_options);
+  const auto entries = UniformEntries(700, 17);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  EXPECT_GE(tree.Height(), 4);  // genuinely deep
+  JoinOptions options;
+  options.epsilon = 0.07;
+  MemorySink sink(3);
+  CompactSimilarityJoin(tree, options, &sink);
+  EXPECT_TRUE(CompareLinkSets(ExpandSelfJoin(sink),
+                              BruteForceSelfJoin(entries, options.epsilon))
+                  .lossless());
+}
+
+TEST(JoinEdgeTest, OneDimensionalJoin) {
+  RStarTree<1> tree;
+  std::vector<Entry<1>> entries;
+  Rng rng(5);
+  for (PointId i = 0; i < 400; ++i) {
+    entries.push_back({i, Point<1>{{rng.UniformDouble()}}});
+    tree.Insert(i, entries.back().point);
+  }
+  JoinOptions options;
+  options.epsilon = 0.01;
+  MemorySink sink(3);
+  NaiveCompactJoin(tree, options, &sink);
+  EXPECT_TRUE(CompareLinkSets(ExpandSelfJoin(sink),
+                              BruteForceSelfJoin(entries, options.epsilon))
+                  .lossless());
+}
+
+TEST(JoinEdgeTest, EgoAndTreeJoinAgreeExactly) {
+  // Two completely different join engines must produce the same link set.
+  const auto entries = UniformEntries(600, 23);
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  for (double eps : {0.01, 0.05, 0.2}) {
+    JoinOptions tree_options;
+    tree_options.epsilon = eps;
+    MemorySink tree_sink(3);
+    StandardSimilarityJoin(tree, tree_options, &tree_sink);
+
+    EgoOptions ego_options;
+    ego_options.epsilon = eps;
+    MemorySink ego_sink(3);
+    EgoSimilarityJoin(entries, ego_options, &ego_sink);
+
+    EXPECT_EQ(ExpandSelfJoin(tree_sink), ExpandSelfJoin(ego_sink))
+        << "eps=" << eps;
+  }
+}
+
+TEST(JoinEdgeTest, StatsImpliedLinksCoverBruteForce) {
+  // The implied-link count (with group overlap double-counting) is always
+  // >= the number of distinct links.
+  const auto entries = UniformEntries(400, 29);
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  for (double eps : {0.02, 0.1, 0.3}) {
+    JoinOptions options;
+    options.epsilon = eps;
+    MemorySink sink(3);
+    const JoinStats stats = CompactSimilarityJoin(tree, options, &sink);
+    EXPECT_GE(stats.ImpliedLinkUpperBound(),
+              BruteForceSelfJoin(entries, eps).size())
+        << "eps=" << eps;
+  }
+}
+
+TEST(JoinEdgeTest, NcsjReducesToSsjWhenNoNodeFits) {
+  // If every node's diameter exceeds eps, N-CSJ's output equals SSJ's
+  // exactly (the paper: "otherwise, N-CSJ will reduce to SSJ").
+  const auto entries = UniformEntries(800, 31);
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  double min_leaf_diag = 1e9;
+  tree.ForEachNode([&](NodeId n) {
+    min_leaf_diag = std::min(min_leaf_diag, tree.MaxDiameter(n));
+  });
+  const double eps = min_leaf_diag * 0.5;  // below every node's diameter
+  JoinOptions options;
+  options.epsilon = eps;
+  MemorySink ssj(3), ncsj(3);
+  StandardSimilarityJoin(tree, options, &ssj);
+  const JoinStats stats = NaiveCompactJoin(tree, options, &ncsj);
+  EXPECT_EQ(stats.early_stops, 0u);
+  EXPECT_EQ(ssj.num_links(), ncsj.num_links());
+  EXPECT_EQ(ssj.bytes(), ncsj.bytes());
+}
+
+TEST(JoinEdgeTest, RepeatedJoinsOnSameTreeAreIdentical) {
+  const auto entries = UniformEntries(500, 37);
+  RTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  JoinOptions options;
+  options.epsilon = 0.06;
+  MemorySink first(3), second(3);
+  CompactSimilarityJoin(tree, options, &first);
+  CompactSimilarityJoin(tree, options, &second);
+  EXPECT_EQ(first.links(), second.links());
+  EXPECT_EQ(first.groups(), second.groups());
+}
+
+TEST(JoinEdgeTest, JoinAfterRemovalsIsLossless) {
+  auto entries = UniformEntries(600, 41);
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  // Remove a third of the points, keeping the survivors list in sync.
+  std::vector<Entry<2>> survivors;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (i % 3 == 0) {
+      ASSERT_TRUE(tree.Remove(entries[i].id, entries[i].point));
+    } else {
+      survivors.push_back(entries[i]);
+    }
+  }
+  tree.CheckInvariants();
+  JoinOptions options;
+  options.epsilon = 0.05;
+  MemorySink sink(3);
+  CompactSimilarityJoin(tree, options, &sink);
+  EXPECT_TRUE(CompareLinkSets(ExpandSelfJoin(sink),
+                              BruteForceSelfJoin(survivors, options.epsilon))
+                  .lossless());
+}
+
+
+TEST(JoinEdgeTest, FourDimensionalJoinLossless) {
+  // Nothing in the stack is specialized below D=1 or above D=3; verify a
+  // 4-D tree join end to end.
+  const auto points = GenerateGaussianClusters<4>(400, 5, 0.05, 47);
+  std::vector<Entry<4>> entries(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    entries[i] = Entry<4>{static_cast<PointId>(i), points[i]};
+  }
+  RStarTree<4> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  tree.CheckInvariants();
+  for (double eps : {0.1, 0.3}) {
+    JoinOptions options;
+    options.epsilon = eps;
+    MemorySink sink(3);
+    CompactSimilarityJoin(tree, options, &sink);
+    EXPECT_TRUE(CompareLinkSets(ExpandSelfJoin(sink),
+                                BruteForceSelfJoin(entries, eps))
+                    .lossless())
+        << "eps=" << eps;
+  }
+}
+
+TEST(JoinEdgeTest, SpatialJoinWithSelfIsSupersetOfSelfJoinCrossPairs) {
+  // Joining a dataset against itself through the dual-tree API yields all
+  // self-join links (as cross pairs between the two id-offset copies).
+  const auto set_a = UniformEntries(200, 43);
+  std::vector<Entry<2>> set_b;
+  for (const auto& e : set_a) set_b.push_back({e.id + 1000, e.point});
+  RStarTree<2> tree_a, tree_b;
+  for (const auto& e : set_a) tree_a.Insert(e.id, e.point);
+  for (const auto& e : set_b) tree_b.Insert(e.id, e.point);
+
+  JoinOptions options;
+  options.epsilon = 0.05;
+  MemorySink sink(4);
+  CompactSpatialJoin(tree_a, tree_b, options, &sink);
+  const auto cross =
+      ExpandSpatialJoin(sink, [](PointId id) { return id < 1000; });
+  // Each self-join link (i, j) appears as both (i, j+1000) and (j, i+1000);
+  // each point also matches its own copy (i, i+1000).
+  const auto self_links = BruteForceSelfJoin(set_a, options.epsilon);
+  EXPECT_EQ(cross.size(), 2 * self_links.size() + set_a.size());
+}
+
+}  // namespace
+}  // namespace csj

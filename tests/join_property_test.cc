@@ -1,0 +1,288 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/brute.h"
+#include "core/expand.h"
+#include "core/similarity_join.h"
+#include "core/sink.h"
+#include "data/generators.h"
+#include "index/bulk_load.h"
+#include "index/mtree.h"
+#include "index/rstar_tree.h"
+#include "index/rtree.h"
+
+namespace csj {
+namespace {
+
+/// Typed over the three index families: the paper's Theorems 1 and 2 are
+/// index-independent, so the lossless property must hold on all of them.
+template <typename TreeT>
+class JoinPropertyTest : public testing::Test {
+ protected:
+  static TreeT MakeTree() {
+    if constexpr (std::is_same_v<TreeT, RTree<2>>) {
+      RTreeOptions options;
+      options.max_fanout = 8;
+      options.min_fanout = 3;
+      return RTree<2>(options);
+    } else if constexpr (std::is_same_v<TreeT, RStarTree<2>>) {
+      RStarOptions options;
+      options.max_fanout = 8;
+      options.min_fanout = 3;
+      return RStarTree<2>(options);
+    } else {
+      MTreeOptions options;
+      options.max_fanout = 8;
+      options.min_fanout = 2;
+      return MTree<2>(options);
+    }
+  }
+};
+
+using TreeTypes = testing::Types<RTree<2>, RStarTree<2>, MTree<2>>;
+TYPED_TEST_SUITE(JoinPropertyTest, TreeTypes);
+
+std::vector<Entry<2>> MakeWorkload(int which, size_t n, uint64_t seed) {
+  std::vector<Point2> points;
+  switch (which) {
+    case 0:
+      points = GenerateUniform<2>(n, seed);
+      break;
+    case 1:
+      points = GenerateGaussianClusters<2>(n, 5, 0.02, seed);
+      break;
+    default:
+      points = GenerateSierpinski2D(n, seed);
+      break;
+  }
+  std::vector<Entry<2>> entries(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    entries[i] = Entry<2>{static_cast<PointId>(i), points[i]};
+  }
+  return entries;
+}
+
+TYPED_TEST(JoinPropertyTest, LosslessAcrossWorkloadsAndEpsilons) {
+  for (int workload = 0; workload < 3; ++workload) {
+    const auto entries = MakeWorkload(workload, 400, 1000 + workload);
+    auto tree = TestFixture::MakeTree();
+    for (const auto& e : entries) tree.Insert(e.id, e.point);
+    tree.CheckInvariants();
+
+    for (double eps : {0.002, 0.02, 0.1, 0.35}) {
+      const auto reference = BruteForceSelfJoin(entries, eps);
+      JoinOptions options;
+      options.epsilon = eps;
+      for (auto algo :
+           {JoinAlgorithm::kSSJ, JoinAlgorithm::kNCSJ, JoinAlgorithm::kCSJ}) {
+        MemorySink sink(IdWidthFor(entries.size()));
+        RunSelfJoin(algo, tree, options, &sink);
+        const auto report = CompareLinkSets(ExpandSelfJoin(sink), reference);
+        ASSERT_TRUE(report.lossless())
+            << JoinAlgorithmName(algo) << " workload=" << workload
+            << " eps=" << eps << ": " << report.ToString();
+      }
+    }
+  }
+}
+
+TYPED_TEST(JoinPropertyTest, SsjLinkCountMatchesBruteForce) {
+  const auto entries = MakeWorkload(1, 500, 77);
+  auto tree = TestFixture::MakeTree();
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  for (double eps : {0.01, 0.05, 0.2}) {
+    JoinOptions options;
+    options.epsilon = eps;
+    CountingSink sink(IdWidthFor(entries.size()));
+    const JoinStats stats = StandardSimilarityJoin(tree, options, &sink);
+    EXPECT_EQ(stats.links, BruteForceSelfJoin(entries, eps).size())
+        << "eps=" << eps;
+    EXPECT_EQ(stats.groups, 0u);
+  }
+}
+
+TYPED_TEST(JoinPropertyTest, CompactNeverLargerThanStandard) {
+  // The paper's headline guarantee: compact output is never bigger.
+  const auto entries = MakeWorkload(1, 600, 91);
+  auto tree = TestFixture::MakeTree();
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  for (double eps : {0.01, 0.05, 0.15, 0.4}) {
+    JoinOptions options;
+    options.epsilon = eps;
+    CountingSink ssj(IdWidthFor(entries.size()));
+    StandardSimilarityJoin(tree, options, &ssj);
+    CountingSink ncsj(IdWidthFor(entries.size()));
+    NaiveCompactJoin(tree, options, &ncsj);
+    CountingSink csj(IdWidthFor(entries.size()));
+    CompactSimilarityJoin(tree, options, &csj);
+    EXPECT_LE(ncsj.bytes(), ssj.bytes()) << "eps=" << eps;
+    EXPECT_LE(csj.bytes(), ssj.bytes()) << "eps=" << eps;
+  }
+}
+
+TYPED_TEST(JoinPropertyTest, GroupCorrectnessTheorem2) {
+  // Every pair inside every group satisfies d <= eps (exhaustive check).
+  const auto entries = MakeWorkload(2, 350, 13);
+  auto tree = TestFixture::MakeTree();
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const double eps = 0.08;
+  JoinOptions options;
+  options.epsilon = eps;
+  MemorySink sink(IdWidthFor(entries.size()));
+  CompactSimilarityJoin(tree, options, &sink);
+  for (const auto& group : sink.groups()) {
+    for (size_t i = 0; i < group.size(); ++i) {
+      for (size_t j = i + 1; j < group.size(); ++j) {
+        ASSERT_LE(Distance(entries[group[i]].point, entries[group[j]].point),
+                  eps + 1e-12);
+      }
+    }
+  }
+}
+
+/// Parameterized sweep over window sizes: lossless for every g, and the
+/// merge counters behave sensibly.
+class WindowSweepTest : public testing::TestWithParam<int> {};
+
+TEST_P(WindowSweepTest, LosslessForEveryWindowSize) {
+  const int g = GetParam();
+  const auto entries = MakeWorkload(1, 500, 3131);
+  RStarOptions tree_options;
+  tree_options.max_fanout = 8;
+  tree_options.min_fanout = 3;
+  RStarTree<2> tree(tree_options);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+
+  JoinOptions options;
+  options.epsilon = 0.05;
+  options.window_size = g;
+  MemorySink sink(IdWidthFor(entries.size()));
+  const JoinStats stats = CompactSimilarityJoin(tree, options, &sink);
+  EXPECT_EQ(stats.window_size, g);
+  EXPECT_LE(stats.merges, stats.merge_attempts);
+  const auto report = CompareLinkSets(
+      ExpandSelfJoin(sink), BruteForceSelfJoin(entries, options.epsilon));
+  EXPECT_TRUE(report.lossless()) << report.ToString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweepTest,
+                         testing::Values(1, 2, 3, 4, 5, 10, 20, 50, 100));
+
+/// Bulk-loaded trees must join identically to incrementally built ones.
+TEST(JoinOnPackedTreesTest, PackedAndInsertedAgree) {
+  const auto entries = MakeWorkload(0, 800, 555);
+  RStarTree<2> inserted;
+  for (const auto& e : entries) inserted.Insert(e.id, e.point);
+  RStarTree<2> str_packed;
+  PackStr(&str_packed, entries);
+  RStarTree<2> hilbert_packed;
+  PackHilbert(&hilbert_packed, entries);
+
+  JoinOptions options;
+  options.epsilon = 0.06;
+  const auto reference = BruteForceSelfJoin(entries, options.epsilon);
+  for (auto* tree : {&inserted, &str_packed, &hilbert_packed}) {
+    MemorySink sink(IdWidthFor(entries.size()));
+    CompactSimilarityJoin(*tree, options, &sink);
+    EXPECT_TRUE(
+        CompareLinkSets(ExpandSelfJoin(sink), reference).lossless());
+  }
+}
+
+/// Spatial join (two trees) matches the brute-force cross join and is
+/// lossless in compact form.
+TEST(SpatialJoinTest, DualTreeLossless) {
+  const auto set_a = MakeWorkload(1, 300, 500);
+  auto raw_b = MakeWorkload(1, 300, 501);
+  // Disjoint id space for the second set.
+  std::vector<Entry<2>> set_b;
+  for (const auto& e : raw_b) {
+    set_b.push_back(Entry<2>{e.id + 10000, e.point});
+  }
+  RStarTree<2> tree_a, tree_b;
+  for (const auto& e : set_a) tree_a.Insert(e.id, e.point);
+  for (const auto& e : set_b) tree_b.Insert(e.id, e.point);
+
+  for (double eps : {0.02, 0.1}) {
+    JoinOptions options;
+    options.epsilon = eps;
+    const auto reference = BruteForceSpatialJoin(set_a, set_b, eps);
+    auto is_a = [](PointId id) { return id < 10000; };
+
+    MemorySink ssj(5);
+    StandardSpatialJoin(tree_a, tree_b, options, &ssj);
+    EXPECT_EQ(ExpandSpatialJoin(ssj, is_a), reference) << "eps=" << eps;
+
+    MemorySink ncsj(5);
+    NaiveCompactSpatialJoin(tree_a, tree_b, options, &ncsj);
+    EXPECT_TRUE(
+        CompareLinkSets(ExpandSpatialJoin(ncsj, is_a), reference).lossless())
+        << "eps=" << eps;
+
+    MemorySink csj(5);
+    CompactSpatialJoin(tree_a, tree_b, options, &csj);
+    EXPECT_TRUE(
+        CompareLinkSets(ExpandSpatialJoin(csj, is_a), reference).lossless())
+        << "eps=" << eps;
+    EXPECT_LE(csj.bytes(), ssj.bytes());
+  }
+}
+
+TEST(SpatialJoinTest, MixedTreeFamiliesJoin) {
+  // An R-tree joined against an R*-tree (both box-shaped) works.
+  const auto set_a = MakeWorkload(0, 200, 600);
+  auto raw_b = MakeWorkload(0, 200, 601);
+  std::vector<Entry<2>> set_b;
+  for (const auto& e : raw_b) set_b.push_back(Entry<2>{e.id + 10000, e.point});
+  RTree<2> tree_a;
+  RStarTree<2> tree_b;
+  for (const auto& e : set_a) tree_a.Insert(e.id, e.point);
+  for (const auto& e : set_b) tree_b.Insert(e.id, e.point);
+
+  JoinOptions options;
+  options.epsilon = 0.08;
+  MemorySink sink(5);
+  CompactSpatialJoin(tree_a, tree_b, options, &sink);
+  auto is_a = [](PointId id) { return id < 10000; };
+  EXPECT_TRUE(CompareLinkSets(ExpandSpatialJoin(sink, is_a),
+                              BruteForceSpatialJoin(set_a, set_b, 0.08))
+                  .lossless());
+}
+
+TEST(SpatialJoinTest, DisjointDataSetsProduceNothing) {
+  RStarTree<2> tree_a, tree_b;
+  for (PointId i = 0; i < 50; ++i) {
+    tree_a.Insert(i, Point2{{0.1 + 0.001 * i, 0.1}});
+    tree_b.Insert(1000 + i, Point2{{0.9, 0.9 - 0.001 * i}});
+  }
+  JoinOptions options;
+  options.epsilon = 0.05;
+  MemorySink sink(4);
+  const JoinStats stats = CompactSpatialJoin(tree_a, tree_b, options, &sink);
+  EXPECT_EQ(stats.links + stats.groups, 0u);
+}
+
+/// 3-D property check on the paper's Sierpinski workload.
+TEST(JoinProperty3DTest, Sierpinski3DLossless) {
+  const auto points = GenerateSierpinski3D(300, 999);
+  std::vector<Entry<3>> entries(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    entries[i] = Entry<3>{static_cast<PointId>(i), points[i]};
+  }
+  RStarTree<3> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  for (double eps : {0.05, 0.125, 0.3}) {
+    JoinOptions options;
+    options.epsilon = eps;
+    MemorySink sink(3);
+    CompactSimilarityJoin(tree, options, &sink);
+    EXPECT_TRUE(CompareLinkSets(ExpandSelfJoin(sink),
+                                BruteForceSelfJoin(entries, eps))
+                    .lossless())
+        << "eps=" << eps;
+  }
+}
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,117 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "data/generators.h"
+#include "index/bulk_load.h"
+#include "index/mtree.h"
+#include "index/rstar_tree.h"
+#include "index/rtree.h"
+#include "util/random.h"
+
+namespace csj {
+namespace {
+
+template <int D>
+std::vector<Entry<D>> RandomEntries(size_t n, uint64_t seed) {
+  auto points = GenerateUniform<D>(n, seed);
+  std::vector<Entry<D>> entries(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries[i] = Entry<D>{static_cast<PointId>(i), points[i]};
+  }
+  return entries;
+}
+
+/// Brute-force k nearest neighbors, closest first.
+template <int D>
+std::vector<double> BruteKnnDistances(const std::vector<Entry<D>>& entries,
+                                      const Point<D>& center, size_t k) {
+  std::vector<double> dists;
+  for (const auto& e : entries) dists.push_back(Distance(center, e.point));
+  std::sort(dists.begin(), dists.end());
+  dists.resize(std::min(k, dists.size()));
+  return dists;
+}
+
+template <typename Tree, int D>
+void CheckKnnAgainstBrute(const Tree& tree,
+                          const std::vector<Entry<D>>& entries) {
+  Rng rng(99);
+  for (int q = 0; q < 30; ++q) {
+    Point<D> center;
+    for (int d = 0; d < D; ++d) center[d] = rng.UniformDouble();
+    for (size_t k : {1u, 5u, 17u}) {
+      const auto result = tree.NearestNeighbors(center, k);
+      const auto expected = BruteKnnDistances(entries, center, k);
+      ASSERT_EQ(result.size(), expected.size());
+      for (size_t i = 0; i < result.size(); ++i) {
+        // Distances must match (ids may differ under ties).
+        EXPECT_NEAR(Distance(center, result[i].point), expected[i], 1e-12)
+            << "k=" << k << " i=" << i;
+      }
+      // Closest-first ordering.
+      for (size_t i = 1; i < result.size(); ++i) {
+        EXPECT_LE(Distance(center, result[i - 1].point),
+                  Distance(center, result[i].point) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(KnnTest, RStarMatchesBruteForce) {
+  const auto entries = RandomEntries<2>(1200, 5);
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  CheckKnnAgainstBrute(tree, entries);
+}
+
+TEST(KnnTest, RTreeMatchesBruteForce) {
+  const auto entries = RandomEntries<2>(1000, 7);
+  RTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  CheckKnnAgainstBrute(tree, entries);
+}
+
+TEST(KnnTest, MTreeMatchesBruteForce) {
+  const auto entries = RandomEntries<2>(900, 9);
+  MTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  CheckKnnAgainstBrute(tree, entries);
+}
+
+TEST(KnnTest, PackedTreeMatchesBruteForce) {
+  const auto entries = RandomEntries<3>(1500, 11);
+  RStarTree<3> tree;
+  PackStr(&tree, entries);
+  CheckKnnAgainstBrute(tree, entries);
+}
+
+TEST(KnnTest, KLargerThanTreeReturnsAll) {
+  const auto entries = RandomEntries<2>(10, 13);
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const auto result = tree.NearestNeighbors(Point2{{0.5, 0.5}}, 100);
+  EXPECT_EQ(result.size(), 10u);
+}
+
+TEST(KnnTest, EmptyTreeAndZeroK) {
+  RStarTree<2> tree;
+  EXPECT_TRUE(tree.NearestNeighbors(Point2{{0.5, 0.5}}, 3).empty());
+  tree.Insert(0, Point2{{0.1, 0.1}});
+  EXPECT_TRUE(tree.NearestNeighbors(Point2{{0.5, 0.5}}, 0).empty());
+}
+
+TEST(KnnTest, ExactPointIsItsOwnNearestNeighbor) {
+  const auto entries = RandomEntries<2>(500, 17);
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  for (size_t i = 0; i < entries.size(); i += 50) {
+    const auto nn = tree.NearestNeighbors(entries[i].point, 1);
+    ASSERT_EQ(nn.size(), 1u);
+    EXPECT_EQ(nn[0].point, entries[i].point);
+  }
+}
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "core/output_stats.h"
+#include "core/similarity_join.h"
+#include "data/generators.h"
+#include "index/rstar_tree.h"
+
+namespace csj {
+namespace {
+
+TEST(OutputStatsTest, EmptyOutput) {
+  const OutputStats stats = ComputeOutputStats({}, {}, 4);
+  EXPECT_EQ(stats.links, 0u);
+  EXPECT_EQ(stats.groups, 0u);
+  EXPECT_EQ(stats.implied_links, 0u);
+  EXPECT_EQ(stats.output_bytes, 0u);
+  EXPECT_DOUBLE_EQ(stats.savings(), 0.0);
+  EXPECT_DOUBLE_EQ(stats.overlap_factor(), 0.0);
+}
+
+TEST(OutputStatsTest, LinksOnly) {
+  const OutputStats stats =
+      ComputeOutputStats({{1, 2}, {3, 4}, {5, 6}}, {}, 4);
+  EXPECT_EQ(stats.links, 3u);
+  EXPECT_EQ(stats.implied_links, 3u);
+  // 3 links x 2 ids x 5 bytes each.
+  EXPECT_EQ(stats.output_bytes, 30u);
+  EXPECT_EQ(stats.link_listing_bytes, 30u);
+  EXPECT_DOUBLE_EQ(stats.savings(), 0.0);
+}
+
+TEST(OutputStatsTest, GroupsImplyAndSave) {
+  // One group of 4 implies 6 links: 4 ids written vs 12 for the listing.
+  const std::vector<std::vector<PointId>> groups = {{1, 2, 3, 4}};
+  const OutputStats stats = ComputeOutputStats({}, groups, 4);
+  EXPECT_EQ(stats.groups, 1u);
+  EXPECT_EQ(stats.implied_links, 6u);
+  EXPECT_EQ(stats.output_bytes, 4u * 5u);
+  EXPECT_EQ(stats.link_listing_bytes, 12u * 5u);
+  EXPECT_NEAR(stats.savings(), 1.0 - 4.0 / 12.0, 1e-12);
+  EXPECT_EQ(stats.largest_group, 4u);
+  EXPECT_EQ(stats.smallest_group, 4u);
+  EXPECT_DOUBLE_EQ(stats.mean_group_size, 4.0);
+}
+
+TEST(OutputStatsTest, OverlapFactor) {
+  // Two groups sharing ids 2 and 3: 6 memberships over 4 distinct ids.
+  const std::vector<std::vector<PointId>> groups = {{1, 2, 3}, {2, 3, 4}};
+  const OutputStats stats = ComputeOutputStats({}, groups, 1);
+  EXPECT_EQ(stats.group_member_total, 6u);
+  EXPECT_EQ(stats.distinct_members, 4u);
+  EXPECT_DOUBLE_EQ(stats.overlap_factor(), 1.5);
+}
+
+TEST(OutputStatsTest, HistogramBuckets) {
+  const std::vector<std::vector<PointId>> groups = {
+      {1, 2},                    // size 2 -> bucket 0 (2)
+      {1, 2, 3},                 // size 3 -> bucket 1 (3-4)
+      {1, 2, 3, 4},              // size 4 -> bucket 1
+      {1, 2, 3, 4, 5, 6, 7, 8},  // size 8 -> bucket 2 (5-8)
+  };
+  const OutputStats stats = ComputeOutputStats({}, groups, 1);
+  ASSERT_EQ(stats.size_histogram.size(), 3u);
+  EXPECT_EQ(stats.size_histogram[0], 1u);
+  EXPECT_EQ(stats.size_histogram[1], 2u);
+  EXPECT_EQ(stats.size_histogram[2], 1u);
+}
+
+TEST(OutputStatsTest, MatchesSinkAccounting) {
+  // End-to-end: stats computed from a MemorySink agree with the sink's own
+  // byte accounting and the join's implied-link counter.
+  const auto points = GenerateGaussianClusters<2>(2000, 5, 0.02, 3);
+  RStarTree<2> tree;
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(static_cast<PointId>(i), points[i]);
+  }
+  JoinOptions options;
+  options.epsilon = 0.03;
+  MemorySink sink(IdWidthFor(points.size()));
+  const JoinStats join_stats = CompactSimilarityJoin(tree, options, &sink);
+
+  const OutputStats stats = ComputeOutputStats(sink);
+  EXPECT_EQ(stats.links, join_stats.links);
+  EXPECT_EQ(stats.groups, join_stats.groups);
+  EXPECT_EQ(stats.output_bytes, join_stats.output_bytes);
+  EXPECT_EQ(stats.implied_links, join_stats.ImpliedLinkUpperBound());
+  EXPECT_GT(stats.savings(), 0.0);
+  const std::string text = stats.ToString();
+  EXPECT_NE(text.find("saved"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,233 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+#include <vector>
+
+#include "core/brute.h"
+#include "core/expand.h"
+#include "core/similarity_join.h"
+#include "core/sink.h"
+#include "data/generators.h"
+#include "index/bulk_load.h"
+#include "index/paged_tree.h"
+#include "index/rstar_tree.h"
+
+namespace csj {
+namespace {
+
+template <int D>
+std::vector<Entry<D>> RandomEntries(size_t n, uint64_t seed) {
+  auto points = GenerateUniform<D>(n, seed);
+  std::vector<Entry<D>> entries(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries[i] = Entry<D>{static_cast<PointId>(i), points[i]};
+  }
+  return entries;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+static_assert(SpatialIndex<PagedTree<2>>,
+              "PagedTree must satisfy the join concept");
+
+NodeId FindFirstLeaf(const PagedTree<2>& tree) {
+  NodeId n = tree.Root();
+  while (!tree.IsLeaf(n)) n = tree.Children(n)[0];
+  return n;
+}
+
+
+TEST(PagedTreeTest, RoundTripContent) {
+  RStarTree<2> tree;
+  const auto entries = RandomEntries<2>(3000, 7);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const std::string path = TempPath("paged_roundtrip.csjp");
+  ASSERT_TRUE(WritePagedTree(tree, path).ok());
+
+  auto paged = PagedTree<2>::Open(path);
+  ASSERT_TRUE(paged.ok()) << paged.status().ToString();
+  EXPECT_EQ(paged->size(), tree.size());
+  EXPECT_EQ(paged->NodeCount(), tree.NodeCount());
+
+  // Every entry of the in-memory tree is reachable in the paged tree.
+  std::set<PointId> found;
+  ForEachEntryInSubtree(*paged, paged->Root(),
+                        static_cast<NodeAccessTracker*>(nullptr),
+                        [&](const Entry<2>& e) { found.insert(e.id); });
+  EXPECT_EQ(found.size(), entries.size());
+}
+
+TEST(PagedTreeTest, StructureMirrorsSource) {
+  RStarTree<2> tree;
+  const auto entries = RandomEntries<2>(2000, 9);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const std::string path = TempPath("paged_structure.csjp");
+  ASSERT_TRUE(WritePagedTree(tree, path).ok());
+  auto paged = PagedTree<2>::Open(path);
+  ASSERT_TRUE(paged.ok());
+
+  // Compare recursively: MBRs, leaf flags, fanouts.
+  std::function<void(NodeId, NodeId)> compare = [&](NodeId mem, NodeId disk) {
+    EXPECT_EQ(tree.IsLeaf(mem), paged->IsLeaf(disk));
+    EXPECT_EQ(tree.NodeBox(mem), paged->Shape(disk));
+    if (tree.IsLeaf(mem)) {
+      EXPECT_EQ(tree.Entries(mem).size(), paged->Entries(disk).size());
+      return;
+    }
+    const auto mem_children = tree.Children(mem);
+    const auto disk_children = paged->Children(disk);
+    ASSERT_EQ(mem_children.size(), disk_children.size());
+    // Writer visits children in reverse push order; match by MBR equality.
+    for (size_t i = 0; i < mem_children.size(); ++i) {
+      bool matched = false;
+      for (size_t j = 0; j < disk_children.size(); ++j) {
+        if (tree.NodeBox(mem_children[i]) == paged->Shape(disk_children[j])) {
+          compare(mem_children[i], disk_children[j]);
+          matched = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(matched) << "child MBR not found on disk";
+    }
+  };
+  compare(tree.Root(), paged->Root());
+}
+
+TEST(PagedTreeTest, JoinsOffDiskMatchInMemory) {
+  RStarTree<2> tree;
+  const auto entries = RandomEntries<2>(4000, 11);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const std::string path = TempPath("paged_join.csjp");
+  ASSERT_TRUE(WritePagedTree(tree, path).ok());
+  auto paged = PagedTree<2>::Open(path);
+  ASSERT_TRUE(paged.ok());
+
+  for (double eps : {0.01, 0.05}) {
+    JoinOptions options;
+    options.epsilon = eps;
+    const auto reference = BruteForceSelfJoin(entries, eps);
+    for (auto algo :
+         {JoinAlgorithm::kSSJ, JoinAlgorithm::kNCSJ, JoinAlgorithm::kCSJ}) {
+      MemorySink sink(IdWidthFor(entries.size()));
+      RunSelfJoin(algo, *paged, options, &sink);
+      const auto report = CompareLinkSets(ExpandSelfJoin(sink), reference);
+      EXPECT_TRUE(report.lossless())
+          << JoinAlgorithmName(algo) << " eps=" << eps << ": "
+          << report.ToString();
+    }
+  }
+}
+
+TEST(PagedTreeTest, TinyCacheStillCorrectJustSlower) {
+  RStarTree<2> tree;
+  const auto entries = RandomEntries<2>(2500, 13);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const std::string path = TempPath("paged_tiny_cache.csjp");
+  ASSERT_TRUE(WritePagedTree(tree, path).ok());
+
+  PagedTreeOptions small_cache;
+  small_cache.cache_blocks = 2;
+  auto paged_small = PagedTree<2>::Open(path, small_cache);
+  ASSERT_TRUE(paged_small.ok());
+  PagedTreeOptions big_cache;
+  big_cache.cache_blocks = 100000;
+  auto paged_big = PagedTree<2>::Open(path, big_cache);
+  ASSERT_TRUE(paged_big.ok());
+
+  JoinOptions options;
+  options.epsilon = 0.04;
+  MemorySink small_sink(IdWidthFor(entries.size()));
+  CompactSimilarityJoin(*paged_small, options, &small_sink);
+  MemorySink big_sink(IdWidthFor(entries.size()));
+  CompactSimilarityJoin(*paged_big, options, &big_sink);
+
+  EXPECT_EQ(small_sink.links(), big_sink.links());
+  EXPECT_EQ(small_sink.groups(), big_sink.groups());
+  // The tiny cache misses more — real disk-access behaviour.
+  EXPECT_GT(paged_small->io_stats().disk_reads,
+            paged_big->io_stats().disk_reads);
+  EXPECT_GT(paged_big->io_stats().block_cache_hits, 0u);
+}
+
+TEST(PagedTreeTest, IoStatsCountAndReset) {
+  RStarTree<2> tree;
+  const auto entries = RandomEntries<2>(500, 17);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const std::string path = TempPath("paged_stats.csjp");
+  ASSERT_TRUE(WritePagedTree(tree, path).ok());
+  auto paged = PagedTree<2>::Open(path);
+  ASSERT_TRUE(paged.ok());
+  EXPECT_EQ(paged->io_stats().block_requests, 0u);
+  (void)paged->Entries(FindFirstLeaf(*paged));
+  EXPECT_GT(paged->io_stats().block_requests, 0u);
+  EXPECT_GT(paged->io_stats().node_decodes, 0u);
+  paged->ResetIoStats();
+  EXPECT_EQ(paged->io_stats().block_requests, 0u);
+}
+
+TEST(PagedTreeTest, LargeLeafPayloadSpanningBlocks) {
+  // A node payload bigger than one block must still read correctly.
+  RStarOptions big_fanout;
+  big_fanout.max_fanout = 512;  // leaf payload ~ 512 * 20 bytes > 4096
+  big_fanout.min_fanout = 128;
+  RStarTree<2> tree(big_fanout);
+  const auto entries = RandomEntries<2>(400, 19);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const std::string path = TempPath("paged_bigleaf.csjp");
+  ASSERT_TRUE(WritePagedTree(tree, path).ok());
+  auto paged = PagedTree<2>::Open(path);
+  ASSERT_TRUE(paged.ok());
+  std::set<PointId> found;
+  ForEachEntryInSubtree(*paged, paged->Root(),
+                        static_cast<NodeAccessTracker*>(nullptr),
+                        [&](const Entry<2>& e) { found.insert(e.id); });
+  EXPECT_EQ(found.size(), entries.size());
+}
+
+TEST(PagedTreeTest, OpenRejectsGarbage) {
+  const std::string path = TempPath("paged_garbage.csjp");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("junk", f);
+  std::fclose(f);
+  auto paged = PagedTree<2>::Open(path);
+  EXPECT_FALSE(paged.ok());
+  EXPECT_EQ(paged.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PagedTreeTest, OpenMissingFile) {
+  auto paged = PagedTree<2>::Open("/no/such/file.csjp");
+  EXPECT_FALSE(paged.ok());
+  EXPECT_EQ(paged.status().code(), StatusCode::kNotFound);
+}
+
+TEST(PagedTreeTest, DimensionMismatchRejected) {
+  RStarTree<3> tree;
+  const auto entries = RandomEntries<3>(100, 23);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const std::string path = TempPath("paged_dim.csjp");
+  ASSERT_TRUE(WritePagedTree(tree, path).ok());
+  auto paged = PagedTree<2>::Open(path);
+  EXPECT_FALSE(paged.ok());
+  EXPECT_EQ(paged.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PagedTreeTest, PackedTreeWorksToo) {
+  RStarTree<3> tree;
+  PackStr(&tree, RandomEntries<3>(5000, 29));
+  const std::string path = TempPath("paged_packed.csjp");
+  ASSERT_TRUE(WritePagedTree(tree, path).ok());
+  auto paged = PagedTree<3>::Open(path);
+  ASSERT_TRUE(paged.ok());
+  EXPECT_EQ(paged->size(), 5000u);
+  std::set<PointId> found;
+  ForEachEntryInSubtree(*paged, paged->Root(),
+                        static_cast<NodeAccessTracker*>(nullptr),
+                        [&](const Entry<3>& e) { found.insert(e.id); });
+  EXPECT_EQ(found.size(), 5000u);
+}
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,144 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/brute.h"
+#include "core/expand.h"
+#include "core/parallel_join.h"
+#include "core/sink.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "index/bulk_load.h"
+#include "index/rstar_tree.h"
+
+namespace csj {
+namespace {
+
+std::vector<Entry<2>> Workload(size_t n, uint64_t seed) {
+  return ToEntries(GenerateGaussianClusters<2>(n, 6, 0.03, seed));
+}
+
+TEST(ParallelJoinTest, LosslessAcrossThreadCounts) {
+  const auto entries = Workload(3000, 7);
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+
+  for (double eps : {0.01, 0.06}) {
+    const auto reference = BruteForceSelfJoin(entries, eps);
+    JoinOptions options;
+    options.epsilon = eps;
+    for (int threads : {1, 2, 4, 8}) {
+      ParallelJoinOptions parallel;
+      parallel.threads = threads;
+      MemorySink sink(IdWidthFor(entries.size()));
+      const JoinStats stats =
+          ParallelCompactSimilarityJoin(tree, options, &sink, parallel);
+      const auto report = CompareLinkSets(ExpandSelfJoin(sink), reference);
+      ASSERT_TRUE(report.lossless())
+          << "threads=" << threads << " eps=" << eps << ": "
+          << report.ToString();
+      EXPECT_EQ(stats.links, sink.num_links());
+      EXPECT_EQ(stats.groups, sink.num_groups());
+      EXPECT_EQ(stats.output_bytes, sink.bytes());
+    }
+  }
+}
+
+TEST(ParallelJoinTest, OutputAsCompactAsSequentialWithinSlack) {
+  // Group composition differs (windows are per-worker), but the parallel
+  // output should stay in the same compactness ballpark.
+  const auto entries = Workload(5000, 11);
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  JoinOptions options;
+  options.epsilon = 0.04;
+
+  CountingSink sequential(IdWidthFor(entries.size()));
+  CompactSimilarityJoin(tree, options, &sequential);
+  ParallelJoinOptions parallel;
+  parallel.threads = 4;
+  CountingSink parallel_sink(IdWidthFor(entries.size()));
+  ParallelCompactSimilarityJoin(tree, options, &parallel_sink, parallel);
+
+  EXPECT_LT(parallel_sink.bytes(),
+            static_cast<uint64_t>(1.5 * static_cast<double>(sequential.bytes())));
+}
+
+TEST(ParallelJoinTest, SmallAndDegenerateInputs) {
+  JoinOptions options;
+  options.epsilon = 0.1;
+  ParallelJoinOptions parallel;
+  parallel.threads = 4;
+  {
+    RStarTree<2> tree;  // empty
+    MemorySink sink(1);
+    const JoinStats stats =
+        ParallelCompactSimilarityJoin(tree, options, &sink, parallel);
+    EXPECT_EQ(stats.links + stats.groups, 0u);
+  }
+  {
+    RStarTree<2> tree;
+    tree.Insert(0, Point2{{0.5, 0.5}});
+    MemorySink sink(1);
+    const JoinStats stats =
+        ParallelCompactSimilarityJoin(tree, options, &sink, parallel);
+    EXPECT_EQ(stats.links + stats.groups, 0u);
+  }
+  {
+    RStarTree<2> tree;
+    tree.Insert(0, Point2{{0.5, 0.5}});
+    tree.Insert(1, Point2{{0.52, 0.5}});
+    MemorySink sink(1);
+    ParallelCompactSimilarityJoin(tree, options, &sink, parallel);
+    EXPECT_EQ(ExpandSelfJoin(sink), (std::vector<Link>{{0, 1}}));
+  }
+}
+
+TEST(ParallelJoinTest, MoreThreadsThanTasks) {
+  // A tiny tree cannot be split into many tasks; extra workers idle safely.
+  const auto entries = Workload(50, 13);
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  JoinOptions options;
+  options.epsilon = 0.05;
+  ParallelJoinOptions parallel;
+  parallel.threads = 16;
+  MemorySink sink(2);
+  ParallelCompactSimilarityJoin(tree, options, &sink, parallel);
+  EXPECT_TRUE(CompareLinkSets(ExpandSelfJoin(sink),
+                              BruteForceSelfJoin(entries, options.epsilon))
+                  .lossless());
+}
+
+TEST(ParallelJoinTest, PackedTreeWorks) {
+  const auto entries = Workload(8000, 17);
+  RStarTree<2> tree;
+  PackStr(&tree, entries);
+  JoinOptions options;
+  options.epsilon = 0.02;
+  MemorySink sink(IdWidthFor(entries.size()));
+  ParallelCompactSimilarityJoin(tree, options, &sink);
+  EXPECT_TRUE(CompareLinkSets(ExpandSelfJoin(sink),
+                              BruteForceSelfJoin(entries, options.epsilon))
+                  .lossless());
+}
+
+TEST(ParallelJoinTest, WindowOptionsRespected) {
+  const auto entries = Workload(2000, 19);
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  JoinOptions options;
+  options.epsilon = 0.05;
+  options.window_policy = WindowPolicy::kBestFit;
+  options.promote_on_merge = true;
+  options.window_size = 3;
+  MemorySink sink(IdWidthFor(entries.size()));
+  const JoinStats stats = ParallelCompactSimilarityJoin(tree, options, &sink);
+  EXPECT_TRUE(CompareLinkSets(ExpandSelfJoin(sink),
+                              BruteForceSelfJoin(entries, options.epsilon))
+                  .lossless());
+  EXPECT_GT(stats.merge_attempts, 0u);
+}
+
+}  // namespace
+}  // namespace csj

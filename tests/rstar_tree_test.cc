@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "data/generators.h"
+#include "index/rstar_tree.h"
+#include "index/rtree.h"
+#include "util/random.h"
+
+namespace csj {
+namespace {
+
+template <int D>
+std::vector<Entry<D>> RandomEntries(size_t n, uint64_t seed) {
+  auto points = GenerateUniform<D>(n, seed);
+  std::vector<Entry<D>> entries(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries[i] = Entry<D>{static_cast<PointId>(i), points[i]};
+  }
+  return entries;
+}
+
+template <int D>
+std::set<PointId> ToIds(const std::vector<Entry<D>>& entries) {
+  std::set<PointId> out;
+  for (const auto& e : entries) out.insert(e.id);
+  return out;
+}
+
+TEST(RStarTreeTest, EmptyAndSingle) {
+  RStarTree<2> tree;
+  EXPECT_TRUE(tree.empty());
+  tree.CheckInvariants();
+  tree.Insert(0, Point2{{0.1, 0.2}});
+  EXPECT_EQ(tree.size(), 1u);
+  tree.CheckInvariants();
+}
+
+TEST(RStarTreeTest, InvariantsAfterManyInserts) {
+  RStarOptions options;
+  options.max_fanout = 8;
+  options.min_fanout = 3;
+  RStarTree<2> tree(options);
+  const auto entries = RandomEntries<2>(3000, 111);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    tree.Insert(entries[i].id, entries[i].point);
+    if (i % 509 == 0) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 3000u);
+}
+
+TEST(RStarTreeTest, InvariantsWithoutForcedReinsert) {
+  RStarOptions options;
+  options.max_fanout = 8;
+  options.min_fanout = 3;
+  options.forced_reinsert = false;
+  RStarTree<2> tree(options);
+  const auto entries = RandomEntries<2>(1500, 12);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 1500u);
+}
+
+TEST(RStarTreeTest, RangeQueryMatchesBruteForce) {
+  RStarTree<2> tree;
+  const auto entries = RandomEntries<2>(2000, 31);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  Rng rng(77);
+  for (int q = 0; q < 50; ++q) {
+    const Point2 center{{rng.UniformDouble(), rng.UniformDouble()}};
+    const double radius = rng.UniformDouble(0.0, 0.25);
+    std::set<PointId> expected;
+    for (const auto& e : entries) {
+      if (Distance(center, e.point) <= radius) expected.insert(e.id);
+    }
+    EXPECT_EQ(ToIds(tree.RangeQuery(center, radius)), expected);
+  }
+}
+
+TEST(RStarTreeTest, ClusteredDataInvariants) {
+  // Forced reinsertion is most active on skewed data.
+  RStarOptions options;
+  options.max_fanout = 16;
+  options.min_fanout = 6;
+  RStarTree<2> tree(options);
+  const auto points = GenerateGaussianClusters<2>(4000, 5, 0.01, 9);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(static_cast<PointId>(i), points[i]);
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 4000u);
+}
+
+TEST(RStarTreeTest, RemoveWorks) {
+  RStarOptions options;
+  options.max_fanout = 8;
+  options.min_fanout = 3;
+  RStarTree<2> tree(options);
+  auto entries = RandomEntries<2>(800, 61);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  Rng rng(62);
+  rng.Shuffle(entries);
+  for (size_t i = 0; i < entries.size() / 3; ++i) {
+    ASSERT_TRUE(tree.Remove(entries[i].id, entries[i].point));
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), entries.size() - entries.size() / 3);
+}
+
+TEST(RStarTreeTest, QualityBeatsOrEqualsGuttmanOnClusteredData) {
+  // A structural sanity check rather than a strict guarantee: the R* split
+  // and reinsertion should not produce *more* node-MBR overlap volume than
+  // a linear-split Guttman tree on clustered data.
+  const auto points = GenerateGaussianClusters<2>(3000, 8, 0.02, 5);
+
+  RTreeOptions guttman_options;
+  guttman_options.split = RTreeSplit::kLinear;
+  RTree<2> guttman(guttman_options);
+  RStarTree<2> rstar;
+  for (size_t i = 0; i < points.size(); ++i) {
+    guttman.Insert(static_cast<PointId>(i), points[i]);
+    rstar.Insert(static_cast<PointId>(i), points[i]);
+  }
+
+  auto leaf_overlap = [](const auto& tree) {
+    // Sum pairwise overlap of sibling MBRs across all internal nodes.
+    double overlap = 0.0;
+    tree.ForEachNode([&](NodeId n) {
+      if (tree.IsLeaf(n)) return;
+      const auto children = tree.Children(n);
+      for (size_t i = 0; i < children.size(); ++i) {
+        for (size_t j = i + 1; j < children.size(); ++j) {
+          overlap += tree.NodeBox(children[i])
+                         .OverlapVolume(tree.NodeBox(children[j]));
+        }
+      }
+    });
+    return overlap;
+  };
+  EXPECT_LE(leaf_overlap(rstar), leaf_overlap(guttman) * 1.05);
+}
+
+TEST(RStarTreeTest, SierpinskiDataInvariants3D) {
+  RStarTree<3> tree;
+  const auto points = GenerateSierpinski3D(5000, 4);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(static_cast<PointId>(i), points[i]);
+  }
+  tree.CheckInvariants();
+  const TreeStats stats = tree.Stats();
+  EXPECT_EQ(stats.num_entries, 5000u);
+  EXPECT_GT(stats.avg_leaf_fill, 0.4);
+}
+
+TEST(RStarTreeTest, DuplicatePointsSupported) {
+  RStarOptions options;
+  options.max_fanout = 4;
+  options.min_fanout = 2;
+  RStarTree<2> tree(options);
+  for (PointId id = 0; id < 64; ++id) tree.Insert(id, Point2{{0.3, 0.3}});
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.RangeQuery(Point2{{0.3, 0.3}}, 0.0).size(), 64u);
+}
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "data/generators.h"
+#include "index/node_access.h"
+#include "geom/point.h"
+#include "index/rtree.h"
+#include "util/random.h"
+
+namespace csj {
+namespace {
+
+template <int D>
+std::vector<Entry<D>> RandomEntries(size_t n, uint64_t seed) {
+  auto points = GenerateUniform<D>(n, seed);
+  std::vector<Entry<D>> entries(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries[i] = Entry<D>{static_cast<PointId>(i), points[i]};
+  }
+  return entries;
+}
+
+/// Reference range query by brute force.
+template <int D>
+std::set<PointId> BruteRange(const std::vector<Entry<D>>& entries,
+                             const Point<D>& center, double radius) {
+  std::set<PointId> out;
+  for (const auto& e : entries) {
+    if (Distance(center, e.point) <= radius) out.insert(e.id);
+  }
+  return out;
+}
+
+template <int D>
+std::set<PointId> ToIds(const std::vector<Entry<D>>& entries) {
+  std::set<PointId> out;
+  for (const auto& e : entries) out.insert(e.id);
+  return out;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree<2> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_EQ(tree.Root(), kInvalidNode);
+  EXPECT_EQ(tree.Height(), 0);
+  tree.CheckInvariants();
+  EXPECT_TRUE(tree.RangeQuery(Point2{{0.5, 0.5}}, 1.0).empty());
+}
+
+TEST(RTreeTest, SingleInsert) {
+  RTree<2> tree;
+  tree.Insert(42, Point2{{0.25, 0.75}});
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_EQ(tree.Height(), 1);
+  tree.CheckInvariants();
+  auto hits = tree.RangeQuery(Point2{{0.25, 0.75}}, 0.0);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 42u);
+  EXPECT_TRUE(tree.Contains(42, Point2{{0.25, 0.75}}));
+  EXPECT_FALSE(tree.Contains(43, Point2{{0.25, 0.75}}));
+}
+
+class RTreeSplitTest : public testing::TestWithParam<RTreeSplit> {};
+
+TEST_P(RTreeSplitTest, InvariantsAfterManyInserts) {
+  RTreeOptions options;
+  options.max_fanout = 8;
+  options.min_fanout = 3;
+  options.split = GetParam();
+  RTree<2> tree(options);
+  const auto entries = RandomEntries<2>(2000, 99);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    tree.Insert(entries[i].id, entries[i].point);
+    if (i % 257 == 0) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), entries.size());
+  EXPECT_GT(tree.Height(), 1);
+}
+
+TEST_P(RTreeSplitTest, RangeQueriesMatchBruteForce) {
+  RTreeOptions options;
+  options.max_fanout = 16;
+  options.min_fanout = 6;
+  options.split = GetParam();
+  RTree<2> tree(options);
+  const auto entries = RandomEntries<2>(1500, 7);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+
+  Rng rng(1234);
+  for (int q = 0; q < 50; ++q) {
+    const Point2 center{{rng.UniformDouble(), rng.UniformDouble()}};
+    const double radius = rng.UniformDouble(0.0, 0.3);
+    EXPECT_EQ(ToIds(tree.RangeQuery(center, radius)),
+              BruteRange(entries, center, radius));
+  }
+}
+
+TEST_P(RTreeSplitTest, WindowQueriesMatchBruteForce) {
+  RTreeOptions options;
+  options.split = GetParam();
+  RTree<3> tree(options);
+  const auto entries = RandomEntries<3>(1200, 21);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+
+  Rng rng(4321);
+  for (int q = 0; q < 30; ++q) {
+    Box<3> window(Point3{{rng.UniformDouble(), rng.UniformDouble(),
+                          rng.UniformDouble()}});
+    window.Extend(Point3{{rng.UniformDouble(), rng.UniformDouble(),
+                          rng.UniformDouble()}});
+    std::set<PointId> expected;
+    for (const auto& e : entries) {
+      if (window.Contains(e.point)) expected.insert(e.id);
+    }
+    EXPECT_EQ(ToIds(tree.WindowQuery(window)), expected);
+  }
+}
+
+TEST_P(RTreeSplitTest, RemoveMaintainsInvariantsAndContent) {
+  RTreeOptions options;
+  options.max_fanout = 8;
+  options.min_fanout = 3;
+  options.split = GetParam();
+  RTree<2> tree(options);
+  auto entries = RandomEntries<2>(600, 5);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+
+  Rng rng(55);
+  rng.Shuffle(entries);
+  // Remove half, checking invariants as we go.
+  const size_t half = entries.size() / 2;
+  for (size_t i = 0; i < half; ++i) {
+    ASSERT_TRUE(tree.Remove(entries[i].id, entries[i].point));
+    if (i % 97 == 0) tree.CheckInvariants();
+  }
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), entries.size() - half);
+  // Removed entries are gone; kept entries remain.
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(tree.Contains(entries[i].id, entries[i].point), i >= half);
+  }
+  // Removing a missing entry returns false.
+  EXPECT_FALSE(tree.Remove(entries[0].id, entries[0].point));
+}
+
+TEST_P(RTreeSplitTest, RemoveEverythingEmptiesTree) {
+  RTreeOptions options;
+  options.max_fanout = 6;
+  options.min_fanout = 2;
+  options.split = GetParam();
+  RTree<2> tree(options);
+  auto entries = RandomEntries<2>(150, 8);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  for (const auto& e : entries) ASSERT_TRUE(tree.Remove(e.id, e.point));
+  EXPECT_EQ(tree.size(), 0u);
+  tree.CheckInvariants();
+  // Tree is reusable after emptying.
+  tree.Insert(1, Point2{{0.5, 0.5}});
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST_P(RTreeSplitTest, DuplicatePointsSupported) {
+  RTreeOptions options;
+  options.max_fanout = 4;
+  options.min_fanout = 2;
+  options.split = GetParam();
+  RTree<2> tree(options);
+  const Point2 p{{0.5, 0.5}};
+  for (PointId id = 0; id < 100; ++id) tree.Insert(id, p);
+  tree.CheckInvariants();
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_EQ(tree.RangeQuery(p, 0.0).size(), 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, RTreeSplitTest,
+                         testing::Values(RTreeSplit::kLinear,
+                                         RTreeSplit::kQuadratic),
+                         [](const auto& info) {
+                           return info.param == RTreeSplit::kLinear
+                                      ? "Linear"
+                                      : "Quadratic";
+                         });
+
+TEST(RTreeTest, StatsReportShape) {
+  RTree<2> tree;
+  const auto entries = RandomEntries<2>(5000, 3);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const TreeStats stats = tree.Stats();
+  EXPECT_EQ(stats.num_entries, 5000u);
+  EXPECT_GT(stats.num_leaves, 0u);
+  EXPECT_GE(stats.num_nodes, stats.num_leaves);
+  EXPECT_GT(stats.avg_leaf_fill, 0.3);
+  EXPECT_LE(stats.avg_leaf_fill, 1.0);
+  EXPECT_EQ(stats.height, tree.Height());
+}
+
+TEST(RTreeTest, MaxDiameterBoundsSubtreePairs) {
+  RTree<2> tree;
+  const auto entries = RandomEntries<2>(800, 17);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+
+  tree.ForEachNode([&](NodeId n) {
+    const double diameter = tree.MaxDiameter(n);
+    std::vector<Entry<2>> members;
+    ForEachEntryInSubtree(tree, n, static_cast<NodeAccessTracker*>(nullptr),
+                          [&](const Entry<2>& e) { members.push_back(e); });
+    for (size_t i = 0; i < members.size(); i += 7) {
+      for (size_t j = i + 1; j < members.size(); j += 5) {
+        EXPECT_LE(Distance(members[i].point, members[j].point),
+                  diameter + 1e-12);
+      }
+    }
+  });
+}
+
+TEST(RTreeTest, MinDistancePrunesCorrectly) {
+  RTree<2> tree;
+  const auto entries = RandomEntries<2>(500, 29);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const NodeId root = tree.Root();
+  if (!tree.IsLeaf(root)) {
+    const auto children = tree.Children(root);
+    for (size_t i = 0; i < children.size(); ++i) {
+      for (size_t j = i + 1; j < children.size(); ++j) {
+        const double lower = tree.MinDistance(children[i], children[j]);
+        // Sampled cross pairs must respect the bound.
+        std::vector<Entry<2>> a, b;
+        ForEachEntryInSubtree(tree, children[i],
+                              static_cast<NodeAccessTracker*>(nullptr),
+                              [&](const Entry<2>& e) { a.push_back(e); });
+        ForEachEntryInSubtree(tree, children[j],
+                              static_cast<NodeAccessTracker*>(nullptr),
+                              [&](const Entry<2>& e) { b.push_back(e); });
+        for (size_t x = 0; x < a.size(); x += 11) {
+          for (size_t y = 0; y < b.size(); y += 13) {
+            EXPECT_GE(Distance(a[x].point, b[y].point), lower - 1e-12);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/sink.h"
+
+namespace csj {
+namespace {
+
+std::string ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::string content;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, got);
+  std::fclose(f);
+  return content;
+}
+
+TEST(SinkTest, IdWidthFor) {
+  EXPECT_EQ(IdWidthFor(0), 1);
+  EXPECT_EQ(IdWidthFor(1), 1);
+  EXPECT_EQ(IdWidthFor(10), 1);   // ids 0..9
+  EXPECT_EQ(IdWidthFor(11), 2);   // ids 0..10
+  EXPECT_EQ(IdWidthFor(27000), 5);
+  EXPECT_EQ(IdWidthFor(1500000), 7);
+}
+
+TEST(CountingSinkTest, CountsLinksGroupsBytes) {
+  CountingSink sink(4);
+  sink.Link(1, 2);
+  sink.Link(3, 4);
+  const std::vector<PointId> group = {1, 2, 3};
+  sink.Group(group);
+  EXPECT_EQ(sink.num_links(), 2u);
+  EXPECT_EQ(sink.num_groups(), 1u);
+  EXPECT_EQ(sink.group_member_total(), 3u);
+  // Each id costs width+1 bytes ("0001 " or "0001\n"): 2 links x 2 ids x 5
+  // + 1 group x 3 ids x 5 = 35.
+  EXPECT_EQ(sink.bytes(), 35u);
+  EXPECT_TRUE(sink.Finish().ok());
+}
+
+TEST(FileSinkTest, WritesPaperFormat) {
+  const std::string path = testing::TempDir() + "/csj_sink_test.txt";
+  FileSink sink(4, path);
+  ASSERT_TRUE(sink.open_status().ok());
+  sink.Link(1, 2);
+  const std::vector<PointId> group = {1, 2, 3};
+  sink.Group(group);
+  sink.Link(12345, 6);  // wider than the pad width: printed in full
+  ASSERT_TRUE(sink.Finish().ok());
+
+  EXPECT_EQ(ReadWholeFile(path), "0001 0002\n0001 0002 0003\n12345 0006\n");
+}
+
+TEST(FileSinkTest, FileBytesMatchAccountingForPaddedIds) {
+  const std::string path = testing::TempDir() + "/csj_sink_bytes.txt";
+  FileSink sink(4, path);
+  sink.Link(7, 8);
+  const std::vector<PointId> group = {10, 20, 30, 40};
+  sink.Group(group);
+  ASSERT_TRUE(sink.Finish().ok());
+  EXPECT_EQ(sink.file_bytes(), sink.bytes());
+  EXPECT_EQ(ReadWholeFile(path).size(), sink.bytes());
+}
+
+TEST(FileSinkTest, OpenFailureSurfacesInFinish) {
+  FileSink sink(4, "/nonexistent-dir-xyz/out.txt");
+  EXPECT_FALSE(sink.open_status().ok());
+  sink.Link(1, 2);  // must not crash
+  EXPECT_FALSE(sink.Finish().ok());
+}
+
+TEST(MemorySinkTest, RetainsOutput) {
+  MemorySink sink(3);
+  sink.Link(5, 6);
+  const std::vector<PointId> group = {7, 8, 9};
+  sink.Group(group);
+  ASSERT_EQ(sink.links().size(), 1u);
+  EXPECT_EQ(sink.links()[0], (std::pair<PointId, PointId>{5, 6}));
+  ASSERT_EQ(sink.groups().size(), 1u);
+  EXPECT_EQ(sink.groups()[0], (std::vector<PointId>{7, 8, 9}));
+}
+
+TEST(SinkTest, ByteAccountingFormula) {
+  // bytes = (#ids emitted) * (width + 1) for any mix of links and groups.
+  CountingSink sink(7);
+  sink.Link(0, 1);
+  std::vector<PointId> group(10);
+  for (size_t i = 0; i < group.size(); ++i) group[i] = static_cast<PointId>(i);
+  sink.Group(group);
+  sink.Group(group);
+  const uint64_t ids = 2 + 10 + 10;
+  EXPECT_EQ(sink.bytes(), ids * 8);
+}
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/brute.h"
+#include "core/expand.h"
+#include "core/output_reader.h"
+#include "core/similarity_join.h"
+#include "core/sink.h"
+#include "data/generators.h"
+#include "index/bulk_load.h"
+#include "index/rstar_tree.h"
+#include "index/rtree.h"
+#include "index/tree_io.h"
+
+namespace csj {
+namespace {
+
+template <int D>
+std::vector<Entry<D>> RandomEntries(size_t n, uint64_t seed) {
+  auto points = GenerateUniform<D>(n, seed);
+  std::vector<Entry<D>> entries(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries[i] = Entry<D>{static_cast<PointId>(i), points[i]};
+  }
+  return entries;
+}
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+// --- Tree serialization ---------------------------------------------------------
+
+TEST(TreeIoTest, RoundTripPreservesStructure) {
+  RStarTree<2> tree;
+  const auto entries = RandomEntries<2>(3000, 21);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+
+  const std::string path = TempPath("tree_roundtrip.csjt");
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+
+  RStarTree<2> loaded;
+  ASSERT_TRUE(LoadTree(&loaded, path).ok());
+  loaded.CheckInvariants();
+  EXPECT_EQ(loaded.size(), tree.size());
+  EXPECT_EQ(loaded.NodeCount(), tree.NodeCount());
+  EXPECT_EQ(loaded.Height(), tree.Height());
+
+  // Joins on the loaded tree produce identical output (same structure, same
+  // traversal).
+  JoinOptions options;
+  options.epsilon = 0.03;
+  MemorySink a(4), b(4);
+  CompactSimilarityJoin(tree, options, &a);
+  CompactSimilarityJoin(loaded, options, &b);
+  EXPECT_EQ(a.links(), b.links());
+  EXPECT_EQ(a.groups(), b.groups());
+}
+
+TEST(TreeIoTest, RoundTripAfterRemovals) {
+  RTree<2> tree;
+  auto entries = RandomEntries<2>(800, 23);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  for (size_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE(tree.Remove(entries[i].id, entries[i].point));
+  }
+  const std::string path = TempPath("tree_removed.csjt");
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+  RTree<2> loaded;
+  ASSERT_TRUE(LoadTree(&loaded, path).ok());
+  loaded.CheckInvariants();
+  EXPECT_EQ(loaded.size(), 600u);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ(loaded.Contains(entries[i].id, entries[i].point), i >= 200);
+  }
+}
+
+TEST(TreeIoTest, EmptyTreeRoundTrips) {
+  RStarTree<2> tree;
+  const std::string path = TempPath("tree_empty.csjt");
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+  RStarTree<2> loaded;
+  ASSERT_TRUE(LoadTree(&loaded, path).ok());
+  EXPECT_TRUE(loaded.empty());
+}
+
+TEST(TreeIoTest, PackedTreeRoundTrips) {
+  RStarTree<3> tree;
+  PackStr(&tree, RandomEntries<3>(5000, 31));
+  const std::string path = TempPath("tree_packed.csjt");
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+  RStarTree<3> loaded;
+  ASSERT_TRUE(LoadTree(&loaded, path).ok());
+  loaded.CheckInvariants();
+  EXPECT_EQ(loaded.Stats().num_nodes, tree.Stats().num_nodes);
+}
+
+TEST(TreeIoTest, LoadIntoNonEmptyTreeFails) {
+  RStarTree<2> tree;
+  tree.Insert(0, Point2{{0.5, 0.5}});
+  const std::string path = TempPath("tree_nonempty.csjt");
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+  const Status status = LoadTree(&tree, path);
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TreeIoTest, FanoutMismatchRejected) {
+  RStarOptions small;
+  small.max_fanout = 8;
+  small.min_fanout = 3;
+  RStarTree<2> tree(small);
+  tree.Insert(0, Point2{{0.5, 0.5}});
+  const std::string path = TempPath("tree_fanout.csjt");
+  ASSERT_TRUE(SaveTree(tree, path).ok());
+  RStarTree<2> loaded;  // default fanout 64
+  const Status status = LoadTree(&loaded, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TreeIoTest, GarbageFileRejected) {
+  const std::string path = TempPath("tree_garbage.csjt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("this is not a tree", f);
+  std::fclose(f);
+  RStarTree<2> loaded;
+  const Status status = LoadTree(&loaded, path);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TreeIoTest, MissingFileIsNotFound) {
+  RStarTree<2> loaded;
+  EXPECT_EQ(LoadTree(&loaded, "/no/such/tree.csjt").code(),
+            StatusCode::kNotFound);
+}
+
+// --- Join-output reader ------------------------------------------------------------
+
+TEST(OutputReaderTest, RoundTripThroughFileSink) {
+  const auto entries = RandomEntries<2>(500, 41);
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  JoinOptions options;
+  options.epsilon = 0.05;
+
+  const std::string path = TempPath("join_output.txt");
+  FileSink sink(IdWidthFor(entries.size()), path);
+  CompactSimilarityJoin(tree, options, &sink);
+  ASSERT_TRUE(sink.Finish().ok());
+
+  auto loaded = ReadJoinOutput(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  // Re-expansion from disk equals the brute-force join.
+  MemorySink replay(IdWidthFor(entries.size()));
+  for (const auto& [a, b] : loaded->links) replay.Link(a, b);
+  for (const auto& g : loaded->groups) replay.Group(g);
+  EXPECT_TRUE(CompareLinkSets(ExpandSelfJoin(replay),
+                              BruteForceSelfJoin(entries, options.epsilon))
+                  .lossless());
+}
+
+TEST(OutputReaderTest, ParsesLinksAndGroups) {
+  const std::string path = TempPath("join_mixed.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("0001 0002\n0003 0004 0005\n0006 0007\n", f);
+  std::fclose(f);
+  auto output = ReadJoinOutput(path);
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(output->links.size(), 2u);
+  EXPECT_EQ(output->groups.size(), 1u);
+  EXPECT_EQ(output->groups[0], (std::vector<PointId>{3, 4, 5}));
+  EXPECT_EQ(output->ImpliedLinks(), 2u + 3u);
+}
+
+TEST(OutputReaderTest, MissingTrailingNewlineHandled) {
+  const std::string path = TempPath("join_nonewline.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("1 2\n3 4", f);
+  std::fclose(f);
+  auto output = ReadJoinOutput(path);
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(output->links.size(), 2u);
+}
+
+TEST(OutputReaderTest, SingletonLineRejected) {
+  const std::string path = TempPath("join_singleton.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("1 2\n7\n", f);
+  std::fclose(f);
+  EXPECT_EQ(ReadJoinOutput(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OutputReaderTest, JunkRejected) {
+  const std::string path = TempPath("join_junk.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("1 2\nhello\n", f);
+  std::fclose(f);
+  EXPECT_EQ(ReadJoinOutput(path).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(OutputReaderTest, EmptyFileOk) {
+  const std::string path = TempPath("join_empty.txt");
+  std::fclose(std::fopen(path.c_str(), "w"));
+  auto output = ReadJoinOutput(path);
+  ASSERT_TRUE(output.ok());
+  EXPECT_EQ(output->links.size() + output->groups.size(), 0u);
+}
+
+}  // namespace
+}  // namespace csj

@@ -1,0 +1,258 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "util/format.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace csj {
+namespace {
+
+// --- Status / Result ---------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::IoError("disk on fire");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_EQ(s.message(), "disk on fire");
+  EXPECT_EQ(s.ToString(), "IO_ERROR: disk on fire");
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::NotFound("y"));
+  EXPECT_FALSE(Status::NotFound("x") == Status::IoError("x"));
+}
+
+TEST(StatusTest, CodeNamesAreDistinct) {
+  std::set<std::string> names;
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kIoError, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kInternal}) {
+    names.insert(StatusCodeName(code));
+  }
+  EXPECT_EQ(names.size(), 7u);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> HelperParse(bool succeed) {
+  if (!succeed) return Status::InvalidArgument("bad");
+  return 7;
+}
+
+Status HelperChain(bool succeed, int* out) {
+  CSJ_ASSIGN_OR_RETURN(*out, HelperParse(succeed));
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(HelperChain(true, &out).ok());
+  EXPECT_EQ(out, 7);
+  Status failed = HelperChain(false, &out);
+  EXPECT_EQ(failed.code(), StatusCode::kInvalidArgument);
+}
+
+// --- Format -------------------------------------------------------------------
+
+TEST(FormatTest, DecimalWidth) {
+  EXPECT_EQ(DecimalWidth(0), 1);
+  EXPECT_EQ(DecimalWidth(9), 1);
+  EXPECT_EQ(DecimalWidth(10), 2);
+  EXPECT_EQ(DecimalWidth(999), 3);
+  EXPECT_EQ(DecimalWidth(1000), 4);
+  EXPECT_EQ(DecimalWidth(1499999), 7);
+}
+
+TEST(FormatTest, ZeroPad) {
+  EXPECT_EQ(ZeroPad(7, 4), "0007");
+  EXPECT_EQ(ZeroPad(0, 1), "0");
+  EXPECT_EQ(ZeroPad(123, 3), "123");
+  EXPECT_EQ(ZeroPad(12345, 3), "12345");  // never truncates
+}
+
+TEST(FormatTest, HumanBytes) {
+  EXPECT_EQ(HumanBytes(532), "532 B");
+  EXPECT_EQ(HumanBytes(1024), "1.00 KB");
+  EXPECT_EQ(HumanBytes(1536), "1.50 KB");
+}
+
+TEST(FormatTest, WithThousands) {
+  EXPECT_EQ(WithThousands(0), "0");
+  EXPECT_EQ(WithThousands(999), "999");
+  EXPECT_EQ(WithThousands(1000), "1,000");
+  EXPECT_EQ(WithThousands(12345678), "12,345,678");
+}
+
+TEST(FormatTest, StrJoin) {
+  EXPECT_EQ(StrJoin({}, ", "), "");
+  EXPECT_EQ(StrJoin({"a"}, ", "), "a");
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, "-"), "a-b-c");
+}
+
+TEST(FormatTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.005), "1.00");
+}
+
+// --- Rng ------------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += a.Next() == b.Next();
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, UniformDoubleInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.UniformDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(RngTest, UniformDoubleMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.UniformDouble();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntBounds) {
+  Rng rng(13);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const uint64_t v = rng.UniformInt(uint64_t{10});
+    EXPECT_LT(v, 10u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 10u);  // all values hit in 1000 draws
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(int64_t{-3}, int64_t{3});
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  const int n = 200000;
+  double sum = 0.0, sum2 = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.Gaussian();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ShufflePreservesMultiset) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> original = v;
+  rng.Shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(RngTest, SplitMix64Advances) {
+  uint64_t state = 0;
+  const uint64_t a = SplitMix64(state);
+  const uint64_t b = SplitMix64(state);
+  EXPECT_NE(a, b);
+}
+
+// --- Timer ----------------------------------------------------------------------
+
+TEST(TimerTest, MeasuresElapsed) {
+  WallTimer t;
+  double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i; (void)sink;
+  EXPECT_GT(t.ElapsedNanos(), 0u);
+  EXPECT_GE(t.ElapsedSeconds(), 0.0);
+}
+
+TEST(TimerTest, StopwatchAccumulates) {
+  StopwatchAccumulator acc;
+  EXPECT_EQ(acc.TotalNanos(), 0u);
+  acc.Start();
+  double sink = 0.0;
+  for (int i = 0; i < 10000; ++i) sink += i; (void)sink;
+  acc.Stop();
+  const uint64_t first = acc.TotalNanos();
+  EXPECT_GT(first, 0u);
+  { ScopedStopwatch scoped(&acc); }
+  EXPECT_GE(acc.TotalNanos(), first);
+  acc.Reset();
+  EXPECT_EQ(acc.TotalNanos(), 0u);
+}
+
+TEST(TimerTest, ScopedStopwatchNullIsSafe) {
+  ScopedStopwatch scoped(nullptr);  // must not crash
+}
+
+// --- Table ----------------------------------------------------------------------
+
+TEST(TableTest, AlignsColumns) {
+  Table t("demo", {"name", "value"});
+  t.AddRow({"x", "1"});
+  t.AddRow({"longer", "22"});
+  const std::string s = t.ToString();
+  EXPECT_NE(s.find("== demo =="), std::string::npos);
+  EXPECT_NE(s.find("longer  22"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 2u);
+}
+
+TEST(TableTest, WritesCsv) {
+  Table t("csv", {"a", "b"});
+  t.AddRow({"1", "has,comma"});
+  const std::string path = testing::TempDir() + "/csj_table_test.csv";
+  ASSERT_TRUE(t.WriteCsv(path).ok());
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  char buf[256];
+  std::string content;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) content += buf;
+  std::fclose(f);
+  EXPECT_EQ(content, "a,b\n1,\"has,comma\"\n");
+}
+
+}  // namespace
+}  // namespace csj

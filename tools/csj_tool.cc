@@ -1,0 +1,387 @@
+/// \file
+/// csj_tool — command-line front end for the library. Covers the full
+/// pipeline a downstream user needs without writing C++:
+///
+///   csj_tool generate --kind roadnet --n 27000 --seed 27 --out pts.txt
+///   csj_tool build    --points pts.txt --out index.csjt [--fanout 64]
+///   csj_tool join     --index index.csjt --eps 0.05 --algo csj --g 10
+///                     --out result.txt   (one line)
+///   csj_tool join     --points pts.txt --eps 0.05 --algo ego --out r.txt
+///   csj_tool expand   --result result.txt --out links.txt
+///   csj_tool verify   --points pts.txt --result result.txt --eps 0.05
+///   csj_tool stats    --index index.csjt
+///
+/// 2-D only (the common GIS case); the C++ API is dimension-generic.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "csj.h"
+
+namespace csj::tool {
+namespace {
+
+/// Minimal --flag value parser; every flag takes exactly one value.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i + 1 < argc; i += 2) {
+      if (std::strncmp(argv[i], "--", 2) != 0) {
+        Die(StrFormat("expected a --flag, got '%s'", argv[i]));
+      }
+      values_[argv[i] + 2] = argv[i + 1];
+    }
+    if ((argc - first) % 2 != 0) {
+      Die(StrFormat("flag '%s' is missing its value", argv[argc - 1]));
+    }
+  }
+
+  std::string GetOr(const std::string& key, const std::string& fallback) {
+    seen_.insert(key);
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  std::string Require(const std::string& key) {
+    seen_.insert(key);
+    auto it = values_.find(key);
+    if (it == values_.end()) Die("missing required flag --" + key);
+    return it->second;
+  }
+
+  double GetDouble(const std::string& key, double fallback) {
+    const std::string v = GetOr(key, "");
+    return v.empty() ? fallback : std::atof(v.c_str());
+  }
+
+  long GetInt(const std::string& key, long fallback) {
+    const std::string v = GetOr(key, "");
+    return v.empty() ? fallback : std::atol(v.c_str());
+  }
+
+  /// Rejects typo'd flags once the command has read everything it knows.
+  void CheckAllUsed() {
+    for (const auto& [key, value] : values_) {
+      if (seen_.find(key) == seen_.end()) Die("unknown flag --" + key);
+    }
+  }
+
+  [[noreturn]] static void Die(const std::string& message) {
+    std::fprintf(stderr, "csj_tool: %s\n", message.c_str());
+    std::exit(2);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::set<std::string> seen_;
+};
+
+void DieOnError(const Status& status) {
+  if (!status.ok()) Flags::Die(status.ToString());
+}
+
+Result<std::vector<Entry<2>>> LoadEntries(const std::string& path) {
+  CSJ_ASSIGN_OR_RETURN(auto points, LoadPoints<2>(path));
+  return ToEntries(points);
+}
+
+int CmdGenerate(Flags& flags) {
+  const std::string kind = flags.GetOr("kind", "roadnet");
+  const size_t n = static_cast<size_t>(flags.GetInt("n", 10000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 1));
+  const std::string out = flags.Require("out");
+  flags.CheckAllUsed();
+
+  std::vector<Point2> points;
+  if (kind == "roadnet") {
+    RoadNetOptions options;
+    options.num_points = n;
+    options.seed = seed;
+    points = GenerateRoadNetwork(options);
+  } else if (kind == "uniform") {
+    points = GenerateUniform<2>(n, seed);
+  } else if (kind == "clusters") {
+    points = GenerateGaussianClusters<2>(n, 8, 0.02, seed);
+  } else if (kind == "sierpinski") {
+    points = GenerateSierpinski2D(n, seed);
+  } else {
+    Flags::Die("unknown --kind '" + kind +
+               "' (roadnet|uniform|clusters|sierpinski)");
+  }
+  DieOnError(SavePoints(out, points));
+  std::printf("wrote %s points to %s\n", WithThousands(points.size()).c_str(),
+              out.c_str());
+  return 0;
+}
+
+int CmdBuild(Flags& flags) {
+  const std::string points_path = flags.Require("points");
+  const std::string out = flags.Require("out");
+  RStarOptions options;
+  options.max_fanout = static_cast<size_t>(flags.GetInt("fanout", 64));
+  options.min_fanout = std::max<size_t>(2, options.max_fanout * 2 / 5);
+  const bool bulk = flags.GetOr("bulk", "str") != "none";
+  flags.CheckAllUsed();
+
+  auto entries = LoadEntries(points_path);
+  DieOnError(entries.status());
+  RStarTree<2> tree(options);
+  WallTimer timer;
+  if (bulk) {
+    PackStr(&tree, *entries);
+  } else {
+    for (const auto& e : *entries) tree.Insert(e.id, e.point);
+  }
+  std::printf("built R*-tree over %s points in %s (%s)\n",
+              WithThousands(entries->size()).c_str(),
+              HumanDuration(timer.ElapsedSeconds()).c_str(),
+              tree.Stats().ToString().c_str());
+  DieOnError(SaveTree(tree, out));
+  std::printf("saved index to %s\n", out.c_str());
+  return 0;
+}
+
+int CmdJoin(Flags& flags) {
+  const std::string algo = flags.GetOr("algo", "csj");
+  const double eps = flags.GetDouble("eps", 0.0);
+  if (eps <= 0.0) Flags::Die("--eps must be positive");
+  const int g = static_cast<int>(flags.GetInt("g", 10));
+  const std::string out = flags.Require("out");
+  const std::string index_path = flags.GetOr("index", "");
+  const std::string points_path = flags.GetOr("points", "");
+  flags.CheckAllUsed();
+
+  JoinStats stats;
+  uint64_t n = 0;
+  if (algo == "ego" || algo == "cego") {
+    if (points_path.empty()) Flags::Die("--algo ego needs --points");
+    auto entries = LoadEntries(points_path);
+    DieOnError(entries.status());
+    n = entries->size();
+    FileSink sink(IdWidthFor(n), out);
+    EgoOptions options;
+    options.epsilon = eps;
+    options.window_size = g;
+    stats = algo == "ego" ? EgoSimilarityJoin(*entries, options, &sink)
+                          : CompactEgoJoin(*entries, options, &sink);
+    DieOnError(sink.Finish());
+  } else {
+    RStarOptions tree_options;
+    if (!index_path.empty()) {
+      // Match the on-disk fanout before loading.
+      auto info = PeekTreeFile(index_path);
+      DieOnError(info.status());
+      tree_options.max_fanout = info->max_fanout;
+      tree_options.min_fanout = info->min_fanout;
+    }
+    RStarTree<2> tree(tree_options);
+    if (!index_path.empty()) {
+      DieOnError(LoadTree(&tree, index_path));
+    } else if (!points_path.empty()) {
+      auto entries = LoadEntries(points_path);
+      DieOnError(entries.status());
+      PackStr(&tree, *entries);
+    } else {
+      Flags::Die("join needs --index or --points");
+    }
+    n = tree.size();
+    JoinOptions options;
+    options.epsilon = eps;
+    options.window_size = g;
+    FileSink sink(IdWidthFor(n), out);
+    if (algo == "ssj") {
+      stats = StandardSimilarityJoin(tree, options, &sink);
+    } else if (algo == "ncsj") {
+      stats = NaiveCompactJoin(tree, options, &sink);
+    } else if (algo == "csj") {
+      stats = CompactSimilarityJoin(tree, options, &sink);
+    } else {
+      Flags::Die("unknown --algo '" + algo + "' (ssj|ncsj|csj|ego|cego)");
+    }
+    DieOnError(sink.Finish());
+  }
+  std::printf("%s\n", stats.ToString().c_str());
+  std::printf("wrote %s (%s) to %s\n",
+              HumanBytes(stats.output_bytes).c_str(),
+              WithThousands(stats.output_bytes).c_str(), out.c_str());
+  return 0;
+}
+
+int CmdExpand(Flags& flags) {
+  const std::string result_path = flags.Require("result");
+  const std::string out = flags.Require("out");
+  flags.CheckAllUsed();
+
+  auto output = ReadJoinOutput(result_path);
+  DieOnError(output.status());
+  MemorySink replay(1);
+  for (const auto& [a, b] : output->links) replay.Link(a, b);
+  for (const auto& group : output->groups) replay.Group(group);
+  const auto links = ExpandSelfJoin(replay);
+
+  OutputFile file;
+  DieOnError(file.Open(out));
+  for (const auto& [a, b] : links) {
+    file.Append(StrFormat("%u %u\n", a, b));
+  }
+  DieOnError(file.Close());
+  std::printf("expanded %s links + %s groups into %s distinct links (%s)\n",
+              WithThousands(output->links.size()).c_str(),
+              WithThousands(output->groups.size()).c_str(),
+              WithThousands(links.size()).c_str(), out.c_str());
+  return 0;
+}
+
+int CmdVerify(Flags& flags) {
+  const std::string points_path = flags.Require("points");
+  const std::string result_path = flags.Require("result");
+  const double eps = flags.GetDouble("eps", 0.0);
+  if (eps <= 0.0) Flags::Die("--eps must be positive");
+  flags.CheckAllUsed();
+
+  auto entries = LoadEntries(points_path);
+  DieOnError(entries.status());
+  auto output = ReadJoinOutput(result_path);
+  DieOnError(output.status());
+
+  MemorySink replay(1);
+  for (const auto& [a, b] : output->links) replay.Link(a, b);
+  for (const auto& group : output->groups) replay.Group(group);
+  const auto report = CompareLinkSets(ExpandSelfJoin(replay),
+                                      BruteForceSelfJoin(*entries, eps));
+  std::printf("%s\n", report.ToString().c_str());
+  return report.lossless() ? 0 : 1;
+}
+
+int CmdReport(Flags& flags) {
+  // Descriptive statistics of a join-output file: compaction ratio, group
+  // size distribution, overlap.
+  const std::string result_path = flags.Require("result");
+  const int width = static_cast<int>(flags.GetInt("width", 0));
+  flags.CheckAllUsed();
+
+  auto output = ReadJoinOutput(result_path);
+  DieOnError(output.status());
+  // Infer the id width from the data when not given.
+  PointId max_id = 0;
+  for (const auto& [a, b] : output->links) max_id = std::max({max_id, a, b});
+  for (const auto& g : output->groups) {
+    for (PointId id : g) max_id = std::max(max_id, id);
+  }
+  const int effective_width = width > 0 ? width : DecimalWidth(max_id);
+  const OutputStats stats = ComputeOutputStats(*output, effective_width);
+  std::printf("%s", stats.ToString().c_str());
+  return 0;
+}
+
+int CmdFractal(Flags& flags) {
+  // Intrinsic-dimension analysis of a point set + join-output prediction
+  // (the paper's future-work analysis).
+  const std::string points_path = flags.Require("points");
+  const double eps = flags.GetDouble("eps", 0.0);
+  flags.CheckAllUsed();
+
+  auto entries = LoadEntries(points_path);
+  DieOnError(entries.status());
+  std::vector<Point2> points;
+  points.reserve(entries->size());
+  for (const auto& e : *entries) points.push_back(e.point);
+
+  const PowerLawFit d0 = BoxCountingDimension(points);
+  const PowerLawFit d2 = CorrelationDimension(points);
+  std::printf("points: %s\n", WithThousands(points.size()).c_str());
+  std::printf("box-counting dimension D0 = %.2f (R^2=%.3f)\n", d0.slope,
+              d0.r_squared);
+  std::printf("correlation dimension D2 = %.2f (R^2=%.3f)\n", d2.slope,
+              d2.r_squared);
+  if (eps > 0.0) {
+    const uint64_t predicted = PredictLinkCount(d2, points.size(), eps);
+    std::printf("predicted similarity-join links at eps=%g: ~%s "
+                "(~%s as a plain link listing)\n",
+                eps, WithThousands(predicted).c_str(),
+                HumanBytes(predicted * 2 *
+                           static_cast<uint64_t>(
+                               DecimalWidth(points.size() - 1) + 1))
+                    .c_str());
+  }
+  return 0;
+}
+
+int CmdSuggestEps(Flags& flags) {
+  // k-distance epsilon suggestion plus a D2-based output-size preview.
+  const std::string points_path = flags.Require("points");
+  const size_t k = static_cast<size_t>(flags.GetInt("k", 8));
+  const double percentile = flags.GetDouble("percentile", 0.5);
+  flags.CheckAllUsed();
+
+  auto entries = LoadEntries(points_path);
+  DieOnError(entries.status());
+  RStarTree<2> tree;
+  PackStr(&tree, *entries);
+  const auto suggestion = SuggestEpsilon(tree, *entries, k, percentile);
+  if (suggestion.epsilon <= 0.0) Flags::Die("not enough points to suggest");
+  std::printf("k-distance scan (k=%zu, %zu anchors): median %.6g, "
+              "p90 %.6g\n",
+              k, suggestion.sample_size, suggestion.median_kdist,
+              suggestion.p90_kdist);
+  std::printf("suggested eps (p%02.0f) = %.6g\n", percentile * 100.0,
+              suggestion.epsilon);
+
+  std::vector<Point2> points;
+  points.reserve(entries->size());
+  for (const auto& e : *entries) points.push_back(e.point);
+  const PowerLawFit d2 = CorrelationDimension(points);
+  const uint64_t predicted =
+      PredictLinkCount(d2, points.size(), suggestion.epsilon);
+  std::printf("predicted links at that eps (D2=%.2f): ~%s\n", d2.slope,
+              WithThousands(predicted).c_str());
+  return 0;
+}
+
+int CmdStats(Flags& flags) {
+  const std::string index_path = flags.Require("index");
+  flags.CheckAllUsed();
+  auto info = PeekTreeFile(index_path);
+  DieOnError(info.status());
+  RStarOptions options;
+  options.max_fanout = info->max_fanout;
+  options.min_fanout = info->min_fanout;
+  RStarTree<2> tree(options);
+  DieOnError(LoadTree(&tree, index_path));
+  std::printf("%s\n", tree.Stats().ToString().c_str());
+  return 0;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: csj_tool "
+               "<generate|build|join|expand|verify|stats|report|fractal|suggest-eps> "
+               "[--flag value ...]\n"
+               "see the header comment of tools/csj_tool.cc for examples\n");
+  return 2;
+}
+
+int Main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (command == "generate") return CmdGenerate(flags);
+  if (command == "build") return CmdBuild(flags);
+  if (command == "join") return CmdJoin(flags);
+  if (command == "expand") return CmdExpand(flags);
+  if (command == "verify") return CmdVerify(flags);
+  if (command == "stats") return CmdStats(flags);
+  if (command == "report") return CmdReport(flags);
+  if (command == "fractal") return CmdFractal(flags);
+  if (command == "suggest-eps") return CmdSuggestEps(flags);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace csj::tool
+
+int main(int argc, char** argv) { return csj::tool::Main(argc, argv); }
