@@ -65,12 +65,15 @@ class CappedFileSink final : public JoinSink {
   CappedFileSink(int id_width, std::string path, uint64_t cap_bytes)
       : JoinSink(id_width), cap_(cap_bytes) {
     open_status_ = file_.Open(path);
+    SetError(open_status_);
     scratch_.reserve(256);
   }
 
   Status Finish() override {
-    CSJ_RETURN_IF_ERROR(open_status_);
-    return file_.Close();
+    if (!error().ok()) return error();
+    const Status close_status = file_.Close();
+    SetError(close_status);
+    return close_status;
   }
 
   bool truncated() const { return truncated_; }
@@ -83,7 +86,7 @@ class CappedFileSink final : public JoinSink {
     scratch_.clear();
     AppendId(a, ' ');
     AppendId(b, '\n');
-    file_.Append(scratch_);
+    SetError(file_.Append(scratch_));
   }
 
   void DoGroup(std::span<const PointId> members) override {
@@ -92,12 +95,11 @@ class CappedFileSink final : public JoinSink {
     for (size_t i = 0; i < members.size(); ++i) {
       AppendId(members[i], i + 1 == members.size() ? '\n' : ' ');
     }
-    file_.Append(scratch_);
+    SetError(file_.Append(scratch_));
   }
 
  private:
   bool ShouldWrite(size_t ids) {
-    if (!open_status_.ok()) return false;
     if (file_.bytes_written() + ids * (id_width() + 1) > cap_) {
       truncated_ = true;
       return false;

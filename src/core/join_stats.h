@@ -6,6 +6,7 @@
 
 #include "core/join_options.h"
 #include "util/format.h"
+#include "util/status.h"
 
 /// \file
 /// Per-join statistics returned by every driver.
@@ -18,6 +19,12 @@ struct JoinStats {
   JoinAlgorithm algorithm = JoinAlgorithm::kSSJ;
   double epsilon = 0.0;
   int window_size = 0;
+
+  /// Outcome of the run. Non-OK when the sink entered an error state (e.g.
+  /// the output disk filled up) or a parallel worker failed; the traversal
+  /// was then aborted early and the output counters describe only what the
+  /// sink accepted before the failure.
+  Status status;
 
   // Output shape.
   uint64_t links = 0;               ///< individually emitted links
@@ -47,7 +54,7 @@ struct JoinStats {
   void AddImpliedLink() { ++implied_links_; }
 
   std::string ToString() const {
-    return StrFormat(
+    std::string text = StrFormat(
         "%s eps=%g g=%d: links=%llu groups=%llu bytes=%llu dist=%llu "
         "early_stops=%llu merges=%llu/%llu time=%s write=%s",
         JoinAlgorithmName(algorithm), epsilon, window_size,
@@ -60,6 +67,8 @@ struct JoinStats {
         static_cast<unsigned long long>(merge_attempts),
         HumanDuration(elapsed_seconds).c_str(),
         HumanDuration(write_seconds).c_str());
+    if (!status.ok()) text += " [" + status.ToString() + "]";
+    return text;
   }
 
  private:

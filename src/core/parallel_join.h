@@ -2,11 +2,15 @@
 #define CSJ_CORE_PARALLEL_JOIN_H_
 
 #include <atomic>
+#include <exception>
 #include <memory>
+#include <mutex>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "core/similarity_join.h"
+#include "util/failpoint.h"
 
 /// \file
 /// Multi-threaded compact similarity join — an engineering extension beyond
@@ -30,6 +34,16 @@
 /// Caveats: requires a thread-safe-for-reads tree (all in-memory trees
 /// qualify; PagedTree's block cache does not). options.tracker and
 /// measure_write_time are ignored in parallel mode.
+///
+/// Failure handling: a worker that throws (or whose driver reports a non-OK
+/// status) no longer terminates the process. The first failure is captured
+/// into an error slot and raises a cancellation flag that makes the other
+/// workers unwind at their next node visit; the join then returns a
+/// JoinStats whose `status` carries that first error and skips the replay
+/// (partial worker output is discarded, the caller's sink stays untouched).
+/// Errors from the caller's sink during the replay likewise abort the replay
+/// and surface through `status`. Failpoint `parallel_join.worker` injects a
+/// worker exception for testing this path.
 
 namespace csj {
 
@@ -112,6 +126,16 @@ JoinStats ParallelCompactSimilarityJoin(
   CSJ_CHECK(sink != nullptr);
   CSJ_CHECK(options.tracker == nullptr)
       << "node-access tracking is not supported in parallel mode";
+  if (!sink->error().ok()) {
+    // The sink is already dead (e.g. its output file never opened): don't
+    // burn a parallel traversal producing output nobody can accept.
+    JoinStats dead;
+    dead.algorithm = JoinAlgorithm::kCSJ;
+    dead.epsilon = options.epsilon;
+    dead.window_size = options.window_size;
+    dead.status = sink->error();
+    return dead;
+  }
   const int threads =
       parallel.threads > 0
           ? parallel.threads
@@ -125,6 +149,17 @@ JoinStats ParallelCompactSimilarityJoin(
           static_cast<size_t>(std::max(parallel.tasks_per_thread, 1)));
 
   std::atomic<size_t> cursor{0};
+  std::atomic<bool> cancel{false};
+  std::mutex error_mu;
+  Status first_error;  // guarded by error_mu until the pool is joined
+  auto record_error = [&](const Status& status) {
+    std::lock_guard<std::mutex> lock(error_mu);
+    if (first_error.ok() && !status.ok()) {
+      first_error = status;
+      cancel.store(true, std::memory_order_relaxed);
+    }
+  };
+
   std::vector<std::unique_ptr<MemorySink>> worker_sinks;
   std::vector<JoinStats> worker_stats(static_cast<size_t>(threads));
   worker_sinks.reserve(static_cast<size_t>(threads));
@@ -137,27 +172,54 @@ JoinStats ParallelCompactSimilarityJoin(
     pool.reserve(static_cast<size_t>(threads));
     for (int t = 0; t < threads; ++t) {
       pool.emplace_back([&, t] {
-        Driver driver(tree, tree, /*self_join=*/true, JoinAlgorithm::kCSJ,
-                      options, worker_sinks[static_cast<size_t>(t)].get());
-        worker_stats[static_cast<size_t>(t)] =
-            driver.RunTasks(tasks, &cursor);
+        // A throwing worker must not std::terminate the process: capture
+        // the first failure and cancel the siblings instead.
+        try {
+          if (CSJ_FAILPOINT("parallel_join.worker")) {
+            throw std::runtime_error("injected worker fault");
+          }
+          Driver driver(tree, tree, /*self_join=*/true, JoinAlgorithm::kCSJ,
+                        options, worker_sinks[static_cast<size_t>(t)].get());
+          driver.SetCancelFlag(&cancel);
+          worker_stats[static_cast<size_t>(t)] =
+              driver.RunTasks(tasks, &cursor);
+          record_error(worker_stats[static_cast<size_t>(t)].status);
+        } catch (const std::exception& e) {
+          record_error(Status::Internal(
+              StrFormat("parallel join worker %d failed: %s", t, e.what())));
+        } catch (...) {
+          record_error(Status::Internal(
+              StrFormat("parallel join worker %d failed with a non-standard "
+                        "exception", t)));
+        }
       });
     }
     for (auto& thread : pool) thread.join();
   }
 
-  // Replay worker outputs into the caller's sink, serially.
   JoinStats total;
   total.algorithm = JoinAlgorithm::kCSJ;
   total.epsilon = options.epsilon;
   total.window_size = options.window_size;
-  for (int t = 0; t < threads; ++t) {
+  if (!first_error.ok()) {
+    // A failed worker means the task coverage is incomplete; replaying the
+    // survivors would hand the caller a silently truncated result.
+    total.status = first_error;
+    total.elapsed_seconds = timer.ElapsedSeconds();
+    return total;
+  }
+
+  // Replay worker outputs into the caller's sink, serially. A sink error
+  // (e.g. the output disk filling up mid-replay) aborts the replay.
+  for (int t = 0; t < threads && sink->error().ok(); ++t) {
     const MemorySink& worker = *worker_sinks[static_cast<size_t>(t)];
     for (const auto& [a, b] : worker.links()) {
+      if (!sink->error().ok()) break;
       sink->Link(a, b);
       total.AddImpliedLink();
     }
     for (const auto& group : worker.groups()) {
+      if (!sink->error().ok()) break;
       sink->Group(group);
       total.AddImpliedGroup(group.size());
     }
@@ -167,6 +229,7 @@ JoinStats ParallelCompactSimilarityJoin(
     total.merges += ws.merges;
     total.merge_attempts += ws.merge_attempts;
   }
+  total.status = sink->error();
   total.links = sink->num_links();
   total.groups = sink->num_groups();
   total.group_member_total = sink->group_member_total();

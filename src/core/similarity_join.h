@@ -68,13 +68,18 @@ class JoinDriver {
     NodeId second = kInvalidNode;
   };
 
+  /// Installs an external cancellation flag: when it becomes true the
+  /// traversal unwinds at the next node visit (used by the parallel join to
+  /// stop all workers once one of them fails).
+  void SetCancelFlag(const std::atomic<bool>* cancel) { cancel_ = cancel; }
+
   /// Processes tasks pulled from a shared cursor (used by the parallel
   /// join; each worker owns one driver + sink). Self-join trees only.
   JoinStats RunTasks(const std::vector<Task>& tasks,
                      std::atomic<size_t>* cursor) {
     WallTimer timer;
     CSJ_CHECK(self_join_);
-    while (true) {
+    while (!Aborted()) {
       const size_t index = cursor->fetch_add(1, std::memory_order_relaxed);
       if (index >= tasks.size()) break;
       const Task& task = tasks[index];
@@ -109,7 +114,17 @@ class JoinDriver {
   }
 
  private:
+  /// True when the run should stop producing output: either the sink hit a
+  /// sticky error (full disk, failed write) or an external canceller fired.
+  /// Checked at every node visit, so a dead sink aborts the traversal in
+  /// O(depth) instead of grinding through the remaining pair space.
+  bool Aborted() const {
+    return !sink_->error().ok() ||
+           (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed));
+  }
+
   void FinalizeStats(const WallTimer& timer) {
+    stats_.status = sink_->error();
     stats_.elapsed_seconds = timer.ElapsedSeconds();
     stats_.write_seconds = write_timer_.TotalSeconds();
     stats_.links = sink_->num_links();
@@ -144,6 +159,7 @@ class JoinDriver {
   // --- Single-node recursion (Figure 3, simJoin(n)) -------------------------
 
   void SelfJoin(NodeId n) {
+    if (Aborted()) return;
     TouchA(n);
     if (Compact() && options_.early_stop &&
         tree_a_.MaxDiameter(n) <= eps_) {
@@ -191,6 +207,7 @@ class JoinDriver {
 
   /// Dual-node recursion within the self-joined tree (simJoin(n1, n2)).
   void SelfDualJoin(NodeId n1, NodeId n2) {
+    if (Aborted()) return;
     TouchA(n1);
     TouchA(n2);
     if (Compact() && options_.early_stop &&
@@ -233,6 +250,7 @@ class JoinDriver {
   // --- Dual-tree recursion (spatial join, Section IV-D) ----------------------
 
   void DualJoin(NodeId a, NodeId b) {
+    if (Aborted()) return;
     TouchA(a);
     TouchB(b);
     if (Compact() && options_.early_stop &&
@@ -353,6 +371,7 @@ class JoinDriver {
   double eps_;
   double eps_squared_;
   JoinSink* sink_;
+  const std::atomic<bool>* cancel_ = nullptr;
   JoinStats stats_;
   StopwatchAccumulator write_timer_;
   GroupWindow<D> window_;

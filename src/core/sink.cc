@@ -2,9 +2,13 @@
 
 namespace csj {
 
-FileSink::FileSink(int id_width, std::string path)
+FileSink::FileSink(int id_width, std::string path, const Options& options)
     : JoinSink(id_width), path_(std::move(path)) {
-  open_status_ = file_.Open(path_);
+  OutputFile::Options file_options;
+  file_options.atomic = options.atomic;
+  file_options.sync_on_close = options.sync_on_close;
+  open_status_ = file_.Open(path_, file_options);
+  SetError(open_status_);
   scratch_.reserve(256);
 }
 
@@ -24,25 +28,29 @@ void FileSink::AppendId(PointId id, char terminator) {
 }
 
 void FileSink::DoLink(PointId a, PointId b) {
-  if (!open_status_.ok()) return;
   scratch_.clear();
   AppendId(a, ' ');
   AppendId(b, '\n');
-  file_.Append(scratch_);
+  SetError(file_.Append(scratch_));
 }
 
 void FileSink::DoGroup(std::span<const PointId> members) {
-  if (!open_status_.ok()) return;
   scratch_.clear();
   for (size_t i = 0; i < members.size(); ++i) {
     AppendId(members[i], i + 1 == members.size() ? '\n' : ' ');
   }
-  file_.Append(scratch_);
+  SetError(file_.Append(scratch_));
 }
 
 Status FileSink::Finish() {
-  CSJ_RETURN_IF_ERROR(open_status_);
-  return file_.Close();
+  if (!error().ok()) {
+    // The OutputFile already cleaned up its partial file when it failed (or
+    // will in its destructor if the error came from elsewhere).
+    return error();
+  }
+  const Status close_status = file_.Close();
+  SetError(close_status);
+  return close_status;
 }
 
 }  // namespace csj

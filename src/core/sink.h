@@ -25,6 +25,13 @@ namespace csj {
 
 /// Receives the join output. Counting of links/groups/bytes happens here in
 /// the base class; subclasses only materialize.
+///
+/// Failure model: a sink that can no longer materialize output (e.g. a file
+/// sink whose disk filled up) records a *sticky* error. From that moment
+/// Link/Group become no-ops — nothing further is counted, so the counters
+/// always describe what the sink actually accepted — and drivers poll
+/// error() to abort the traversal early instead of emitting into a dead
+/// sink. The first error wins and is also returned by Finish().
 class JoinSink {
  public:
   /// \param id_width zero-padding width; use IdWidthFor(n) for n points.
@@ -36,16 +43,19 @@ class JoinSink {
   JoinSink(const JoinSink&) = delete;
   JoinSink& operator=(const JoinSink&) = delete;
 
-  /// Emits one individual link.
+  /// Emits one individual link. No-op once the sink is in error.
   void Link(PointId a, PointId b) {
+    if (!error_.ok()) return;
     ++num_links_;
     bytes_ += 2 * static_cast<uint64_t>(id_width_ + 1);
     DoLink(a, b);
   }
 
-  /// Emits one group of mutually-qualifying points (k >= 2).
+  /// Emits one group of mutually-qualifying points (k >= 2). No-op once the
+  /// sink is in error.
   void Group(std::span<const PointId> members) {
     CSJ_DCHECK(members.size() >= 2);
+    if (!error_.ok()) return;
     ++num_groups_;
     group_member_total_ += members.size();
     bytes_ += members.size() * static_cast<uint64_t>(id_width_ + 1);
@@ -53,7 +63,10 @@ class JoinSink {
   }
 
   /// Completes the output (flushes files). Must be called exactly once.
-  virtual Status Finish() { return Status::OK(); }
+  virtual Status Finish() { return error_; }
+
+  /// Sticky error state; OK while the sink is accepting output.
+  const Status& error() const { return error_; }
 
   int id_width() const { return id_width_; }
   uint64_t num_links() const { return num_links_; }
@@ -69,8 +82,14 @@ class JoinSink {
   virtual void DoLink(PointId a, PointId b) = 0;
   virtual void DoGroup(std::span<const PointId> members) = 0;
 
+  /// Records the sink's first error; later calls keep the original.
+  void SetError(const Status& status) {
+    if (error_.ok() && !status.ok()) error_ = status;
+  }
+
  private:
   int id_width_;
+  Status error_;
   uint64_t num_links_ = 0;
   uint64_t num_groups_ = 0;
   uint64_t group_member_total_ = 0;
@@ -94,16 +113,34 @@ class CountingSink final : public JoinSink {
 };
 
 /// Writes the paper's text format to a file through a buffered OutputFile.
+///
+/// Robust by default: the file is written atomically (temp + rename in
+/// Finish), every I/O error — including a failed Open — becomes the sink's
+/// sticky error, and a failed or abandoned sink leaves no partial file at
+/// `path` (the destination keeps whatever it held before).
 class FileSink final : public JoinSink {
  public:
-  FileSink(int id_width, std::string path);
+  struct Options {
+    /// Temp-file + rename commit in Finish(). Disable to stream directly to
+    /// `path` (the pre-hardening behavior; partial output is still deleted
+    /// on error).
+    bool atomic = true;
+    /// fsync before the commit rename; for output that must survive crashes.
+    bool sync_on_close = false;
+  };
 
+  FileSink(int id_width, std::string path, const Options& options);
+  FileSink(int id_width, std::string path)
+      : FileSink(id_width, std::move(path), Options()) {}
+
+  /// Commits the file. Returns the sink's sticky error if any write failed,
+  /// otherwise the close/rename status.
   Status Finish() override;
 
   const std::string& path() const { return path_; }
   /// Bytes actually written so far (matches bytes() after Finish()).
   uint64_t file_bytes() const { return file_.bytes_written(); }
-  /// Status of the deferred Open (checked in Finish, surfaced early here).
+  /// Status of the Open performed by the constructor (also sets error()).
   const Status& open_status() const { return open_status_; }
 
  protected:

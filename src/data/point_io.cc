@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/failpoint.h"
 #include "util/format.h"
 
 namespace csj::io_internal {
@@ -17,7 +18,15 @@ Status WritePointsText(const std::string& path,
       std::fprintf(f, d + 1 == row.size() ? "%.17g\n" : "%.17g ", row[d]);
     }
   }
-  if (std::fclose(f) != 0) return Status::IoError("close failed: " + path);
+  if (std::ferror(f) != 0) {
+    std::fclose(f);
+    std::remove(path.c_str());
+    return Status::IoError("write failed: " + path);
+  }
+  if (std::fclose(f) != 0) {
+    std::remove(path.c_str());
+    return Status::IoError("close failed: " + path);
+  }
   return Status::OK();
 }
 
@@ -30,10 +39,27 @@ Result<std::vector<std::vector<double>>> ReadPointsText(
   int line_no = 0;
   while (std::fgets(line, sizeof(line), f) != nullptr) {
     ++line_no;
+    if (CSJ_FAILPOINT("point_io.read")) {
+      std::fclose(f);
+      return Status::IoError(
+          StrFormat("%s:%d: injected read fault", path.c_str(), line_no));
+    }
+    // A full buffer with no newline means the line kept going: reject it
+    // rather than silently splitting one point across two parses. (The last
+    // line of the file may legitimately lack a newline.)
+    if (std::strchr(line, '\n') == nullptr && !std::feof(f)) {
+      std::fclose(f);
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: line exceeds %zu bytes", path.c_str(), line_no,
+                    sizeof(line) - 1));
+    }
     // Skip blank and comment lines.
     char* cursor = line;
     while (*cursor == ' ' || *cursor == '\t') ++cursor;
-    if (*cursor == '\0' || *cursor == '\n' || *cursor == '#') continue;
+    if (*cursor == '\0' || *cursor == '\n' || *cursor == '\r' ||
+        *cursor == '#') {
+      continue;
+    }
 
     std::vector<double> row;
     while (true) {
@@ -43,6 +69,22 @@ Result<std::vector<std::vector<double>>> ReadPointsText(
       row.push_back(value);
       cursor = end;
     }
+    // Anything left that is not whitespace or a trailing comment is a token
+    // strtod could not consume — report it instead of silently dropping it.
+    while (*cursor == ' ' || *cursor == '\t') ++cursor;
+    if (*cursor != '\0' && *cursor != '\n' && *cursor != '\r' &&
+        *cursor != '#') {
+      std::fclose(f);
+      size_t token_len = 0;
+      while (token_len < 12 && cursor[token_len] != '\0' &&
+             cursor[token_len] != '\n' && cursor[token_len] != '\r') {
+        ++token_len;
+      }
+      return Status::InvalidArgument(
+          StrFormat("%s:%d: non-numeric token starting at '%.*s'",
+                    path.c_str(), line_no, static_cast<int>(token_len),
+                    cursor));
+    }
     if (static_cast<int>(row.size()) != expected_dims) {
       std::fclose(f);
       return Status::InvalidArgument(
@@ -51,7 +93,14 @@ Result<std::vector<std::vector<double>>> ReadPointsText(
     }
     rows.push_back(std::move(row));
   }
+  if (std::ferror(f) != 0) {
+    std::fclose(f);
+    return Status::IoError("read failed: " + path);
+  }
   std::fclose(f);
+  if (rows.empty()) {
+    return Status::InvalidArgument("no points in " + path);
+  }
   return rows;
 }
 

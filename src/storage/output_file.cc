@@ -1,43 +1,123 @@
 #include "storage/output_file.h"
 
-#include <vector>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
 
 #include "util/check.h"
+#include "util/failpoint.h"
+#include "util/format.h"
 
 namespace csj {
 
+namespace {
+
+std::string ErrnoSuffix() {
+  return errno != 0 ? std::string(": ") + std::strerror(errno) : std::string();
+}
+
+}  // namespace
+
 OutputFile::~OutputFile() {
+  // Destruction without a successful Close() means the writer was abandoned
+  // (error path or early exit): discard the partial file rather than leaving
+  // truncated output that looks like a complete result.
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+    std::remove(write_path_.c_str());
+  }
+}
+
+Status OutputFile::Open(const std::string& path, const Options& options) {
+  CSJ_CHECK(file_ == nullptr) << "OutputFile already open: " << path_;
+  path_ = path;
+  options_ = options;
+  write_path_ = options.atomic
+                    ? StrFormat("%s.tmp.%d", path.c_str(), getpid())
+                    : path;
+  status_ = Status::OK();
+  bytes_written_ = 0;
+  errno = 0;
+  if (CSJ_FAILPOINT("output_file.open")) {
+    return Fail(Status::IoError("injected open fault: " + write_path_));
+  }
+  file_ = std::fopen(write_path_.c_str(), "wb");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open for write: " + write_path_ +
+                              ErrnoSuffix());
+    return status_;
+  }
+  // A generous stdio buffer keeps write syscalls off the join's hot path,
+  // matching what a tuned DB output writer would do.
+  std::setvbuf(file_, nullptr, _IOFBF, 1 << 20);
+  return Status::OK();
+}
+
+Status OutputFile::Append(const char* data, size_t size) {
+  if (file_ == nullptr) {
+    if (!status_.ok()) return status_;  // sticky error from Open/Append/Close
+    return Status::FailedPrecondition("append to closed file: " + path_);
+  }
+  errno = 0;
+  size_t written;
+  if (CSJ_FAILPOINT("output_file.append")) {
+    // Simulated short write: half the payload lands, then the device fails.
+    written = std::fwrite(data, 1, size / 2, file_);
+  } else {
+    written = std::fwrite(data, 1, size, file_);
+  }
+  bytes_written_ += written;
+  if (written != size) {
+    return Fail(Status::IoError(
+        StrFormat("short write to %s (%zu of %zu bytes)%s",
+                  write_path_.c_str(), written, size,
+                  std::ferror(file_) != 0 ? ErrnoSuffix().c_str() : "")));
+  }
+  return Status::OK();
+}
+
+Status OutputFile::Close() {
+  if (file_ == nullptr) return status_;  // never opened, failed, or closed
+  errno = 0;
+  if (CSJ_FAILPOINT("output_file.flush") || std::fflush(file_) != 0) {
+    return Fail(Status::IoError("flush failed: " + write_path_ +
+                                ErrnoSuffix()));
+  }
+  if (options_.sync_on_close) {
+    if (CSJ_FAILPOINT("output_file.sync") || ::fsync(fileno(file_)) != 0) {
+      return Fail(Status::IoError("fsync failed: " + write_path_ +
+                                  ErrnoSuffix()));
+    }
+  }
+  const int close_rc = std::fclose(file_);
+  file_ = nullptr;
+  if (CSJ_FAILPOINT("output_file.close") || close_rc != 0) {
+    status_ = Status::IoError("close failed: " + write_path_ + ErrnoSuffix());
+    std::remove(write_path_.c_str());
+    return status_;
+  }
+  if (options_.atomic) {
+    if (CSJ_FAILPOINT("output_file.rename") ||
+        std::rename(write_path_.c_str(), path_.c_str()) != 0) {
+      status_ = Status::IoError("rename failed: " + write_path_ + " -> " +
+                                path_ + ErrnoSuffix());
+      std::remove(write_path_.c_str());
+      return status_;
+    }
+  }
+  return Status::OK();
+}
+
+Status OutputFile::Fail(Status status) {
+  if (status_.ok()) status_ = std::move(status);
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;
   }
-}
-
-Status OutputFile::Open(const std::string& path) {
-  CSJ_CHECK(file_ == nullptr) << "OutputFile already open: " << path_;
-  file_ = std::fopen(path.c_str(), "wb");
-  if (file_ == nullptr) return Status::IoError("cannot open for write: " + path);
-  // A generous stdio buffer keeps write syscalls off the join's hot path,
-  // matching what a tuned DB output writer would do.
-  std::setvbuf(file_, nullptr, _IOFBF, 1 << 20);
-  path_ = path;
-  bytes_written_ = 0;
-  return Status::OK();
-}
-
-void OutputFile::Append(const char* data, size_t size) {
-  CSJ_DCHECK(file_ != nullptr);
-  const size_t written = std::fwrite(data, 1, size, file_);
-  CSJ_CHECK_EQ(written, size) << "short write to " << path_;
-  bytes_written_ += size;
-}
-
-Status OutputFile::Close() {
-  if (file_ == nullptr) return Status::OK();
-  const int rc = std::fclose(file_);
-  file_ = nullptr;
-  if (rc != 0) return Status::IoError("close failed: " + path_);
-  return Status::OK();
+  std::remove(write_path_.c_str());
+  return status_;
 }
 
 }  // namespace csj

@@ -13,35 +13,76 @@
 /// The paper measures output size as "the size in bytes of the resulting
 /// output text file" and includes the write time in the reported runtime, so
 /// the file sink performs real buffered writes and counts every byte.
+///
+/// Failure semantics: every I/O error (short write, flush, fsync, close,
+/// rename) is captured in a *sticky* Status — the first error wins, later
+/// operations short-circuit and return it. On the first error, and on
+/// destruction without a successful Close(), the partially written file is
+/// deleted, so a failed or interrupted writer never leaves partial output
+/// behind. With `Options::atomic`, data goes to a temporary sibling file
+/// that is renamed over the destination only after a fully successful
+/// Close(), making the write crash-safe as well.
+///
+/// Failpoints (see util/failpoint.h): `output_file.open`,
+/// `output_file.append` (simulated short write), `output_file.flush`,
+/// `output_file.sync`, `output_file.close`, `output_file.rename`.
 
 namespace csj {
 
 /// Append-only buffered writer. Not thread safe.
 class OutputFile {
  public:
+  struct Options {
+    /// Write to `<path>.tmp.<pid>` and rename onto `path` in Close(): the
+    /// destination either keeps its previous content or appears complete.
+    bool atomic = false;
+    /// fsync() before closing, so a successful Close() survives power loss.
+    bool sync_on_close = false;
+  };
+
   OutputFile() = default;
   ~OutputFile();
 
   OutputFile(const OutputFile&) = delete;
   OutputFile& operator=(const OutputFile&) = delete;
 
-  /// Opens (truncating) the file at `path`.
-  Status Open(const std::string& path);
+  /// Opens the file at `path` for writing (truncating it immediately in
+  /// non-atomic mode; on successful Close() in atomic mode).
+  Status Open(const std::string& path, const Options& options);
+  Status Open(const std::string& path) { return Open(path, Options()); }
 
-  /// Appends raw bytes. Must be open.
-  void Append(const char* data, size_t size);
-  void Append(const std::string& text) { Append(text.data(), text.size()); }
+  /// Appends raw bytes. Returns the sticky error state: once any append
+  /// fails, the file is closed, partial output is deleted, and every later
+  /// Append returns the original error. Appending to a file that was never
+  /// opened, or after Close(), returns (but does not stick) a
+  /// FailedPrecondition.
+  Status Append(const char* data, size_t size);
+  Status Append(const std::string& text) {
+    return Append(text.data(), text.size());
+  }
 
-  /// Flushes buffers and closes. Safe to call twice.
+  /// Flushes (and optionally fsyncs) buffers, closes, and — in atomic mode —
+  /// renames the temporary onto the destination. Safe to call twice: the
+  /// second call returns the sticky status of the first.
   Status Close();
+
+  /// Sticky error state; OK while the writer is healthy.
+  const Status& status() const { return status_; }
 
   bool is_open() const { return file_ != nullptr; }
   uint64_t bytes_written() const { return bytes_written_; }
   const std::string& path() const { return path_; }
 
  private:
+  /// Records the first error, closes the stream, and deletes the partial
+  /// file. Returns the sticky status for tail-calling.
+  Status Fail(Status status);
+
   std::FILE* file_ = nullptr;
-  std::string path_;
+  std::string path_;        ///< destination path
+  std::string write_path_;  ///< file actually being written (tmp if atomic)
+  Options options_;
+  Status status_;
   uint64_t bytes_written_ = 0;
 };
 

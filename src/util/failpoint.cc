@@ -1,0 +1,222 @@
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+
+#include "util/format.h"
+
+namespace csj::failpoint {
+namespace {
+
+/// Armed failpoint state. Counters live here so they reset with DisableAll.
+struct Entry {
+  Spec spec;
+  uint64_t hits = 0;
+  uint64_t fires = 0;
+  uint64_t rng_state = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::map<std::string, Entry> entries;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// splitmix64: tiny, deterministic, decent-quality — exactly what a
+/// reproducible probabilistic trigger needs.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+bool EvaluateLocked(Entry* entry) {
+  ++entry->hits;
+  bool fire = false;
+  switch (entry->spec.mode) {
+    case Spec::Mode::kOff:
+      break;
+    case Spec::Mode::kAlways:
+      fire = true;
+      break;
+    case Spec::Mode::kOnce:
+      fire = entry->hits == 1;
+      break;
+    case Spec::Mode::kEveryNth:
+      fire = entry->hits % std::max<uint64_t>(entry->spec.n, 1) == 0;
+      break;
+    case Spec::Mode::kProbability: {
+      const uint64_t raw = SplitMix64(&entry->rng_state);
+      // Map the top 53 bits to [0,1).
+      const double u =
+          static_cast<double>(raw >> 11) * (1.0 / 9007199254740992.0);
+      fire = u < entry->spec.probability;
+      break;
+    }
+  }
+  if (fire) ++entry->fires;
+  return fire;
+}
+
+}  // namespace
+
+namespace internal {
+
+std::atomic<int>& ArmedCount() {
+  static std::atomic<int> count{0};
+  return count;
+}
+
+bool ShouldFailSlow(const char* name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.entries.find(name);
+  if (it == registry.entries.end()) return false;
+  return EvaluateLocked(&it->second);
+}
+
+}  // namespace internal
+
+void Enable(const std::string& name, const Spec& spec) {
+  if (spec.mode == Spec::Mode::kOff) {
+    Disable(name);
+    return;
+  }
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto [it, inserted] = registry.entries.try_emplace(name);
+  it->second = Entry{};
+  it->second.spec = spec;
+  it->second.rng_state = spec.seed;
+  if (inserted) {
+    internal::ArmedCount().fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void Disable(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  if (registry.entries.erase(name) > 0) {
+    internal::ArmedCount().fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisableAll() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  internal::ArmedCount().fetch_sub(static_cast<int>(registry.entries.size()),
+                                   std::memory_order_relaxed);
+  registry.entries.clear();
+}
+
+Status EnableFromString(const std::string& name, const std::string& trigger) {
+  if (name.empty()) return Status::InvalidArgument("empty failpoint name");
+  Spec spec;
+  if (trigger == "off") {
+    Disable(name);
+    return Status::OK();
+  } else if (trigger == "always") {
+    spec = Spec::Always();
+  } else if (trigger == "once") {
+    spec = Spec::Once();
+  } else if (trigger.rfind("every:", 0) == 0) {
+    char* end = nullptr;
+    const unsigned long long n =
+        std::strtoull(trigger.c_str() + 6, &end, 10);
+    if (end == trigger.c_str() + 6 || *end != '\0' || n == 0) {
+      return Status::InvalidArgument("bad every-N trigger: " + trigger);
+    }
+    spec = Spec::EveryNth(n);
+  } else if (trigger.rfind("prob:", 0) == 0) {
+    char* end = nullptr;
+    const double p = std::strtod(trigger.c_str() + 5, &end);
+    if (end == trigger.c_str() + 5 || p < 0.0 || p > 1.0) {
+      return Status::InvalidArgument("bad probability trigger: " + trigger);
+    }
+    uint64_t seed = 0;
+    if (*end == ':') {
+      char* seed_end = nullptr;
+      seed = std::strtoull(end + 1, &seed_end, 10);
+      if (seed_end == end + 1 || *seed_end != '\0') {
+        return Status::InvalidArgument("bad probability seed: " + trigger);
+      }
+    } else if (*end != '\0') {
+      return Status::InvalidArgument("bad probability trigger: " + trigger);
+    }
+    spec = Spec::Probability(p, seed);
+  } else {
+    return Status::InvalidArgument("unknown failpoint trigger: " + trigger);
+  }
+  Enable(name, spec);
+  return Status::OK();
+}
+
+Status Configure(const std::string& config) {
+  size_t start = 0;
+  while (start <= config.size()) {
+    size_t end = config.find(';', start);
+    if (end == std::string::npos) end = config.size();
+    const std::string item = config.substr(start, end - start);
+    start = end + 1;
+    if (item.empty()) continue;
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("failpoint item missing '=': " + item);
+    }
+    CSJ_RETURN_IF_ERROR(
+        EnableFromString(item.substr(0, eq), item.substr(eq + 1)));
+  }
+  return Status::OK();
+}
+
+uint64_t HitCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.entries.find(name);
+  return it == registry.entries.end() ? 0 : it->second.hits;
+}
+
+uint64_t FireCount(const std::string& name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  auto it = registry.entries.find(name);
+  return it == registry.entries.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> ArmedNames() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mu);
+  std::vector<std::string> names;
+  names.reserve(registry.entries.size());
+  for (const auto& [name, entry] : registry.entries) names.push_back(name);
+  return names;
+}
+
+namespace {
+
+/// Arms failpoints from CSJ_FAILPOINTS before main() runs. A plain static
+/// initializer (not lazy) so that evaluation sites never pay for an
+/// "is the environment parsed yet?" check on their fast path.
+const bool g_env_loaded = [] {
+  const char* env = std::getenv("CSJ_FAILPOINTS");
+  if (env != nullptr && *env != '\0') {
+    const Status status = Configure(env);
+    if (!status.ok()) {
+      std::fprintf(stderr, "CSJ_FAILPOINTS ignored: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+  return true;
+}();
+
+}  // namespace
+
+}  // namespace csj::failpoint

@@ -1,0 +1,133 @@
+#ifndef CSJ_UTIL_FAILPOINT_H_
+#define CSJ_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// Deterministic fault injection ("failpoints").
+///
+/// A failpoint is a named hook compiled into error-handling code:
+///
+///     if (CSJ_FAILPOINT("output_file.append")) {
+///       return Fail(Status::IoError("injected write fault"));
+///     }
+///
+/// By default every failpoint is off and the hook costs one relaxed atomic
+/// load (and nothing at all when the build disables the subsystem, see
+/// below). Tests — or an operator reproducing a failure — arm failpoints
+/// either programmatically (failpoint::Enable / failpoint::ScopedFailpoint)
+/// or through the CSJ_FAILPOINTS environment variable, which is parsed once
+/// before the first failpoint evaluation:
+///
+///     CSJ_FAILPOINTS="output_file.append=every:100;output_file.close=always"
+///
+/// Trigger grammar (per failpoint):
+///   * `always`        — fire on every evaluation
+///   * `once`          — fire on the first evaluation only
+///   * `every:N`       — fire on every Nth evaluation (N >= 1)
+///   * `prob:P[:SEED]` — fire with probability P in [0,1], from a private
+///                       deterministic RNG seeded with SEED (default 0);
+///                       the sequence of decisions is reproducible
+///   * `off`           — explicitly disarm
+///
+/// Compile-time kill switch: building with -DCSJ_NO_FAILPOINTS (CMake option
+/// CSJ_FAILPOINTS=OFF) turns CSJ_FAILPOINT(name) into the literal `false`,
+/// so release binaries carry zero overhead and no registry.
+
+namespace csj::failpoint {
+
+/// How an armed failpoint decides whether to fire.
+struct Spec {
+  enum class Mode {
+    kOff,
+    kAlways,
+    kOnce,
+    kEveryNth,
+    kProbability,
+  };
+
+  Mode mode = Mode::kOff;
+  uint64_t n = 1;            ///< period for kEveryNth (fires when hits % n == 0)
+  double probability = 0.0;  ///< firing probability for kProbability
+  uint64_t seed = 0;         ///< RNG seed for kProbability
+
+  static Spec Always() { return Spec{Mode::kAlways, 1, 0.0, 0}; }
+  static Spec Once() { return Spec{Mode::kOnce, 1, 0.0, 0}; }
+  static Spec EveryNth(uint64_t n) { return Spec{Mode::kEveryNth, n, 0.0, 0}; }
+  static Spec Probability(double p, uint64_t seed = 0) {
+    return Spec{Mode::kProbability, 1, p, seed};
+  }
+};
+
+/// Arms `name` with `spec`. Replaces any previous arming.
+void Enable(const std::string& name, const Spec& spec);
+
+/// Disarms `name`. No-op if it was not armed.
+void Disable(const std::string& name);
+
+/// Disarms everything and resets all hit/fire counters.
+void DisableAll();
+
+/// Parses one trigger ("always", "every:3", "prob:0.5:42", ...) and arms
+/// `name` with it.
+Status EnableFromString(const std::string& name, const std::string& trigger);
+
+/// Parses a full configuration string ("a=always;b=every:3"). Used for the
+/// CSJ_FAILPOINTS environment variable; also handy in tests.
+Status Configure(const std::string& config);
+
+/// Number of times `name` was evaluated (armed failpoints only).
+uint64_t HitCount(const std::string& name);
+
+/// Number of times `name` actually fired.
+uint64_t FireCount(const std::string& name);
+
+/// Names of all currently armed failpoints, sorted.
+std::vector<std::string> ArmedNames();
+
+/// RAII arming for tests: arms in the constructor, disarms in the destructor.
+class ScopedFailpoint {
+ public:
+  ScopedFailpoint(std::string name, const Spec& spec) : name_(std::move(name)) {
+    Enable(name_, spec);
+  }
+  ~ScopedFailpoint() { Disable(name_); }
+
+  ScopedFailpoint(const ScopedFailpoint&) = delete;
+  ScopedFailpoint& operator=(const ScopedFailpoint&) = delete;
+
+ private:
+  std::string name_;
+};
+
+namespace internal {
+
+/// Global count of armed failpoints; the macro's fast path. The atomic lives
+/// behind a function so the header needs no global definition.
+std::atomic<int>& ArmedCount();
+
+/// Slow path: registry lookup + trigger evaluation. Only called while at
+/// least one failpoint (possibly a different one) is armed.
+bool ShouldFailSlow(const char* name);
+
+inline bool Evaluate(const char* name) {
+  return ArmedCount().load(std::memory_order_relaxed) > 0 &&
+         ShouldFailSlow(name);
+}
+
+}  // namespace internal
+}  // namespace csj::failpoint
+
+#ifdef CSJ_NO_FAILPOINTS
+#define CSJ_FAILPOINT(name) false
+#else
+/// True when the named failpoint is armed and its trigger fires.
+#define CSJ_FAILPOINT(name) (::csj::failpoint::internal::Evaluate(name))
+#endif
+
+#endif  // CSJ_UTIL_FAILPOINT_H_

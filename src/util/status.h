@@ -128,11 +128,30 @@ class Result {
 #define CSJ_STATUS_CONCAT(a, b) CSJ_STATUS_CONCAT_IMPL(a, b)
 
 /// Assigns the value of a Result expression to `lhs`, or returns its Status.
-#define CSJ_ASSIGN_OR_RETURN(lhs, expr)                                \
-  auto CSJ_STATUS_CONCAT(_csj_result_, __LINE__) = (expr);             \
-  if (!CSJ_STATUS_CONCAT(_csj_result_, __LINE__).ok())                 \
-    return CSJ_STATUS_CONCAT(_csj_result_, __LINE__).status();         \
-  lhs = std::move(CSJ_STATUS_CONCAT(_csj_result_, __LINE__)).value()
+///
+/// Usage note: the macro expands to multiple statements (it has to — `lhs`
+/// may be a declaration like `auto rows`, which must land in the enclosing
+/// scope). It therefore must be used as a full statement inside a braced
+/// block, never as the unbraced body of an `if`/`for`/`while`:
+///
+///     if (cond) CSJ_ASSIGN_OR_RETURN(auto v, F());   // WRONG: won't compile
+///     if (cond) { CSJ_ASSIGN_OR_RETURN(auto v, F()); ... }  // correct
+///
+/// The temporary is named with __COUNTER__, so every expansion gets a unique
+/// variable. This is what makes the misuse above a guaranteed compile error:
+/// with the previous __LINE__-based name, two expansions on one line shared
+/// a name, and `X(); if (cond) X();` could silently bind the second
+/// expansion's checks to the *first* expansion's result — compiling but
+/// returning the wrong value. Unique names also allow two expansions on the
+/// same line (e.g. in another macro).
+#define CSJ_ASSIGN_OR_RETURN(lhs, expr) \
+  CSJ_ASSIGN_OR_RETURN_IMPL(            \
+      CSJ_STATUS_CONCAT(_csj_result_, __COUNTER__), lhs, expr)
+
+#define CSJ_ASSIGN_OR_RETURN_IMPL(result, lhs, expr) \
+  auto result = (expr);                              \
+  if (!result.ok()) return result.status();          \
+  lhs = std::move(result).value()
 
 }  // namespace csj
 

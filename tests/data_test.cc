@@ -223,6 +223,90 @@ TEST(PointIoTest, DimensionMismatchRejected) {
   EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
 }
 
+TEST(PointIoTest, NonNumericTokenRejected) {
+  const std::string path = testing::TempDir() + "/csj_points_nonnum.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("0.1 0.2\n0.3 oops\n", f);
+  std::fclose(f);
+  auto result = LoadPoints<2>(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("non-numeric"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(PointIoTest, TrailingGarbageAfterFullRowRejected) {
+  // Regression: "0.1 0.2 oops" used to load as (0.1, 0.2), silently
+  // dropping the unparseable token.
+  const std::string path = testing::TempDir() + "/csj_points_trailing.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("0.1 0.2 oops\n", f);
+  std::fclose(f);
+  auto result = LoadPoints<2>(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PointIoTest, TooFewColumnsRejected) {
+  const std::string path = testing::TempDir() + "/csj_points_short.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("0.1 0.2\n0.3\n", f);
+  std::fclose(f);
+  auto result = LoadPoints<2>(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PointIoTest, EmptyFileRejected) {
+  const std::string path = testing::TempDir() + "/csj_points_empty.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  auto result = LoadPoints<2>(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PointIoTest, CommentsOnlyFileRejected) {
+  const std::string path = testing::TempDir() + "/csj_points_comments_only.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("# just a header\n\n# nothing else\n", f);
+  std::fclose(f);
+  auto result = LoadPoints<2>(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PointIoTest, OverlongLineRejected) {
+  const std::string path = testing::TempDir() + "/csj_points_long.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("0.1 0.2\n", f);
+  for (int i = 0; i < 400; ++i) std::fputs("0.5 ", f);  // one 1600-byte line
+  std::fputs("\n", f);
+  std::fclose(f);
+  auto result = LoadPoints<2>(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("exceeds"), std::string::npos);
+}
+
+TEST(PointIoTest, TrailingCommentOnDataLineAllowed) {
+  const std::string path = testing::TempDir() + "/csj_points_inline_comment.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("0.5 0.25 # the first point\n0.75 1.0\n", f);
+  std::fclose(f);
+  auto result = LoadPoints<2>(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 2u);
+  EXPECT_DOUBLE_EQ((*result)[0][1], 0.25);
+}
+
 TEST(PointIoTest, SkipsCommentsAndBlankLines) {
   const std::string path = testing::TempDir() + "/csj_points_comments.txt";
   std::FILE* f = std::fopen(path.c_str(), "w");

@@ -1,0 +1,283 @@
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/parallel_join.h"
+#include "core/similarity_join.h"
+#include "core/sink.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "data/point_io.h"
+#include "index/rstar_tree.h"
+#include "util/failpoint.h"
+#include "util/format.h"
+
+/// \file
+/// End-to-end fault injection: drives failpoints through OutputFile,
+/// FileSink, LoadPoints, and the sequential + parallel joins, asserting that
+/// every injected fault is reported as a Status, that no partial output file
+/// survives, and that the process never crashes.
+
+namespace csj {
+namespace {
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return "";
+  std::string content;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, got);
+  std::fclose(f);
+  return content;
+}
+
+/// The temp file FileSink/OutputFile write behind an atomic destination.
+std::string TempPathFor(const std::string& path) {
+  return StrFormat("%s.tmp.%d", path.c_str(), getpid());
+}
+
+void ExpectNoOutputArtifacts(const std::string& path) {
+  EXPECT_FALSE(FileExists(path)) << "partial output survived: " << path;
+  EXPECT_FALSE(FileExists(TempPathFor(path)))
+      << "temp file survived: " << TempPathFor(path);
+}
+
+class FaultInjectionTest : public testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisableAll(); }
+
+  /// A clustered workload dense enough that every join writes output.
+  RStarTree<2> BuildTree(size_t n = 2000) {
+    entries_ = ToEntries(GenerateGaussianClusters<2>(n, 5, 0.02, 17));
+    RStarTree<2> tree;
+    for (const auto& e : entries_) tree.Insert(e.id, e.point);
+    return tree;
+  }
+
+  JoinOptions DenseOptions() const {
+    JoinOptions options;
+    options.epsilon = 0.05;
+    return options;
+  }
+
+  std::vector<Entry<2>> entries_;
+};
+
+// --- Sequential joins --------------------------------------------------------
+
+TEST_F(FaultInjectionTest, SequentialJoinReportsWriteFaultAndLeavesNoFile) {
+  const auto tree = BuildTree();
+  const std::string path = testing::TempDir() + "/csj_fault_seq.txt";
+  // Let a handful of writes land, then fail: the fault hits mid-join.
+  failpoint::ScopedFailpoint fp("output_file.append",
+                                failpoint::Spec::EveryNth(5));
+  FileSink sink(IdWidthFor(entries_.size()), path);
+  ASSERT_TRUE(sink.open_status().ok());
+  const JoinStats stats = CompactSimilarityJoin(tree, DenseOptions(), &sink);
+  EXPECT_FALSE(stats.status.ok());
+  EXPECT_EQ(stats.status.code(), StatusCode::kIoError);
+  EXPECT_FALSE(sink.Finish().ok());
+  ExpectNoOutputArtifacts(path);
+}
+
+TEST_F(FaultInjectionTest, AllThreeAlgorithmsSurviveWriteFaults) {
+  const auto tree = BuildTree();
+  for (const JoinAlgorithm algorithm :
+       {JoinAlgorithm::kSSJ, JoinAlgorithm::kNCSJ, JoinAlgorithm::kCSJ}) {
+    failpoint::Enable("output_file.append", failpoint::Spec::EveryNth(3));
+    const std::string path = testing::TempDir() + "/csj_fault_algo.txt";
+    FileSink sink(IdWidthFor(entries_.size()), path);
+    const JoinStats stats = RunSelfJoin(algorithm, tree, DenseOptions(), &sink);
+    EXPECT_FALSE(stats.status.ok()) << JoinAlgorithmName(algorithm);
+    EXPECT_FALSE(sink.Finish().ok()) << JoinAlgorithmName(algorithm);
+    ExpectNoOutputArtifacts(path);
+    failpoint::DisableAll();
+  }
+}
+
+TEST_F(FaultInjectionTest, SequentialJoinAbortsTraversalEarlyOnDeadSink) {
+  const auto tree = BuildTree();
+  const std::string path = testing::TempDir() + "/csj_fault_abort.txt";
+
+  // Reference run: how much work does a healthy join do? SSJ writes every
+  // link straight to the sink, so the fault below hits immediately.
+  FileSink healthy(IdWidthFor(entries_.size()), path);
+  const JoinStats full =
+      StandardSimilarityJoin(tree, DenseOptions(), &healthy);
+  ASSERT_TRUE(healthy.Finish().ok());
+  std::remove(path.c_str());
+
+  // Faulty run: the very first write fails, so the traversal should abort
+  // long before doing the full join's distance work.
+  failpoint::ScopedFailpoint fp("output_file.append", failpoint::Spec::Once());
+  FileSink sink(IdWidthFor(entries_.size()), path);
+  const JoinStats aborted =
+      StandardSimilarityJoin(tree, DenseOptions(), &sink);
+  EXPECT_FALSE(aborted.status.ok());
+  EXPECT_FALSE(sink.Finish().ok());
+  ExpectNoOutputArtifacts(path);
+  EXPECT_LT(aborted.distance_computations, full.distance_computations / 2)
+      << "dead sink did not abort the traversal early";
+}
+
+TEST_F(FaultInjectionTest, OpenFaultMakesJoinANoOp) {
+  const auto tree = BuildTree(500);
+  const std::string path = testing::TempDir() + "/csj_fault_open.txt";
+  failpoint::ScopedFailpoint fp("output_file.open", failpoint::Spec::Always());
+  FileSink sink(IdWidthFor(entries_.size()), path);
+  EXPECT_FALSE(sink.open_status().ok());
+  const JoinStats stats = CompactSimilarityJoin(tree, DenseOptions(), &sink);
+  EXPECT_FALSE(stats.status.ok());
+  EXPECT_EQ(sink.num_links(), 0u);
+  EXPECT_EQ(sink.num_groups(), 0u);
+  EXPECT_EQ(sink.bytes(), 0u);
+  EXPECT_FALSE(sink.Finish().ok());
+  ExpectNoOutputArtifacts(path);
+}
+
+TEST_F(FaultInjectionTest, FlushFaultAtFinishIsReportedAndCleansUp) {
+  const auto tree = BuildTree(500);
+  const std::string path = testing::TempDir() + "/csj_fault_flush.txt";
+  failpoint::ScopedFailpoint fp("output_file.flush", failpoint::Spec::Always());
+  FileSink sink(IdWidthFor(entries_.size()), path);
+  const JoinStats stats = CompactSimilarityJoin(tree, DenseOptions(), &sink);
+  EXPECT_TRUE(stats.status.ok());  // writes buffered fine; flush fails later
+  EXPECT_FALSE(sink.Finish().ok());
+  EXPECT_FALSE(sink.error().ok());
+  ExpectNoOutputArtifacts(path);
+}
+
+TEST_F(FaultInjectionTest, RenameFaultKeepsPreviousFileIntact) {
+  const auto tree = BuildTree(500);
+  const std::string path = testing::TempDir() + "/csj_fault_rename.txt";
+  // A previous successful result is on disk.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("previous result\n", f);
+    std::fclose(f);
+  }
+  failpoint::ScopedFailpoint fp("output_file.rename",
+                                failpoint::Spec::Always());
+  FileSink sink(IdWidthFor(entries_.size()), path);
+  CompactSimilarityJoin(tree, DenseOptions(), &sink);
+  EXPECT_FALSE(sink.Finish().ok());
+  // The failed commit must not have clobbered the previous result.
+  EXPECT_EQ(ReadWholeFile(path), "previous result\n");
+  EXPECT_FALSE(FileExists(TempPathFor(path)));
+  std::remove(path.c_str());
+}
+
+// --- Parallel join -----------------------------------------------------------
+
+TEST_F(FaultInjectionTest, ParallelJoinReportsReplayWriteFaultAndLeavesNoFile) {
+  const auto tree = BuildTree();
+  const std::string path = testing::TempDir() + "/csj_fault_par.txt";
+  failpoint::ScopedFailpoint fp("output_file.append",
+                                failpoint::Spec::EveryNth(5));
+  FileSink sink(IdWidthFor(entries_.size()), path);
+  ParallelJoinOptions parallel;
+  parallel.threads = 4;
+  const JoinStats stats =
+      ParallelCompactSimilarityJoin(tree, DenseOptions(), &sink, parallel);
+  EXPECT_FALSE(stats.status.ok());
+  EXPECT_FALSE(sink.Finish().ok());
+  ExpectNoOutputArtifacts(path);
+}
+
+TEST_F(FaultInjectionTest, ParallelWorkerExceptionIsCapturedNotFatal) {
+  const auto tree = BuildTree();
+  failpoint::ScopedFailpoint fp("parallel_join.worker",
+                                failpoint::Spec::Once());
+  MemorySink sink(IdWidthFor(entries_.size()));
+  ParallelJoinOptions parallel;
+  parallel.threads = 4;
+  const JoinStats stats =
+      ParallelCompactSimilarityJoin(tree, DenseOptions(), &sink, parallel);
+  EXPECT_FALSE(stats.status.ok());
+  EXPECT_EQ(stats.status.code(), StatusCode::kInternal);
+  EXPECT_NE(stats.status.message().find("injected worker fault"),
+            std::string::npos);
+  // The incomplete result was discarded, not silently handed back.
+  EXPECT_EQ(sink.num_links(), 0u);
+  EXPECT_EQ(sink.num_groups(), 0u);
+}
+
+TEST_F(FaultInjectionTest, ParallelJoinWithDeadSinkSkipsTheWork) {
+  const auto tree = BuildTree(500);
+  const std::string path = testing::TempDir() + "/csj_fault_par_dead.txt";
+  failpoint::ScopedFailpoint fp("output_file.open", failpoint::Spec::Always());
+  FileSink sink(IdWidthFor(entries_.size()), path);
+  ASSERT_FALSE(sink.open_status().ok());
+  const JoinStats stats =
+      ParallelCompactSimilarityJoin(tree, DenseOptions(), &sink);
+  EXPECT_FALSE(stats.status.ok());
+  EXPECT_EQ(stats.distance_computations, 0u);
+  EXPECT_FALSE(sink.Finish().ok());
+  ExpectNoOutputArtifacts(path);
+}
+
+// --- LoadPoints --------------------------------------------------------------
+
+TEST_F(FaultInjectionTest, LoadPointsSurfacesInjectedReadFault) {
+  const std::string path = testing::TempDir() + "/csj_fault_points.txt";
+  const auto points = GenerateUniform<2>(50, 3);
+  ASSERT_TRUE(SavePoints(path, points).ok());
+  {
+    failpoint::ScopedFailpoint fp("point_io.read", failpoint::Spec::Always());
+    auto result = LoadPoints<2>(path);
+    ASSERT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+  }
+  // With the failpoint gone the same file loads fine.
+  auto result = LoadPoints<2>(path);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, points);
+  std::remove(path.c_str());
+}
+
+// --- No-fault baseline -------------------------------------------------------
+
+TEST_F(FaultInjectionTest, DisabledFailpointsLeaveOutputByteIdentical) {
+  const auto tree = BuildTree(1000);
+  const std::string path_a = testing::TempDir() + "/csj_nofault_a.txt";
+  const std::string path_b = testing::TempDir() + "/csj_nofault_b.txt";
+
+  FileSink sink_a(IdWidthFor(entries_.size()), path_a);
+  const JoinStats stats_a = CompactSimilarityJoin(tree, DenseOptions(), &sink_a);
+  ASSERT_TRUE(sink_a.Finish().ok());
+  EXPECT_TRUE(stats_a.status.ok());
+
+  // Arm-then-disarm must leave no residue on later runs.
+  failpoint::Enable("output_file.append", failpoint::Spec::Always());
+  failpoint::DisableAll();
+
+  FileSink sink_b(IdWidthFor(entries_.size()), path_b);
+  const JoinStats stats_b = CompactSimilarityJoin(tree, DenseOptions(), &sink_b);
+  ASSERT_TRUE(sink_b.Finish().ok());
+  EXPECT_TRUE(stats_b.status.ok());
+
+  const std::string content_a = ReadWholeFile(path_a);
+  EXPECT_EQ(content_a, ReadWholeFile(path_b));
+  EXPECT_GT(content_a.size(), 0u);
+  EXPECT_EQ(content_a.size(), sink_a.bytes());
+  EXPECT_EQ(stats_a.output_bytes, stats_b.output_bytes);
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+}  // namespace
+}  // namespace csj

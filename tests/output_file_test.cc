@@ -1,0 +1,234 @@
+#include "storage/output_file.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+
+#include "util/failpoint.h"
+#include "util/format.h"
+
+namespace csj {
+namespace {
+
+bool FileExists(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return false;
+  std::fclose(f);
+  return true;
+}
+
+std::string ReadWholeFile(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  if (f == nullptr) return "";
+  std::string content;
+  char buf[4096];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) content.append(buf, got);
+  std::fclose(f);
+  return content;
+}
+
+std::string TempPathFor(const std::string& path) {
+  return StrFormat("%s.tmp.%d", path.c_str(), getpid());
+}
+
+class OutputFileTest : public testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisableAll(); }
+};
+
+TEST_F(OutputFileTest, WritesAndCountsBytes) {
+  const std::string path = testing::TempDir() + "/csj_of_basic.txt";
+  OutputFile file;
+  ASSERT_TRUE(file.Open(path).ok());
+  EXPECT_TRUE(file.is_open());
+  EXPECT_TRUE(file.Append("hello ").ok());
+  EXPECT_TRUE(file.Append("world\n").ok());
+  EXPECT_EQ(file.bytes_written(), 12u);
+  ASSERT_TRUE(file.Close().ok());
+  EXPECT_FALSE(file.is_open());
+  EXPECT_EQ(ReadWholeFile(path), "hello world\n");
+  std::remove(path.c_str());
+}
+
+TEST_F(OutputFileTest, DoubleCloseIsSafe) {
+  const std::string path = testing::TempDir() + "/csj_of_dclose.txt";
+  OutputFile file;
+  ASSERT_TRUE(file.Open(path).ok());
+  ASSERT_TRUE(file.Append("x\n").ok());
+  EXPECT_TRUE(file.Close().ok());
+  EXPECT_TRUE(file.Close().ok());  // second close: no-op, still OK
+  EXPECT_EQ(ReadWholeFile(path), "x\n");
+  std::remove(path.c_str());
+}
+
+TEST_F(OutputFileTest, AppendAfterCloseFailsWithoutCorruption) {
+  const std::string path = testing::TempDir() + "/csj_of_late.txt";
+  OutputFile file;
+  ASSERT_TRUE(file.Open(path).ok());
+  ASSERT_TRUE(file.Append("committed\n").ok());
+  ASSERT_TRUE(file.Close().ok());
+
+  const Status late = file.Append("too late\n");
+  EXPECT_FALSE(late.ok());
+  EXPECT_EQ(late.code(), StatusCode::kFailedPrecondition);
+  EXPECT_TRUE(file.status().ok());  // the committed file is not retro-poisoned
+  EXPECT_EQ(file.bytes_written(), 10u);
+  EXPECT_EQ(ReadWholeFile(path), "committed\n");
+  std::remove(path.c_str());
+}
+
+TEST_F(OutputFileTest, AppendWithoutOpenFails) {
+  OutputFile file;
+  EXPECT_FALSE(file.Append("nope").ok());
+  EXPECT_EQ(file.bytes_written(), 0u);
+}
+
+TEST_F(OutputFileTest, OpenFailureIsSticky) {
+  OutputFile file;
+  const Status open = file.Open("/nonexistent-dir-xyz/out.txt");
+  EXPECT_FALSE(open.ok());
+  EXPECT_EQ(file.status(), open);
+  EXPECT_EQ(file.Append("data"), open);  // sticky
+  EXPECT_EQ(file.Close(), open);
+}
+
+#ifndef CSJ_NO_FAILPOINTS
+
+TEST_F(OutputFileTest, FailedWriteIsStickyAndRemovesPartialFile) {
+  const std::string path = testing::TempDir() + "/csj_of_shortwrite.txt";
+  OutputFile file;
+  ASSERT_TRUE(file.Open(path).ok());
+  ASSERT_TRUE(file.Append("0123456789").ok());
+  EXPECT_EQ(file.bytes_written(), 10u);
+
+  failpoint::ScopedFailpoint fp("output_file.append",
+                                failpoint::Spec::Always());
+  const Status failed = file.Append("abcdefgh");
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.code(), StatusCode::kIoError);
+  // bytes_written reflects what actually reached the stream: the simulated
+  // device accepted half the payload before dying.
+  EXPECT_EQ(file.bytes_written(), 14u);
+  EXPECT_FALSE(file.is_open());
+  EXPECT_FALSE(FileExists(path)) << "partial file survived a failed write";
+
+  // Sticky: later operations return the original error.
+  EXPECT_EQ(file.Append("more"), failed);
+  EXPECT_EQ(file.Close(), failed);
+}
+
+#endif  // CSJ_NO_FAILPOINTS
+
+TEST_F(OutputFileTest, AtomicCommitOnlyAppearsAfterClose) {
+  const std::string path = testing::TempDir() + "/csj_of_atomic.txt";
+  std::remove(path.c_str());
+  OutputFile file;
+  ASSERT_TRUE(file.Open(path, OutputFile::Options{.atomic = true}).ok());
+  ASSERT_TRUE(file.Append("atomic content\n").ok());
+  EXPECT_FALSE(FileExists(path)) << "destination visible before commit";
+  EXPECT_TRUE(FileExists(TempPathFor(path)));
+  ASSERT_TRUE(file.Close().ok());
+  EXPECT_EQ(ReadWholeFile(path), "atomic content\n");
+  EXPECT_FALSE(FileExists(TempPathFor(path)));
+  std::remove(path.c_str());
+}
+
+TEST_F(OutputFileTest, AbandonedAtomicWriterLeavesNothingBehind) {
+  const std::string path = testing::TempDir() + "/csj_of_abandon.txt";
+  std::remove(path.c_str());
+  {
+    OutputFile file;
+    ASSERT_TRUE(file.Open(path, OutputFile::Options{.atomic = true}).ok());
+    ASSERT_TRUE(file.Append("never committed").ok());
+    // Destroyed without Close(): the simulated "interrupted join".
+  }
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_FALSE(FileExists(TempPathFor(path)));
+}
+
+TEST_F(OutputFileTest, AbandonedPlainWriterRemovesPartialFile) {
+  const std::string path = testing::TempDir() + "/csj_of_abandon2.txt";
+  {
+    OutputFile file;
+    ASSERT_TRUE(file.Open(path).ok());
+    ASSERT_TRUE(file.Append("partial").ok());
+  }
+  EXPECT_FALSE(FileExists(path));
+}
+
+#ifndef CSJ_NO_FAILPOINTS
+
+TEST_F(OutputFileTest, AtomicRenameFaultPreservesExistingDestination) {
+  const std::string path = testing::TempDir() + "/csj_of_rename.txt";
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fputs("old\n", f);
+    std::fclose(f);
+  }
+  failpoint::ScopedFailpoint fp("output_file.rename",
+                                failpoint::Spec::Always());
+  OutputFile file;
+  ASSERT_TRUE(file.Open(path, OutputFile::Options{.atomic = true}).ok());
+  ASSERT_TRUE(file.Append("new\n").ok());
+  EXPECT_FALSE(file.Close().ok());
+  EXPECT_EQ(ReadWholeFile(path), "old\n");  // old result untouched
+  EXPECT_FALSE(FileExists(TempPathFor(path)));
+  std::remove(path.c_str());
+}
+
+#endif  // CSJ_NO_FAILPOINTS
+
+TEST_F(OutputFileTest, SyncOnCloseSucceedsOnHealthyFile) {
+  const std::string path = testing::TempDir() + "/csj_of_sync.txt";
+  OutputFile file;
+  ASSERT_TRUE(
+      file.Open(path, OutputFile::Options{.atomic = true, .sync_on_close = true})
+          .ok());
+  ASSERT_TRUE(file.Append("durable\n").ok());
+  ASSERT_TRUE(file.Close().ok());
+  EXPECT_EQ(ReadWholeFile(path), "durable\n");
+  std::remove(path.c_str());
+}
+
+#ifndef CSJ_NO_FAILPOINTS
+
+TEST_F(OutputFileTest, SyncFaultIsReportedAndCleansUp) {
+  const std::string path = testing::TempDir() + "/csj_of_syncfault.txt";
+  std::remove(path.c_str());
+  failpoint::ScopedFailpoint fp("output_file.sync", failpoint::Spec::Always());
+  OutputFile file;
+  ASSERT_TRUE(
+      file.Open(path, OutputFile::Options{.atomic = true, .sync_on_close = true})
+          .ok());
+  ASSERT_TRUE(file.Append("x").ok());
+  EXPECT_FALSE(file.Close().ok());
+  EXPECT_FALSE(FileExists(path));
+  EXPECT_FALSE(FileExists(TempPathFor(path)));
+}
+
+#endif  // CSJ_NO_FAILPOINTS
+
+TEST_F(OutputFileTest, ReusableAfterClose) {
+  const std::string path_a = testing::TempDir() + "/csj_of_reuse_a.txt";
+  const std::string path_b = testing::TempDir() + "/csj_of_reuse_b.txt";
+  OutputFile file;
+  ASSERT_TRUE(file.Open(path_a).ok());
+  ASSERT_TRUE(file.Append("a").ok());
+  ASSERT_TRUE(file.Close().ok());
+  ASSERT_TRUE(file.Open(path_b).ok());
+  ASSERT_TRUE(file.Append("bb").ok());
+  ASSERT_TRUE(file.Close().ok());
+  EXPECT_EQ(ReadWholeFile(path_a), "a");
+  EXPECT_EQ(ReadWholeFile(path_b), "bb");
+  std::remove(path_a.c_str());
+  std::remove(path_b.c_str());
+}
+
+}  // namespace
+}  // namespace csj

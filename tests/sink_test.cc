@@ -74,6 +74,65 @@ TEST(FileSinkTest, OpenFailureSurfacesInFinish) {
   EXPECT_FALSE(sink.Finish().ok());
 }
 
+TEST(FileSinkTest, OpenFailureIsStickyAndShortCircuitsAppends) {
+  // Regression: a failed Open used to let DoLink/DoGroup keep "appending"
+  // into a closed file (counting bytes that were never writable) and only
+  // report the problem at Finish. The error must be sticky and immediate.
+  FileSink sink(4, "/nonexistent-dir-xyz/sub/out.txt");
+  ASSERT_FALSE(sink.open_status().ok());
+  EXPECT_FALSE(sink.error().ok());
+  EXPECT_EQ(sink.error(), sink.open_status());
+
+  sink.Link(1, 2);
+  const std::vector<PointId> group = {1, 2, 3};
+  sink.Group(group);
+
+  // Nothing was accepted: the counters describe real output only.
+  EXPECT_EQ(sink.num_links(), 0u);
+  EXPECT_EQ(sink.num_groups(), 0u);
+  EXPECT_EQ(sink.bytes(), 0u);
+  EXPECT_EQ(sink.file_bytes(), 0u);
+
+  const Status finish = sink.Finish();
+  EXPECT_FALSE(finish.ok());
+  EXPECT_EQ(finish, sink.open_status());  // first error wins
+}
+
+TEST(FileSinkTest, AtomicCommitHidesFileUntilFinish) {
+  const std::string path = testing::TempDir() + "/csj_sink_atomic.txt";
+  std::remove(path.c_str());
+  FileSink sink(4, path);
+  sink.Link(1, 2);
+  EXPECT_EQ(std::fopen(path.c_str(), "rb"), nullptr)
+      << "destination visible before Finish";
+  ASSERT_TRUE(sink.Finish().ok());
+  EXPECT_EQ(ReadWholeFile(path), "0001 0002\n");
+  std::remove(path.c_str());
+}
+
+TEST(FileSinkTest, NonAtomicModeStreamsDirectly) {
+  const std::string path = testing::TempDir() + "/csj_sink_plain.txt";
+  FileSink::Options options;
+  options.atomic = false;
+  FileSink sink(4, path, options);
+  sink.Link(1, 2);
+  ASSERT_TRUE(sink.Finish().ok());
+  EXPECT_EQ(ReadWholeFile(path), "0001 0002\n");
+  std::remove(path.c_str());
+}
+
+TEST(FileSinkTest, AbandonedSinkLeavesNoFile) {
+  const std::string path = testing::TempDir() + "/csj_sink_abandoned.txt";
+  std::remove(path.c_str());
+  {
+    FileSink sink(4, path);
+    sink.Link(1, 2);
+    // Destroyed without Finish(): the interrupted-join case.
+  }
+  EXPECT_EQ(std::fopen(path.c_str(), "rb"), nullptr)
+      << "abandoned sink left output at " << path;
+}
+
 TEST(MemorySinkTest, RetainsOutput) {
   MemorySink sink(3);
   sink.Link(5, 6);

@@ -77,6 +77,57 @@ TEST(ResultTest, AssignOrReturnPropagates) {
   EXPECT_EQ(failed.code(), StatusCode::kInvalidArgument);
 }
 
+// Two expansions in one statement line must not collide: the macro's
+// temporary is named with __COUNTER__, not __LINE__. (With __LINE__ the
+// second expansion either failed to compile or, worse, silently bound its
+// error check to the first expansion's result — see the note in status.h.)
+Status HelperTwoOnOneLine(bool a, bool b, int* out) {
+  // clang-format off
+  CSJ_ASSIGN_OR_RETURN(int x, HelperParse(a)); CSJ_ASSIGN_OR_RETURN(int y, HelperParse(b));
+  // clang-format on
+  *out = x + y;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnTwiceOnOneLine) {
+  int out = 0;
+  EXPECT_TRUE(HelperTwoOnOneLine(true, true, &out).ok());
+  EXPECT_EQ(out, 14);
+  EXPECT_EQ(HelperTwoOnOneLine(true, false, &out).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(HelperTwoOnOneLine(false, true, &out).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// The macro is multi-statement by design, so conditional use requires a
+// braced block (unbraced `if (c) CSJ_ASSIGN_OR_RETURN(...)` does not
+// compile). This helper documents the supported form.
+Status HelperConditional(bool take, int* out) {
+  if (take) {
+    CSJ_ASSIGN_OR_RETURN(*out, HelperParse(true));
+  }
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnInsideBracedIf) {
+  int out = 0;
+  EXPECT_TRUE(HelperConditional(true, &out).ok());
+  EXPECT_EQ(out, 7);
+  out = 0;
+  EXPECT_TRUE(HelperConditional(false, &out).ok());
+  EXPECT_EQ(out, 0);
+}
+
+Status HelperReturnIfError(bool fail) {
+  CSJ_RETURN_IF_ERROR(fail ? Status::IoError("boom") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  EXPECT_TRUE(HelperReturnIfError(false).ok());
+  EXPECT_EQ(HelperReturnIfError(true).code(), StatusCode::kIoError);
+}
+
 // --- Format -------------------------------------------------------------------
 
 TEST(FormatTest, DecimalWidth) {

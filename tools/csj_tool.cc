@@ -224,9 +224,10 @@ int CmdExpand(Flags& flags) {
   const auto links = ExpandSelfJoin(replay);
 
   OutputFile file;
-  DieOnError(file.Open(out));
+  DieOnError(file.Open(out, OutputFile::Options{.atomic = true}));
   for (const auto& [a, b] : links) {
-    file.Append(StrFormat("%u %u\n", a, b));
+    // Errors are sticky; stop at the first one and let Close() report it.
+    if (!file.Append(StrFormat("%u %u\n", a, b)).ok()) break;
   }
   DieOnError(file.Close());
   std::printf("expanded %s links + %s groups into %s distinct links (%s)\n",
