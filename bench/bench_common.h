@@ -11,7 +11,10 @@
 #include "core/sink.h"
 #include "data/roadnet.h"
 #include "index/rstar_tree.h"
+#include "storage/output_file.h"
 #include "util/format.h"
+#include "util/json.h"
+#include "util/metrics.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -32,27 +35,46 @@ namespace csj::bench {
 /// Command-line options shared by all experiment binaries.
 struct BenchArgs {
   bool full = false;        ///< paper-scale datasets
+  bool smoke = false;       ///< CI-scale: smallest dataset, few epsilons
   int runs = 1;             ///< repetitions per measurement (paper used 25)
   std::string csv_dir;      ///< if nonempty, tables are also written as CSV
+  std::string json_dir;     ///< BENCH_<name>.json dir (default: csv_dir or .)
+  std::string bench_name;   ///< argv[0] basename; names the JSON report
   uint64_t link_budget = 30'000'000;  ///< SSJ runs above this are estimated
 
   static BenchArgs Parse(int argc, char** argv) {
     BenchArgs args;
+    const char* slash = std::strrchr(argv[0], '/');
+    args.bench_name = slash != nullptr ? slash + 1 : argv[0];
     for (int i = 1; i < argc; ++i) {
       if (std::strcmp(argv[i], "--full") == 0) {
         args.full = true;
         args.link_budget = 400'000'000;
+      } else if (std::strcmp(argv[i], "--smoke") == 0) {
+        args.smoke = true;
       } else if (std::strcmp(argv[i], "--runs") == 0 && i + 1 < argc) {
         args.runs = std::atoi(argv[++i]);
       } else if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
         args.csv_dir = argv[++i];
+      } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+        args.json_dir = argv[++i];
       } else {
-        std::fprintf(stderr,
-                     "usage: %s [--full] [--runs N] [--csv DIR]\n", argv[0]);
+        std::fprintf(
+            stderr,
+            "usage: %s [--full] [--smoke] [--runs N] [--csv DIR] "
+            "[--json DIR]\n",
+            argv[0]);
         std::exit(2);
       }
     }
     return args;
+  }
+
+  /// Directory the BENCH_<name>.json report lands in.
+  std::string JsonDir() const {
+    if (!json_dir.empty()) return json_dir;
+    if (!csv_dir.empty()) return csv_dir;
+    return ".";
   }
 };
 
@@ -160,6 +182,104 @@ struct RunResult {
   }
 };
 
+/// Collects every measured run of a bench binary and writes the structured
+/// BENCH_<name>.json report next to the CSVs: configuration, one record per
+/// run (with the full JoinStats), the process-wide metrics snapshot and the
+/// total wall time. MeasureJoin records automatically; benches that drive
+/// joins directly call RecordStats. Single-threaded like the rest of the
+/// harness (parallel joins record from the coordinating thread).
+class BenchRecorder {
+ public:
+  static BenchRecorder& Get() {
+    static BenchRecorder* recorder = new BenchRecorder();
+    return *recorder;
+  }
+
+  /// Labels subsequent records, e.g. with the current dataset name.
+  void SetContext(std::string context) { context_ = std::move(context); }
+
+  /// One measured (or estimated) MeasureJoin result.
+  void RecordRun(JoinAlgorithm algorithm, double eps,
+                 const RunResult& result) {
+    json::Value run = json::Object{};
+    run["context"] = context_;
+    run["algorithm"] = JoinAlgorithmName(algorithm);
+    run["epsilon"] = eps;
+    run["estimated"] = result.estimated;
+    run["seconds"] = result.seconds;
+    run["bytes"] = result.bytes;
+    run["links"] = result.links;
+    run["groups"] = result.groups;
+    // Estimated rows were never run, so there are no stats to report.
+    if (!result.estimated) run["stats"] = result.stats.ToJsonValue();
+    runs_.Append(std::move(run));
+  }
+
+  /// One directly-driven join (benches that bypass MeasureJoin).
+  void RecordStats(const JoinStats& stats) {
+    json::Value run = json::Object{};
+    run["context"] = context_;
+    run["algorithm"] = JoinAlgorithmName(stats.algorithm);
+    run["epsilon"] = stats.epsilon;
+    run["estimated"] = false;
+    run["seconds"] = stats.elapsed_seconds;
+    run["bytes"] = stats.output_bytes;
+    run["links"] = stats.links;
+    run["groups"] = stats.groups;
+    run["stats"] = stats.ToJsonValue();
+    runs_.Append(std::move(run));
+  }
+
+  /// Writes <JsonDir()>/BENCH_<bench_name>.json (atomic temp+rename).
+  void WriteReport(const BenchArgs& args, double wall_seconds) {
+    json::Value doc = json::Object{};
+    doc["schema_version"] = int64_t{1};
+    doc["bench"] = args.bench_name;
+    json::Value config = json::Object{};
+    config["full"] = args.full;
+    config["smoke"] = args.smoke;
+    config["runs"] = static_cast<int64_t>(args.runs);
+    config["csv_dir"] = args.csv_dir;
+    config["link_budget"] = args.link_budget;
+    doc["config"] = std::move(config);
+    doc["runs"] = std::move(runs_);
+    runs_ = json::Value(json::Array{});
+    doc["metrics"] = metrics::Snapshot().ToJsonValue();
+    doc["wall_seconds"] = wall_seconds;
+
+    const std::string path =
+        args.JsonDir() + "/BENCH_" + args.bench_name + ".json";
+    OutputFile file;
+    Status status = file.Open(path);
+    if (status.ok()) status = file.Append(json::Write(doc, /*pretty=*/true));
+    if (status.ok()) status = file.Append("\n");
+    if (status.ok()) status = file.Close();
+    if (status.ok()) {
+      std::printf("wrote %s\n", path.c_str());
+    } else {
+      std::fprintf(stderr, "bench report write failed: %s\n",
+                   status.ToString().c_str());
+    }
+  }
+
+ private:
+  BenchRecorder() = default;
+
+  std::string context_;
+  json::Value runs_ = json::Value(json::Array{});
+};
+
+/// Parses the shared flags, runs the bench body, then writes the
+/// BENCH_<name>.json report. Every experiment main() delegates here.
+inline int BenchMain(int argc, char** argv,
+                     void (*body)(const BenchArgs& args)) {
+  const BenchArgs args = BenchArgs::Parse(argc, argv);
+  WallTimer wall;
+  body(args);
+  BenchRecorder::Get().WriteReport(args, wall.ElapsedSeconds());
+  return 0;
+}
+
 /// Sampling estimate of the number of SSJ links: query the tree around a
 /// sample of the points and scale. Used when the real run would explode,
 /// exactly like the paper's filled "estimate" markers.
@@ -244,6 +364,7 @@ RunResult MeasureJoin(JoinAlgorithm algorithm, const Tree& tree,
       result.seconds = static_cast<double>(predicted_links) *
                        calibration->seconds_per_link;
     }
+    BenchRecorder::Get().RecordRun(algorithm, eps, result);
     return result;
   }
 
@@ -272,6 +393,7 @@ RunResult MeasureJoin(JoinAlgorithm algorithm, const Tree& tree,
   }
   std::remove(path.c_str());
   calibration->Update(predicted_links, result.seconds, result.bytes);
+  BenchRecorder::Get().RecordRun(algorithm, eps, result);
   return result;
 }
 

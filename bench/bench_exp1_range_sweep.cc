@@ -23,6 +23,7 @@ void RunDataset(const std::string& name, const std::vector<Entry<D>>& entries,
                 const BenchArgs& args) {
   std::printf("building R*-tree over %s (%s points, dynamic R* inserts)...\n",
               name.c_str(), WithThousands(entries.size()).c_str());
+  BenchRecorder::Get().SetContext(name);
   RStarTree<D> tree;
   for (const auto& e : entries) tree.Insert(e.id, e.point);
 
@@ -36,7 +37,12 @@ void RunDataset(const std::string& name, const std::vector<Entry<D>>& entries,
   JoinOptions base;
   base.window_size = 10;
 
-  for (double eps : PaperEpsilons()) {
+  // Smoke mode (CI) keeps only the three smallest ranges; the large ones
+  // dominate the runtime without exercising any extra code.
+  std::vector<double> epsilons = PaperEpsilons();
+  if (args.smoke) epsilons.resize(3);
+
+  for (double eps : epsilons) {
     const uint64_t predicted = EstimateLinkCount(tree, entries, eps);
     const RunResult ssj = MeasureJoin(JoinAlgorithm::kSSJ, tree, entries, eps,
                                       args, base, predicted, &ssj_cal);
@@ -57,6 +63,7 @@ void Main(const BenchArgs& args) {
     const auto mg = MakeMgCounty();
     RunDataset(mg.name, mg.entries, args);
   }
+  if (args.smoke) return;  // CI smoke: one dataset is plenty
   {
     const auto lb = MakeLbCounty();
     RunDataset(lb.name, lb.entries, args);
@@ -78,6 +85,5 @@ void Main(const BenchArgs& args) {
 }  // namespace csj::bench
 
 int main(int argc, char** argv) {
-  csj::bench::Main(csj::bench::BenchArgs::Parse(argc, argv));
-  return 0;
+  return csj::bench::BenchMain(argc, argv, csj::bench::Main);
 }

@@ -29,6 +29,7 @@ void RunWindowSweep(const BenchArgs& args) {
 
   JoinOptions options;
   options.epsilon = eps;
+  BenchRecorder::Get().SetContext(mg.name);
   for (int g : {1, 2, 3, 4, 5, 10, 20, 50, 100}) {
     options.window_size = g;
     RunResult best;
@@ -42,6 +43,7 @@ void RunWindowSweep(const BenchArgs& args) {
       best.bytes = sink.bytes();
       best.groups = sink.num_groups();
     }
+    BenchRecorder::Get().RecordStats(best.stats);
     table.AddRow({StrFormat("%d", g), HumanDuration(best.seconds),
                   WithThousands(best.bytes), WithThousands(best.groups),
                   WithThousands(best.stats.merges),
@@ -80,8 +82,9 @@ void RunInsertionOrders(const BenchArgs& args) {
 }  // namespace csj::bench
 
 int main(int argc, char** argv) {
-  const auto args = csj::bench::BenchArgs::Parse(argc, argv);
-  csj::bench::RunWindowSweep(args);
-  csj::bench::RunInsertionOrders(args);
-  return 0;
+  return csj::bench::BenchMain(argc, argv,
+                               [](const csj::bench::BenchArgs& args) {
+                                 csj::bench::RunWindowSweep(args);
+                                 csj::bench::RunInsertionOrders(args);
+                               });
 }

@@ -153,6 +153,5 @@ void Main(const BenchArgs& args) {
 }  // namespace csj::bench
 
 int main(int argc, char** argv) {
-  csj::bench::Main(csj::bench::BenchArgs::Parse(argc, argv));
-  return 0;
+  return csj::bench::BenchMain(argc, argv, csj::bench::Main);
 }

@@ -37,8 +37,10 @@ void Main(const BenchArgs& args) {
   Table table("Extension — parallel CSJ(10) scaling",
               {"threads", "time", "speedup", "bytes", "groups"});
   {
+    BenchRecorder::Get().SetContext("sequential");
     CountingSink sink(IdWidthFor(entries.size()));
     const JoinStats stats = CompactSimilarityJoin(tree, options, &sink);
+    BenchRecorder::Get().RecordStats(stats);
     base_seconds = stats.elapsed_seconds;
     table.AddRow({"sequential", HumanDuration(stats.elapsed_seconds), "1.00x",
                   WithThousands(sink.bytes()),
@@ -47,9 +49,11 @@ void Main(const BenchArgs& args) {
   for (int threads : {1, 2, 4, 8}) {
     ParallelJoinOptions parallel;
     parallel.threads = threads;
+    BenchRecorder::Get().SetContext(StrFormat("threads=%d", threads));
     CountingSink sink(IdWidthFor(entries.size()));
     const JoinStats stats =
         ParallelCompactSimilarityJoin(tree, options, &sink, parallel);
+    BenchRecorder::Get().RecordStats(stats);
     table.AddRow({StrFormat("%d", threads),
                   HumanDuration(stats.elapsed_seconds),
                   StrFormat("%.2fx", base_seconds / stats.elapsed_seconds),
@@ -69,6 +73,5 @@ void Main(const BenchArgs& args) {
 }  // namespace csj::bench
 
 int main(int argc, char** argv) {
-  csj::bench::Main(csj::bench::BenchArgs::Parse(argc, argv));
-  return 0;
+  return csj::bench::BenchMain(argc, argv, csj::bench::Main);
 }

@@ -9,6 +9,7 @@
 #include "core/join_stats.h"
 #include "core/sink.h"
 #include "geom/box.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 /// \file
@@ -175,6 +176,7 @@ class GroupWindow {
 
   /// Emits everything still buffered. Call exactly once, after the traversal.
   void Flush() {
+    CSJ_METRIC_COUNT("window.flushed_groups", window_.size());
     while (!window_.empty()) {
       Emit(window_.front());
       window_.pop_front();
@@ -186,7 +188,9 @@ class GroupWindow {
  private:
   void Push(Group<D> group) {
     window_.push_back(std::move(group));
+    CSJ_METRIC_HIST("window.occupancy", window_.size());
     if (window_.size() > capacity_) {
+      CSJ_METRIC_COUNT("window.evictions", 1);
       Emit(window_.front());
       window_.pop_front();
     }

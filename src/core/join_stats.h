@@ -6,6 +6,7 @@
 
 #include "core/join_options.h"
 #include "util/format.h"
+#include "util/json.h"
 #include "util/status.h"
 
 /// \file
@@ -69,6 +70,31 @@ struct JoinStats {
         HumanDuration(write_seconds).c_str());
     if (!status.ok()) text += " [" + status.ToString() + "]";
     return text;
+  }
+
+  /// Machine-readable form, used by the bench JSON records (BENCH_*.json)
+  /// and csj_tool. Field names match the member names.
+  json::Value ToJsonValue() const {
+    json::Value v = json::Object{};
+    v["algorithm"] = JoinAlgorithmName(algorithm);
+    v["epsilon"] = epsilon;
+    v["window_size"] = static_cast<int64_t>(window_size);
+    v["status"] = status.ok() ? "OK" : status.ToString();
+    v["links"] = links;
+    v["groups"] = groups;
+    v["group_member_total"] = group_member_total;
+    v["output_bytes"] = output_bytes;
+    v["distance_computations"] = distance_computations;
+    v["node_accesses"] = node_accesses;
+    v["page_requests"] = page_requests;
+    v["page_disk_reads"] = page_disk_reads;
+    v["early_stops"] = early_stops;
+    v["merge_attempts"] = merge_attempts;
+    v["merges"] = merges;
+    v["elapsed_seconds"] = elapsed_seconds;
+    v["write_seconds"] = write_seconds;
+    v["implied_links"] = implied_links_;
+    return v;
   }
 
  private:

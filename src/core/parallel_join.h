@@ -11,6 +11,7 @@
 
 #include "core/similarity_join.h"
 #include "util/failpoint.h"
+#include "util/metrics.h"
 
 /// \file
 /// Multi-threaded compact similarity join — an engineering extension beyond
@@ -32,8 +33,11 @@
 /// representation was never unique (paper, Figure 2).
 ///
 /// Caveats: requires a thread-safe-for-reads tree (all in-memory trees
-/// qualify; PagedTree's block cache does not). options.tracker and
-/// measure_write_time are ignored in parallel mode.
+/// qualify; PagedTree's block cache does not). options.measure_write_time is
+/// ignored in parallel mode. Node-access tracking is not supported: a
+/// non-null options.tracker is rejected with an InvalidArgument status in
+/// `JoinStats::status` (trackers are not thread safe, and silently ignoring
+/// one would misreport the access counts the caller asked for).
 ///
 /// Failure handling: a worker that throws (or whose driver reports a non-OK
 /// status) no longer terminates the process. The first failure is captured
@@ -124,8 +128,18 @@ JoinStats ParallelCompactSimilarityJoin(
                 "(PagedTree's block cache mutates on access); load it into "
                 "an in-memory tree first");
   CSJ_CHECK(sink != nullptr);
-  CSJ_CHECK(options.tracker == nullptr)
-      << "node-access tracking is not supported in parallel mode";
+  if (options.tracker != nullptr) {
+    // Trackers are single-threaded; aborting the process here (the old
+    // behavior) turned a recoverable configuration mistake into a crash.
+    JoinStats rejected;
+    rejected.algorithm = JoinAlgorithm::kCSJ;
+    rejected.epsilon = options.epsilon;
+    rejected.window_size = options.window_size;
+    rejected.status = Status::InvalidArgument(
+        "node-access tracking (options.tracker) is not supported in "
+        "parallel mode; run the sequential join instead");
+    return rejected;
+  }
   if (!sink->error().ok()) {
     // The sink is already dead (e.g. its output file never opened): don't
     // burn a parallel traversal producing output nobody can accept.
@@ -147,6 +161,10 @@ JoinStats ParallelCompactSimilarityJoin(
       tree, options.epsilon,
       static_cast<size_t>(threads) *
           static_cast<size_t>(std::max(parallel.tasks_per_thread, 1)));
+
+  CSJ_METRIC_COUNT("parallel.joins", 1);
+  CSJ_METRIC_COUNT("parallel.workers", static_cast<uint64_t>(threads));
+  CSJ_METRIC_COUNT("parallel.tasks_total", tasks.size());
 
   std::atomic<size_t> cursor{0};
   std::atomic<bool> cancel{false};
@@ -174,6 +192,7 @@ JoinStats ParallelCompactSimilarityJoin(
       pool.emplace_back([&, t] {
         // A throwing worker must not std::terminate the process: capture
         // the first failure and cancel the siblings instead.
+        CSJ_METRIC_SCOPED_TIMER("parallel.worker_drain_ns");
         try {
           if (CSJ_FAILPOINT("parallel_join.worker")) {
             throw std::runtime_error("injected worker fault");
@@ -201,33 +220,45 @@ JoinStats ParallelCompactSimilarityJoin(
   total.algorithm = JoinAlgorithm::kCSJ;
   total.epsilon = options.epsilon;
   total.window_size = options.window_size;
+  // Work counters describe the traversal, which has already happened —
+  // accumulate them over *all* workers before touching the caller's sink.
+  // (They used to be summed inside the replay loop below, so a sink dying
+  // mid-replay silently dropped the work of every not-yet-replayed worker.)
+  for (const JoinStats& ws : worker_stats) {
+    total.distance_computations += ws.distance_computations;
+    total.early_stops += ws.early_stops;
+    total.merges += ws.merges;
+    total.merge_attempts += ws.merge_attempts;
+  }
   if (!first_error.ok()) {
     // A failed worker means the task coverage is incomplete; replaying the
     // survivors would hand the caller a silently truncated result.
+    CSJ_METRIC_COUNT("parallel.failed_joins", 1);
     total.status = first_error;
     total.elapsed_seconds = timer.ElapsedSeconds();
     return total;
   }
 
   // Replay worker outputs into the caller's sink, serially. A sink error
-  // (e.g. the output disk filling up mid-replay) aborts the replay.
-  for (int t = 0; t < threads && sink->error().ok(); ++t) {
-    const MemorySink& worker = *worker_sinks[static_cast<size_t>(t)];
-    for (const auto& [a, b] : worker.links()) {
-      if (!sink->error().ok()) break;
-      sink->Link(a, b);
-      total.AddImpliedLink();
+  // (e.g. the output disk filling up mid-replay) aborts the replay. Implied
+  // links are counted only after the sink confirms it accepted the write —
+  // the implied count mirrors the sink's own output counters, not what we
+  // attempted to hand it.
+  {
+    CSJ_METRIC_SCOPED_TIMER("parallel.replay_ns");
+    for (int t = 0; t < threads && sink->error().ok(); ++t) {
+      const MemorySink& worker = *worker_sinks[static_cast<size_t>(t)];
+      for (const auto& [a, b] : worker.links()) {
+        if (!sink->error().ok()) break;
+        sink->Link(a, b);
+        if (sink->error().ok()) total.AddImpliedLink();
+      }
+      for (const auto& group : worker.groups()) {
+        if (!sink->error().ok()) break;
+        sink->Group(group);
+        if (sink->error().ok()) total.AddImpliedGroup(group.size());
+      }
     }
-    for (const auto& group : worker.groups()) {
-      if (!sink->error().ok()) break;
-      sink->Group(group);
-      total.AddImpliedGroup(group.size());
-    }
-    const JoinStats& ws = worker_stats[static_cast<size_t>(t)];
-    total.distance_computations += ws.distance_computations;
-    total.early_stops += ws.early_stops;
-    total.merges += ws.merges;
-    total.merge_attempts += ws.merge_attempts;
   }
   total.status = sink->error();
   total.links = sink->num_links();

@@ -11,6 +11,7 @@
 #include "core/join_stats.h"
 #include "core/sink.h"
 #include "index/spatial_index.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 /// \file
@@ -79,10 +80,12 @@ class JoinDriver {
                      std::atomic<size_t>* cursor) {
     WallTimer timer;
     CSJ_CHECK(self_join_);
+    uint64_t tasks_processed = 0;
     while (!Aborted()) {
       const size_t index = cursor->fetch_add(1, std::memory_order_relaxed);
       if (index >= tasks.size()) break;
       const Task& task = tasks[index];
+      ++tasks_processed;
       if (task.second == kInvalidNode) {
         SelfJoin(task.first);
       } else {
@@ -90,6 +93,7 @@ class JoinDriver {
       }
     }
     if (algorithm_ == JoinAlgorithm::kCSJ) window_.Flush();
+    CSJ_METRIC_HIST("parallel.tasks_per_worker", tasks_processed);
     FinalizeStats(timer);
     return stats_;
   }
@@ -137,6 +141,17 @@ class JoinDriver {
       stats_.page_requests = access.pages.requests;
       stats_.page_disk_reads = access.pages.disk_reads;
     }
+    // Mirror this run's work counters into the process-wide metrics (one
+    // bulk add per run, so the per-pair hot loops stay untouched). Each
+    // parallel worker finalizes its own driver and counts as one run.
+    CSJ_METRIC_COUNT("join.runs", 1);
+    CSJ_METRIC_COUNT("join.distance_computations",
+                     stats_.distance_computations);
+    CSJ_METRIC_COUNT("join.early_stops", stats_.early_stops);
+    CSJ_METRIC_COUNT("join.merge_attempts", stats_.merge_attempts);
+    CSJ_METRIC_COUNT("join.merges", stats_.merges);
+    CSJ_METRIC_HIST("join.elapsed_ns",
+                    static_cast<uint64_t>(stats_.elapsed_seconds * 1e9));
   }
 
   bool Compact() const { return algorithm_ != JoinAlgorithm::kSSJ; }
@@ -160,6 +175,7 @@ class JoinDriver {
 
   void SelfJoin(NodeId n) {
     if (Aborted()) return;
+    CSJ_METRIC_COUNT("join.node_visits", 1);
     TouchA(n);
     if (Compact() && options_.early_stop &&
         tree_a_.MaxDiameter(n) <= eps_) {
@@ -208,6 +224,7 @@ class JoinDriver {
   /// Dual-node recursion within the self-joined tree (simJoin(n1, n2)).
   void SelfDualJoin(NodeId n1, NodeId n2) {
     if (Aborted()) return;
+    CSJ_METRIC_COUNT("join.node_visits", 2);
     TouchA(n1);
     TouchA(n2);
     if (Compact() && options_.early_stop &&
@@ -251,6 +268,7 @@ class JoinDriver {
 
   void DualJoin(NodeId a, NodeId b) {
     if (Aborted()) return;
+    CSJ_METRIC_COUNT("join.node_visits", 2);
     TouchA(a);
     TouchB(b);
     if (Compact() && options_.early_stop &&

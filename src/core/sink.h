@@ -9,6 +9,7 @@
 #include "geom/point.h"
 #include "storage/output_file.h"
 #include "util/format.h"
+#include "util/metrics.h"
 #include "util/status.h"
 
 /// \file
@@ -48,6 +49,8 @@ class JoinSink {
     if (!error_.ok()) return;
     ++num_links_;
     bytes_ += 2 * static_cast<uint64_t>(id_width_ + 1);
+    CSJ_METRIC_COUNT("sink.links", 1);
+    CSJ_METRIC_COUNT("sink.bytes", 2 * static_cast<uint64_t>(id_width_ + 1));
     DoLink(a, b);
   }
 
@@ -59,6 +62,9 @@ class JoinSink {
     ++num_groups_;
     group_member_total_ += members.size();
     bytes_ += members.size() * static_cast<uint64_t>(id_width_ + 1);
+    CSJ_METRIC_COUNT("sink.groups", 1);
+    CSJ_METRIC_COUNT("sink.bytes",
+                     members.size() * static_cast<uint64_t>(id_width_ + 1));
     DoGroup(members);
   }
 

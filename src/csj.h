@@ -51,6 +51,8 @@
 #include "storage/buffer_pool.h"
 #include "storage/output_file.h"
 #include "util/format.h"
+#include "util/json.h"
+#include "util/metrics.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/table.h"

@@ -2,6 +2,7 @@
 
 #include "util/check.h"
 #include "util/format.h"
+#include "util/metrics.h"
 
 namespace csj {
 
@@ -12,13 +13,16 @@ BufferPoolSim::BufferPoolSim(size_t capacity_pages)
 
 void BufferPoolSim::Access(uint64_t page) {
   ++stats_.requests;
+  CSJ_METRIC_COUNT("buffer_pool.requests", 1);
   auto it = index_.find(page);
   if (it != index_.end()) {
     ++stats_.hits;
+    CSJ_METRIC_COUNT("buffer_pool.hits", 1);
     lru_.splice(lru_.begin(), lru_, it->second);
     return;
   }
   ++stats_.disk_reads;
+  CSJ_METRIC_COUNT("buffer_pool.misses", 1);
   lru_.push_front(page);
   index_[page] = lru_.begin();
   if (lru_.size() > capacity_) {

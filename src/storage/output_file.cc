@@ -8,6 +8,7 @@
 #include "util/check.h"
 #include "util/failpoint.h"
 #include "util/format.h"
+#include "util/metrics.h"
 
 namespace csj {
 
@@ -60,6 +61,7 @@ Status OutputFile::Append(const char* data, size_t size) {
     if (!status_.ok()) return status_;  // sticky error from Open/Append/Close
     return Status::FailedPrecondition("append to closed file: " + path_);
   }
+  CSJ_METRIC_SCOPED_TIMER("output_file.append_ns");
   errno = 0;
   size_t written;
   if (CSJ_FAILPOINT("output_file.append")) {
@@ -69,6 +71,8 @@ Status OutputFile::Append(const char* data, size_t size) {
     written = std::fwrite(data, 1, size, file_);
   }
   bytes_written_ += written;
+  CSJ_METRIC_COUNT("output_file.appends", 1);
+  CSJ_METRIC_COUNT("output_file.bytes", written);
   if (written != size) {
     return Fail(Status::IoError(
         StrFormat("short write to %s (%zu of %zu bytes)%s",
@@ -111,7 +115,10 @@ Status OutputFile::Close() {
 }
 
 Status OutputFile::Fail(Status status) {
-  if (status_.ok()) status_ = std::move(status);
+  if (status_.ok()) {
+    CSJ_METRIC_COUNT("output_file.errors", 1);
+    status_ = std::move(status);
+  }
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;

@@ -1,0 +1,401 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.h"
+#include "util/format.h"
+
+namespace csj::json {
+
+int64_t Value::AsInt() const {
+  if (is_uint()) {
+    const uint64_t u = std::get<uint64_t>(v_);
+    CSJ_CHECK(u <= static_cast<uint64_t>(INT64_MAX)) << "uint64 overflows int64";
+    return static_cast<int64_t>(u);
+  }
+  return std::get<int64_t>(v_);
+}
+
+uint64_t Value::AsUint() const {
+  if (is_int()) {
+    const int64_t i = std::get<int64_t>(v_);
+    CSJ_CHECK(i >= 0) << "negative value read as uint64";
+    return static_cast<uint64_t>(i);
+  }
+  return std::get<uint64_t>(v_);
+}
+
+double Value::AsDouble() const {
+  if (is_int()) return static_cast<double>(std::get<int64_t>(v_));
+  if (is_uint()) return static_cast<double>(std::get<uint64_t>(v_));
+  return std::get<double>(v_);
+}
+
+Value& Value::operator[](const std::string& key) {
+  if (is_null()) v_ = Object{};
+  return std::get<Object>(v_)[key];
+}
+
+const Value* Value::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const Object& object = std::get<Object>(v_);
+  auto it = object.find(key);
+  return it == object.end() ? nullptr : &it->second;
+}
+
+void Value::Append(Value element) {
+  if (is_null()) v_ = Array{};
+  std::get<Array>(v_).push_back(std::move(element));
+}
+
+size_t Value::size() const {
+  if (is_array()) return std::get<Array>(v_).size();
+  if (is_object()) return std::get<Object>(v_).size();
+  return 0;
+}
+
+std::string EscapeString(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          out += StrFormat("\\u%04x", c);
+        } else {
+          out.push_back(static_cast<char>(c));
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+void WriteDouble(double d, std::string* out) {
+  // NaN/Inf are not representable in JSON; emit null like most encoders.
+  if (!std::isfinite(d)) {
+    *out += "null";
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  *out += buf;
+  // Keep the number recognizably floating point so it parses back as one.
+  if (std::strpbrk(buf, ".eEn") == nullptr) *out += ".0";
+}
+
+void WriteValue(const Value& value, bool pretty, int indent,
+                std::string* out) {
+  auto newline = [&](int level) {
+    if (!pretty) return;
+    out->push_back('\n');
+    out->append(static_cast<size_t>(level) * 2, ' ');
+  };
+  if (value.is_null()) {
+    *out += "null";
+  } else if (value.is_bool()) {
+    *out += value.AsBool() ? "true" : "false";
+  } else if (value.is_int()) {
+    *out += StrFormat("%lld", static_cast<long long>(value.AsInt()));
+  } else if (value.is_uint()) {
+    *out += StrFormat("%llu", static_cast<unsigned long long>(value.AsUint()));
+  } else if (value.is_double()) {
+    WriteDouble(value.AsDouble(), out);
+  } else if (value.is_string()) {
+    out->push_back('"');
+    *out += EscapeString(value.AsString());
+    out->push_back('"');
+  } else if (value.is_array()) {
+    const Array& array = value.AsArray();
+    if (array.empty()) {
+      *out += "[]";
+      return;
+    }
+    out->push_back('[');
+    for (size_t i = 0; i < array.size(); ++i) {
+      if (i > 0) out->push_back(',');
+      newline(indent + 1);
+      WriteValue(array[i], pretty, indent + 1, out);
+    }
+    newline(indent);
+    out->push_back(']');
+  } else {
+    const Object& object = value.AsObject();
+    if (object.empty()) {
+      *out += "{}";
+      return;
+    }
+    out->push_back('{');
+    bool first = true;
+    for (const auto& [key, element] : object) {
+      if (!first) out->push_back(',');
+      first = false;
+      newline(indent + 1);
+      out->push_back('"');
+      *out += EscapeString(key);
+      *out += pretty ? "\": " : "\":";
+      WriteValue(element, pretty, indent + 1, out);
+    }
+    newline(indent);
+    out->push_back('}');
+  }
+}
+
+/// Recursive-descent parser over the raw text. Positions are tracked for
+/// error messages; depth is bounded to keep malicious input from smashing
+/// the stack.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Result<Value> ParseDocument() {
+    Value value;
+    CSJ_RETURN_IF_ERROR(ParseValue(&value, 0));
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  static constexpr int kMaxDepth = 200;
+
+  Status Error(const std::string& message) const {
+    return Status::InvalidArgument(
+        StrFormat("json: %s at offset %zu", message.c_str(), pos_));
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Consume(c)) return Error(StrFormat("expected '%c'", c));
+    return Status::OK();
+  }
+
+  Status ParseValue(Value* out, int depth) {
+    if (depth > kMaxDepth) return Error("nesting too deep");
+    SkipWhitespace();
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return ParseObject(out, depth);
+      case '[': return ParseArray(out, depth);
+      case '"': return ParseString(out);
+      case 't': return ParseLiteral("true", Value(true), out);
+      case 'f': return ParseLiteral("false", Value(false), out);
+      case 'n': return ParseLiteral("null", Value(nullptr), out);
+      default: return ParseNumber(out);
+    }
+  }
+
+  Status ParseLiteral(const char* word, Value value, Value* out) {
+    const size_t len = std::strlen(word);
+    if (text_.compare(pos_, len, word) != 0) {
+      return Error(StrFormat("expected '%s'", word));
+    }
+    pos_ += len;
+    *out = std::move(value);
+    return Status::OK();
+  }
+
+  Status ParseObject(Value* out, int depth) {
+    CSJ_RETURN_IF_ERROR(Expect('{'));
+    Object object;
+    SkipWhitespace();
+    if (Consume('}')) {
+      *out = std::move(object);
+      return Status::OK();
+    }
+    while (true) {
+      SkipWhitespace();
+      Value key;
+      CSJ_RETURN_IF_ERROR(ParseString(&key));
+      SkipWhitespace();
+      CSJ_RETURN_IF_ERROR(Expect(':'));
+      Value element;
+      CSJ_RETURN_IF_ERROR(ParseValue(&element, depth + 1));
+      object[key.AsString()] = std::move(element);
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      CSJ_RETURN_IF_ERROR(Expect('}'));
+      break;
+    }
+    *out = std::move(object);
+    return Status::OK();
+  }
+
+  Status ParseArray(Value* out, int depth) {
+    CSJ_RETURN_IF_ERROR(Expect('['));
+    Array array;
+    SkipWhitespace();
+    if (Consume(']')) {
+      *out = std::move(array);
+      return Status::OK();
+    }
+    while (true) {
+      Value element;
+      CSJ_RETURN_IF_ERROR(ParseValue(&element, depth + 1));
+      array.push_back(std::move(element));
+      SkipWhitespace();
+      if (Consume(',')) continue;
+      CSJ_RETURN_IF_ERROR(Expect(']'));
+      break;
+    }
+    *out = std::move(array);
+    return Status::OK();
+  }
+
+  Status ParseString(Value* out) {
+    if (!Consume('"')) return Error("expected string");
+    std::string s;
+    while (true) {
+      if (pos_ >= text_.size()) return Error("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') break;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return Error("unescaped control character in string");
+      }
+      if (c != '\\') {
+        s.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) return Error("unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"': s.push_back('"'); break;
+        case '\\': s.push_back('\\'); break;
+        case '/': s.push_back('/'); break;
+        case 'b': s.push_back('\b'); break;
+        case 'f': s.push_back('\f'); break;
+        case 'n': s.push_back('\n'); break;
+        case 'r': s.push_back('\r'); break;
+        case 't': s.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code += static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code += static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code += static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad hex digit in \\u escape");
+          }
+          if (code >= 0xD800 && code <= 0xDFFF) {
+            return Error("surrogate \\u escapes are not supported");
+          }
+          // Encode the BMP code point as UTF-8.
+          if (code < 0x80) {
+            s.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            s.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            s.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            s.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            s.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return Error("unknown escape character");
+      }
+    }
+    *out = std::move(s);
+    return Status::OK();
+  }
+
+  Status ParseNumber(Value* out) {
+    const size_t start = pos_;
+    bool negative = false;
+    bool floating = false;
+    if (Consume('-')) negative = true;
+    if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Error("malformed number");
+    }
+    while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      floating = true;
+      ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("malformed number");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      floating = true;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) ++pos_;
+      if (pos_ >= text_.size() || !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Error("malformed number");
+      }
+      while (pos_ < text_.size() && std::isdigit(static_cast<unsigned char>(text_[pos_]))) ++pos_;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    if (!floating) {
+      // Integers keep 64-bit identity; fall back to double only on overflow.
+      errno = 0;
+      char* end = nullptr;
+      if (negative) {
+        const long long v = std::strtoll(token.c_str(), &end, 10);
+        if (errno != ERANGE && end == token.c_str() + token.size()) {
+          *out = static_cast<int64_t>(v);
+          return Status::OK();
+        }
+      } else {
+        const unsigned long long v = std::strtoull(token.c_str(), &end, 10);
+        if (errno != ERANGE && end == token.c_str() + token.size()) {
+          *out = static_cast<uint64_t>(v);
+          return Status::OK();
+        }
+      }
+    }
+    *out = std::strtod(token.c_str(), nullptr);
+    return Status::OK();
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string Write(const Value& value, bool pretty) {
+  std::string out;
+  WriteValue(value, pretty, 0, &out);
+  if (pretty) out.push_back('\n');
+  return out;
+}
+
+Result<Value> Parse(const std::string& text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace csj::json

@@ -1,0 +1,113 @@
+#ifndef CSJ_UTIL_JSON_H_
+#define CSJ_UTIL_JSON_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "util/status.h"
+
+/// \file
+/// Minimal JSON document model, writer and parser.
+///
+/// The repository's machine-readable outputs (bench `BENCH_*.json` records,
+/// metrics snapshots) are plain JSON so any external tool can consume them.
+/// Rather than pull in a dependency for a few hundred lines, this header
+/// provides a small value tree:
+///
+///     json::Value doc = json::Object{};
+///     doc["bench"] = "exp1";
+///     doc["runs"].Append(json::Object{});
+///     std::string text = json::Write(doc, /*pretty=*/true);
+///
+/// and an exact inverse, `json::Parse`, used by the snapshot round-trip
+/// tests and by tools that read the bench records back.
+///
+/// Numbers keep their integer identity: values written from uint64/int64
+/// parse back as uint64/int64 (no silent double round-trip), which matters
+/// for 64-bit counters. Doubles are written with enough digits (%.17g) to
+/// round-trip bit-exactly. Supported input is standard JSON minus exotica:
+/// no surrogate-pair \u escapes (non-BMP input is passed through as raw
+/// UTF-8 bytes anyway) and a nesting depth limit of 200.
+
+namespace csj::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// std::map keeps object keys sorted — serialization is deterministic,
+/// which the tests and diffable bench artifacts rely on.
+using Object = std::map<std::string, Value>;
+
+/// One JSON value: null, bool, integer (signed/unsigned), double, string,
+/// array or object.
+class Value {
+ public:
+  Value() : v_(nullptr) {}
+  Value(std::nullptr_t) : v_(nullptr) {}            // NOLINT
+  Value(bool b) : v_(b) {}                          // NOLINT
+  Value(int i) : v_(static_cast<int64_t>(i)) {}     // NOLINT
+  Value(int64_t i) : v_(i) {}                       // NOLINT
+  Value(uint64_t u) : v_(u) {}                      // NOLINT
+  Value(double d) : v_(d) {}                        // NOLINT
+  Value(const char* s) : v_(std::string(s)) {}      // NOLINT
+  Value(std::string s) : v_(std::move(s)) {}        // NOLINT
+  Value(Array a) : v_(std::move(a)) {}              // NOLINT
+  Value(Object o) : v_(std::move(o)) {}             // NOLINT
+
+  bool is_null() const { return std::holds_alternative<std::nullptr_t>(v_); }
+  bool is_bool() const { return std::holds_alternative<bool>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_uint() const { return std::holds_alternative<uint64_t>(v_); }
+  bool is_double() const { return std::holds_alternative<double>(v_); }
+  bool is_string() const { return std::holds_alternative<std::string>(v_); }
+  bool is_array() const { return std::holds_alternative<Array>(v_); }
+  bool is_object() const { return std::holds_alternative<Object>(v_); }
+  /// Any of int / uint / double.
+  bool is_number() const { return is_int() || is_uint() || is_double(); }
+
+  bool AsBool() const { return std::get<bool>(v_); }
+  int64_t AsInt() const;     ///< int64 value (accepts in-range uint64)
+  uint64_t AsUint() const;   ///< uint64 value (accepts non-negative int64)
+  double AsDouble() const;   ///< numeric value widened to double
+  const std::string& AsString() const { return std::get<std::string>(v_); }
+  const Array& AsArray() const { return std::get<Array>(v_); }
+  Array& AsArray() { return std::get<Array>(v_); }
+  const Object& AsObject() const { return std::get<Object>(v_); }
+  Object& AsObject() { return std::get<Object>(v_); }
+
+  /// Object access; converts a null value into an empty object first, so
+  /// building documents reads naturally: `doc["a"]["b"] = 1`.
+  Value& operator[](const std::string& key);
+  /// Lookup in a const object; returns nullptr when absent or not an object.
+  const Value* Find(const std::string& key) const;
+
+  /// Appends to an array; converts a null value into an empty array first.
+  void Append(Value element);
+
+  size_t size() const;  ///< array/object element count (0 otherwise)
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.v_ == b.v_;
+  }
+
+ private:
+  std::variant<std::nullptr_t, bool, int64_t, uint64_t, double, std::string,
+               Array, Object>
+      v_;
+};
+
+/// Serializes `value`. `pretty` adds two-space indentation and newlines.
+std::string Write(const Value& value, bool pretty = false);
+
+/// Parses a complete JSON document (rejects trailing garbage).
+Result<Value> Parse(const std::string& text);
+
+/// Escapes `s` as the *contents* of a JSON string literal (no quotes).
+std::string EscapeString(const std::string& s);
+
+}  // namespace csj::json
+
+#endif  // CSJ_UTIL_JSON_H_

@@ -1,0 +1,137 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace csj::json {
+namespace {
+
+TEST(JsonTest, WriteScalars) {
+  EXPECT_EQ(Write(Value()), "null");
+  EXPECT_EQ(Write(Value(true)), "true");
+  EXPECT_EQ(Write(Value(false)), "false");
+  EXPECT_EQ(Write(Value(int64_t{-7})), "-7");
+  EXPECT_EQ(Write(Value(uint64_t{7})), "7");
+  EXPECT_EQ(Write(Value("hi")), "\"hi\"");
+}
+
+TEST(JsonTest, WriteCompositesCompactAndPretty) {
+  Value doc = Object{};
+  doc["b"] = 2;
+  doc["a"] = 1;
+  doc["list"].Append(1);
+  doc["list"].Append("two");
+  // std::map keys: deterministic, sorted serialization.
+  EXPECT_EQ(Write(doc), R"({"a":1,"b":2,"list":[1,"two"]})");
+  const std::string pretty = Write(doc, /*pretty=*/true);
+  EXPECT_NE(pretty.find("\n"), std::string::npos);
+  auto reparsed = Parse(pretty);
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().ToString();
+  // Compare serialized forms: parsing reads non-negative integers back as
+  // uint64, so the variant alternatives differ from the int-built original
+  // even though the values agree.
+  EXPECT_EQ(Write(*reparsed), Write(doc));
+}
+
+TEST(JsonTest, ParseScalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_EQ(Parse("true")->AsBool(), true);
+  EXPECT_EQ(Parse("-42")->AsInt(), -42);
+  EXPECT_EQ(Parse(" 3.5 ")->AsDouble(), 3.5);
+  EXPECT_EQ(Parse("\"x\"")->AsString(), "x");
+}
+
+TEST(JsonTest, IntegerIdentitySurvivesRoundTrip) {
+  // 64-bit counters must not be squeezed through double.
+  const uint64_t big_u = std::numeric_limits<uint64_t>::max();
+  const int64_t big_i = std::numeric_limits<int64_t>::min();
+  Value doc = Object{};
+  doc["u"] = big_u;
+  doc["i"] = big_i;
+  auto parsed = Parse(Write(doc));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->Find("u")->is_uint());
+  EXPECT_EQ(parsed->Find("u")->AsUint(), big_u);
+  EXPECT_TRUE(parsed->Find("i")->is_int());
+  EXPECT_EQ(parsed->Find("i")->AsInt(), big_i);
+}
+
+TEST(JsonTest, DoublesRoundTripBitExactly) {
+  for (double d : {0.1, 1.0 / 3.0, 1e-300, 6.02214076e23, -2.5}) {
+    auto parsed = Parse(Write(Value(d)));
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed->AsDouble(), d);
+  }
+  // Doubles keep a marker (".0" / exponent) so they parse back as doubles.
+  auto parsed = Parse(Write(Value(2.0)));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->is_double());
+  EXPECT_EQ(parsed->AsDouble(), 2.0);
+}
+
+TEST(JsonTest, NonFiniteDoublesBecomeNull) {
+  EXPECT_EQ(Write(Value(std::numeric_limits<double>::quiet_NaN())), "null");
+  EXPECT_EQ(Write(Value(std::numeric_limits<double>::infinity())), "null");
+}
+
+TEST(JsonTest, StringEscapes) {
+  EXPECT_EQ(Write(Value("a\"b\\c\n\t")), R"("a\"b\\c\n\t")");
+  auto parsed = Parse(R"("tab\there\u0041\u00e9")");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->AsString(), "tab\thereA\xc3\xa9");
+  // Control characters are escaped on output and round-trip.
+  const std::string control("\x01\x1f", 2);
+  auto control_parsed = Parse(Write(Value(control)));
+  ASSERT_TRUE(control_parsed.ok());
+  EXPECT_EQ(control_parsed->AsString(), control);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "1 2",
+        "\"unterminated", "{\"a\":1,}", "[1] garbage", "nulll",
+        "\"bad\\escape\"", "\"\\ud800\""}) {
+    EXPECT_FALSE(Parse(bad).ok()) << "accepted: " << bad;
+  }
+}
+
+TEST(JsonTest, ParseRejectsExcessiveNesting) {
+  std::string deep;
+  for (int i = 0; i < 300; ++i) deep += "[";
+  for (int i = 0; i < 300; ++i) deep += "]";
+  EXPECT_FALSE(Parse(deep).ok());
+  // But reasonable nesting is fine.
+  std::string ok = "1";
+  for (int i = 0; i < 50; ++i) ok = "[" + ok + "]";
+  EXPECT_TRUE(Parse(ok).ok());
+}
+
+TEST(JsonTest, BuilderAutoVivifiesObjectsAndArrays) {
+  Value doc;  // starts null
+  doc["a"]["b"] = 1;
+  doc["list"].Append(true);
+  EXPECT_TRUE(doc.is_object());
+  EXPECT_TRUE(doc.Find("a")->Find("b")->is_int());
+  EXPECT_EQ(doc.Find("list")->AsArray().size(), 1u);
+  EXPECT_EQ(doc.Find("missing"), nullptr);
+  EXPECT_EQ(Value(1).Find("a"), nullptr);  // non-object lookup is safe
+}
+
+TEST(JsonTest, NumericCrossConversions) {
+  EXPECT_EQ(Value(uint64_t{5}).AsInt(), 5);
+  EXPECT_EQ(Value(int64_t{5}).AsUint(), 5u);
+  EXPECT_EQ(Value(int64_t{5}).AsDouble(), 5.0);
+  EXPECT_EQ(Value(5.0).AsDouble(), 5.0);
+}
+
+TEST(JsonTest, WhitespaceHandling) {
+  auto parsed = Parse(" {\n\t\"a\" :\r [ 1 , 2 ] } ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->Find("a")->AsArray().size(), 2u);
+}
+
+}  // namespace
+}  // namespace csj::json

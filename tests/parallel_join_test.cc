@@ -9,6 +9,7 @@
 #include "data/dataset.h"
 #include "data/generators.h"
 #include "index/bulk_load.h"
+#include "index/node_access.h"
 #include "index/rstar_tree.h"
 
 namespace csj {
@@ -16,6 +17,55 @@ namespace {
 
 std::vector<Entry<2>> Workload(size_t n, uint64_t seed) {
   return ToEntries(GenerateGaussianClusters<2>(n, 6, 0.03, seed));
+}
+
+/// Accepts `budget` writes, retains them like a MemorySink, then enters the
+/// sticky-error state — a deterministic stand-in for a disk filling up
+/// mid-replay.
+class DyingSink final : public JoinSink {
+ public:
+  DyingSink(int id_width, uint64_t budget)
+      : JoinSink(id_width), budget_(budget) {}
+
+  const std::vector<std::pair<PointId, PointId>>& links() const {
+    return links_;
+  }
+  const std::vector<std::vector<PointId>>& groups() const { return groups_; }
+
+ protected:
+  void DoLink(PointId a, PointId b) override {
+    if (Spend()) links_.emplace_back(a, b);
+  }
+  void DoGroup(std::span<const PointId> members) override {
+    if (Spend()) groups_.emplace_back(members.begin(), members.end());
+  }
+
+ private:
+  bool Spend() {
+    if (writes_ >= budget_) {
+      SetError(Status::IoError("sink died (injected)"));
+      return false;
+    }
+    ++writes_;
+    return true;
+  }
+
+  uint64_t budget_;
+  uint64_t writes_ = 0;
+  std::vector<std::pair<PointId, PointId>> links_;
+  std::vector<std::vector<PointId>> groups_;
+};
+
+/// Implied links recomputed from what a sink retained: each accepted group
+/// of k members stands for k*(k-1)/2 links.
+template <typename Sink>
+uint64_t ImpliedFromRetained(const Sink& sink) {
+  uint64_t implied = sink.links().size();
+  for (const auto& group : sink.groups()) {
+    const uint64_t k = group.size();
+    implied += k * (k - 1) / 2;
+  }
+  return implied;
 }
 
 TEST(ParallelJoinTest, LosslessAcrossThreadCounts) {
@@ -138,6 +188,117 @@ TEST(ParallelJoinTest, WindowOptionsRespected) {
                               BruteForceSelfJoin(entries, options.epsilon))
                   .lossless());
   EXPECT_GT(stats.merge_attempts, 0u);
+}
+
+TEST(ParallelJoinTest, WorkCountersSurviveSinkDeathMidReplay) {
+  // Regression: the replay loop used to sum per-worker work counters inside
+  // the sink-guarded iteration, so a sink dying mid-replay silently dropped
+  // the traversal work of every not-yet-replayed worker.
+  const auto entries = Workload(4000, 23);
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  JoinOptions options;
+  options.epsilon = 0.04;
+  ParallelJoinOptions parallel;
+  parallel.threads = 4;
+
+  MemorySink healthy(IdWidthFor(entries.size()));
+  const JoinStats reference =
+      ParallelCompactSimilarityJoin(tree, options, &healthy, parallel);
+  ASSERT_TRUE(reference.status.ok());
+  ASSERT_GT(healthy.num_links() + healthy.num_groups(), 8u)
+      << "workload too small to die mid-replay";
+
+  // Die a few writes in: several workers' outputs never reach the sink.
+  DyingSink dying(IdWidthFor(entries.size()), 5);
+  const JoinStats stats =
+      ParallelCompactSimilarityJoin(tree, options, &dying, parallel);
+  EXPECT_FALSE(stats.status.ok());
+
+  // The traversal completed before the replay started, so the work counters
+  // must describe the full join. distance_computations and early_stops are
+  // per-task sums, hence identical across schedules; the merge counters
+  // depend on task-to-worker assignment, so only demand they are nonzero.
+  EXPECT_EQ(stats.distance_computations, reference.distance_computations);
+  EXPECT_EQ(stats.early_stops, reference.early_stops);
+  EXPECT_GT(stats.merge_attempts, 0u);
+  EXPECT_GE(stats.merge_attempts, stats.merges);
+}
+
+TEST(ParallelJoinTest, ImpliedCountMatchesAcceptedWritesOnSinkDeath) {
+  // Regression: the replay used to bump the implied-link counters before
+  // checking whether the sink actually accepted the write, so a replay cut
+  // short by a sink error overcounted the dying write.
+  const auto entries = Workload(3000, 29);
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  JoinOptions options;
+  options.epsilon = 0.05;
+  ParallelJoinOptions parallel;
+  parallel.threads = 4;
+
+  for (uint64_t budget : {0ull, 1ull, 7ull, 100ull}) {
+    DyingSink sink(IdWidthFor(entries.size()), budget);
+    const JoinStats stats =
+        ParallelCompactSimilarityJoin(tree, options, &sink, parallel);
+    EXPECT_FALSE(stats.status.ok()) << "budget=" << budget;
+    EXPECT_EQ(stats.ImpliedLinkUpperBound(), ImpliedFromRetained(sink))
+        << "budget=" << budget;
+  }
+}
+
+TEST(ParallelJoinTest, TrackerRejectedWithStatusNotACrash) {
+  // Regression: a non-null options.tracker used to CSJ_CHECK-abort the
+  // process even though the file comment promised it was merely ignored.
+  // The contract is now an InvalidArgument status and an untouched sink.
+  const auto entries = Workload(500, 31);
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  NodeAccessTracker tracker(/*nodes_per_page=*/4, /*cache_pages=*/64);
+  JoinOptions options;
+  options.epsilon = 0.05;
+  options.tracker = &tracker;
+  MemorySink sink(IdWidthFor(entries.size()));
+  const JoinStats stats = ParallelCompactSimilarityJoin(tree, options, &sink);
+  ASSERT_FALSE(stats.status.ok());
+  EXPECT_EQ(stats.status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(sink.num_links() + sink.num_groups(), 0u);
+  EXPECT_EQ(stats.links + stats.groups, 0u);
+}
+
+TEST(ParallelJoinTest, ImpliedLinkCountConsistentInBothModes) {
+  // Property: in either mode the reported implied-link upper bound equals
+  // the count recomputed from the emitted output, and it bounds the number
+  // of distinct links the output expands to. (Strict parallel==sequential
+  // equality does NOT hold: group composition differs per worker, and
+  // overlapping groups imply different totals.)
+  const auto entries = Workload(2500, 37);
+  RStarTree<2> tree;
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  JoinOptions options;
+  options.epsilon = 0.05;
+
+  MemorySink sequential(IdWidthFor(entries.size()));
+  const JoinStats seq_stats =
+      CompactSimilarityJoin(tree, options, &sequential);
+  ASSERT_TRUE(seq_stats.status.ok());
+  EXPECT_EQ(seq_stats.ImpliedLinkUpperBound(),
+            ImpliedFromRetained(sequential));
+  EXPECT_GE(seq_stats.ImpliedLinkUpperBound(),
+            ExpandSelfJoin(sequential).size());
+
+  ParallelJoinOptions parallel;
+  parallel.threads = 4;
+  MemorySink par_sink(IdWidthFor(entries.size()));
+  const JoinStats par_stats =
+      ParallelCompactSimilarityJoin(tree, options, &par_sink, parallel);
+  ASSERT_TRUE(par_stats.status.ok());
+  EXPECT_EQ(par_stats.ImpliedLinkUpperBound(), ImpliedFromRetained(par_sink));
+  EXPECT_GE(par_stats.ImpliedLinkUpperBound(),
+            ExpandSelfJoin(par_sink).size());
+
+  // Both expansions are the same exact result set.
+  EXPECT_EQ(ExpandSelfJoin(sequential).size(), ExpandSelfJoin(par_sink).size());
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 ///   csj_tool join     --index index.csjt --eps 0.05 --algo csj --g 10
 ///                     --out result.txt   (one line)
 ///   csj_tool join     --points pts.txt --eps 0.05 --algo ego --out r.txt
+///   csj_tool join     ... --metrics json   (stats + metrics snapshot JSON
+///                     on stdout; --metrics text appends a readable dump)
 ///   csj_tool expand   --result result.txt --out links.txt
 ///   csj_tool verify   --points pts.txt --result result.txt --eps 0.05
 ///   csj_tool stats    --index index.csjt
@@ -153,6 +155,11 @@ int CmdJoin(Flags& flags) {
   const std::string out = flags.Require("out");
   const std::string index_path = flags.GetOr("index", "");
   const std::string points_path = flags.GetOr("points", "");
+  const std::string metrics_mode = flags.GetOr("metrics", "off");
+  if (metrics_mode != "off" && metrics_mode != "text" &&
+      metrics_mode != "json") {
+    Flags::Die("--metrics must be off, text or json");
+  }
   flags.CheckAllUsed();
 
   JoinStats stats;
@@ -204,10 +211,22 @@ int CmdJoin(Flags& flags) {
     }
     DieOnError(sink.Finish());
   }
+  if (metrics_mode == "json") {
+    // Machine-readable mode: stdout carries exactly one JSON document with
+    // the run's stats and the process metrics snapshot.
+    json::Value doc = json::Object{};
+    doc["stats"] = stats.ToJsonValue();
+    doc["metrics"] = metrics::Snapshot().ToJsonValue();
+    std::printf("%s\n", json::Write(doc, /*pretty=*/true).c_str());
+    return 0;
+  }
   std::printf("%s\n", stats.ToString().c_str());
   std::printf("wrote %s (%s) to %s\n",
               HumanBytes(stats.output_bytes).c_str(),
               WithThousands(stats.output_bytes).c_str(), out.c_str());
+  if (metrics_mode == "text") {
+    std::printf("%s", metrics::Snapshot().ToText().c_str());
+  }
   return 0;
 }
 
