@@ -5,10 +5,12 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <unordered_map>
 #include <vector>
 
 #include "core/group.h"
+#include "geom/kernels.h"
 #include "core/join_options.h"
 #include "core/join_stats.h"
 #include "core/sink.h"
@@ -46,6 +48,9 @@ struct EgoOptions {
   int window_size = 10;
   /// Enable the early termination-as-a-group case (compact variant only).
   bool early_stop = true;
+  /// Leaf-range pair enumeration strategy (geom/kernels.h), same knob as
+  /// JoinOptions::leaf_kernel. All modes produce identical output.
+  LeafKernel leaf_kernel = LeafKernel::kSweep;
 };
 
 namespace ego_internal {
@@ -85,9 +90,12 @@ struct EgoJoinState {
   size_t leaf_size = 32;
   bool compact = false;
   bool early_stop = true;
+  LeafKernel leaf_kernel = LeafKernel::kSweep;
   JoinSink* sink = nullptr;
   JoinStats* stats = nullptr;
   GroupWindow<D>* window = nullptr;
+  /// Leaf-kernel scratch tiles + hit buffer, reused across range pairs.
+  LeafJoinScratch<D> kernel_scratch;
   // Bounds memoization: the recursion revisits the same canonical ranges in
   // many pair combinations, so cache per-(lo,hi) boxes.
   std::unordered_map<uint64_t, Box<D>> cell_bounds_cache;
@@ -157,32 +165,34 @@ void EmitEgoGroup(EgoJoinState<D>& state, size_t lo1, size_t hi1, size_t lo2,
   state.window->AddSubtreeGroup(std::move(members), box);
 }
 
-/// Nested-loop join of two (possibly identical) small ranges.
+/// Join of two (possibly identical) small ranges, through the leaf-kernel
+/// layer (geom/kernels.h): the ranges are transposed into SoA tiles and
+/// enumerated by the configured kernel. Replaces the scalar nested loop.
 template <int D>
 void EgoLeafJoin(EgoJoinState<D>& state, size_t lo1, size_t hi1, size_t lo2,
                  size_t hi2) {
   const auto& data = *state.data;
+  const auto proj = [](const EgoEntry<D>& e) -> const Entry<D>& {
+    return e.entry;
+  };
+  auto emit = [&state](const Entry<D>& a, const Entry<D>& b) {
+    EmitEgoLink(state, a, b);
+  };
+  KernelCounters kc;
   if (lo1 == lo2 && hi1 == hi2) {
-    for (size_t i = lo1; i < hi1; ++i) {
-      for (size_t j = i + 1; j < hi1; ++j) {
-        ++state.stats->distance_computations;
-        if (SquaredDistance(data[i].entry.point, data[j].entry.point) <=
-            state.eps2) {
-          EmitEgoLink(state, data[i].entry, data[j].entry);
-        }
-      }
-    }
-    return;
+    kc = SelfJoinKernel(state.kernel_scratch,
+                        std::span(data.data() + lo1, hi1 - lo1), state.eps2,
+                        state.leaf_kernel, emit, proj);
+  } else {
+    kc = BlockJoinKernel(state.kernel_scratch,
+                         std::span(data.data() + lo1, hi1 - lo1),
+                         std::span(data.data() + lo2, hi2 - lo2), state.eps2,
+                         state.leaf_kernel, emit, proj);
   }
-  for (size_t i = lo1; i < hi1; ++i) {
-    for (size_t j = lo2; j < hi2; ++j) {
-      ++state.stats->distance_computations;
-      if (SquaredDistance(data[i].entry.point, data[j].entry.point) <=
-          state.eps2) {
-        EmitEgoLink(state, data[i].entry, data[j].entry);
-      }
-    }
-  }
+  state.stats->distance_computations += kc.computed;
+  state.stats->kernel_candidates += kc.candidates;
+  state.stats->kernel_pruned += kc.pruned;
+  state.stats->kernel_hits += kc.hits;
 }
 
 /// Recursive EGO join of two contiguous ranges of the EGO-sorted data.
@@ -258,6 +268,7 @@ JoinStats RunEgoJoin(const std::vector<Entry<D>>& entries,
   state.leaf_size = std::max<size_t>(options.leaf_size, 2);
   state.compact = compact;
   state.early_stop = options.early_stop;
+  state.leaf_kernel = options.leaf_kernel;
   state.sink = sink;
   state.stats = &stats;
   state.window = &window;
@@ -322,6 +333,7 @@ JoinStats RunEgoSpatialJoin(const std::vector<Entry<D>>& set_a,
   state.leaf_size = std::max<size_t>(options.leaf_size, 2);
   state.compact = compact;
   state.early_stop = options.early_stop;
+  state.leaf_kernel = options.leaf_kernel;
   state.sink = sink;
   state.stats = &stats;
   state.window = &window;

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "geom/kernels.h"
 #include "index/node_access.h"
 
 /// \file
@@ -66,6 +67,13 @@ struct JoinOptions {
 
   /// Ablation: first-fit (the paper's pseudocode) vs best-fit link merging.
   WindowPolicy window_policy = WindowPolicy::kFirstFit;
+
+  /// Leaf-level pair enumeration strategy (geom/kernels.h): the scalar
+  /// baseline double loop, the plane-sweep pruned loop, or plane-sweep plus
+  /// blocked branch-free distance lanes. All three produce byte-identical
+  /// output (the kernels replay hits in the naive loop's order); they differ
+  /// only in speed and in how many distances they actually compute.
+  LeafKernel leaf_kernel = LeafKernel::kSweep;
 
   /// When true, time spent inside the sink is accumulated separately
   /// (Experiment 3's computation-vs-write split). Adds two clock reads per

@@ -35,6 +35,13 @@ struct JoinStats {
 
   // Work counters.
   uint64_t distance_computations = 0;
+  /// Leaf-kernel accounting (geom/kernels.h): raw leaf pair space, pairs the
+  /// plane sweep discarded on the 1-D bound alone, and in-range pairs.
+  /// distance_computations == kernel_candidates - kernel_pruned + any
+  /// non-leaf distance work. Zero for drivers that bypass the kernel layer.
+  uint64_t kernel_candidates = 0;
+  uint64_t kernel_pruned = 0;
+  uint64_t kernel_hits = 0;
   uint64_t node_accesses = 0;   ///< node visits (0 if no tracker installed)
   uint64_t page_requests = 0;   ///< simulated page requests
   uint64_t page_disk_reads = 0; ///< simulated LRU misses
@@ -85,6 +92,9 @@ struct JoinStats {
     v["group_member_total"] = group_member_total;
     v["output_bytes"] = output_bytes;
     v["distance_computations"] = distance_computations;
+    v["kernel_candidates"] = kernel_candidates;
+    v["kernel_pruned"] = kernel_pruned;
+    v["kernel_hits"] = kernel_hits;
     v["node_accesses"] = node_accesses;
     v["page_requests"] = page_requests;
     v["page_disk_reads"] = page_disk_reads;

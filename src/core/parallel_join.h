@@ -226,6 +226,9 @@ JoinStats ParallelCompactSimilarityJoin(
   // mid-replay silently dropped the work of every not-yet-replayed worker.)
   for (const JoinStats& ws : worker_stats) {
     total.distance_computations += ws.distance_computations;
+    total.kernel_candidates += ws.kernel_candidates;
+    total.kernel_pruned += ws.kernel_pruned;
+    total.kernel_hits += ws.kernel_hits;
     total.early_stops += ws.early_stops;
     total.merges += ws.merges;
     total.merge_attempts += ws.merge_attempts;

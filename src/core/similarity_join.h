@@ -10,6 +10,7 @@
 #include "core/join_options.h"
 #include "core/join_stats.h"
 #include "core/sink.h"
+#include "geom/kernels.h"
 #include "index/spatial_index.h"
 #include "util/metrics.h"
 #include "util/timer.h"
@@ -171,9 +172,34 @@ class JoinDriver {
     return MinDistance(tree_a_.Shape(a), tree_b_.Shape(b));
   }
 
+  // --- Leaf kernels (geom/kernels.h) ----------------------------------------
+
+  /// Folds one leaf-kernel invocation's bulk counters into the run's stats.
+  /// The per-pair ++distance_computations of the old scalar loops became one
+  /// add per leaf visit; under LeafKernel::kNaive the totals are identical.
+  void AddKernelWork(const KernelCounters& kc) {
+    stats_.distance_computations += kc.computed;
+    stats_.kernel_candidates += kc.candidates;
+    stats_.kernel_pruned += kc.pruned;
+    stats_.kernel_hits += kc.hits;
+  }
+
+  /// MinDistance-sorted child pair lists (Brinkhoff ordering) need a
+  /// (dist, pair) buffer per recursion level; the pool reuses one buffer per
+  /// depth so steady-state traversals allocate nothing. Indexed access only:
+  /// growing the pool moves the inner vectors.
+  using ChildPair = std::pair<double, std::pair<NodeId, NodeId>>;
+  std::vector<ChildPair>& PairScratch(int depth) {
+    if (static_cast<size_t>(depth) >= pair_scratch_pool_.size()) {
+      pair_scratch_pool_.resize(depth + 1);
+    }
+    pair_scratch_pool_[depth].clear();
+    return pair_scratch_pool_[depth];
+  }
+
   // --- Single-node recursion (Figure 3, simJoin(n)) -------------------------
 
-  void SelfJoin(NodeId n) {
+  void SelfJoin(NodeId n, int depth = 0) {
     if (Aborted()) return;
     CSJ_METRIC_COUNT("join.node_visits", 1);
     TouchA(n);
@@ -183,24 +209,18 @@ class JoinDriver {
       return;
     }
     if (tree_a_.IsLeaf(n)) {
-      const auto entries = tree_a_.Entries(n);
-      for (size_t i = 0; i < entries.size(); ++i) {
-        for (size_t j = i + 1; j < entries.size(); ++j) {
-          ++stats_.distance_computations;
-          if (SquaredDistance(entries[i].point, entries[j].point) <=
-              eps_squared_) {
-            EmitLink(entries[i], entries[j]);
-          }
-        }
-      }
+      AddKernelWork(SelfJoinKernel(
+          kernel_scratch_, tree_a_.Entries(n), eps_squared_,
+          options_.leaf_kernel,
+          [this](const Entry<D>& a, const Entry<D>& b) { EmitLink(a, b); }));
       return;
     }
     const auto children = tree_a_.Children(n);
-    for (NodeId child : children) SelfJoin(child);
+    for (NodeId child : children) SelfJoin(child, depth + 1);
 
     if (options_.sort_child_pairs) {
       // Brinkhoff-style ordering: qualifying pairs by ascending MinDistance.
-      std::vector<std::pair<double, std::pair<NodeId, NodeId>>> pairs;
+      auto& pairs = PairScratch(depth);
       for (size_t i = 0; i < children.size(); ++i) {
         for (size_t j = i + 1; j < children.size(); ++j) {
           const double dist = tree_a_.MinDistance(children[i], children[j]);
@@ -209,12 +229,16 @@ class JoinDriver {
       }
       std::sort(pairs.begin(), pairs.end(),
                 [](const auto& a, const auto& b) { return a.first < b.first; });
-      for (const auto& [dist, pair] : pairs) SelfDualJoin(pair.first, pair.second);
+      // Indexed, value-copied iteration: recursion below may grow the pool.
+      for (size_t k = 0; k < pair_scratch_pool_[depth].size(); ++k) {
+        const auto pair = pair_scratch_pool_[depth][k].second;
+        SelfDualJoin(pair.first, pair.second, depth + 1);
+      }
     } else {
       for (size_t i = 0; i < children.size(); ++i) {
         for (size_t j = i + 1; j < children.size(); ++j) {
           if (tree_a_.MinDistance(children[i], children[j]) <= eps_) {
-            SelfDualJoin(children[i], children[j]);
+            SelfDualJoin(children[i], children[j], depth + 1);
           }
         }
       }
@@ -222,7 +246,7 @@ class JoinDriver {
   }
 
   /// Dual-node recursion within the self-joined tree (simJoin(n1, n2)).
-  void SelfDualJoin(NodeId n1, NodeId n2) {
+  void SelfDualJoin(NodeId n1, NodeId n2, int depth = 0) {
     if (Aborted()) return;
     CSJ_METRIC_COUNT("join.node_visits", 2);
     TouchA(n1);
@@ -235,38 +259,50 @@ class JoinDriver {
     const bool leaf1 = tree_a_.IsLeaf(n1);
     const bool leaf2 = tree_a_.IsLeaf(n2);
     if (leaf1 && leaf2) {
-      for (const auto& e1 : tree_a_.Entries(n1)) {
-        for (const auto& e2 : tree_a_.Entries(n2)) {
-          ++stats_.distance_computations;
-          if (SquaredDistance(e1.point, e2.point) <= eps_squared_) {
-            EmitLink(e1, e2);
-          }
-        }
-      }
+      AddKernelWork(BlockJoinKernel(
+          kernel_scratch_, tree_a_.Entries(n1), tree_a_.Entries(n2),
+          eps_squared_, options_.leaf_kernel,
+          [this](const Entry<D>& a, const Entry<D>& b) { EmitLink(a, b); }));
       return;
     }
     if (leaf1) {
       for (NodeId c2 : tree_a_.Children(n2)) {
-        if (tree_a_.MinDistance(n1, c2) <= eps_) SelfDualJoin(n1, c2);
+        if (tree_a_.MinDistance(n1, c2) <= eps_) SelfDualJoin(n1, c2, depth + 1);
       }
       return;
     }
     if (leaf2) {
       for (NodeId c1 : tree_a_.Children(n1)) {
-        if (tree_a_.MinDistance(c1, n2) <= eps_) SelfDualJoin(c1, n2);
+        if (tree_a_.MinDistance(c1, n2) <= eps_) SelfDualJoin(c1, n2, depth + 1);
+      }
+      return;
+    }
+    if (options_.sort_child_pairs) {
+      auto& pairs = PairScratch(depth);
+      for (NodeId c1 : tree_a_.Children(n1)) {
+        for (NodeId c2 : tree_a_.Children(n2)) {
+          const double dist = tree_a_.MinDistance(c1, c2);
+          if (dist <= eps_) pairs.push_back({dist, {c1, c2}});
+        }
+      }
+      std::sort(pairs.begin(), pairs.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      for (size_t k = 0; k < pair_scratch_pool_[depth].size(); ++k) {
+        const auto pair = pair_scratch_pool_[depth][k].second;
+        SelfDualJoin(pair.first, pair.second, depth + 1);
       }
       return;
     }
     for (NodeId c1 : tree_a_.Children(n1)) {
       for (NodeId c2 : tree_a_.Children(n2)) {
-        if (tree_a_.MinDistance(c1, c2) <= eps_) SelfDualJoin(c1, c2);
+        if (tree_a_.MinDistance(c1, c2) <= eps_) SelfDualJoin(c1, c2, depth + 1);
       }
     }
   }
 
   // --- Dual-tree recursion (spatial join, Section IV-D) ----------------------
 
-  void DualJoin(NodeId a, NodeId b) {
+  void DualJoin(NodeId a, NodeId b, int depth = 0) {
     if (Aborted()) return;
     CSJ_METRIC_COUNT("join.node_visits", 2);
     TouchA(a);
@@ -279,31 +315,47 @@ class JoinDriver {
     const bool leaf_a = tree_a_.IsLeaf(a);
     const bool leaf_b = tree_b_.IsLeaf(b);
     if (leaf_a && leaf_b) {
-      for (const auto& ea : tree_a_.Entries(a)) {
-        for (const auto& eb : tree_b_.Entries(b)) {
-          ++stats_.distance_computations;
-          if (SquaredDistance(ea.point, eb.point) <= eps_squared_) {
+      AddKernelWork(BlockJoinKernel(
+          kernel_scratch_, tree_a_.Entries(a), tree_b_.Entries(b),
+          eps_squared_, options_.leaf_kernel,
+          [this](const Entry<D>& ea, const Entry<D>& eb) {
             EmitLink(ea, eb);
-          }
-        }
-      }
+          }));
       return;
     }
     if (leaf_a) {
       for (NodeId cb : tree_b_.Children(b)) {
-        if (MinDist(a, cb) <= eps_) DualJoin(a, cb);
+        if (MinDist(a, cb) <= eps_) DualJoin(a, cb, depth + 1);
       }
       return;
     }
     if (leaf_b) {
       for (NodeId ca : tree_a_.Children(a)) {
-        if (MinDist(ca, b) <= eps_) DualJoin(ca, b);
+        if (MinDist(ca, b) <= eps_) DualJoin(ca, b, depth + 1);
+      }
+      return;
+    }
+    if (options_.sort_child_pairs) {
+      // Brinkhoff ordering for the spatial join too (it used to be silently
+      // ignored outside SelfJoin).
+      auto& pairs = PairScratch(depth);
+      for (NodeId ca : tree_a_.Children(a)) {
+        for (NodeId cb : tree_b_.Children(b)) {
+          const double dist = MinDist(ca, cb);
+          if (dist <= eps_) pairs.push_back({dist, {ca, cb}});
+        }
+      }
+      std::sort(pairs.begin(), pairs.end(),
+                [](const auto& a_, const auto& b_) { return a_.first < b_.first; });
+      for (size_t k = 0; k < pair_scratch_pool_[depth].size(); ++k) {
+        const auto pair = pair_scratch_pool_[depth][k].second;
+        DualJoin(pair.first, pair.second, depth + 1);
       }
       return;
     }
     for (NodeId ca : tree_a_.Children(a)) {
       for (NodeId cb : tree_b_.Children(b)) {
-        if (MinDist(ca, cb) <= eps_) DualJoin(ca, cb);
+        if (MinDist(ca, cb) <= eps_) DualJoin(ca, cb, depth + 1);
       }
     }
   }
@@ -331,6 +383,7 @@ class JoinDriver {
   void EmitSubtreeGroup(NodeId n) {
     ++stats_.early_stops;
     std::vector<PointId> members;
+    members.reserve(CountEntriesInSubtree(tree_a_, n));
     Box<D> box;
     ForEachEntryInSubtree(tree_a_, n, options_.tracker,
                           [&](const Entry<D>& e) {
@@ -344,6 +397,8 @@ class JoinDriver {
   void EmitSubtreePairGroupSelf(NodeId n1, NodeId n2) {
     ++stats_.early_stops;
     std::vector<PointId> members;
+    members.reserve(CountEntriesInSubtree(tree_a_, n1) +
+                    CountEntriesInSubtree(tree_a_, n2));
     Box<D> box;
     auto collect = [&](const Entry<D>& e) {
       members.push_back(e.id);
@@ -358,6 +413,8 @@ class JoinDriver {
   void EmitSubtreePairGroupDual(NodeId a, NodeId b) {
     ++stats_.early_stops;
     std::vector<PointId> members;
+    members.reserve(CountEntriesInSubtree(tree_a_, a) +
+                    CountEntriesInSubtree(tree_b_, b));
     Box<D> box;
     auto collect = [&](const Entry<D>& e) {
       members.push_back(e.id);
@@ -393,6 +450,10 @@ class JoinDriver {
   JoinStats stats_;
   StopwatchAccumulator write_timer_;
   GroupWindow<D> window_;
+  /// Leaf-kernel scratch (SoA tiles + hit buffer), reused across leaf visits.
+  LeafJoinScratch<D> kernel_scratch_;
+  /// Per-recursion-depth (dist, child pair) buffers for sort_child_pairs.
+  std::vector<std::vector<ChildPair>> pair_scratch_pool_;
 };
 
 }  // namespace internal

@@ -1,0 +1,30 @@
+#include "geom/kernels.h"
+
+namespace csj {
+
+const char* LeafKernelName(LeafKernel kernel) {
+  switch (kernel) {
+    case LeafKernel::kNaive:
+      return "naive";
+    case LeafKernel::kSweep:
+      return "sweep";
+    case LeafKernel::kSimd:
+      return "simd";
+  }
+  return "?";
+}
+
+bool ParseLeafKernel(std::string_view name, LeafKernel* out) {
+  if (name == "naive") {
+    *out = LeafKernel::kNaive;
+  } else if (name == "sweep") {
+    *out = LeafKernel::kSweep;
+  } else if (name == "simd") {
+    *out = LeafKernel::kSimd;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace csj

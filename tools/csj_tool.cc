@@ -9,6 +9,9 @@
 ///   csj_tool join     --points pts.txt --eps 0.05 --algo ego --out r.txt
 ///   csj_tool join     ... --metrics json   (stats + metrics snapshot JSON
 ///                     on stdout; --metrics text appends a readable dump)
+///   csj_tool join     ... --leaf-kernel naive|sweep|simd   (leaf-level
+///                     pair-enumeration strategy; identical output, see
+///                     docs/PERFORMANCE.md; default sweep)
 ///   csj_tool expand   --result result.txt --out links.txt
 ///   csj_tool verify   --points pts.txt --result result.txt --eps 0.05
 ///   csj_tool stats    --index index.csjt
@@ -160,6 +163,11 @@ int CmdJoin(Flags& flags) {
       metrics_mode != "json") {
     Flags::Die("--metrics must be off, text or json");
   }
+  const std::string kernel_name = flags.GetOr("leaf-kernel", "sweep");
+  LeafKernel leaf_kernel = LeafKernel::kSweep;
+  if (!ParseLeafKernel(kernel_name, &leaf_kernel)) {
+    Flags::Die("--leaf-kernel must be naive, sweep or simd");
+  }
   flags.CheckAllUsed();
 
   JoinStats stats;
@@ -173,6 +181,7 @@ int CmdJoin(Flags& flags) {
     EgoOptions options;
     options.epsilon = eps;
     options.window_size = g;
+    options.leaf_kernel = leaf_kernel;
     stats = algo == "ego" ? EgoSimilarityJoin(*entries, options, &sink)
                           : CompactEgoJoin(*entries, options, &sink);
     DieOnError(sink.Finish());
@@ -199,6 +208,7 @@ int CmdJoin(Flags& flags) {
     JoinOptions options;
     options.epsilon = eps;
     options.window_size = g;
+    options.leaf_kernel = leaf_kernel;
     FileSink sink(IdWidthFor(n), out);
     if (algo == "ssj") {
       stats = StandardSimilarityJoin(tree, options, &sink);
