@@ -27,15 +27,15 @@ RunResult Run(const RStarTree<2>& tree, size_t n, const JoinOptions& options,
               const BenchArgs& args) {
   RunResult best;
   for (int r = 0; r < args.runs; ++r) {
-    CountingSink sink(IdWidthFor(n));
-    const JoinStats stats = CompactSimilarityJoin(tree, options, &sink);
+    auto sink = MakeSinkOrDie(OutputSpec::Counting(n));
+    const JoinStats stats = CompactSimilarityJoin(tree, options, sink.get());
     if (r == 0 || stats.elapsed_seconds < best.seconds) {
       best.seconds = stats.elapsed_seconds;
       best.stats = stats;
     }
-    best.bytes = sink.bytes();
-    best.groups = sink.num_groups();
-    best.links = sink.num_links();
+    best.bytes = sink->bytes();
+    best.groups = sink->num_groups();
+    best.links = sink->num_links();
   }
   return best;
 }
@@ -129,15 +129,16 @@ void RunFanoutSweep(const BenchArgs& args) {
     JoinOptions join_options;
     join_options.epsilon = eps;
     join_options.window_size = 10;
-    CountingSink ncsj(IdWidthFor(entries.size()));
-    NaiveCompactJoin(tree, join_options, &ncsj);
-    CountingSink csj(IdWidthFor(entries.size()));
-    const JoinStats stats = CompactSimilarityJoin(tree, join_options, &csj);
+    auto ncsj = MakeSinkOrDie(OutputSpec::Counting(entries.size()));
+    NaiveCompactJoin(tree, join_options, ncsj.get());
+    auto csj = MakeSinkOrDie(OutputSpec::Counting(entries.size()));
+    const JoinStats stats =
+        CompactSimilarityJoin(tree, join_options, csj.get());
 
     table.AddRow({StrFormat("%zu", fanout),
                   StrFormat("%.4f", diag_sum / static_cast<double>(leaves)),
                   WithThousands(stats.early_stops),
-                  WithThousands(ncsj.bytes()), WithThousands(csj.bytes()),
+                  WithThousands(ncsj->bytes()), WithThousands(csj->bytes()),
                   HumanDuration(stats.elapsed_seconds)});
   }
   EmitTable(table, args, "ablation_fanout");
@@ -186,17 +187,19 @@ void RunGroupShapeAblation(const BenchArgs& args) {
     JoinOptions options;
     options.epsilon = eps;
     options.window_size = 10;
-    CountingSink mbr_sink(IdWidthFor(entries.size()));
-    const JoinStats mbr = CompactSimilarityJoin(mbr_tree, options, &mbr_sink);
-    CountingSink ball_sink(IdWidthFor(entries.size()));
-    const JoinStats ball = MetricCompactJoin(ball_tree, options, &ball_sink);
+    auto mbr_sink = MakeSinkOrDie(OutputSpec::Counting(entries.size()));
+    const JoinStats mbr =
+        CompactSimilarityJoin(mbr_tree, options, mbr_sink.get());
+    auto ball_sink = MakeSinkOrDie(OutputSpec::Counting(entries.size()));
+    const JoinStats ball =
+        MetricCompactJoin(ball_tree, options, ball_sink.get());
     const double penalty =
-        mbr_sink.bytes() == 0
+        mbr_sink->bytes() == 0
             ? 0.0
-            : static_cast<double>(ball_sink.bytes()) /
-                  static_cast<double>(mbr_sink.bytes());
-    table.AddRow({StrFormat("%.3g", eps), WithThousands(mbr_sink.bytes()),
-                  WithThousands(ball_sink.bytes()),
+            : static_cast<double>(ball_sink->bytes()) /
+                  static_cast<double>(mbr_sink->bytes());
+    table.AddRow({StrFormat("%.3g", eps), WithThousands(mbr_sink->bytes()),
+                  WithThousands(ball_sink->bytes()),
                   StrFormat("%.2fx", penalty),
                   HumanDuration(mbr.elapsed_seconds),
                   HumanDuration(ball.elapsed_seconds)});

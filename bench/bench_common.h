@@ -78,77 +78,6 @@ struct BenchArgs {
   }
 };
 
-/// File sink that writes the paper's text format until `cap_bytes`, then
-/// keeps counting without writing. Lets the sweep measure real write costs
-/// on explosive outputs without filling the disk; truncated runs are marked
-/// estimated and their write time extrapolated at the measured throughput.
-class CappedFileSink final : public JoinSink {
- public:
-  CappedFileSink(int id_width, std::string path, uint64_t cap_bytes)
-      : JoinSink(id_width), cap_(cap_bytes) {
-    open_status_ = file_.Open(path);
-    SetError(open_status_);
-    scratch_.reserve(256);
-  }
-
-  Status Finish() override {
-    if (!error().ok()) return error();
-    const Status close_status = file_.Close();
-    SetError(close_status);
-    return close_status;
-  }
-
-  bool truncated() const { return truncated_; }
-  uint64_t written_bytes() const { return file_.bytes_written(); }
-  const Status& open_status() const { return open_status_; }
-
- protected:
-  void DoLink(PointId a, PointId b) override {
-    if (!ShouldWrite(2)) return;
-    scratch_.clear();
-    AppendId(a, ' ');
-    AppendId(b, '\n');
-    SetError(file_.Append(scratch_));
-  }
-
-  void DoGroup(std::span<const PointId> members) override {
-    if (!ShouldWrite(members.size())) return;
-    scratch_.clear();
-    for (size_t i = 0; i < members.size(); ++i) {
-      AppendId(members[i], i + 1 == members.size() ? '\n' : ' ');
-    }
-    SetError(file_.Append(scratch_));
-  }
-
- private:
-  bool ShouldWrite(size_t ids) {
-    if (file_.bytes_written() + ids * (id_width() + 1) > cap_) {
-      truncated_ = true;
-      return false;
-    }
-    return true;
-  }
-
-  void AppendId(PointId id, char terminator) {
-    char buf[24];
-    int pos = 24;
-    uint64_t v = id;
-    do {
-      buf[--pos] = static_cast<char>('0' + v % 10);
-      v /= 10;
-    } while (v != 0);
-    for (int i = 24 - pos; i < id_width(); ++i) scratch_.push_back('0');
-    scratch_.append(buf + pos, buf + 24);
-    scratch_.push_back(terminator);
-  }
-
-  OutputFile file_;
-  Status open_status_;
-  uint64_t cap_;
-  bool truncated_ = false;
-  std::string scratch_;
-};
-
 /// The paper's query ranges: 9 values equally spaced on a log scale between
 /// 2^-9 and 2^-1.
 inline std::vector<double> PaperEpsilons() {
@@ -370,16 +299,22 @@ RunResult MeasureJoin(JoinAlgorithm algorithm, const Tree& tree,
 
   const std::string path = StrFormat("/tmp/csj_bench_%d.txt", getpid());
   for (int r = 0; r < args.runs; ++r) {
-    CappedFileSink sink(IdWidthFor(entries.size()), path, kFileCap);
-    const JoinStats stats = RunSelfJoin(algorithm, tree, options, &sink);
-    (void)sink.Finish();
+    // Capped text file: writes stop at kFileCap but counting continues, so
+    // explosive outputs measure real write costs without filling the disk.
+    OutputSpec spec = OutputSpec::File(path, entries.size());
+    spec.cap_bytes = kFileCap;
+    auto sink = MakeSinkOrDie(spec);
+    const JoinStats stats = RunSelfJoin(algorithm, tree, options, sink.get());
+    (void)sink->Finish();
     double seconds = stats.elapsed_seconds;
-    if (sink.truncated() && sink.written_bytes() > 0 &&
+    if (sink->truncated() && sink->materialized_bytes() > 0 &&
         stats.write_seconds > 0.0) {
       // Add back the write cost of the counted-but-unwritten suffix.
       const double throughput =
-          static_cast<double>(sink.written_bytes()) / stats.write_seconds;
-      seconds += static_cast<double>(sink.bytes() - sink.written_bytes()) /
+          static_cast<double>(sink->materialized_bytes()) /
+          stats.write_seconds;
+      seconds += static_cast<double>(sink->bytes() -
+                                     sink->materialized_bytes()) /
                  throughput;
       result.estimated = true;
     }
@@ -387,9 +322,9 @@ RunResult MeasureJoin(JoinAlgorithm algorithm, const Tree& tree,
       result.seconds = seconds;
       result.stats = stats;
     }
-    result.bytes = sink.bytes();
-    result.links = sink.num_links();
-    result.groups = sink.num_groups();
+    result.bytes = sink->bytes();
+    result.links = sink->num_links();
+    result.groups = sink->num_groups();
   }
   std::remove(path.c_str());
   calibration->Update(predicted_links, result.seconds, result.bytes);

@@ -34,14 +34,14 @@ void RunWindowSweep(const BenchArgs& args) {
     options.window_size = g;
     RunResult best;
     for (int r = 0; r < args.runs; ++r) {
-      CountingSink sink(IdWidthFor(mg.entries.size()));
-      const JoinStats stats = CompactSimilarityJoin(tree, options, &sink);
+      auto sink = MakeSinkOrDie(OutputSpec::Counting(mg.entries.size()));
+      const JoinStats stats = CompactSimilarityJoin(tree, options, sink.get());
       if (r == 0 || stats.elapsed_seconds < best.seconds) {
         best.seconds = stats.elapsed_seconds;
         best.stats = stats;
       }
-      best.bytes = sink.bytes();
-      best.groups = sink.num_groups();
+      best.bytes = sink->bytes();
+      best.groups = sink->num_groups();
     }
     BenchRecorder::Get().RecordStats(best.stats);
     table.AddRow({StrFormat("%d", g), HumanDuration(best.seconds),
@@ -70,10 +70,10 @@ void RunInsertionOrders(const BenchArgs& args) {
   options.epsilon = 7.0;
   for (int g : {1, 2, 3, 10}) {
     options.window_size = g;
-    CountingSink sink(2);
-    CompactSimilarityJoin(tree, options, &sink);
-    table.AddRow({StrFormat("%d", g), WithThousands(sink.num_groups()),
-                  WithThousands(sink.bytes())});
+    auto sink = MakeSinkOrDie(OutputSpec::Counting(100));  // 2-digit ids
+    CompactSimilarityJoin(tree, options, sink.get());
+    table.AddRow({StrFormat("%d", g), WithThousands(sink->num_groups()),
+                  WithThousands(sink->bytes())});
   }
   EmitTable(table, args, "sec5b_line_orders");
 }

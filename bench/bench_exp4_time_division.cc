@@ -55,10 +55,13 @@ void Main(const BenchArgs& args) {
     double best_total = 0.0, best_write = 0.0;
     uint64_t bytes = 0;
     for (int r = 0; r < args.runs; ++r) {
-      FileSink sink(IdWidthFor(mg.entries.size()),
-                    out_dir + "/csj_fig8_" + std::to_string(r) + ".txt");
-      const JoinStats stats = RunSelfJoin(v.algorithm, tree, options, &sink);
-      const Status finish = sink.Finish();
+      const std::string path =
+          out_dir + "/csj_fig8_" + std::to_string(r) + ".txt";
+      auto sink =
+          MakeSinkOrDie(OutputSpec::File(path, mg.entries.size()));
+      const JoinStats stats =
+          RunSelfJoin(v.algorithm, tree, options, sink.get());
+      const Status finish = sink->Finish();
       if (!finish.ok()) {
         std::fprintf(stderr, "sink error: %s\n", finish.ToString().c_str());
         return;
@@ -67,8 +70,8 @@ void Main(const BenchArgs& args) {
         best_total = stats.elapsed_seconds;
         best_write = stats.write_seconds;
       }
-      bytes = sink.bytes();
-      std::remove(sink.path().c_str());
+      bytes = sink->bytes();
+      std::remove(path.c_str());
     }
     division.AddRow({v.label, HumanDuration(best_total),
                      HumanDuration(best_total - best_write),
@@ -100,8 +103,9 @@ void Main(const BenchArgs& args) {
       JoinOptions options;
       options.epsilon = eps;
       options.window_size = v.window == 0 ? 10 : v.window;
-      CountingSink sink(IdWidthFor(mg.entries.size()));
-      const JoinStats stats = RunSelfJoin(v.algorithm, *paged, options, &sink);
+      auto sink = MakeSinkOrDie(OutputSpec::Counting(mg.entries.size()));
+      const JoinStats stats =
+          RunSelfJoin(v.algorithm, *paged, options, sink.get());
       const PagedIoStats& io = paged->io_stats();
       const double hit_rate =
           io.block_requests == 0
@@ -131,8 +135,9 @@ void Main(const BenchArgs& args) {
       options.epsilon = eps;
       options.window_size = v.window == 0 ? 10 : v.window;
       options.tracker = &tracker;
-      CountingSink sink(IdWidthFor(mg.entries.size()));
-      const JoinStats stats = RunSelfJoin(v.algorithm, tree, options, &sink);
+      auto sink = MakeSinkOrDie(OutputSpec::Counting(mg.entries.size()));
+      const JoinStats stats =
+          RunSelfJoin(v.algorithm, tree, options, sink.get());
       const double hit_rate =
           stats.page_requests == 0
               ? 0.0

@@ -31,10 +31,10 @@ void Measure(const char* label, const Tree& tree,
     double best = 0.0;
     uint64_t bytes = 0;
     for (int r = 0; r < args.runs; ++r) {
-      CountingSink sink(IdWidthFor(entries.size()));
-      const JoinStats stats = RunSelfJoin(algo, tree, options, &sink);
+      auto sink = MakeSinkOrDie(OutputSpec::Counting(entries.size()));
+      const JoinStats stats = RunSelfJoin(algo, tree, options, sink.get());
       if (r == 0 || stats.elapsed_seconds < best) best = stats.elapsed_seconds;
-      bytes = sink.bytes();
+      bytes = sink->bytes();
     }
     row.push_back(HumanDuration(best));
     row.push_back(WithThousands(bytes));

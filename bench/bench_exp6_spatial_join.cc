@@ -53,23 +53,25 @@ void Main(const BenchArgs& args) {
     options.epsilon = eps;
     options.window_size = 10;
 
-    CountingSink ssj_sink(IdWidthFor(base_a.size() + set_b.size()));
+    auto ssj_sink =
+        MakeSinkOrDie(OutputSpec::Counting(base_a.size() + set_b.size()));
     const JoinStats ssj = StandardSpatialJoin(tree_a, tree_b, options,
-                                              &ssj_sink);
-    CountingSink csj_sink(IdWidthFor(base_a.size() + set_b.size()));
+                                              ssj_sink.get());
+    auto csj_sink =
+        MakeSinkOrDie(OutputSpec::Counting(base_a.size() + set_b.size()));
     const JoinStats csj = CompactSpatialJoin(tree_a, tree_b, options,
-                                             &csj_sink);
+                                             csj_sink.get());
 
     const double savings =
-        ssj_sink.bytes() == 0
+        ssj_sink->bytes() == 0
             ? 0.0
-            : 100.0 * (1.0 - static_cast<double>(csj_sink.bytes()) /
-                                 static_cast<double>(ssj_sink.bytes()));
+            : 100.0 * (1.0 - static_cast<double>(csj_sink->bytes()) /
+                                 static_cast<double>(ssj_sink->bytes()));
     table.AddRow({StrFormat("%.0f%%", (1.0 - shift) * 100.0),
                   HumanDuration(ssj.elapsed_seconds),
-                  WithThousands(ssj_sink.bytes()),
+                  WithThousands(ssj_sink->bytes()),
                   HumanDuration(csj.elapsed_seconds),
-                  WithThousands(csj_sink.bytes()),
+                  WithThousands(csj_sink->bytes()),
                   WithThousands(csj.early_stops),
                   StrFormat("%.1f%%", savings)});
   }

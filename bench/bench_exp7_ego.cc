@@ -31,18 +31,19 @@ void RunEgoSweep(const char* name, const std::vector<Entry<D>>& entries,
     double ego_time = 0.0, cego_time = 0.0;
     uint64_t ego_bytes = 0, cego_bytes = 0, stops = 0;
     for (int r = 0; r < args.runs; ++r) {
-      CountingSink standard(IdWidthFor(entries.size()));
-      const JoinStats ego = EgoSimilarityJoin(entries, options, &standard);
-      CountingSink compact(IdWidthFor(entries.size()));
-      const JoinStats cego = CompactEgoJoin(entries, options, &compact);
+      auto standard = MakeSinkOrDie(OutputSpec::Counting(entries.size()));
+      const JoinStats ego =
+          EgoSimilarityJoin(entries, options, standard.get());
+      auto compact = MakeSinkOrDie(OutputSpec::Counting(entries.size()));
+      const JoinStats cego = CompactEgoJoin(entries, options, compact.get());
       if (r == 0 || ego.elapsed_seconds < ego_time) {
         ego_time = ego.elapsed_seconds;
       }
       if (r == 0 || cego.elapsed_seconds < cego_time) {
         cego_time = cego.elapsed_seconds;
       }
-      ego_bytes = standard.bytes();
-      cego_bytes = compact.bytes();
+      ego_bytes = standard->bytes();
+      cego_bytes = compact->bytes();
       stops = cego.early_stops;
     }
     table.AddRow({StrFormat("%.6g", eps), HumanDuration(ego_time),

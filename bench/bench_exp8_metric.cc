@@ -63,22 +63,22 @@ void Main(const BenchArgs& args) {
       options.epsilon = eps;
       options.window_size = 10;
 
-      CountingSink standard(IdWidthFor(corpus.size()));
-      const JoinStats ssj = MetricStandardJoin(tree, options, &standard);
-      CountingSink compact(IdWidthFor(corpus.size()));
-      const JoinStats csj = MetricCompactJoin(tree, options, &compact);
+      auto standard = MakeSinkOrDie(OutputSpec::Counting(corpus.size()));
+      const JoinStats ssj = MetricStandardJoin(tree, options, standard.get());
+      auto compact = MakeSinkOrDie(OutputSpec::Counting(corpus.size()));
+      const JoinStats csj = MetricCompactJoin(tree, options, compact.get());
 
       const double savings =
-          standard.bytes() == 0
+          standard->bytes() == 0
               ? 0.0
-              : 100.0 * (1.0 - static_cast<double>(compact.bytes()) /
-                                   static_cast<double>(standard.bytes()));
+              : 100.0 * (1.0 - static_cast<double>(compact->bytes()) /
+                                   static_cast<double>(standard->bytes()));
       table.AddRow({StrFormat("%d", copies),
                     WithThousands(corpus.size()), StrFormat("%.0f", eps),
                     HumanDuration(ssj.elapsed_seconds),
-                    WithThousands(standard.bytes()),
+                    WithThousands(standard->bytes()),
                     HumanDuration(csj.elapsed_seconds),
-                    WithThousands(compact.bytes()),
+                    WithThousands(compact->bytes()),
                     StrFormat("%.1f%%", savings)});
     }
   }

@@ -51,15 +51,15 @@ void Analyze(const FractalDataset& dataset, const BenchArgs& args,
     options.epsilon = eps;
     options.window_size = 10;
 
-    CountingSink ssj_sink(IdWidthFor(entries.size()));
-    StandardSimilarityJoin(tree, options, &ssj_sink);
-    CountingSink csj_sink(IdWidthFor(entries.size()));
-    const JoinStats csj = CompactSimilarityJoin(tree, options, &csj_sink);
+    auto ssj_sink = MakeSinkOrDie(OutputSpec::Counting(entries.size()));
+    StandardSimilarityJoin(tree, options, ssj_sink.get());
+    auto csj_sink = MakeSinkOrDie(OutputSpec::Counting(entries.size()));
+    const JoinStats csj = CompactSimilarityJoin(tree, options, csj_sink.get());
 
-    const uint64_t links = ssj_sink.num_links();
+    const uint64_t links = ssj_sink->num_links();
     const uint64_t predicted = PredictLinkCount(d2, entries.size(), eps);
     detail.AddRow({StrFormat("%.6g", eps), WithThousands(links),
-                   WithThousands(predicted), WithThousands(csj_sink.bytes()),
+                   WithThousands(predicted), WithThousands(csj_sink->bytes()),
                    HumanDuration(csj.elapsed_seconds)});
     if (links > 0) {
       link_scaling.push_back({std::log2(eps),

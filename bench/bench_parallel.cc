@@ -38,27 +38,27 @@ void Main(const BenchArgs& args) {
               {"threads", "time", "speedup", "bytes", "groups"});
   {
     BenchRecorder::Get().SetContext("sequential");
-    CountingSink sink(IdWidthFor(entries.size()));
-    const JoinStats stats = CompactSimilarityJoin(tree, options, &sink);
+    auto sink = MakeSinkOrDie(OutputSpec::Counting(entries.size()));
+    const JoinStats stats = CompactSimilarityJoin(tree, options, sink.get());
     BenchRecorder::Get().RecordStats(stats);
     base_seconds = stats.elapsed_seconds;
     table.AddRow({"sequential", HumanDuration(stats.elapsed_seconds), "1.00x",
-                  WithThousands(sink.bytes()),
-                  WithThousands(sink.num_groups())});
+                  WithThousands(sink->bytes()),
+                  WithThousands(sink->num_groups())});
   }
   for (int threads : {1, 2, 4, 8}) {
     ParallelJoinOptions parallel;
     parallel.threads = threads;
     BenchRecorder::Get().SetContext(StrFormat("threads=%d", threads));
-    CountingSink sink(IdWidthFor(entries.size()));
+    auto sink = MakeSinkOrDie(OutputSpec::Counting(entries.size()));
     const JoinStats stats =
-        ParallelCompactSimilarityJoin(tree, options, &sink, parallel);
+        ParallelCompactSimilarityJoin(tree, options, sink.get(), parallel);
     BenchRecorder::Get().RecordStats(stats);
     table.AddRow({StrFormat("%d", threads),
                   HumanDuration(stats.elapsed_seconds),
                   StrFormat("%.2fx", base_seconds / stats.elapsed_seconds),
-                  WithThousands(sink.bytes()),
-                  WithThousands(sink.num_groups())});
+                  WithThousands(sink->bytes()),
+                  WithThousands(sink->num_groups())});
   }
   EmitTable(table, args, "parallel_scaling");
   std::printf(

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/brute.h"
+#include "core/result_cursor.h"
 #include "core/sink.h"
 #include "util/format.h"
 
@@ -80,6 +81,39 @@ void ForEachImpliedLink(
 template <typename Fn>
 void ForEachImpliedLink(const MemorySink& sink, Fn&& fn) {
   ForEachImpliedLink(sink.links(), sink.groups(), std::forward<Fn>(fn));
+}
+
+/// Streams every implied link of a materialized result file — text or
+/// binary, via a ResultCursor — without loading the output into memory.
+/// Returns the cursor's final status (visited links are valid regardless).
+template <typename Fn>
+Status ForEachImpliedLink(ResultCursor* cursor, Fn&& fn) {
+  while (cursor->Next()) {
+    const ResultRecord& record = cursor->record();
+    const std::span<const PointId> ids = record.ids;
+    if (!record.is_group) {
+      fn(ids[0], ids[1]);
+    } else {
+      for (size_t i = 0; i < ids.size(); ++i) {
+        for (size_t j = i + 1; j < ids.size(); ++j) {
+          fn(ids[i], ids[j]);
+        }
+      }
+    }
+  }
+  return cursor->status();
+}
+
+/// Expands a whole result file into a canonical, sorted, de-duplicated link
+/// set. Runs unchanged on text and binary results.
+inline Result<std::vector<Link>> ExpandSelfJoin(ResultCursor* cursor) {
+  std::vector<Link> links;
+  const Status status = ForEachImpliedLink(
+      cursor, [&links](PointId a, PointId b) { links.push_back(MakeLink(a, b)); });
+  CSJ_RETURN_IF_ERROR(status);
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  return links;
 }
 
 /// Result of comparing a compact output against a reference link set.

@@ -1,75 +1,21 @@
 #include "core/output_reader.h"
 
-#include <cstdio>
-#include <cstdlib>
-
-#include "util/format.h"
+#include "core/result_cursor.h"
 
 namespace csj {
 
 Result<JoinOutput> ReadJoinOutput(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) return Status::NotFound("cannot open: " + path);
-
+  CSJ_ASSIGN_OR_RETURN(auto cursor, OpenResultCursor(path));
   JoinOutput output;
-  // Group lines can be long (an early-stopped subtree may hold 100K+ ids),
-  // so parse incrementally instead of line-buffering.
-  std::vector<PointId> ids;
-  bool in_number = false;
-  uint64_t current = 0;
-  int line_no = 1;
-
-  auto finish_line = [&]() -> Status {
-    if (in_number) {
-      ids.push_back(static_cast<PointId>(current));
-      in_number = false;
-      current = 0;
-    }
-    if (ids.empty()) return Status::OK();  // blank line
-    if (ids.size() == 1) {
-      return Status::InvalidArgument(
-          StrFormat("%s:%d: singleton line", path.c_str(), line_no));
-    }
-    if (ids.size() == 2) {
-      output.links.emplace_back(ids[0], ids[1]);
+  while (cursor->Next()) {
+    const ResultRecord& record = cursor->record();
+    if (record.is_group) {
+      output.groups.emplace_back(record.ids.begin(), record.ids.end());
     } else {
-      output.groups.emplace_back(ids);
-    }
-    ids.clear();
-    return Status::OK();
-  };
-
-  char buffer[1 << 16];
-  size_t got;
-  while ((got = std::fread(buffer, 1, sizeof(buffer), f)) > 0) {
-    for (size_t i = 0; i < got; ++i) {
-      const char c = buffer[i];
-      if (c >= '0' && c <= '9') {
-        current = current * 10 + static_cast<uint64_t>(c - '0');
-        in_number = true;
-      } else if (c == ' ' || c == '\t' || c == '\r') {
-        if (in_number) {
-          ids.push_back(static_cast<PointId>(current));
-          in_number = false;
-          current = 0;
-        }
-      } else if (c == '\n') {
-        const Status status = finish_line();
-        if (!status.ok()) {
-          std::fclose(f);
-          return status;
-        }
-        ++line_no;
-      } else {
-        std::fclose(f);
-        return Status::InvalidArgument(StrFormat(
-            "%s:%d: unexpected character '%c'", path.c_str(), line_no, c));
-      }
+      output.links.emplace_back(record.ids[0], record.ids[1]);
     }
   }
-  const Status status = finish_line();  // file may not end with newline
-  std::fclose(f);
-  CSJ_RETURN_IF_ERROR(status);
+  CSJ_RETURN_IF_ERROR(cursor->status());
   return output;
 }
 

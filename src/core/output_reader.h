@@ -9,11 +9,16 @@
 #include "util/status.h"
 
 /// \file
-/// Reader for the paper's join-output text format: one whitespace-separated
-/// id list per line; two ids form a link, three or more form a group. This
-/// is the consumer side of the storage story — a server (e.g. the NVO
-/// scenario in the paper's introduction) persists the compact output, then
-/// re-reads and expands it when the client finally retrieves the result.
+/// Materializing reader for join-output files. This is the consumer side of
+/// the storage story — a server (e.g. the NVO scenario in the paper's
+/// introduction) persists the compact output, then re-reads and expands it
+/// when the client finally retrieves the result.
+///
+/// ReadJoinOutput is a convenience wrapper over the streaming ResultCursor
+/// API (core/result_cursor.h) and accepts both the paper's text format (one
+/// whitespace-separated id list per line; two ids form a link, three or
+/// more a group) and the CSJ2 binary format. Prefer the cursor directly
+/// when the result may not fit in memory.
 
 namespace csj {
 

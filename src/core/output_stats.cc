@@ -3,47 +3,94 @@
 #include <algorithm>
 #include <unordered_set>
 
+#include "core/result_cursor.h"
 #include "util/format.h"
 
 namespace csj {
 
-OutputStats ComputeOutputStats(
-    const std::vector<std::pair<PointId, PointId>>& links,
-    const std::vector<std::vector<PointId>>& groups, int id_width) {
-  OutputStats stats;
-  stats.links = links.size();
-  stats.groups = groups.size();
-  stats.implied_links = links.size();
+namespace {
 
-  std::unordered_set<PointId> members;
-  for (const auto& group : groups) {
+/// Shared record-at-a-time accumulator behind both ComputeOutputStats
+/// overloads (vector-based and cursor-based).
+class StatsAccumulator {
+ public:
+  void AddLink(PointId a, PointId b) {
+    ++stats_.links;
+    ++stats_.implied_links;
+    max_id_ = std::max({max_id_, a, b});
+  }
+
+  void AddGroup(std::span<const PointId> group) {
     const uint64_t k = group.size();
-    stats.group_member_total += k;
-    stats.largest_group = std::max(stats.largest_group, k);
-    stats.smallest_group =
-        stats.smallest_group == 0 ? k : std::min(stats.smallest_group, k);
-    stats.implied_links += k * (k - 1) / 2;
-    members.insert(group.begin(), group.end());
+    stats_.group_member_total += k;
+    stats_.largest_group = std::max(stats_.largest_group, k);
+    stats_.smallest_group =
+        stats_.smallest_group == 0 ? k : std::min(stats_.smallest_group, k);
+    stats_.implied_links += k * (k - 1) / 2;
+    ++stats_.groups;
+    for (PointId id : group) {
+      members_.insert(id);
+      max_id_ = std::max(max_id_, id);
+    }
 
     // Power-of-two bucket: sizes in (2^i, 2^(i+1)] land in bucket i.
     size_t bucket = 0;
     while ((uint64_t{2} << bucket) < k) ++bucket;
-    if (stats.size_histogram.size() <= bucket) {
-      stats.size_histogram.resize(bucket + 1, 0);
+    if (stats_.size_histogram.size() <= bucket) {
+      stats_.size_histogram.resize(bucket + 1, 0);
     }
-    ++stats.size_histogram[bucket];
-  }
-  stats.distinct_members = members.size();
-  if (stats.groups > 0) {
-    stats.mean_group_size = static_cast<double>(stats.group_member_total) /
-                            static_cast<double>(stats.groups);
+    ++stats_.size_histogram[bucket];
   }
 
-  const uint64_t per_id = static_cast<uint64_t>(id_width) + 1;
-  stats.output_bytes =
-      (2 * stats.links + stats.group_member_total) * per_id;
-  stats.link_listing_bytes = 2 * stats.implied_links * per_id;
-  return stats;
+  /// Fills the width-dependent fields and returns the stats. Pass
+  /// id_width 0 to infer the width from the largest id seen.
+  OutputStats Finalize(int id_width) {
+    stats_.distinct_members = members_.size();
+    if (stats_.groups > 0) {
+      stats_.mean_group_size =
+          static_cast<double>(stats_.group_member_total) /
+          static_cast<double>(stats_.groups);
+    }
+    const uint64_t per_id =
+        static_cast<uint64_t>(id_width > 0 ? id_width
+                                           : DecimalWidth(max_id_)) +
+        1;
+    stats_.output_bytes =
+        (2 * stats_.links + stats_.group_member_total) * per_id;
+    stats_.link_listing_bytes = 2 * stats_.implied_links * per_id;
+    return stats_;
+  }
+
+ private:
+  OutputStats stats_;
+  std::unordered_set<PointId> members_;
+  PointId max_id_ = 0;
+};
+
+}  // namespace
+
+OutputStats ComputeOutputStats(
+    const std::vector<std::pair<PointId, PointId>>& links,
+    const std::vector<std::vector<PointId>>& groups, int id_width) {
+  StatsAccumulator acc;
+  for (const auto& [a, b] : links) acc.AddLink(a, b);
+  for (const auto& group : groups) acc.AddGroup(group);
+  return acc.Finalize(id_width);
+}
+
+Result<OutputStats> ComputeOutputStats(ResultCursor* cursor, int id_width) {
+  StatsAccumulator acc;
+  while (cursor->Next()) {
+    const ResultRecord& record = cursor->record();
+    if (record.is_group) {
+      acc.AddGroup(record.ids);
+    } else {
+      acc.AddLink(record.ids[0], record.ids[1]);
+    }
+  }
+  CSJ_RETURN_IF_ERROR(cursor->status());
+  if (id_width == 0) id_width = cursor->declared_id_width();
+  return acc.Finalize(id_width);
 }
 
 std::string OutputStats::ToString() const {

@@ -65,6 +65,15 @@ OutputStats ComputeOutputStats(
     const std::vector<std::pair<PointId, PointId>>& links,
     const std::vector<std::vector<PointId>>& groups, int id_width);
 
+class ResultCursor;
+
+/// Streams a result file's statistics through a cursor without
+/// materializing the output — works on text and binary results alike. If
+/// `id_width` is 0, uses the width the file declares (binary) or, failing
+/// that, the width of the largest id seen (the text case).
+Result<OutputStats> ComputeOutputStats(ResultCursor* cursor,
+                                       int id_width = 0);
+
 /// Convenience overloads.
 inline OutputStats ComputeOutputStats(const MemorySink& sink) {
   return ComputeOutputStats(sink.links(), sink.groups(), sink.id_width());

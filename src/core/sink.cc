@@ -2,8 +2,33 @@
 
 namespace csj {
 
+const char* OutputFormatName(OutputFormat format) {
+  switch (format) {
+    case OutputFormat::kNone:
+      return "none";
+    case OutputFormat::kText:
+      return "text";
+    case OutputFormat::kBinary:
+      return "binary";
+  }
+  return "unknown";
+}
+
+bool ParseOutputFormat(const std::string& name, OutputFormat* format) {
+  if (name == "none") {
+    *format = OutputFormat::kNone;
+  } else if (name == "text") {
+    *format = OutputFormat::kText;
+  } else if (name == "binary") {
+    *format = OutputFormat::kBinary;
+  } else {
+    return false;
+  }
+  return true;
+}
+
 FileSink::FileSink(int id_width, std::string path, const Options& options)
-    : JoinSink(id_width), path_(std::move(path)) {
+    : JoinSink(id_width), path_(std::move(path)), options_(options) {
   OutputFile::Options file_options;
   file_options.atomic = options.atomic;
   file_options.sync_on_close = options.sync_on_close;
@@ -27,7 +52,18 @@ void FileSink::AppendId(PointId id, char terminator) {
   scratch_.push_back(terminator);
 }
 
+bool FileSink::ShouldWrite(size_t ids) {
+  if (options_.cap_bytes == 0) return true;
+  if (file_.bytes_written() + ids * static_cast<uint64_t>(id_width() + 1) >
+      options_.cap_bytes) {
+    truncated_ = true;
+    return false;
+  }
+  return true;
+}
+
 void FileSink::DoLink(PointId a, PointId b) {
+  if (!ShouldWrite(2)) return;
   scratch_.clear();
   AppendId(a, ' ');
   AppendId(b, '\n');
@@ -35,6 +71,7 @@ void FileSink::DoLink(PointId a, PointId b) {
 }
 
 void FileSink::DoGroup(std::span<const PointId> members) {
+  if (!ShouldWrite(members.size())) return;
   scratch_.clear();
   for (size_t i = 0; i < members.size(); ++i) {
     AppendId(members[i], i + 1 == members.size() ? '\n' : ' ');
@@ -51,6 +88,154 @@ Status FileSink::Finish() {
   const Status close_status = file_.Close();
   SetError(close_status);
   return close_status;
+}
+
+BinaryFileSink::BinaryFileSink(int id_width, std::string path,
+                               const Options& options)
+    : JoinSink(id_width, OutputFormat::kBinary, options.block_payload_bytes),
+      path_(std::move(path)),
+      options_(options) {
+  OutputFile::Options file_options;
+  file_options.atomic = options.atomic;
+  file_options.sync_on_close = options.sync_on_close;
+  open_status_ = file_.Open(path_, file_options);
+  SetError(open_status_);
+  if (!open_status_.ok()) return;
+  writer_ = std::make_unique<AsyncBlockWriter>(&file_);
+  std::string header;
+  binfmt::AppendFileHeader(&header, this->id_width());
+  writer_->Submit(std::move(header));
+  StartBlock();
+}
+
+BinaryFileSink::~BinaryFileSink() {
+  // Abandoned without Finish(): stop the writer thread before the OutputFile
+  // member (destroyed after writer_) discards the partial file.
+  if (writer_ != nullptr) (void)writer_->Finish();
+}
+
+void BinaryFileSink::StartBlock() {
+  block_ = writer_->GetBuffer();
+  block_.append(binfmt::kBlockHeaderBytes, '\0');  // header slot, patched on seal
+  record_count_ = 0;
+}
+
+void BinaryFileSink::SealBlock() {
+  binfmt::BlockHeader header;
+  header.payload_bytes = static_cast<uint32_t>(PayloadFill());
+  header.record_count = record_count_;
+  header.crc32 = binfmt::Crc32(block_.data() + binfmt::kBlockHeaderBytes,
+                               PayloadFill());
+  binfmt::PatchBlockHeader(&block_, 0, header);
+  CSJ_METRIC_COUNT("sink.binary_blocks", 1);
+  writer_->Submit(std::move(block_));
+  StartBlock();
+}
+
+void BinaryFileSink::DoLink(PointId a, PointId b) {
+  PollWriter();
+  if (!error().ok()) return;
+  const size_t record = binfmt::EncodedLinkBytes(a, b);
+  if (binfmt::WouldSealBlock(PayloadFill(), record,
+                             options_.block_payload_bytes)) {
+    SealBlock();
+  }
+  binfmt::AppendLinkRecord(&block_, a, b);
+  ++record_count_;
+  id_total_ += 2;
+}
+
+void BinaryFileSink::DoGroup(std::span<const PointId> members) {
+  PollWriter();
+  if (!error().ok()) return;
+  const size_t record = binfmt::EncodedGroupBytes(members);
+  if (binfmt::WouldSealBlock(PayloadFill(), record,
+                             options_.block_payload_bytes)) {
+    SealBlock();
+  }
+  binfmt::AppendGroupRecord(&block_, members);
+  ++record_count_;
+  id_total_ += members.size();
+}
+
+Status BinaryFileSink::Finish() {
+  CSJ_CHECK(!finished_) << "BinaryFileSink::Finish called twice: " << path_;
+  finished_ = true;
+  if (writer_ != nullptr) {
+    PollWriter();
+    if (error().ok()) {
+      if (record_count_ > 0) SealBlock();
+      std::string trailer = std::move(block_);
+      trailer.clear();
+      binfmt::AppendBlockHeader(&trailer, binfmt::BlockHeader{});  // EOF marker
+      binfmt::Footer footer;
+      footer.num_links = num_links();
+      footer.num_groups = num_groups();
+      footer.id_total = id_total_;
+      binfmt::AppendFooter(&trailer, footer);
+      writer_->Submit(std::move(trailer));
+    }
+    SetError(writer_->Finish());
+  }
+  if (!error().ok()) {
+    // The OutputFile cleaned up (or its destructor will); no partial file.
+    return error();
+  }
+  const Status close_status = file_.Close();
+  SetError(close_status);
+  return close_status;
+}
+
+Result<std::unique_ptr<JoinSink>> MakeSink(const OutputSpec& spec) {
+  if (spec.id_width < 1) {
+    return Status::InvalidArgument("OutputSpec.id_width must be >= 1");
+  }
+  switch (spec.format) {
+    case OutputFormat::kNone: {
+      if (spec.count_model == OutputFormat::kNone) {
+        return Status::InvalidArgument(
+            "OutputSpec.count_model must be text or binary");
+      }
+      return std::unique_ptr<JoinSink>(
+          std::make_unique<CountingSink>(spec.id_width, spec.count_model));
+    }
+    case OutputFormat::kText: {
+      if (spec.path.empty()) {
+        return Status::InvalidArgument("text output needs OutputSpec.path");
+      }
+      FileSink::Options options;
+      options.atomic = spec.atomic;
+      options.sync_on_close = spec.sync_on_close;
+      options.cap_bytes = spec.cap_bytes;
+      auto sink =
+          std::make_unique<FileSink>(spec.id_width, spec.path, options);
+      if (!sink->open_status().ok()) return sink->open_status();
+      return std::unique_ptr<JoinSink>(std::move(sink));
+    }
+    case OutputFormat::kBinary: {
+      if (spec.path.empty()) {
+        return Status::InvalidArgument("binary output needs OutputSpec.path");
+      }
+      if (spec.cap_bytes != 0) {
+        return Status::InvalidArgument(
+            "cap_bytes is only supported for text output");
+      }
+      BinaryFileSink::Options options;
+      options.atomic = spec.atomic;
+      options.sync_on_close = spec.sync_on_close;
+      auto sink =
+          std::make_unique<BinaryFileSink>(spec.id_width, spec.path, options);
+      if (!sink->open_status().ok()) return sink->open_status();
+      return std::unique_ptr<JoinSink>(std::move(sink));
+    }
+  }
+  return Status::InvalidArgument("unknown output format");
+}
+
+std::unique_ptr<JoinSink> MakeSinkOrDie(const OutputSpec& spec) {
+  auto sink = MakeSink(spec);
+  CSJ_CHECK(sink.ok()) << sink.status().ToString();
+  return std::move(sink).value();
 }
 
 }  // namespace csj

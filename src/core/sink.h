@@ -2,27 +2,50 @@
 #define CSJ_CORE_SINK_H_
 
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "geom/point.h"
+#include "storage/binary_format.h"
+#include "storage/block_writer.h"
 #include "storage/output_file.h"
 #include "util/format.h"
 #include "util/metrics.h"
 #include "util/status.h"
 
 /// \file
-/// Join-output sinks.
+/// Join-output sinks and the OutputSpec/MakeSink factory.
 ///
-/// The paper measures output size as the byte size of a text file in which
-/// every data point id is zero-padded to a fixed width, a link is a line
-/// "0001 0002" and a group is a line "0001 0002 0003 ...". All sinks share
-/// that format so byte counts are identical whether the output is actually
-/// written (FileSink), only counted (CountingSink), or retained in memory for
-/// verification (MemorySink).
+/// Two materialized formats share one sink interface:
+///  * text — the paper's format: every point id zero-padded to a fixed
+///    width, a link is a line "0001 0002", a group a line "0001 0002 0003".
+///  * binary — the CSJ2 compact format (storage/binary_format.h): varint +
+///    delta-coded ids in checksummed blocks, written by a background thread.
+///
+/// Byte accounting is format-aware: bytes() always reports the exact size
+/// the finished output file will have in the sink's format, so a
+/// CountingSink configured for either format predicts the materialized size
+/// to the byte without writing anything.
+///
+/// Sinks are obtained through MakeSink(OutputSpec); only core/, storage/ and
+/// tests construct concrete sink classes directly.
 
 namespace csj {
+
+/// Materialized output formats (kNone counts without materializing).
+enum class OutputFormat {
+  kNone,
+  kText,
+  kBinary,
+};
+
+/// "none", "text" or "binary".
+const char* OutputFormatName(OutputFormat format);
+/// Inverse of OutputFormatName. Returns false on unknown names.
+bool ParseOutputFormat(const std::string& name, OutputFormat* format);
 
 /// Receives the join output. Counting of links/groups/bytes happens here in
 /// the base class; subclasses only materialize.
@@ -36,9 +59,24 @@ namespace csj {
 class JoinSink {
  public:
   /// \param id_width zero-padding width; use IdWidthFor(n) for n points.
-  explicit JoinSink(int id_width) : id_width_(id_width) {
+  /// \param accounting the byte model bytes() reports in; kText or kBinary.
+  JoinSink(int id_width, OutputFormat accounting)
+      : JoinSink(id_width, accounting, binfmt::kDefaultBlockPayloadBytes) {}
+
+  /// \param binary_block_target sealed-block payload target the binary size
+  /// model mirrors; must match the writing sink's sealing rule.
+  JoinSink(int id_width, OutputFormat accounting, size_t binary_block_target)
+      : id_width_(id_width),
+        accounting_(accounting),
+        binary_model_(binary_block_target),
+        bytes_(accounting == OutputFormat::kBinary ? binfmt::kFileHeaderBytes
+                                                   : 0) {
     CSJ_CHECK(id_width >= 1);
+    CSJ_CHECK(accounting == OutputFormat::kText ||
+              accounting == OutputFormat::kBinary)
+        << "accounting model must be a materializable format";
   }
+  explicit JoinSink(int id_width) : JoinSink(id_width, OutputFormat::kText) {}
   virtual ~JoinSink() = default;
 
   JoinSink(const JoinSink&) = delete;
@@ -48,9 +86,13 @@ class JoinSink {
   void Link(PointId a, PointId b) {
     if (!error_.ok()) return;
     ++num_links_;
-    bytes_ += 2 * static_cast<uint64_t>(id_width_ + 1);
+    const uint64_t delta =
+        accounting_ == OutputFormat::kBinary
+            ? binary_model_.AddRecord(binfmt::EncodedLinkBytes(a, b))
+            : 2 * static_cast<uint64_t>(id_width_ + 1);
+    bytes_ += delta;
     CSJ_METRIC_COUNT("sink.links", 1);
-    CSJ_METRIC_COUNT("sink.bytes", 2 * static_cast<uint64_t>(id_width_ + 1));
+    CSJ_METRIC_COUNT("sink.bytes", delta);
     DoLink(a, b);
   }
 
@@ -61,10 +103,13 @@ class JoinSink {
     if (!error_.ok()) return;
     ++num_groups_;
     group_member_total_ += members.size();
-    bytes_ += members.size() * static_cast<uint64_t>(id_width_ + 1);
+    const uint64_t delta =
+        accounting_ == OutputFormat::kBinary
+            ? binary_model_.AddRecord(binfmt::EncodedGroupBytes(members))
+            : members.size() * static_cast<uint64_t>(id_width_ + 1);
+    bytes_ += delta;
     CSJ_METRIC_COUNT("sink.groups", 1);
-    CSJ_METRIC_COUNT("sink.bytes",
-                     members.size() * static_cast<uint64_t>(id_width_ + 1));
+    CSJ_METRIC_COUNT("sink.bytes", delta);
     DoGroup(members);
   }
 
@@ -75,14 +120,30 @@ class JoinSink {
   const Status& error() const { return error_; }
 
   int id_width() const { return id_width_; }
+  /// The byte model bytes() reports in (kText or kBinary).
+  OutputFormat accounting() const { return accounting_; }
   uint64_t num_links() const { return num_links_; }
   uint64_t num_groups() const { return num_groups_; }
   uint64_t group_member_total() const { return group_member_total_; }
 
-  /// Exact size in bytes of the paper's text representation of everything
-  /// emitted so far (each id takes id_width chars followed by a separator or
-  /// the newline).
-  uint64_t bytes() const { return bytes_; }
+  /// Exact size in bytes the finished output file has in this sink's
+  /// accounting format, for everything emitted so far — i.e. the size
+  /// Finish() would commit right now. Text: each id takes id_width chars
+  /// plus a separator/newline. Binary: varint records plus block, header
+  /// and footer overhead (see docs/OUTPUT_FORMAT.md for the size model).
+  uint64_t bytes() const {
+    return accounting_ == OutputFormat::kBinary
+               ? bytes_ + binary_model_.CloseBytes()
+               : bytes_;
+  }
+
+  /// Bytes actually written to storage so far (0 for counting and memory
+  /// sinks; may trail bytes() while a background writer catches up).
+  virtual uint64_t materialized_bytes() const { return 0; }
+
+  /// True if a capped file sink hit its cap and stopped writing (it keeps
+  /// counting; see FileSink::Options::cap_bytes).
+  virtual bool truncated() const { return false; }
 
  protected:
   virtual void DoLink(PointId a, PointId b) = 0;
@@ -95,6 +156,8 @@ class JoinSink {
 
  private:
   int id_width_;
+  OutputFormat accounting_;
+  binfmt::BinarySizeModel binary_model_;
   Status error_;
   uint64_t num_links_ = 0;
   uint64_t num_groups_ = 0;
@@ -108,10 +171,14 @@ inline int IdWidthFor(uint64_t n) {
 }
 
 /// Counts links/groups/bytes without materializing anything. The default
-/// sink for timing experiments where write time must be excluded.
+/// sink for timing experiments where write time must be excluded; with a
+/// kBinary model it predicts the exact CSJ2 file size of a run.
 class CountingSink final : public JoinSink {
  public:
-  explicit CountingSink(int id_width) : JoinSink(id_width) {}
+  CountingSink(int id_width, OutputFormat model)
+      : JoinSink(id_width, model) {}
+  explicit CountingSink(int id_width)
+      : CountingSink(id_width, OutputFormat::kText) {}
 
  protected:
   void DoLink(PointId, PointId) override {}
@@ -133,6 +200,10 @@ class FileSink final : public JoinSink {
     bool atomic = true;
     /// fsync before the commit rename; for output that must survive crashes.
     bool sync_on_close = false;
+    /// If nonzero, stop *writing* once the file reaches this many bytes but
+    /// keep counting — truncated() flips true. Lets benchmarks measure real
+    /// write costs on explosive outputs without filling the disk.
+    uint64_t cap_bytes = 0;
   };
 
   FileSink(int id_width, std::string path, const Options& options);
@@ -144,8 +215,13 @@ class FileSink final : public JoinSink {
   Status Finish() override;
 
   const std::string& path() const { return path_; }
-  /// Bytes actually written so far (matches bytes() after Finish()).
+  /// Bytes actually written so far (matches bytes() after Finish() unless
+  /// capped).
   uint64_t file_bytes() const { return file_.bytes_written(); }
+  uint64_t materialized_bytes() const override {
+    return file_.bytes_written();
+  }
+  bool truncated() const override { return truncated_; }
   /// Status of the Open performed by the constructor (also sets error()).
   const Status& open_status() const { return open_status_; }
 
@@ -155,11 +231,77 @@ class FileSink final : public JoinSink {
 
  private:
   void AppendId(PointId id, char terminator);
+  bool ShouldWrite(size_t ids);
 
   std::string path_;
+  Options options_;
   OutputFile file_;
   Status open_status_;
+  bool truncated_ = false;
   std::string scratch_;
+};
+
+/// Writes the CSJ2 compact binary format (storage/binary_format.h) through
+/// an asynchronous double-buffered block writer: the join thread encodes
+/// records into a block buffer; sealed blocks (checksummed, length-prefixed)
+/// are flushed by a background thread, overlapping encode with disk I/O.
+///
+/// Same robustness contract as FileSink: atomic temp+rename commit by
+/// default, every I/O error (the background thread's included) becomes the
+/// sink's sticky error so drivers cancel the traversal early, and a failed
+/// or abandoned sink leaves no partial file behind. The `output_file.*`
+/// failpoints fire on the writer thread and surface here.
+class BinaryFileSink final : public JoinSink {
+ public:
+  struct Options {
+    /// Temp-file + rename commit in Finish().
+    bool atomic = true;
+    /// fsync before the commit rename.
+    bool sync_on_close = false;
+    /// Sealed-block payload target (records never span blocks).
+    size_t block_payload_bytes = binfmt::kDefaultBlockPayloadBytes;
+  };
+
+  BinaryFileSink(int id_width, std::string path, const Options& options);
+  BinaryFileSink(int id_width, std::string path)
+      : BinaryFileSink(id_width, std::move(path), Options()) {}
+  ~BinaryFileSink() override;
+
+  /// Seals the final block, appends the EOF marker + footer, joins the
+  /// writer thread and commits the file.
+  Status Finish() override;
+
+  const std::string& path() const { return path_; }
+  uint64_t materialized_bytes() const override {
+    return writer_ != nullptr ? writer_->bytes_submitted() : 0;
+  }
+  /// Status of the Open performed by the constructor (also sets error()).
+  const Status& open_status() const { return open_status_; }
+
+ protected:
+  void DoLink(PointId a, PointId b) override;
+  void DoGroup(std::span<const PointId> members) override;
+
+ private:
+  /// Pulls a background write error into the sink's sticky error.
+  void PollWriter() {
+    if (writer_ != nullptr && !writer_->ok()) SetError(writer_->status());
+  }
+  size_t PayloadFill() const {
+    return block_.size() - binfmt::kBlockHeaderBytes;
+  }
+  void StartBlock();
+  void SealBlock();
+
+  std::string path_;
+  Options options_;
+  OutputFile file_;
+  Status open_status_;
+  std::unique_ptr<AsyncBlockWriter> writer_;
+  std::string block_;  ///< header slot + payload of the block being filled
+  uint32_t record_count_ = 0;
+  uint64_t id_total_ = 0;
+  bool finished_ = false;
 };
 
 /// Retains every link and group in memory, for tests and expansion.
@@ -182,6 +324,52 @@ class MemorySink final : public JoinSink {
   std::vector<std::pair<PointId, PointId>> links_;
   std::vector<std::vector<PointId>> groups_;
 };
+
+/// Declarative description of where and how a join's output goes. The one
+/// way user code (tools, benches, examples) obtains a sink.
+struct OutputSpec {
+  /// kNone counts only; kText/kBinary materialize to `path`.
+  OutputFormat format = OutputFormat::kText;
+  std::string path;
+  /// Zero-pad width of the ids; use IdWidthFor(n) (the helpers below do).
+  int id_width = 1;
+  /// Temp-file + rename commit (file formats).
+  bool atomic = true;
+  /// fsync before the commit rename (file formats).
+  bool sync_on_close = false;
+  /// Nonzero: stop writing at this size but keep counting (text files only).
+  uint64_t cap_bytes = 0;
+  /// Byte model a kNone (counting) sink reports in.
+  OutputFormat count_model = OutputFormat::kText;
+
+  /// Counting sink over ids in [0, num_points), in the given byte model.
+  static OutputSpec Counting(uint64_t num_points,
+                             OutputFormat model = OutputFormat::kText) {
+    OutputSpec spec;
+    spec.format = OutputFormat::kNone;
+    spec.id_width = IdWidthFor(num_points);
+    spec.count_model = model;
+    return spec;
+  }
+
+  /// File sink at `path` over ids in [0, num_points).
+  static OutputSpec File(std::string path, uint64_t num_points,
+                         OutputFormat format = OutputFormat::kText) {
+    OutputSpec spec;
+    spec.format = format;
+    spec.path = std::move(path);
+    spec.id_width = IdWidthFor(num_points);
+    return spec;
+  }
+};
+
+/// Builds the sink an OutputSpec describes. Fails fast: an unopenable file
+/// is reported here, not deferred to the first write. kNone ignores `path`.
+Result<std::unique_ptr<JoinSink>> MakeSink(const OutputSpec& spec);
+
+/// MakeSink for contexts without error plumbing (benches): aborts with the
+/// status message on failure.
+std::unique_ptr<JoinSink> MakeSinkOrDie(const OutputSpec& spec);
 
 }  // namespace csj
 

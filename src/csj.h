@@ -27,6 +27,7 @@
 #include "core/output_reader.h"
 #include "core/output_stats.h"
 #include "core/join_stats.h"
+#include "core/result_cursor.h"
 #include "core/similarity_join.h"
 #include "core/sink.h"
 #include "data/dataset.h"
@@ -48,6 +49,8 @@
 #include "metric/edit_distance.h"
 #include "metric/generic_mtree.h"
 #include "metric/metric_join.h"
+#include "storage/binary_format.h"
+#include "storage/block_writer.h"
 #include "storage/buffer_pool.h"
 #include "storage/output_file.h"
 #include "util/format.h"

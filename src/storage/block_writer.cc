@@ -1,0 +1,99 @@
+#include "storage/block_writer.h"
+
+#include <utility>
+
+#include "util/metrics.h"
+
+namespace csj {
+
+AsyncBlockWriter::AsyncBlockWriter(OutputFile* file, const Options& options)
+    : file_(file),
+      max_queued_(options.max_queued_blocks > 0 ? options.max_queued_blocks
+                                                : 1),
+      thread_([this] { ThreadMain(); }) {}
+
+AsyncBlockWriter::~AsyncBlockWriter() {
+  // Abandoned without Finish(): stop the thread; the OutputFile's own
+  // destructor discards the partial file.
+  (void)Finish();
+}
+
+std::string AsyncBlockWriter::GetBuffer() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (free_list_.empty()) return std::string();
+  std::string buffer = std::move(free_list_.back());
+  free_list_.pop_back();
+  buffer.clear();
+  return buffer;
+}
+
+void AsyncBlockWriter::Submit(std::string block) {
+  if (block.empty()) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (failed_.load(std::memory_order_relaxed)) {
+    // The file is gone; recycle the buffer and keep the producer moving so
+    // it can observe the error through the sink's sticky status.
+    free_list_.push_back(std::move(block));
+    return;
+  }
+  queue_not_full_.wait(lock, [this] {
+    return queue_.size() < max_queued_ ||
+           failed_.load(std::memory_order_relaxed);
+  });
+  if (failed_.load(std::memory_order_relaxed)) {
+    free_list_.push_back(std::move(block));
+    return;
+  }
+  queue_.push_back(std::move(block));
+  CSJ_METRIC_COUNT("block_writer.submitted", 1);
+  queue_not_empty_.notify_one();
+}
+
+Status AsyncBlockWriter::Finish() {
+  if (finished_) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+  finished_ = true;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    done_ = true;
+  }
+  queue_not_empty_.notify_one();
+  if (thread_.joinable()) thread_.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+void AsyncBlockWriter::ThreadMain() {
+  for (;;) {
+    std::string block;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_not_empty_.wait(lock, [this] { return done_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // done_ and drained
+      block = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    // Appends outside the lock so the producer can keep encoding. OutputFile
+    // errors are sticky, and Fail() already deleted the partial file.
+    const Status status = file_->Append(block);
+    if (status.ok()) {
+      bytes_submitted_.fetch_add(block.size(), std::memory_order_relaxed);
+      CSJ_METRIC_COUNT("block_writer.flushed_bytes", block.size());
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!status.ok() && status_.ok()) {
+        status_ = status;
+        failed_.store(true, std::memory_order_relaxed);
+        CSJ_METRIC_COUNT("block_writer.errors", 1);
+        queue_.clear();  // nothing further can land; unblock the producer
+      }
+      free_list_.push_back(std::move(block));
+    }
+    queue_not_full_.notify_one();
+  }
+}
+
+}  // namespace csj

@@ -1,0 +1,106 @@
+#ifndef CSJ_STORAGE_BLOCK_WRITER_H_
+#define CSJ_STORAGE_BLOCK_WRITER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "storage/output_file.h"
+#include "util/status.h"
+
+/// \file
+/// Background flusher for sealed output blocks.
+///
+/// For output-bound joins the write path dominates wall time, so the binary
+/// sink overlaps encoding with disk I/O: the join thread encodes records
+/// into a block buffer and, when the block seals, hands it to a dedicated
+/// writer thread that appends it through OutputFile. The queue is bounded
+/// (double buffering by default), which gives natural backpressure — the
+/// join never races more than `max_queued_blocks` ahead of the disk — and
+/// buffers are recycled through a free list so the steady state allocates
+/// nothing.
+///
+/// Failure model: the writer thread inherits OutputFile's sticky-error and
+/// failpoint semantics (the `output_file.*` failpoints fire on the writer
+/// thread). The first append error is latched; `ok()` flips to false (a
+/// relaxed atomic the producer polls per record), later submissions are
+/// discarded so the producer never blocks on a dead file, and Finish()
+/// returns the original error. OutputFile itself already deleted the partial
+/// file when the append failed, so a failed writer leaves no output behind.
+
+namespace csj {
+
+/// Appends byte buffers to an OutputFile from a background thread.
+/// One producer thread; the writer thread is owned by this object.
+class AsyncBlockWriter {
+ public:
+  struct Options {
+    /// Sealed blocks allowed in flight before Submit() blocks. 2 = classic
+    /// double buffering (one block being written, one being filled).
+    size_t max_queued_blocks = 2;
+  };
+
+  /// `file` must be open and must outlive this writer.
+  explicit AsyncBlockWriter(OutputFile* file) : AsyncBlockWriter(file, Options()) {}
+  AsyncBlockWriter(OutputFile* file, const Options& options);
+  ~AsyncBlockWriter();
+
+  AsyncBlockWriter(const AsyncBlockWriter&) = delete;
+  AsyncBlockWriter& operator=(const AsyncBlockWriter&) = delete;
+
+  /// Returns a recycled buffer (cleared, capacity retained) or a fresh one.
+  std::string GetBuffer();
+
+  /// Hands `block` to the writer thread. Blocks while the queue is full;
+  /// discards the block if the writer has already failed.
+  void Submit(std::string block);
+
+  /// False once any append has failed. Cheap enough to poll per record.
+  bool ok() const { return !failed_.load(std::memory_order_relaxed); }
+
+  /// The sticky write status (OK while healthy). Takes the lock; intended
+  /// for the slow path after ok() flips false, and after Finish().
+  Status status() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return status_;
+  }
+
+  /// Drains the queue, joins the writer thread, and returns the sticky
+  /// write status. Idempotent; the file is left open (the caller owns
+  /// Close() and its atomic-rename commit).
+  Status Finish();
+
+  /// Bytes handed to OutputFile so far (writer-thread view; exact after
+  /// Finish()).
+  uint64_t bytes_submitted() const {
+    return bytes_submitted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void ThreadMain();
+
+  OutputFile* file_;
+  const size_t max_queued_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_not_full_;
+  std::condition_variable queue_not_empty_;
+  std::deque<std::string> queue_;       // guarded by mu_
+  std::vector<std::string> free_list_;  // guarded by mu_
+  bool done_ = false;                   // guarded by mu_
+  Status status_;                       // guarded by mu_; first error wins
+
+  std::atomic<bool> failed_{false};
+  std::atomic<uint64_t> bytes_submitted_{0};
+  bool finished_ = false;  // producer-thread only
+  std::thread thread_;
+};
+
+}  // namespace csj
+
+#endif  // CSJ_STORAGE_BLOCK_WRITER_H_

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/parallel_join.h"
+#include "core/result_cursor.h"
 #include "core/similarity_join.h"
 #include "core/sink.h"
 #include "data/dataset.h"
@@ -228,6 +229,76 @@ TEST_F(FaultInjectionTest, ParallelJoinWithDeadSinkSkipsTheWork) {
   EXPECT_EQ(stats.distance_computations, 0u);
   EXPECT_FALSE(sink.Finish().ok());
   ExpectNoOutputArtifacts(path);
+}
+
+// --- Binary sink (asynchronous block writer) ---------------------------------
+
+TEST_F(FaultInjectionTest, BinarySinkReportsWriterThreadFaultAndLeavesNoFile) {
+  const auto tree = BuildTree();
+  const std::string path = testing::TempDir() + "/csj_fault_bin.bin";
+  // The writer thread appends one block at a time; let the header and a
+  // couple of blocks land, then fail mid-stream. Small blocks guarantee the
+  // dense join produces enough of them to hit the fault while the producer
+  // is still emitting.
+  failpoint::ScopedFailpoint fp("output_file.append",
+                                failpoint::Spec::EveryNth(4));
+  BinaryFileSink::Options options;
+  options.block_payload_bytes = 256;
+  BinaryFileSink sink(IdWidthFor(entries_.size()), path, options);
+  const JoinStats stats = CompactSimilarityJoin(tree, DenseOptions(), &sink);
+  EXPECT_FALSE(stats.status.ok());
+  EXPECT_EQ(stats.status.code(), StatusCode::kIoError);
+  EXPECT_FALSE(sink.Finish().ok());
+  EXPECT_FALSE(sink.error().ok());
+  ExpectNoOutputArtifacts(path);
+}
+
+TEST_F(FaultInjectionTest, BinarySinkFaultAtFinishStillCleansUp) {
+  const auto tree = BuildTree(500);
+  const std::string path = testing::TempDir() + "/csj_fault_bin_fin.bin";
+  // With the default 64 KiB blocks this small result stays in the open
+  // block, so the first failing append is the one Finish() triggers.
+  failpoint::ScopedFailpoint fp("output_file.flush", failpoint::Spec::Always());
+  BinaryFileSink sink(IdWidthFor(entries_.size()), path);
+  const JoinStats stats = CompactSimilarityJoin(tree, DenseOptions(), &sink);
+  EXPECT_TRUE(stats.status.ok());  // blocks queued fine; flush fails later
+  EXPECT_FALSE(sink.Finish().ok());
+  ExpectNoOutputArtifacts(path);
+}
+
+TEST_F(FaultInjectionTest, BinarySinkOpenFaultMakesJoinANoOp) {
+  const auto tree = BuildTree(500);
+  const std::string path = testing::TempDir() + "/csj_fault_bin_open.bin";
+  failpoint::ScopedFailpoint fp("output_file.open", failpoint::Spec::Always());
+  auto sink =
+      MakeSink(OutputSpec::File(path, entries_.size(), OutputFormat::kBinary));
+  EXPECT_FALSE(sink.ok());
+  ExpectNoOutputArtifacts(path);
+}
+
+TEST_F(FaultInjectionTest, BinarySinkDisarmedFailpointsRoundTrip) {
+  const auto tree = BuildTree(500);
+  const std::string path = testing::TempDir() + "/csj_nofault_bin.bin";
+  // Arm-then-disarm must leave the binary pipeline fully functional.
+  failpoint::Enable("output_file.append", failpoint::Spec::Always());
+  failpoint::DisableAll();
+
+  auto sink = MakeSink(
+      OutputSpec::File(path, entries_.size(), OutputFormat::kBinary));
+  ASSERT_TRUE(sink.ok());
+  const JoinStats stats =
+      CompactSimilarityJoin(tree, DenseOptions(), sink->get());
+  EXPECT_TRUE(stats.status.ok());
+  ASSERT_TRUE((*sink)->Finish().ok());
+
+  auto cursor = OpenResultCursor(path);
+  ASSERT_TRUE(cursor.ok()) << cursor.status().ToString();
+  while ((*cursor)->Next()) {
+  }
+  EXPECT_TRUE((*cursor)->status().ok()) << (*cursor)->status().ToString();
+  EXPECT_EQ((*cursor)->links_read() + (*cursor)->groups_read(),
+            (*sink)->num_links() + (*sink)->num_groups());
+  std::remove(path.c_str());
 }
 
 // --- LoadPoints --------------------------------------------------------------

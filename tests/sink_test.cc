@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "core/sink.h"
+#include "util/random.h"
 
 namespace csj {
 namespace {
@@ -154,6 +155,173 @@ TEST(SinkTest, ByteAccountingFormula) {
   sink.Group(group);
   const uint64_t ids = 2 + 10 + 10;
   EXPECT_EQ(sink.bytes(), ids * 8);
+}
+
+uint64_t FileSize(const std::string& path) {
+  return ReadWholeFile(path).size();
+}
+
+/// Drives the same emission sequence into any sink.
+void EmitSample(JoinSink* sink) {
+  Rng rng(11);
+  for (int i = 0; i < 2000; ++i) {
+    if (rng.Bernoulli(0.5)) {
+      sink->Link(static_cast<PointId>(rng.UniformInt(uint64_t{90000})),
+                 static_cast<PointId>(rng.UniformInt(uint64_t{90000})));
+    } else {
+      std::vector<PointId> group(2 + rng.UniformInt(uint64_t{12}));
+      for (auto& id : group) {
+        id = static_cast<PointId>(rng.UniformInt(uint64_t{90000}));
+      }
+      sink->Group(group);
+    }
+  }
+}
+
+TEST(ByteAccountingTest, CountedBytesEqualFileSizeForBothFormats) {
+  // Regression for the format-aware size model: for text AND binary, the
+  // sink's pre-Finish bytes() must equal the committed file's stat() size.
+  for (const OutputFormat format :
+       {OutputFormat::kText, OutputFormat::kBinary}) {
+    const std::string path = testing::TempDir() + "/csj_acct." +
+                             OutputFormatName(format);
+    auto sink = MakeSinkOrDie(OutputSpec::File(path, 90000, format));
+    EmitSample(sink.get());
+    const uint64_t predicted = sink->bytes();
+    ASSERT_TRUE(sink->Finish().ok());
+    EXPECT_EQ(predicted, FileSize(path)) << OutputFormatName(format);
+    // Finish() must not change the accounting.
+    EXPECT_EQ(sink->bytes(), predicted);
+    std::remove(path.c_str());
+  }
+}
+
+TEST(ByteAccountingTest, CountingSinkPredictsBinaryFileExactly) {
+  const std::string path = testing::TempDir() + "/csj_acct_predict.bin";
+  auto file_sink =
+      MakeSinkOrDie(OutputSpec::File(path, 90000, OutputFormat::kBinary));
+  auto counting = MakeSinkOrDie(
+      OutputSpec::Counting(90000, OutputFormat::kBinary));
+  EmitSample(file_sink.get());
+  EmitSample(counting.get());
+  EXPECT_EQ(counting->bytes(), file_sink->bytes());
+  ASSERT_TRUE(file_sink->Finish().ok());
+  EXPECT_EQ(counting->bytes(), FileSize(path));
+  ASSERT_TRUE(counting->Finish().ok());
+  std::remove(path.c_str());
+}
+
+TEST(ByteAccountingTest, EmptyBinaryFileSizeIsPredicted) {
+  const std::string path = testing::TempDir() + "/csj_acct_empty.bin";
+  auto sink =
+      MakeSinkOrDie(OutputSpec::File(path, 10, OutputFormat::kBinary));
+  const uint64_t predicted = sink->bytes();
+  EXPECT_GT(predicted, 0u);  // header + EOF marker + footer
+  ASSERT_TRUE(sink->Finish().ok());
+  EXPECT_EQ(predicted, FileSize(path));
+  std::remove(path.c_str());
+}
+
+TEST(MakeSinkTest, BuildsEveryFormat) {
+  const std::string dir = testing::TempDir();
+  {
+    auto sink = MakeSink(OutputSpec::Counting(100));
+    ASSERT_TRUE(sink.ok());
+    EXPECT_EQ((*sink)->id_width(), 2);
+    EXPECT_EQ((*sink)->accounting(), OutputFormat::kText);
+  }
+  {
+    auto sink = MakeSink(OutputSpec::Counting(100, OutputFormat::kBinary));
+    ASSERT_TRUE(sink.ok());
+    EXPECT_EQ((*sink)->accounting(), OutputFormat::kBinary);
+  }
+  for (const OutputFormat format :
+       {OutputFormat::kText, OutputFormat::kBinary}) {
+    const std::string path = dir + "/csj_factory." + OutputFormatName(format);
+    auto sink = MakeSink(OutputSpec::File(path, 1000, format));
+    ASSERT_TRUE(sink.ok()) << sink.status().ToString();
+    EXPECT_EQ((*sink)->id_width(), 3);
+    (*sink)->Link(1, 2);
+    ASSERT_TRUE((*sink)->Finish().ok());
+    std::remove(path.c_str());
+  }
+}
+
+TEST(MakeSinkTest, RejectsInvalidSpecs) {
+  {
+    OutputSpec spec;  // text with no path
+    spec.format = OutputFormat::kText;
+    EXPECT_FALSE(MakeSink(spec).ok());
+  }
+  {
+    OutputSpec spec;
+    spec.format = OutputFormat::kBinary;
+    EXPECT_FALSE(MakeSink(spec).ok());  // binary with no path
+  }
+  {
+    OutputSpec spec = OutputSpec::File(
+        testing::TempDir() + "/csj_factory_cap.bin", 10,
+        OutputFormat::kBinary);
+    spec.cap_bytes = 1000;  // caps are text-only
+    EXPECT_FALSE(MakeSink(spec).ok());
+  }
+  {
+    OutputSpec spec = OutputSpec::Counting(10);
+    spec.count_model = OutputFormat::kNone;  // not a byte model
+    EXPECT_FALSE(MakeSink(spec).ok());
+  }
+  {
+    OutputSpec spec = OutputSpec::Counting(10);
+    spec.id_width = 0;
+    EXPECT_FALSE(MakeSink(spec).ok());
+  }
+  // Unopenable paths fail at MakeSink, not at the first write.
+  EXPECT_FALSE(
+      MakeSink(OutputSpec::File("/nonexistent-dir-xyz/r.txt", 10)).ok());
+  EXPECT_FALSE(MakeSink(OutputSpec::File("/nonexistent-dir-xyz/r.bin", 10,
+                                         OutputFormat::kBinary))
+                   .ok());
+}
+
+TEST(FileSinkTest, CapStopsWritingButKeepsCounting) {
+  const std::string path = testing::TempDir() + "/csj_sink_capped.txt";
+  OutputSpec spec = OutputSpec::File(path, 10000);
+  spec.cap_bytes = 30;  // room for three 10-byte link lines
+  auto sink = MakeSinkOrDie(spec);
+  for (PointId i = 0; i < 10; ++i) sink->Link(i, i + 1);
+  EXPECT_TRUE(sink->truncated());
+  EXPECT_EQ(sink->num_links(), 10u);   // all counted
+  EXPECT_EQ(sink->bytes(), 100u);      // full (uncapped) size
+  EXPECT_EQ(sink->materialized_bytes(), 30u);
+  ASSERT_TRUE(sink->Finish().ok());
+  EXPECT_EQ(FileSize(path), 30u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFileSinkTest, AbandonedSinkLeavesNoFile) {
+  const std::string path = testing::TempDir() + "/csj_bin_abandoned.bin";
+  std::remove(path.c_str());
+  {
+    auto sink =
+        MakeSinkOrDie(OutputSpec::File(path, 100, OutputFormat::kBinary));
+    sink->Link(1, 2);
+    // Destroyed without Finish(): the interrupted-join case.
+  }
+  EXPECT_EQ(std::fopen(path.c_str(), "rb"), nullptr)
+      << "abandoned binary sink left output at " << path;
+}
+
+TEST(BinaryFileSinkTest, AtomicCommitHidesFileUntilFinish) {
+  const std::string path = testing::TempDir() + "/csj_bin_atomic.bin";
+  std::remove(path.c_str());
+  auto sink =
+      MakeSinkOrDie(OutputSpec::File(path, 100, OutputFormat::kBinary));
+  sink->Link(1, 2);
+  EXPECT_EQ(std::fopen(path.c_str(), "rb"), nullptr)
+      << "destination visible before Finish";
+  ASSERT_TRUE(sink->Finish().ok());
+  EXPECT_GT(FileSize(path), 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace

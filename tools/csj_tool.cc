@@ -12,9 +12,18 @@
 ///   csj_tool join     ... --leaf-kernel naive|sweep|simd   (leaf-level
 ///                     pair-enumeration strategy; identical output, see
 ///                     docs/PERFORMANCE.md; default sweep)
+///   csj_tool join     ... --output-format text|binary|none   (binary = the
+///                     compact CSJ2 format, docs/OUTPUT_FORMAT.md; none =
+///                     count bytes without writing; default text)
+///   csj_tool cat      --result result.bin [--out result.txt] [--width N]
+///                     (decode any result — text or binary — to canonical
+///                     text; stdout when --out is omitted)
 ///   csj_tool expand   --result result.txt --out links.txt
 ///   csj_tool verify   --points pts.txt --result result.txt --eps 0.05
 ///   csj_tool stats    --index index.csjt
+///
+/// expand / verify / report / cat auto-detect the result format, so every
+/// inspection command runs unchanged on text and binary outputs.
 ///
 /// 2-D only (the common GIS case); the C++ API is dimension-generic.
 
@@ -155,7 +164,15 @@ int CmdJoin(Flags& flags) {
   const double eps = flags.GetDouble("eps", 0.0);
   if (eps <= 0.0) Flags::Die("--eps must be positive");
   const int g = static_cast<int>(flags.GetInt("g", 10));
-  const std::string out = flags.Require("out");
+  const std::string format_name = flags.GetOr("output-format", "text");
+  OutputFormat format = OutputFormat::kText;
+  if (!ParseOutputFormat(format_name, &format)) {
+    Flags::Die("--output-format must be text, binary or none");
+  }
+  const std::string out = flags.GetOr("out", "");
+  if (out.empty() && format != OutputFormat::kNone) {
+    Flags::Die("join needs --out (or --output-format none)");
+  }
   const std::string index_path = flags.GetOr("index", "");
   const std::string points_path = flags.GetOr("points", "");
   const std::string metrics_mode = flags.GetOr("metrics", "off");
@@ -170,6 +187,18 @@ int CmdJoin(Flags& flags) {
   }
   flags.CheckAllUsed();
 
+  // Every sink — text file, binary file, or byte-counting — comes from the
+  // same factory, so the join code below is format-agnostic.
+  const auto make_sink = [&](uint64_t n) {
+    OutputSpec spec;
+    spec.format = format;
+    spec.path = out;
+    spec.id_width = IdWidthFor(n);
+    auto sink = MakeSink(spec);
+    DieOnError(sink.status());
+    return std::move(sink).value();
+  };
+
   JoinStats stats;
   uint64_t n = 0;
   if (algo == "ego" || algo == "cego") {
@@ -177,14 +206,14 @@ int CmdJoin(Flags& flags) {
     auto entries = LoadEntries(points_path);
     DieOnError(entries.status());
     n = entries->size();
-    FileSink sink(IdWidthFor(n), out);
+    auto sink = make_sink(n);
     EgoOptions options;
     options.epsilon = eps;
     options.window_size = g;
     options.leaf_kernel = leaf_kernel;
-    stats = algo == "ego" ? EgoSimilarityJoin(*entries, options, &sink)
-                          : CompactEgoJoin(*entries, options, &sink);
-    DieOnError(sink.Finish());
+    stats = algo == "ego" ? EgoSimilarityJoin(*entries, options, sink.get())
+                          : CompactEgoJoin(*entries, options, sink.get());
+    DieOnError(sink->Finish());
   } else {
     RStarOptions tree_options;
     if (!index_path.empty()) {
@@ -209,17 +238,17 @@ int CmdJoin(Flags& flags) {
     options.epsilon = eps;
     options.window_size = g;
     options.leaf_kernel = leaf_kernel;
-    FileSink sink(IdWidthFor(n), out);
+    auto sink = make_sink(n);
     if (algo == "ssj") {
-      stats = StandardSimilarityJoin(tree, options, &sink);
+      stats = StandardSimilarityJoin(tree, options, sink.get());
     } else if (algo == "ncsj") {
-      stats = NaiveCompactJoin(tree, options, &sink);
+      stats = NaiveCompactJoin(tree, options, sink.get());
     } else if (algo == "csj") {
-      stats = CompactSimilarityJoin(tree, options, &sink);
+      stats = CompactSimilarityJoin(tree, options, sink.get());
     } else {
       Flags::Die("unknown --algo '" + algo + "' (ssj|ncsj|csj|ego|cego)");
     }
-    DieOnError(sink.Finish());
+    DieOnError(sink->Finish());
   }
   if (metrics_mode == "json") {
     // Machine-readable mode: stdout carries exactly one JSON document with
@@ -231,13 +260,29 @@ int CmdJoin(Flags& flags) {
     return 0;
   }
   std::printf("%s\n", stats.ToString().c_str());
-  std::printf("wrote %s (%s) to %s\n",
-              HumanBytes(stats.output_bytes).c_str(),
-              WithThousands(stats.output_bytes).c_str(), out.c_str());
+  if (format == OutputFormat::kNone) {
+    std::printf("counted %s (%s) of %s output; nothing written\n",
+                HumanBytes(stats.output_bytes).c_str(),
+                WithThousands(stats.output_bytes).c_str(),
+                OutputFormatName(OutputFormat::kText));
+  } else {
+    std::printf("wrote %s (%s) of %s output to %s\n",
+                HumanBytes(stats.output_bytes).c_str(),
+                WithThousands(stats.output_bytes).c_str(),
+                OutputFormatName(format), out.c_str());
+  }
   if (metrics_mode == "text") {
     std::printf("%s", metrics::Snapshot().ToText().c_str());
   }
   return 0;
+}
+
+/// Opens the result file as a streaming cursor, dying on failure. Handles
+/// text and binary transparently (magic-byte sniffing).
+std::unique_ptr<ResultCursor> OpenCursorOrDie(const std::string& path) {
+  auto cursor = OpenResultCursor(path);
+  DieOnError(cursor.status());
+  return std::move(cursor).value();
 }
 
 int CmdExpand(Flags& flags) {
@@ -245,12 +290,17 @@ int CmdExpand(Flags& flags) {
   const std::string out = flags.Require("out");
   flags.CheckAllUsed();
 
-  auto output = ReadJoinOutput(result_path);
-  DieOnError(output.status());
-  MemorySink replay(1);
-  for (const auto& [a, b] : output->links) replay.Link(a, b);
-  for (const auto& group : output->groups) replay.Group(group);
-  const auto links = ExpandSelfJoin(replay);
+  auto cursor = OpenCursorOrDie(result_path);
+  uint64_t links_seen = 0;
+  uint64_t groups_seen = 0;
+  std::vector<Link> links;
+  DieOnError(ForEachImpliedLink(cursor.get(), [&](PointId a, PointId b) {
+    links.push_back(MakeLink(a, b));
+  }));
+  std::sort(links.begin(), links.end());
+  links.erase(std::unique(links.begin(), links.end()), links.end());
+  links_seen = cursor->links_read();
+  groups_seen = cursor->groups_read();
 
   OutputFile file;
   DieOnError(file.Open(out, OutputFile::Options{.atomic = true}));
@@ -260,8 +310,8 @@ int CmdExpand(Flags& flags) {
   }
   DieOnError(file.Close());
   std::printf("expanded %s links + %s groups into %s distinct links (%s)\n",
-              WithThousands(output->links.size()).c_str(),
-              WithThousands(output->groups.size()).c_str(),
+              WithThousands(links_seen).c_str(),
+              WithThousands(groups_seen).c_str(),
               WithThousands(links.size()).c_str(), out.c_str());
   return 0;
 }
@@ -275,36 +325,78 @@ int CmdVerify(Flags& flags) {
 
   auto entries = LoadEntries(points_path);
   DieOnError(entries.status());
-  auto output = ReadJoinOutput(result_path);
-  DieOnError(output.status());
-
-  MemorySink replay(1);
-  for (const auto& [a, b] : output->links) replay.Link(a, b);
-  for (const auto& group : output->groups) replay.Group(group);
-  const auto report = CompareLinkSets(ExpandSelfJoin(replay),
-                                      BruteForceSelfJoin(*entries, eps));
+  auto cursor = OpenCursorOrDie(result_path);
+  auto expansion = ExpandSelfJoin(cursor.get());
+  DieOnError(expansion.status());
+  const auto report =
+      CompareLinkSets(*expansion, BruteForceSelfJoin(*entries, eps));
   std::printf("%s\n", report.ToString().c_str());
   return report.lossless() ? 0 : 1;
 }
 
 int CmdReport(Flags& flags) {
   // Descriptive statistics of a join-output file: compaction ratio, group
-  // size distribution, overlap.
+  // size distribution, overlap. Streams; never loads the output.
   const std::string result_path = flags.Require("result");
   const int width = static_cast<int>(flags.GetInt("width", 0));
   flags.CheckAllUsed();
 
-  auto output = ReadJoinOutput(result_path);
-  DieOnError(output.status());
-  // Infer the id width from the data when not given.
-  PointId max_id = 0;
-  for (const auto& [a, b] : output->links) max_id = std::max({max_id, a, b});
-  for (const auto& g : output->groups) {
-    for (PointId id : g) max_id = std::max(max_id, id);
+  auto cursor = OpenCursorOrDie(result_path);
+  // With --width 0 the stats layer uses the file's declared width (binary)
+  // or the width of the largest id seen (text).
+  auto stats = ComputeOutputStats(cursor.get(), width);
+  DieOnError(stats.status());
+  std::printf("%s", stats->ToString().c_str());
+  return 0;
+}
+
+int CmdCat(Flags& flags) {
+  // Decodes a result file — text or binary — to the canonical fixed-width
+  // text format. `csj_tool cat` on a binary result reproduces, byte for
+  // byte, the text file the same join would have written directly.
+  const std::string result_path = flags.Require("result");
+  const std::string out = flags.GetOr("out", "");
+  int width = static_cast<int>(flags.GetInt("width", 0));
+  flags.CheckAllUsed();
+
+  if (width == 0) {
+    auto cursor = OpenCursorOrDie(result_path);
+    width = cursor->declared_id_width();
+    if (width == 0) {
+      // Text input declares no width: pre-scan for the largest id.
+      PointId max_id = 0;
+      while (cursor->Next()) {
+        for (PointId id : cursor->record().ids) max_id = std::max(max_id, id);
+      }
+      DieOnError(cursor->status());
+      width = DecimalWidth(max_id);
+    }
   }
-  const int effective_width = width > 0 ? width : DecimalWidth(max_id);
-  const OutputStats stats = ComputeOutputStats(*output, effective_width);
-  std::printf("%s", stats.ToString().c_str());
+
+  auto cursor = OpenCursorOrDie(result_path);
+  if (!out.empty()) {
+    OutputSpec spec;
+    spec.format = OutputFormat::kText;
+    spec.path = out;
+    spec.id_width = width;
+    auto sink = MakeSink(spec);
+    DieOnError(sink.status());
+    DieOnError(ReplayResult(cursor.get(), sink->get()));
+    DieOnError((*sink)->Finish());
+    std::printf("decoded %s records to %s (width %d)\n",
+                WithThousands(cursor->links_read() + cursor->groups_read())
+                    .c_str(),
+                out.c_str(), width);
+  } else {
+    while (cursor->Next()) {
+      const auto ids = cursor->record().ids;
+      for (size_t i = 0; i < ids.size(); ++i) {
+        std::printf("%0*u%c", width, ids[i],
+                    i + 1 == ids.size() ? '\n' : ' ');
+      }
+    }
+    DieOnError(cursor->status());
+  }
   return 0;
 }
 
@@ -389,7 +481,8 @@ int CmdStats(Flags& flags) {
 int Usage() {
   std::fprintf(stderr,
                "usage: csj_tool "
-               "<generate|build|join|expand|verify|stats|report|fractal|suggest-eps> "
+               "<generate|build|join|cat|expand|verify|stats|report|fractal|"
+               "suggest-eps> "
                "[--flag value ...]\n"
                "see the header comment of tools/csj_tool.cc for examples\n");
   return 2;
@@ -402,6 +495,7 @@ int Main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "build") return CmdBuild(flags);
   if (command == "join") return CmdJoin(flags);
+  if (command == "cat") return CmdCat(flags);
   if (command == "expand") return CmdExpand(flags);
   if (command == "verify") return CmdVerify(flags);
   if (command == "stats") return CmdStats(flags);
