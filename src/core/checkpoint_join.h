@@ -1,0 +1,660 @@
+#ifndef CSJ_CORE_CHECKPOINT_JOIN_H_
+#define CSJ_CORE_CHECKPOINT_JOIN_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "core/parallel_join.h"
+#include "core/similarity_join.h"
+#include "storage/checkpoint.h"
+#include "util/metrics.h"
+
+/// \file
+/// Crash-safe checkpointed join execution with resume, deadlines and
+/// graceful cancellation.
+///
+/// A long self-join is decomposed into the deterministic task list of
+/// parallel_join.h (independent single-subtree and subtree-pair units that
+/// exactly cover the pair space). Tasks are the unit of progress: the runner
+/// snapshots its state only *between* tasks, and cancellation (a signal, an
+/// expired deadline) also takes effect only between tasks, so the sink is
+/// always at a position the manifest can describe.
+///
+/// A checkpoint (storage/checkpoint.h) makes the output durable up to a
+/// committed boundary — a record boundary for text, a sealed-block boundary
+/// plus the open block's payload for the CSJ2 binary format — and records
+/// the next task index, the pending CSJ(g) window groups, cumulative
+/// JoinStats and curated metric counters. `--resume` truncates the output
+/// back to the committed boundary and continues; because blocks seal purely
+/// by the size rule and the open block's payload is restored verbatim, the
+/// resumed output is **byte-identical** to an uninterrupted run, no matter
+/// when (or how often) the run was killed.
+///
+/// Parallel mode (threads > 1) runs *rounds*: each round takes the next
+/// `threads * tasks_per_thread` tasks, statically assigns task index i to
+/// worker i % threads, runs the workers on private drivers + MemorySinks,
+/// then replays the buffered output into the real sink in worker order and
+/// checkpoints at the round boundary. Everything about a round is a pure
+/// function of (task list, threads), so parallel resumes are byte-identical
+/// too — which is also why a resume must use the same thread count.
+///
+/// Outcome statuses: OK (complete; manifest deleted), kCancelled (cancel
+/// flag fired; final checkpoint saved), kDeadlineExceeded (deadline watchdog
+/// fired; final checkpoint saved), or the sink's error (the manifest of the
+/// last successful checkpoint is kept for resume).
+
+namespace csj {
+
+/// Checkpointed-execution knobs, on top of JoinOptions (whose deadline_ms
+/// arms the watchdog).
+struct CheckpointJoinOptions {
+  /// Where the manifest lives. Saved via atomic temp+rename commit; deleted
+  /// when the join completes. Required.
+  std::string manifest_path;
+  /// Tasks between checkpoints (serial mode). Parallel mode checkpoints at
+  /// every round boundary regardless. 0 disables periodic checkpoints —
+  /// only cancellation/deadline write one.
+  uint64_t checkpoint_interval = 32;
+  /// Worker threads; <= 1 runs serial. A resumed run must use the same
+  /// value (enforced against the manifest).
+  int threads = 1;
+  /// Task granularity: the task list targets
+  /// max(threads, 1) * tasks_per_thread entries, and a parallel round spans
+  /// threads * tasks_per_thread tasks.
+  int tasks_per_thread = 16;
+  /// Continue from manifest_path instead of starting over. Fails cleanly if
+  /// the manifest is missing, corrupt, or from a different configuration.
+  bool resume = false;
+  /// External cancel flag (e.g. flipped by a SIGINT handler). Polled at
+  /// task boundaries; when set, a final checkpoint is written and the run
+  /// returns kCancelled. Not owned; may be null.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+namespace internal {
+
+/// Counter prefixes a checkpoint carries across resumes: the process-wide
+/// metrics a join run contributes to. After a resume the registry reports
+/// the same cumulative values an uninterrupted run would.
+inline bool IsCheckpointedMetric(const std::string& name) {
+  for (const char* prefix :
+       {"join.", "sink.", "kernel.", "window.", "parallel."}) {
+    if (name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+/// Arms a watchdog that flips `expired` after `deadline_ms` (0 = never).
+/// Disarm() (or destruction) stops it without firing.
+class DeadlineWatchdog {
+ public:
+  DeadlineWatchdog(uint64_t deadline_ms, std::atomic<bool>* expired) {
+    if (deadline_ms == 0) return;
+    thread_ = std::thread([this, deadline_ms, expired] {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (!cv_.wait_for(lock, std::chrono::milliseconds(deadline_ms),
+                        [this] { return disarmed_; })) {
+        expired->store(true, std::memory_order_relaxed);
+        CSJ_METRIC_COUNT("checkpoint.deadline_expirations", 1);
+      }
+    });
+  }
+
+  ~DeadlineWatchdog() { Disarm(); }
+
+  void Disarm() {
+    if (!thread_.joinable()) return;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      disarmed_ = true;
+    }
+    cv_.notify_one();
+    thread_.join();
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool disarmed_ = false;
+  std::thread thread_;
+};
+
+/// Fingerprint of every knob that shapes the output stream. A manifest from
+/// a different configuration must not be resumed — the bytes would diverge.
+template <typename Tree>
+uint64_t ConfigFingerprint(const Tree& tree, JoinAlgorithm algorithm,
+                           const JoinOptions& options, const OutputSpec& spec,
+                           const CheckpointJoinOptions& ckpt) {
+  using checkpoint::HashCombine;
+  uint64_t h = 0xC5A11E5C;  // arbitrary non-zero seed
+  h = HashCombine(h, static_cast<uint64_t>(algorithm));
+  uint64_t eps_bits;
+  static_assert(sizeof(eps_bits) == sizeof(options.epsilon));
+  std::memcpy(&eps_bits, &options.epsilon, sizeof(eps_bits));
+  h = HashCombine(h, eps_bits);
+  h = HashCombine(h, static_cast<uint64_t>(options.window_size));
+  h = HashCombine(h, (options.early_stop ? 1u : 0u) |
+                         (options.sort_child_pairs ? 2u : 0u) |
+                         (options.promote_on_merge ? 4u : 0u));
+  h = HashCombine(h, static_cast<uint64_t>(options.window_policy));
+  // leaf_kernel is deliberately *excluded*: all kernels emit hits in the
+  // same order (geom/kernels.h), so the output stream is kernel-invariant
+  // and a resume may use a different kernel than the original run.
+  h = HashCombine(h, static_cast<uint64_t>(spec.format));
+  h = HashCombine(h, static_cast<uint64_t>(spec.id_width));
+  h = HashCombine(h, static_cast<uint64_t>(spec.count_model));
+  h = HashCombine(h, static_cast<uint64_t>(std::max(ckpt.threads, 1)));
+  h = HashCombine(h, static_cast<uint64_t>(std::max(ckpt.tasks_per_thread, 1)));
+  h = HashCombine(h, tree.size());
+  h = HashCombine(h, static_cast<uint64_t>(Tree::kDim));
+  return h;
+}
+
+template <typename Task>
+uint64_t TaskListHash(const std::vector<Task>& tasks) {
+  uint64_t h = tasks.size();
+  for (const Task& t : tasks) {
+    h = checkpoint::HashCombine(h, t.first);
+    h = checkpoint::HashCombine(h, t.second);
+  }
+  return h;
+}
+
+/// Composes the cumulative StatsState for a manifest: the resumed-from base
+/// plus everything this session's drivers have done so far.
+inline checkpoint::StatsState ComposeStats(const checkpoint::StatsState& base,
+                                           const JoinStats& fresh,
+                                           double fresh_elapsed,
+                                           double fresh_write) {
+  checkpoint::StatsState s = base;
+  s.distance_computations += fresh.distance_computations;
+  s.kernel_candidates += fresh.kernel_candidates;
+  s.kernel_pruned += fresh.kernel_pruned;
+  s.kernel_hits += fresh.kernel_hits;
+  s.node_accesses += fresh.node_accesses;
+  s.page_requests += fresh.page_requests;
+  s.page_disk_reads += fresh.page_disk_reads;
+  s.early_stops += fresh.early_stops;
+  s.merge_attempts += fresh.merge_attempts;
+  s.merges += fresh.merges;
+  s.implied_links += fresh.ImpliedLinkUpperBound();
+  s.elapsed_seconds += fresh_elapsed;
+  s.write_seconds += fresh_write;
+  return s;
+}
+
+/// Folds a manifest's StatsState base into a finalized JoinStats (whose
+/// output counters already come from the restored sink and are cumulative).
+inline void ApplyStatsBase(JoinStats* stats, const checkpoint::StatsState& b) {
+  stats->distance_computations += b.distance_computations;
+  stats->kernel_candidates += b.kernel_candidates;
+  stats->kernel_pruned += b.kernel_pruned;
+  stats->kernel_hits += b.kernel_hits;
+  stats->node_accesses += b.node_accesses;
+  stats->page_requests += b.page_requests;
+  stats->page_disk_reads += b.page_disk_reads;
+  stats->early_stops += b.early_stops;
+  stats->merge_attempts += b.merge_attempts;
+  stats->merges += b.merges;
+  stats->AddImpliedLinks(b.implied_links);
+  stats->elapsed_seconds += b.elapsed_seconds;
+  stats->write_seconds += b.write_seconds;
+}
+
+/// Snapshot of the checkpoint-carried counters at session start; lets a
+/// checkpoint record `base + (now - session_start)` for each counter.
+struct MetricBaseline {
+  std::vector<std::pair<std::string, uint64_t>> session_start;
+  std::vector<std::pair<std::string, uint64_t>> manifest_base;
+
+  void Capture() {
+    session_start.clear();
+    for (const auto& [name, value] : metrics::Snapshot().counters) {
+      if (IsCheckpointedMetric(name)) session_start.emplace_back(name, value);
+    }
+  }
+
+  uint64_t StartValue(const std::string& name) const {
+    for (const auto& [n, v] : session_start) {
+      if (n == name) return v;
+    }
+    return 0;
+  }
+
+  uint64_t BaseValue(const std::string& name) const {
+    for (const auto& [n, v] : manifest_base) {
+      if (n == name) return v;
+    }
+    return 0;
+  }
+
+  /// Cumulative checkpoint-carried counters right now.
+  std::vector<std::pair<std::string, uint64_t>> Compose() const {
+    std::vector<std::pair<std::string, uint64_t>> out;
+    for (const auto& [name, value] : metrics::Snapshot().counters) {
+      if (!IsCheckpointedMetric(name)) continue;
+      out.emplace_back(name, BaseValue(name) + value - StartValue(name));
+    }
+    // A counter the interrupted run touched but this session has not yet.
+    for (const auto& [name, value] : manifest_base) {
+      bool seen = false;
+      for (const auto& [n, v] : out) seen = seen || n == name;
+      if (!seen) out.emplace_back(name, value);
+    }
+    return out;
+  }
+};
+
+}  // namespace internal
+
+/// Checkpointed (and optionally parallel) self-join with resume. Creates
+/// the sink from `spec` itself: fresh runs force spec.checkpointable for
+/// materializing formats; resumed runs rebuild the sink mid-stream from the
+/// manifest. See the file comment for semantics.
+template <SpatialIndex Tree>
+JoinStats CheckpointedSelfJoin(const Tree& tree, JoinAlgorithm algorithm,
+                               const JoinOptions& options, OutputSpec spec,
+                               const CheckpointJoinOptions& ckpt) {
+  using Driver = internal::JoinDriver<Tree, Tree>;
+
+  JoinStats failed;
+  failed.algorithm = algorithm;
+  failed.epsilon = options.epsilon;
+  failed.window_size = algorithm == JoinAlgorithm::kCSJ ? options.window_size
+                                                        : 0;
+  if (ckpt.manifest_path.empty()) {
+    failed.status =
+        Status::InvalidArgument("CheckpointJoinOptions.manifest_path is empty");
+    return failed;
+  }
+  const int threads = std::max(ckpt.threads, 1);
+  if (threads > 1 && options.tracker != nullptr) {
+    failed.status = Status::InvalidArgument(
+        "node-access tracking is not supported in parallel mode");
+    return failed;
+  }
+  if (spec.format != OutputFormat::kNone) spec.checkpointable = true;
+
+  const auto tasks = internal::BuildTaskList(
+      tree, options.epsilon,
+      static_cast<size_t>(threads) *
+          static_cast<size_t>(std::max(ckpt.tasks_per_thread, 1)));
+  const uint64_t fingerprint =
+      internal::ConfigFingerprint(tree, algorithm, options, spec, ckpt);
+  const uint64_t task_hash = internal::TaskListHash(tasks);
+
+  // --- Establish the starting state: fresh, or restored from the manifest.
+  checkpoint::Manifest base;  // stays default for fresh runs
+  std::unique_ptr<JoinSink> sink;
+  if (ckpt.resume) {
+    auto loaded = checkpoint::Load(ckpt.manifest_path);
+    if (!loaded.ok()) {
+      failed.status = loaded.status();
+      return failed;
+    }
+    base = std::move(loaded).value();
+    if (base.config_fingerprint != fingerprint) {
+      failed.status = Status::FailedPrecondition(
+          "cannot resume: the checkpoint was written under a different "
+          "configuration (algorithm/epsilon/window/output/threads)");
+      return failed;
+    }
+    if (base.threads != static_cast<uint32_t>(threads)) {
+      failed.status = Status::FailedPrecondition(StrFormat(
+          "cannot resume: checkpoint used %u threads, this run %d (the "
+          "parallel replay order depends on the thread count)",
+          base.threads, threads));
+      return failed;
+    }
+    if (base.total_tasks != tasks.size() || base.task_list_hash != task_hash) {
+      failed.status = Status::FailedPrecondition(
+          "cannot resume: the rebuilt task list does not match the "
+          "checkpoint (different tree or granularity)");
+      return failed;
+    }
+    auto resumed = ResumeSink(spec, base.sink);
+    if (!resumed.ok()) {
+      failed.status = resumed.status();
+      return failed;
+    }
+    sink = std::move(resumed).value();
+    // Re-seed the process-wide metrics so a resumed run's registry reports
+    // the same cumulative join.*/sink.*/... counts an uninterrupted run
+    // would. (The restored sink starts from zero — its constructor path
+    // does not replay sink.links/sink.bytes — so the manifest's counters
+    // are added wholesale.)
+    for (const auto& [name, value] : base.metric_counters) {
+      if (value > 0) metrics::GetCounter(name)->Increment(value);
+    }
+    CSJ_METRIC_COUNT("checkpoint.resumes", 1);
+  } else {
+    auto made = MakeSink(spec);
+    if (!made.ok()) {
+      failed.status = made.status();
+      return failed;
+    }
+    sink = std::move(made).value();
+  }
+
+  internal::MetricBaseline metric_baseline;
+  metric_baseline.manifest_base = base.metric_counters;
+  // Captured *after* the resume merge above, so Compose() yields exactly
+  // base + this-session's-work for every counter.
+  metric_baseline.Capture();
+
+  WallTimer timer;
+  std::atomic<bool> deadline_expired{false};
+  internal::DeadlineWatchdog watchdog(options.deadline_ms, &deadline_expired);
+
+  uint64_t next_task = ckpt.resume ? base.next_task : 0;
+
+  // One manifest writer for both modes. `counters_pending` marks serial
+  // checkpoints, where the driver's bulk-added work counters (join.merges
+  // etc., mirrored into the registry only at Finalize) have not reached the
+  // registry yet and must be folded into the manifest from `fresh` directly.
+  auto save_checkpoint = [&](uint64_t frontier, const JoinStats& fresh,
+                             double fresh_write, bool counters_pending,
+                             std::vector<checkpoint::WindowGroup> window)
+      -> Status {
+    checkpoint::SinkState sink_state;
+    CSJ_RETURN_IF_ERROR(sink->Checkpoint(&sink_state));
+    checkpoint::Manifest m;
+    m.config_fingerprint = fingerprint;
+    m.dims = static_cast<uint32_t>(Tree::kDim);
+    m.threads = static_cast<uint32_t>(threads);
+    m.total_tasks = tasks.size();
+    m.task_list_hash = task_hash;
+    m.next_task = frontier;
+    m.stats = internal::ComposeStats(base.stats, fresh,
+                                     timer.ElapsedSeconds(), fresh_write);
+    m.sink = sink_state;
+    m.window = std::move(window);
+    m.metric_counters = metric_baseline.Compose();
+    if (counters_pending) {
+      auto add = [&m](const char* name, uint64_t v) {
+        if (v == 0) return;
+        for (auto& [n, value] : m.metric_counters) {
+          if (n == name) {
+            value += v;
+            return;
+          }
+        }
+        m.metric_counters.emplace_back(name, v);
+      };
+      add("join.distance_computations", fresh.distance_computations);
+      add("join.early_stops", fresh.early_stops);
+      add("join.merge_attempts", fresh.merge_attempts);
+      add("join.merges", fresh.merges);
+    }
+    return checkpoint::Save(ckpt.manifest_path, m);
+  };
+
+  auto interrupted = [&]() -> const char* {
+    if (deadline_expired.load(std::memory_order_relaxed)) return "deadline";
+    if (ckpt.cancel != nullptr &&
+        ckpt.cancel->load(std::memory_order_relaxed)) {
+      return "cancel";
+    }
+    return nullptr;
+  };
+
+  auto interruption_status = [&](const char* why, uint64_t frontier,
+                                 const Status& save) -> Status {
+    if (!save.ok()) {
+      return Status::IoError(StrFormat(
+          "interrupted at task %llu/%zu and the final checkpoint failed: %s",
+          static_cast<unsigned long long>(frontier), tasks.size(),
+          save.ToString().c_str()));
+    }
+    const std::string msg = StrFormat(
+        "stopped at task %llu/%zu; checkpoint saved to %s — rerun with "
+        "--resume to continue",
+        static_cast<unsigned long long>(frontier), tasks.size(),
+        ckpt.manifest_path.c_str());
+    return why == std::string("deadline") ? Status::DeadlineExceeded(msg)
+                                          : Status::Cancelled(msg);
+  };
+
+  // ==========================================================================
+  // Serial mode: one driver spans every task, so the merge window persists
+  // across task (and checkpoint) boundaries exactly like a plain Run().
+  // ==========================================================================
+  if (threads == 1) {
+    Driver driver(tree, tree, /*self_join=*/true, algorithm, options,
+                  sink.get());
+    if (ckpt.resume && algorithm == JoinAlgorithm::kCSJ) {
+      driver.window().RestoreState(base.window);
+    }
+    if (!ckpt.resume && !tasks.empty()) {
+      // An initial checkpoint: a run killed before the first periodic
+      // checkpoint still resumes instead of silently starting over.
+      const Status s =
+          save_checkpoint(0, driver.mutable_stats(), 0.0, true, {});
+      if (!s.ok()) {
+        failed.status = s;
+        return failed;
+      }
+    }
+    uint64_t last_checkpoint = next_task;
+    for (; next_task < tasks.size(); ++next_task) {
+      if (const char* why = interrupted()) {
+        const Status save = save_checkpoint(
+            next_task, driver.mutable_stats(),
+            driver.write_seconds_so_far(), true,
+            algorithm == JoinAlgorithm::kCSJ ? driver.window().ExportState()
+                                             : std::vector<checkpoint::WindowGroup>{});
+        JoinStats out = driver.Finalize(timer);
+        internal::ApplyStatsBase(&out, base.stats);
+        out.status = interruption_status(why, next_task, save);
+        return out;
+      }
+      if (ckpt.checkpoint_interval > 0 &&
+          next_task - last_checkpoint >= ckpt.checkpoint_interval) {
+        const Status save = save_checkpoint(
+            next_task, driver.mutable_stats(),
+            driver.write_seconds_so_far(), true,
+            algorithm == JoinAlgorithm::kCSJ ? driver.window().ExportState()
+                                             : std::vector<checkpoint::WindowGroup>{});
+        if (!save.ok()) {
+          JoinStats out = driver.Finalize(timer);
+          internal::ApplyStatsBase(&out, base.stats);
+          out.status = save;
+          return out;
+        }
+        last_checkpoint = next_task;
+      }
+      driver.RunTask(tasks[static_cast<size_t>(next_task)]);
+      if (driver.aborted()) break;  // sink error: stats report it below
+    }
+    watchdog.Disarm();
+    driver.FlushWindow();
+    JoinStats out = driver.Finalize(timer);
+    internal::ApplyStatsBase(&out, base.stats);
+    if (out.status.ok()) out.status = sink->Finish();
+    out.output_bytes = sink->bytes();
+    if (out.status.ok()) {
+      std::remove(ckpt.manifest_path.c_str());
+    }
+    return out;
+  }
+
+  // ==========================================================================
+  // Parallel mode: rounds of threads * tasks_per_thread tasks; static
+  // strided assignment, buffered output replayed in worker order, one
+  // checkpoint per round boundary. Deterministic given (task list, threads).
+  // ==========================================================================
+  if constexpr (!Tree::kThreadSafeReads) {
+    failed.status = Status::InvalidArgument(
+        "this tree type is not safe for concurrent reads; run with "
+        "threads = 1");
+    return failed;
+  } else {
+  const uint64_t round_span =
+      static_cast<uint64_t>(threads) *
+      static_cast<uint64_t>(std::max(ckpt.tasks_per_thread, 1));
+  JoinStats session;  // work counters + implied links of this session
+  session.algorithm = algorithm;
+  double session_write = 0.0;
+
+  if (!ckpt.resume && !tasks.empty()) {
+    const Status s = save_checkpoint(0, session, 0.0, false, {});
+    if (!s.ok()) {
+      failed.status = s;
+      return failed;
+    }
+  }
+
+  while (next_task < tasks.size()) {
+    if (const char* why = interrupted()) {
+      const Status save =
+          save_checkpoint(next_task, session, session_write, false, {});
+      JoinStats out = session;
+      out.epsilon = options.epsilon;
+      out.window_size =
+          algorithm == JoinAlgorithm::kCSJ ? options.window_size : 0;
+      internal::ApplyStatsBase(&out, base.stats);
+      out.links = sink->num_links();
+      out.groups = sink->num_groups();
+      out.group_member_total = sink->group_member_total();
+      out.output_bytes = sink->bytes();
+      out.elapsed_seconds += timer.ElapsedSeconds();
+      out.status = interruption_status(why, next_task, save);
+      return out;
+    }
+    const uint64_t round_end =
+        std::min<uint64_t>(next_task + round_span, tasks.size());
+
+    std::vector<std::unique_ptr<MemorySink>> worker_sinks;
+    std::vector<JoinStats> worker_stats(static_cast<size_t>(threads));
+    worker_sinks.reserve(static_cast<size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      worker_sinks.push_back(std::make_unique<MemorySink>(sink->id_width()));
+    }
+    std::mutex error_mu;
+    Status first_error;
+    auto record_error = [&](const Status& status) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error.ok() && !status.ok()) first_error = status;
+    };
+    {
+      std::vector<std::thread> pool;
+      pool.reserve(static_cast<size_t>(threads));
+      for (int t = 0; t < threads; ++t) {
+        pool.emplace_back([&, t] {
+          try {
+            if (CSJ_FAILPOINT("parallel_join.worker")) {
+              throw std::runtime_error("injected worker fault");
+            }
+            Driver driver(tree, tree, /*self_join=*/true, algorithm, options,
+                          worker_sinks[static_cast<size_t>(t)].get());
+            WallTimer worker_timer;
+            for (uint64_t i = next_task + static_cast<uint64_t>(t);
+                 i < round_end; i += static_cast<uint64_t>(threads)) {
+              driver.RunTask(tasks[static_cast<size_t>(i)]);
+              if (driver.aborted()) break;
+            }
+            driver.FlushWindow();
+            worker_stats[static_cast<size_t>(t)] =
+                driver.Finalize(worker_timer);
+            record_error(worker_stats[static_cast<size_t>(t)].status);
+          } catch (const std::exception& e) {
+            record_error(Status::Internal(StrFormat(
+                "checkpointed join worker %d failed: %s", t, e.what())));
+          } catch (...) {
+            record_error(Status::Internal(StrFormat(
+                "checkpointed join worker %d failed with a non-standard "
+                "exception", t)));
+          }
+        });
+      }
+      for (auto& thread : pool) thread.join();
+    }
+    for (const JoinStats& ws : worker_stats) {
+      session.distance_computations += ws.distance_computations;
+      session.kernel_candidates += ws.kernel_candidates;
+      session.kernel_pruned += ws.kernel_pruned;
+      session.kernel_hits += ws.kernel_hits;
+      session.early_stops += ws.early_stops;
+      session.merge_attempts += ws.merge_attempts;
+      session.merges += ws.merges;
+      session_write += ws.write_seconds;
+    }
+    if (!first_error.ok()) {
+      // The round's coverage is incomplete; the sink was never touched, so
+      // the previous checkpoint remains the resume point.
+      JoinStats out = session;
+      internal::ApplyStatsBase(&out, base.stats);
+      out.epsilon = options.epsilon;
+      out.window_size =
+          algorithm == JoinAlgorithm::kCSJ ? options.window_size : 0;
+      out.links = sink->num_links();
+      out.groups = sink->num_groups();
+      out.group_member_total = sink->group_member_total();
+      out.output_bytes = sink->bytes();
+      out.elapsed_seconds += timer.ElapsedSeconds();
+      out.status = first_error;
+      return out;
+    }
+    // Deterministic replay, worker order — exactly like parallel_join.h.
+    for (int t = 0; t < threads && sink->error().ok(); ++t) {
+      const MemorySink& worker = *worker_sinks[static_cast<size_t>(t)];
+      for (const auto& [a, b] : worker.links()) {
+        if (!sink->error().ok()) break;
+        sink->Link(a, b);
+        if (sink->error().ok()) session.AddImpliedLink();
+      }
+      for (const auto& group : worker.groups()) {
+        if (!sink->error().ok()) break;
+        sink->Group(group);
+        if (sink->error().ok()) session.AddImpliedGroup(group.size());
+      }
+    }
+    if (!sink->error().ok()) break;
+    next_task = round_end;
+    const Status save =
+        save_checkpoint(next_task, session, session_write, false, {});
+    if (!save.ok()) {
+      JoinStats out = session;
+      internal::ApplyStatsBase(&out, base.stats);
+      out.epsilon = options.epsilon;
+      out.window_size =
+          algorithm == JoinAlgorithm::kCSJ ? options.window_size : 0;
+      out.status = save;
+      out.elapsed_seconds += timer.ElapsedSeconds();
+      return out;
+    }
+  }
+
+  watchdog.Disarm();
+  JoinStats out = session;
+  internal::ApplyStatsBase(&out, base.stats);
+  out.epsilon = options.epsilon;
+  out.window_size = algorithm == JoinAlgorithm::kCSJ ? options.window_size : 0;
+  out.status = sink->error();
+  if (out.status.ok()) out.status = sink->Finish();
+  out.links = sink->num_links();
+  out.groups = sink->num_groups();
+  out.group_member_total = sink->group_member_total();
+  out.output_bytes = sink->bytes();
+  out.elapsed_seconds += timer.ElapsedSeconds();
+  if (out.status.ok()) {
+    std::remove(ckpt.manifest_path.c_str());
+  }
+  return out;
+  }  // if constexpr (Tree::kThreadSafeReads)
+}
+
+}  // namespace csj
+
+#endif  // CSJ_CORE_CHECKPOINT_JOIN_H_

@@ -185,6 +185,42 @@ class GroupWindow {
 
   size_t live_groups() const { return window_.size(); }
 
+  /// Checkpoint support: snapshots the pending groups oldest-first (member
+  /// order preserved — group emission must stay byte-identical on resume).
+  std::vector<checkpoint::WindowGroup> ExportState() const {
+    std::vector<checkpoint::WindowGroup> out;
+    out.reserve(window_.size());
+    for (const Group<D>& g : window_) {
+      checkpoint::WindowGroup wg;
+      wg.members = g.members();
+      wg.box_lo.assign(g.box().lo.begin(), g.box().lo.end());
+      wg.box_hi.assign(g.box().hi.begin(), g.box().hi.end());
+      out.push_back(std::move(wg));
+    }
+    return out;
+  }
+
+  /// Checkpoint support: refills a still-empty window from a manifest
+  /// snapshot, re-establishing the exact merge candidates the interrupted
+  /// run had pending.
+  void RestoreState(const std::vector<checkpoint::WindowGroup>& groups) {
+    CSJ_CHECK(window_.empty()) << "RestoreState on a non-empty window";
+    for (const checkpoint::WindowGroup& wg : groups) {
+      CSJ_CHECK(wg.box_lo.size() == D && wg.box_hi.size() == D)
+          << "checkpointed window group has wrong dimensionality";
+      Point<D> lo, hi;
+      for (int i = 0; i < D; ++i) {
+        lo[i] = wg.box_lo[static_cast<size_t>(i)];
+        hi[i] = wg.box_hi[static_cast<size_t>(i)];
+      }
+      // Straight push_back: the snapshot holds at most capacity_ groups and
+      // eviction here would double-emit.
+      window_.push_back(Group<D>(wg.members, Box<D>(lo, hi)));
+    }
+    CSJ_CHECK(window_.size() <= capacity_)
+        << "checkpointed window exceeds the configured g";
+  }
+
  private:
   void Push(Group<D> group) {
     window_.push_back(std::move(group));

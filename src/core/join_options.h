@@ -80,6 +80,14 @@ struct JoinOptions {
   /// emission, so leave off in pure-runtime sweeps.
   bool measure_write_time = false;
 
+  /// Wall-clock budget in milliseconds; 0 = unlimited. Checkpointed runs
+  /// (core/checkpoint_join.h) arm a watchdog that trips the driver's cancel
+  /// flag when the budget expires: the run stops at the next task boundary,
+  /// writes a final checkpoint and reports DeadlineExceeded, so `--resume`
+  /// can pick up exactly where the budget ran out. Drivers outside the
+  /// checkpoint runner ignore this field.
+  uint64_t deadline_ms = 0;
+
   /// Optional node/page access accounting (Experiment 3). Not owned.
   NodeAccessTracker* tracker = nullptr;
 };

@@ -60,6 +60,9 @@ struct JoinStats {
   uint64_t ImpliedLinkUpperBound() const { return implied_links_; }
   void AddImpliedGroup(uint64_t k) { implied_links_ += k * (k - 1) / 2; }
   void AddImpliedLink() { ++implied_links_; }
+  /// Bulk restore for checkpoint/resume (storage/checkpoint.h): a resumed
+  /// run re-seeds the counter with the manifest's cumulative value.
+  void AddImpliedLinks(uint64_t n) { implied_links_ += n; }
 
   std::string ToString() const {
     std::string text = StrFormat(

@@ -118,6 +118,51 @@ class JoinDriver {
     return stats_;
   }
 
+  // --- Checkpointed execution (core/checkpoint_join.h) ----------------------
+  //
+  // The checkpoint runner drives tasks one at a time so it can snapshot the
+  // frontier between them: tasks are *atomic* units of progress — a cancel
+  // (signal, deadline) takes effect at the next task boundary, never mid-
+  // task, so the sink always sits at a position the task list can describe.
+
+  /// Runs one task of the deterministic task list (parallel_join.h's
+  /// BuildTaskList). Self-join trees only.
+  void RunTask(const Task& task) {
+    CSJ_CHECK(self_join_);
+    if (task.second == kInvalidNode) {
+      SelfJoin(task.first);
+    } else {
+      SelfDualJoin(task.first, task.second);
+    }
+  }
+
+  /// Emits everything still pending in the CSJ(g) merge window (no-op for
+  /// the other algorithms). Call exactly once, after the last task.
+  void FlushWindow() {
+    if (algorithm_ == JoinAlgorithm::kCSJ) window_.Flush();
+  }
+
+  /// The merge window, for checkpoint export/restore.
+  GroupWindow<D>& window() { return window_; }
+
+  /// Work counters accumulated by this driver so far (fresh counters only —
+  /// a resumed run's base is composed by the checkpoint runner).
+  JoinStats& mutable_stats() { return stats_; }
+
+  /// True once the sink errored or the cancel flag fired.
+  bool aborted() const { return Aborted(); }
+
+  /// Sink time accumulated so far (only meaningful with
+  /// options.measure_write_time; checkpoints persist it mid-run).
+  double write_seconds_so_far() const { return write_timer_.TotalSeconds(); }
+
+  /// Completes stats from the sink and mirrors work counters into the
+  /// process-wide metrics; for runners that drove tasks themselves.
+  JoinStats Finalize(const WallTimer& timer) {
+    FinalizeStats(timer);
+    return stats_;
+  }
+
  private:
   /// True when the run should stop producing output: either the sink hit a
   /// sticky error (full disk, failed write) or an external canceller fired.

@@ -30,10 +30,27 @@ bool ParseOutputFormat(const std::string& name, OutputFormat* format) {
 FileSink::FileSink(int id_width, std::string path, const Options& options)
     : JoinSink(id_width), path_(std::move(path)), options_(options) {
   OutputFile::Options file_options;
-  file_options.atomic = options.atomic;
+  // Checkpointable output streams straight to the destination and survives
+  // errors/kills: the bytes up to the last checkpoint are the resume state.
+  file_options.atomic = options.atomic && !options.checkpointable;
   file_options.sync_on_close = options.sync_on_close;
+  file_options.preserve_on_error = options.checkpointable;
   open_status_ = file_.Open(path_, file_options);
   SetError(open_status_);
+  scratch_.reserve(256);
+}
+
+FileSink::FileSink(int id_width, std::string path, const Options& options,
+                   const checkpoint::SinkState& resume)
+    : JoinSink(id_width), path_(std::move(path)), options_(options) {
+  CSJ_CHECK(options.checkpointable)
+      << "resuming requires a checkpointable sink: " << path_;
+  OutputFile::Options file_options;
+  file_options.sync_on_close = options.sync_on_close;
+  open_status_ =
+      file_.OpenForResume(path_, resume.committed_bytes, file_options);
+  SetError(open_status_);
+  if (open_status_.ok()) RestoreAccounting(resume);
   scratch_.reserve(256);
 }
 
@@ -90,14 +107,29 @@ Status FileSink::Finish() {
   return close_status;
 }
 
+Status FileSink::Checkpoint(checkpoint::SinkState* state) {
+  if (!error().ok()) return error();
+  CSJ_CHECK(options_.checkpointable)
+      << "Checkpoint on a non-checkpointable file sink: " << path_;
+  // Text records are appended whole, so after a sync every counted byte is
+  // durable and bytes_written() is a record-boundary resume point.
+  SetError(file_.Sync());
+  if (!error().ok()) return error();
+  ExportAccounting(state);
+  state->format = static_cast<uint8_t>(OutputFormat::kText);
+  state->committed_bytes = file_.bytes_written();
+  return Status::OK();
+}
+
 BinaryFileSink::BinaryFileSink(int id_width, std::string path,
                                const Options& options)
     : JoinSink(id_width, OutputFormat::kBinary, options.block_payload_bytes),
       path_(std::move(path)),
       options_(options) {
   OutputFile::Options file_options;
-  file_options.atomic = options.atomic;
+  file_options.atomic = options.atomic && !options.checkpointable;
   file_options.sync_on_close = options.sync_on_close;
+  file_options.preserve_on_error = options.checkpointable;
   open_status_ = file_.Open(path_, file_options);
   SetError(open_status_);
   if (!open_status_.ok()) return;
@@ -106,6 +138,35 @@ BinaryFileSink::BinaryFileSink(int id_width, std::string path,
   binfmt::AppendFileHeader(&header, this->id_width());
   writer_->Submit(std::move(header));
   StartBlock();
+}
+
+BinaryFileSink::BinaryFileSink(int id_width, std::string path,
+                               const Options& options,
+                               const checkpoint::SinkState& resume)
+    : JoinSink(id_width, OutputFormat::kBinary, options.block_payload_bytes),
+      path_(std::move(path)),
+      options_(options) {
+  CSJ_CHECK(options.checkpointable)
+      << "resuming requires a checkpointable sink: " << path_;
+  CSJ_CHECK(resume.model_fill == resume.partial_payload.size())
+      << "manifest sink state inconsistent: model fill " << resume.model_fill
+      << " vs " << resume.partial_payload.size() << " partial payload bytes";
+  OutputFile::Options file_options;
+  file_options.sync_on_close = options.sync_on_close;
+  open_status_ =
+      file_.OpenForResume(path_, resume.committed_bytes, file_options);
+  SetError(open_status_);
+  if (!open_status_.ok()) return;
+  RestoreAccounting(resume);
+  writer_ = std::make_unique<AsyncBlockWriter>(&file_);
+  // The committed prefix already holds the file header and every sealed
+  // block; only the still-open block needs reconstructing, and from here
+  // the sealing rule produces the exact block layout an uninterrupted run
+  // would have.
+  StartBlock();
+  block_ += resume.partial_payload;
+  record_count_ = static_cast<uint32_t>(resume.partial_records);
+  id_total_ = resume.id_total;
 }
 
 BinaryFileSink::~BinaryFileSink() {
@@ -186,6 +247,29 @@ Status BinaryFileSink::Finish() {
   return close_status;
 }
 
+Status BinaryFileSink::Checkpoint(checkpoint::SinkState* state) {
+  CSJ_CHECK(options_.checkpointable)
+      << "Checkpoint on a non-checkpointable binary sink: " << path_;
+  PollWriter();
+  if (!error().ok()) return error();
+  // Wait for every sealed block to reach the OutputFile, then make the
+  // landed prefix durable: bytes_written() is now exactly the file header
+  // plus all sealed blocks — a clean resume boundary.
+  SetError(writer_->Drain());
+  if (!error().ok()) return error();
+  SetError(file_.Sync());
+  if (!error().ok()) return error();
+  ExportAccounting(state);
+  state->format = static_cast<uint8_t>(OutputFormat::kBinary);
+  state->committed_bytes = file_.bytes_written();
+  state->id_total = id_total_;
+  state->partial_records = record_count_;
+  state->partial_payload.assign(block_.data() + binfmt::kBlockHeaderBytes,
+                                PayloadFill());
+  CSJ_DCHECK(state->model_fill == state->partial_payload.size());
+  return Status::OK();
+}
+
 Result<std::unique_ptr<JoinSink>> MakeSink(const OutputSpec& spec) {
   if (spec.id_width < 1) {
     return Status::InvalidArgument("OutputSpec.id_width must be >= 1");
@@ -203,10 +287,15 @@ Result<std::unique_ptr<JoinSink>> MakeSink(const OutputSpec& spec) {
       if (spec.path.empty()) {
         return Status::InvalidArgument("text output needs OutputSpec.path");
       }
+      if (spec.checkpointable && spec.cap_bytes != 0) {
+        return Status::InvalidArgument(
+            "checkpointable output cannot be size-capped");
+      }
       FileSink::Options options;
       options.atomic = spec.atomic;
       options.sync_on_close = spec.sync_on_close;
       options.cap_bytes = spec.cap_bytes;
+      options.checkpointable = spec.checkpointable;
       auto sink =
           std::make_unique<FileSink>(spec.id_width, spec.path, options);
       if (!sink->open_status().ok()) return sink->open_status();
@@ -223,6 +312,7 @@ Result<std::unique_ptr<JoinSink>> MakeSink(const OutputSpec& spec) {
       BinaryFileSink::Options options;
       options.atomic = spec.atomic;
       options.sync_on_close = spec.sync_on_close;
+      options.checkpointable = spec.checkpointable;
       auto sink =
           std::make_unique<BinaryFileSink>(spec.id_width, spec.path, options);
       if (!sink->open_status().ok()) return sink->open_status();
@@ -236,6 +326,62 @@ std::unique_ptr<JoinSink> MakeSinkOrDie(const OutputSpec& spec) {
   auto sink = MakeSink(spec);
   CSJ_CHECK(sink.ok()) << sink.status().ToString();
   return std::move(sink).value();
+}
+
+Result<std::unique_ptr<JoinSink>> ResumeSink(
+    const OutputSpec& spec, const checkpoint::SinkState& state) {
+  if (spec.id_width < 1) {
+    return Status::InvalidArgument("OutputSpec.id_width must be >= 1");
+  }
+  if (state.id_width != static_cast<uint32_t>(spec.id_width)) {
+    return Status::FailedPrecondition(
+        StrFormat("cannot resume: checkpoint used id width %u but the run is "
+                  "configured for %d",
+                  state.id_width, spec.id_width));
+  }
+  const auto state_format = static_cast<OutputFormat>(state.format);
+  if (state_format != spec.format) {
+    return Status::FailedPrecondition(
+        StrFormat("cannot resume: checkpoint was written by a %s sink but "
+                  "the run is configured for %s output",
+                  OutputFormatName(state_format),
+                  OutputFormatName(spec.format)));
+  }
+  switch (spec.format) {
+    case OutputFormat::kNone: {
+      auto sink =
+          std::make_unique<CountingSink>(spec.id_width, spec.count_model);
+      sink->RestoreAccounting(state);
+      return std::unique_ptr<JoinSink>(std::move(sink));
+    }
+    case OutputFormat::kText: {
+      if (!spec.checkpointable) {
+        return Status::InvalidArgument(
+            "resuming requires a checkpointable OutputSpec");
+      }
+      FileSink::Options options;
+      options.sync_on_close = spec.sync_on_close;
+      options.checkpointable = true;
+      auto sink = std::make_unique<FileSink>(spec.id_width, spec.path,
+                                             options, state);
+      if (!sink->open_status().ok()) return sink->open_status();
+      return std::unique_ptr<JoinSink>(std::move(sink));
+    }
+    case OutputFormat::kBinary: {
+      if (!spec.checkpointable) {
+        return Status::InvalidArgument(
+            "resuming requires a checkpointable OutputSpec");
+      }
+      BinaryFileSink::Options options;
+      options.sync_on_close = spec.sync_on_close;
+      options.checkpointable = true;
+      auto sink = std::make_unique<BinaryFileSink>(spec.id_width, spec.path,
+                                                   options, state);
+      if (!sink->open_status().ok()) return sink->open_status();
+      return std::unique_ptr<JoinSink>(std::move(sink));
+    }
+  }
+  return Status::InvalidArgument("unknown output format");
 }
 
 }  // namespace csj

@@ -11,6 +11,7 @@
 #include "geom/point.h"
 #include "storage/binary_format.h"
 #include "storage/block_writer.h"
+#include "storage/checkpoint.h"
 #include "storage/output_file.h"
 #include "util/format.h"
 #include "util/metrics.h"
@@ -116,6 +117,31 @@ class JoinSink {
   /// Completes the output (flushes files). Must be called exactly once.
   virtual Status Finish() { return error_; }
 
+  /// Checkpoint support: makes everything emitted so far durable and fills
+  /// `state` with the sink's exact mid-stream position (committed byte
+  /// offset, open-block payload, counters). The base implementation covers
+  /// sinks with no storage (counting/memory): committed_bytes stays 0.
+  /// File sinks must be constructed checkpointable (see their Options) for
+  /// this to define a resumable position.
+  virtual Status Checkpoint(checkpoint::SinkState* state) {
+    if (!error_.ok()) return error_;
+    ExportAccounting(state);
+    return Status::OK();
+  }
+
+  /// Checkpoint support: restores the base-class accounting recorded in a
+  /// manifest. Only valid on a sink that has not emitted anything yet;
+  /// subclass resume constructors call this.
+  void RestoreAccounting(const checkpoint::SinkState& state) {
+    CSJ_CHECK(num_links_ == 0 && num_groups_ == 0)
+        << "RestoreAccounting on a sink that already emitted output";
+    num_links_ = state.num_links;
+    num_groups_ = state.num_groups;
+    group_member_total_ = state.group_member_total;
+    bytes_ = state.accounted_bytes;
+    binary_model_.RestoreFill(state.model_fill);
+  }
+
   /// Sticky error state; OK while the sink is accepting output.
   const Status& error() const { return error_; }
 
@@ -152,6 +178,23 @@ class JoinSink {
   /// Records the sink's first error; later calls keep the original.
   void SetError(const Status& status) {
     if (error_.ok() && !status.ok()) error_ = status;
+  }
+
+  /// Fills the base-class accounting fields of a SinkState (the inverse of
+  /// RestoreAccounting). Subclass Checkpoint() overrides call this and add
+  /// their storage position on top.
+  void ExportAccounting(checkpoint::SinkState* state) const {
+    state->format = static_cast<uint8_t>(OutputFormat::kNone);
+    state->id_width = static_cast<uint32_t>(id_width_);
+    state->committed_bytes = 0;
+    state->accounted_bytes = bytes_;
+    state->model_fill = binary_model_.fill();
+    state->num_links = num_links_;
+    state->num_groups = num_groups_;
+    state->group_member_total = group_member_total_;
+    state->id_total = 0;
+    state->partial_records = 0;
+    state->partial_payload.clear();
   }
 
  private:
@@ -204,15 +247,27 @@ class FileSink final : public JoinSink {
     /// keep counting — truncated() flips true. Lets benchmarks measure real
     /// write costs on explosive outputs without filling the disk.
     uint64_t cap_bytes = 0;
+    /// Checkpointed run: stream straight to `path` (no temp + rename) and
+    /// preserve the partial file on error/abandonment so `--resume` can
+    /// truncate it back to the last checkpoint. Overrides `atomic`;
+    /// incompatible with cap_bytes (enforced by MakeSink).
+    bool checkpointable = false;
   };
 
   FileSink(int id_width, std::string path, const Options& options);
   FileSink(int id_width, std::string path)
       : FileSink(id_width, std::move(path), Options()) {}
+  /// Resumes a checkpointable sink mid-stream: truncates `path` to the
+  /// manifest's committed byte offset and restores the counters.
+  FileSink(int id_width, std::string path, const Options& options,
+           const checkpoint::SinkState& resume);
 
   /// Commits the file. Returns the sink's sticky error if any write failed,
   /// otherwise the close/rename status.
   Status Finish() override;
+
+  /// Flush + fsync, then records the durable record-boundary offset.
+  Status Checkpoint(checkpoint::SinkState* state) override;
 
   const std::string& path() const { return path_; }
   /// Bytes actually written so far (matches bytes() after Finish() unless
@@ -260,16 +315,29 @@ class BinaryFileSink final : public JoinSink {
     bool sync_on_close = false;
     /// Sealed-block payload target (records never span blocks).
     size_t block_payload_bytes = binfmt::kDefaultBlockPayloadBytes;
+    /// Checkpointed run: stream straight to `path` and preserve the partial
+    /// file on error/abandonment for `--resume`. Overrides `atomic`.
+    bool checkpointable = false;
   };
 
   BinaryFileSink(int id_width, std::string path, const Options& options);
   BinaryFileSink(int id_width, std::string path)
       : BinaryFileSink(id_width, std::move(path), Options()) {}
+  /// Resumes a checkpointable sink mid-stream: truncates `path` to the last
+  /// sealed-block boundary and reloads the open block's payload, so block
+  /// sealing continues at exactly the byte positions an uninterrupted run
+  /// would have produced.
+  BinaryFileSink(int id_width, std::string path, const Options& options,
+                 const checkpoint::SinkState& resume);
   ~BinaryFileSink() override;
 
   /// Seals the final block, appends the EOF marker + footer, joins the
   /// writer thread and commits the file.
   Status Finish() override;
+
+  /// Drains the background writer, fsyncs, and records the durable
+  /// sealed-block offset plus the open block's payload.
+  Status Checkpoint(checkpoint::SinkState* state) override;
 
   const std::string& path() const { return path_; }
   uint64_t materialized_bytes() const override {
@@ -339,6 +407,10 @@ struct OutputSpec {
   bool sync_on_close = false;
   /// Nonzero: stop writing at this size but keep counting (text files only).
   uint64_t cap_bytes = 0;
+  /// Checkpointed run: stream straight to `path` and preserve partial output
+  /// for `--resume` (see FileSink/BinaryFileSink options). Overrides
+  /// `atomic`; incompatible with cap_bytes.
+  bool checkpointable = false;
   /// Byte model a kNone (counting) sink reports in.
   OutputFormat count_model = OutputFormat::kText;
 
@@ -370,6 +442,14 @@ Result<std::unique_ptr<JoinSink>> MakeSink(const OutputSpec& spec);
 /// MakeSink for contexts without error plumbing (benches): aborts with the
 /// status message on failure.
 std::unique_ptr<JoinSink> MakeSinkOrDie(const OutputSpec& spec);
+
+/// Rebuilds a checkpointable sink mid-stream from a manifest's sink state:
+/// validates that `spec` matches the state (format, id width), truncates the
+/// output back to the committed boundary and restores every counter, so
+/// emission continues exactly where the checkpoint left off. `spec` must
+/// have checkpointable set for materializing formats.
+Result<std::unique_ptr<JoinSink>> ResumeSink(const OutputSpec& spec,
+                                             const checkpoint::SinkState& state);
 
 }  // namespace csj
 

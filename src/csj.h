@@ -19,6 +19,7 @@
 #include "analysis/epsilon.h"
 #include "analysis/fractal.h"
 #include "core/brute.h"
+#include "core/checkpoint_join.h"
 #include "core/ego.h"
 #include "core/expand.h"
 #include "core/group.h"
@@ -52,6 +53,7 @@
 #include "storage/binary_format.h"
 #include "storage/block_writer.h"
 #include "storage/buffer_pool.h"
+#include "storage/checkpoint.h"
 #include "storage/output_file.h"
 #include "util/format.h"
 #include "util/json.h"

@@ -156,6 +156,11 @@ class BinarySizeModel {
   size_t fill() const { return fill_; }
   size_t block_payload_target() const { return target_; }
 
+  /// Checkpoint support: restores the open-block fill recorded in a
+  /// manifest, so a resumed sink's size model continues sealing at exactly
+  /// the byte positions the uninterrupted run would have.
+  void RestoreFill(size_t fill) { fill_ = fill; }
+
  private:
   size_t target_;
   size_t fill_ = 0;

@@ -49,6 +49,14 @@ void AsyncBlockWriter::Submit(std::string block) {
   queue_not_empty_.notify_one();
 }
 
+Status AsyncBlockWriter::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // On failure ThreadMain clears the queue and drops writing_ after the
+  // losing append, so this predicate terminates in every case.
+  queue_drained_.wait(lock, [this] { return queue_.empty() && !writing_; });
+  return status_;
+}
+
 Status AsyncBlockWriter::Finish() {
   if (finished_) {
     std::lock_guard<std::mutex> lock(mu_);
@@ -74,6 +82,7 @@ void AsyncBlockWriter::ThreadMain() {
       if (queue_.empty()) return;  // done_ and drained
       block = std::move(queue_.front());
       queue_.pop_front();
+      writing_ = true;
     }
     // Appends outside the lock so the producer can keep encoding. OutputFile
     // errors are sticky, and Fail() already deleted the partial file.
@@ -91,6 +100,8 @@ void AsyncBlockWriter::ThreadMain() {
         queue_.clear();  // nothing further can land; unblock the producer
       }
       free_list_.push_back(std::move(block));
+      writing_ = false;
+      if (queue_.empty()) queue_drained_.notify_all();
     }
     queue_not_full_.notify_one();
   }

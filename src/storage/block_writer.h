@@ -70,6 +70,12 @@ class AsyncBlockWriter {
     return status_;
   }
 
+  /// Blocks until every submitted block has been handed to OutputFile (or
+  /// the writer has failed) without stopping the writer thread. Checkpoints
+  /// call this before fsyncing: after an OK Drain(), bytes_submitted() is the
+  /// exact sealed-block prefix sitting in the file's buffers.
+  Status Drain();
+
   /// Drains the queue, joins the writer thread, and returns the sticky
   /// write status. Idempotent; the file is left open (the caller owns
   /// Close() and its atomic-rename commit).
@@ -90,9 +96,11 @@ class AsyncBlockWriter {
   mutable std::mutex mu_;
   std::condition_variable queue_not_full_;
   std::condition_variable queue_not_empty_;
+  std::condition_variable queue_drained_;
   std::deque<std::string> queue_;       // guarded by mu_
   std::vector<std::string> free_list_;  // guarded by mu_
   bool done_ = false;                   // guarded by mu_
+  bool writing_ = false;                // guarded by mu_; append in flight
   Status status_;                       // guarded by mu_; first error wins
 
   std::atomic<bool> failed_{false};

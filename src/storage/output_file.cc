@@ -1,5 +1,7 @@
 #include "storage/output_file.h"
 
+#include <fcntl.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -23,12 +25,17 @@ std::string ErrnoSuffix() {
 OutputFile::~OutputFile() {
   // Destruction without a successful Close() means the writer was abandoned
   // (error path or early exit): discard the partial file rather than leaving
-  // truncated output that looks like a complete result.
+  // truncated output that looks like a complete result — except for
+  // checkpointed files, whose committed prefix a resume will reclaim.
   if (file_ != nullptr) {
     std::fclose(file_);
     file_ = nullptr;
-    std::remove(write_path_.c_str());
+    RemoveWritePath();
   }
+}
+
+void OutputFile::RemoveWritePath() {
+  if (!options_.preserve_on_error) std::remove(write_path_.c_str());
 }
 
 Status OutputFile::Open(const std::string& path, const Options& options) {
@@ -56,30 +63,149 @@ Status OutputFile::Open(const std::string& path, const Options& options) {
   return Status::OK();
 }
 
+Status OutputFile::OpenForResume(const std::string& path, uint64_t keep_bytes,
+                                 const Options& options) {
+  CSJ_CHECK(file_ == nullptr) << "OutputFile already open: " << path_;
+  CSJ_CHECK(!options.atomic)
+      << "resume writes directly to the destination; atomic mode would "
+         "start a fresh temporary and orphan the checkpointed bytes";
+  path_ = path;
+  options_ = options;
+  options_.preserve_on_error = true;  // resumable output is never auto-deleted
+  write_path_ = path;
+  status_ = Status::OK();
+  bytes_written_ = 0;
+  errno = 0;
+  if (CSJ_FAILPOINT("output_file.open")) {
+    return Fail(Status::IoError("injected open fault: " + write_path_));
+  }
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    status_ = Status::NotFound("cannot resume: output file missing: " + path +
+                               ErrnoSuffix());
+    return status_;
+  }
+  if (static_cast<uint64_t>(st.st_size) < keep_bytes) {
+    // The checkpoint claims more durable bytes than the file holds — the
+    // manifest and the output are out of step; resuming would corrupt.
+    status_ = Status::FailedPrecondition(StrFormat(
+        "cannot resume: %s holds %lld bytes but the checkpoint committed "
+        "%llu",
+        path.c_str(), static_cast<long long>(st.st_size),
+        static_cast<unsigned long long>(keep_bytes)));
+    return status_;
+  }
+  if (::truncate(path.c_str(), static_cast<off_t>(keep_bytes)) != 0) {
+    status_ = Status::IoError("cannot truncate for resume: " + path +
+                              ErrnoSuffix());
+    return status_;
+  }
+  file_ = std::fopen(path.c_str(), "ab");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot open for resume: " + path +
+                              ErrnoSuffix());
+    return status_;
+  }
+  std::setvbuf(file_, nullptr, _IOFBF, 1 << 20);
+  bytes_written_ = keep_bytes;
+  CSJ_METRIC_COUNT("output_file.resumes", 1);
+  return Status::OK();
+}
+
 Status OutputFile::Append(const char* data, size_t size) {
   if (file_ == nullptr) {
     if (!status_.ok()) return status_;  // sticky error from Open/Append/Close
     return Status::FailedPrecondition("append to closed file: " + path_);
   }
   CSJ_METRIC_SCOPED_TIMER("output_file.append_ns");
-  errno = 0;
-  size_t written;
-  if (CSJ_FAILPOINT("output_file.append")) {
-    // Simulated short write: half the payload lands, then the device fails.
-    written = std::fwrite(data, 1, size / 2, file_);
-  } else {
-    written = std::fwrite(data, 1, size, file_);
-  }
-  bytes_written_ += written;
-  CSJ_METRIC_COUNT("output_file.appends", 1);
-  CSJ_METRIC_COUNT("output_file.bytes", written);
-  if (written != size) {
+  RetryController retry(options_.retry);
+  size_t done = 0;
+  for (;;) {
+    const size_t want = size - done;
+    errno = 0;
+    size_t written;
+    bool injected_hard = false;
+    bool injected_transient = false;
+    if (CSJ_FAILPOINT("output_file.append")) {
+      // Simulated hard short write: half the payload lands, then the device
+      // fails permanently. Never retried.
+      injected_hard = true;
+      written = std::fwrite(data + done, 1, want / 2, file_);
+    } else if (CSJ_FAILPOINT("output_file.append_transient")) {
+      // Simulated transient short write: half lands, the rest is retried by
+      // the backoff policy (arm with prob:P to model a flaky device).
+      injected_transient = true;
+      written = std::fwrite(data + done, 1, want / 2, file_);
+    } else {
+      written = std::fwrite(data + done, 1, want, file_);
+    }
+    const int write_errno = errno;
+    bytes_written_ += written;
+    done += written;
+    CSJ_METRIC_COUNT("output_file.appends", 1);
+    CSJ_METRIC_COUNT("output_file.bytes", written);
+    // An injected fault writes a strict prefix (want/2 < want), so reaching
+    // `size` means every byte genuinely landed.
+    if (done == size) return Status::OK();
+    if (injected_transient ||
+        (!injected_hard && IsTransientErrno(write_errno))) {
+      // Retry only the not-yet-landed suffix after a jittered backoff.
+      std::clearerr(file_);
+      if (retry.BackoffBeforeRetry()) continue;
+      return Fail(Status::Unavailable(StrFormat(
+          "write to %s still failing after %d retries (%zu of %zu bytes)",
+          write_path_.c_str(), retry.retries(), done, size)));
+    }
     return Fail(Status::IoError(
         StrFormat("short write to %s (%zu of %zu bytes)%s",
-                  write_path_.c_str(), written, size,
+                  write_path_.c_str(), done, size,
                   std::ferror(file_) != 0 ? ErrnoSuffix().c_str() : "")));
   }
+}
+
+Status OutputFile::Flush() {
+  if (file_ == nullptr) {
+    if (!status_.ok()) return status_;
+    return Status::FailedPrecondition("flush of closed file: " + path_);
+  }
+  errno = 0;
+  if (CSJ_FAILPOINT("output_file.flush") || std::fflush(file_) != 0) {
+    return Fail(Status::IoError("flush failed: " + write_path_ +
+                                ErrnoSuffix()));
+  }
   return Status::OK();
+}
+
+Status OutputFile::Sync() {
+  CSJ_RETURN_IF_ERROR(Flush());
+  errno = 0;
+  if (CSJ_FAILPOINT("output_file.sync") || ::fsync(fileno(file_)) != 0) {
+    return Fail(Status::IoError("fsync failed: " + write_path_ +
+                                ErrnoSuffix()));
+  }
+  return Status::OK();
+}
+
+Status OutputFile::SyncContainingDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  std::string dir =
+      slash == std::string::npos ? std::string(".") : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  errno = 0;
+  if (CSJ_FAILPOINT("output_file.dirsync")) {
+    return Status::IoError("injected directory fsync fault: " + dir);
+  }
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) {
+    return Status::IoError("cannot open directory for fsync: " + dir +
+                           ErrnoSuffix());
+  }
+  Status status;
+  if (::fsync(fd) != 0) {
+    status = Status::IoError("directory fsync failed: " + dir + ErrnoSuffix());
+  }
+  ::close(fd);
+  return status;
 }
 
 Status OutputFile::Close() {
@@ -99,7 +225,7 @@ Status OutputFile::Close() {
   file_ = nullptr;
   if (CSJ_FAILPOINT("output_file.close") || close_rc != 0) {
     status_ = Status::IoError("close failed: " + write_path_ + ErrnoSuffix());
-    std::remove(write_path_.c_str());
+    RemoveWritePath();
     return status_;
   }
   if (options_.atomic) {
@@ -107,7 +233,21 @@ Status OutputFile::Close() {
         std::rename(write_path_.c_str(), path_.c_str()) != 0) {
       status_ = Status::IoError("rename failed: " + write_path_ + " -> " +
                                 path_ + ErrnoSuffix());
-      std::remove(write_path_.c_str());
+      RemoveWritePath();
+      return status_;
+    }
+  }
+  if (options_.sync_on_close) {
+    // The file's own fsync persisted its *contents*; the new directory entry
+    // (created by open in non-atomic mode, by the commit rename in atomic
+    // mode) lives in the parent directory and needs its own fsync, or an
+    // atomically committed file can vanish on power loss. The destination is
+    // already in place, so a dirsync failure reports reduced durability but
+    // deletes nothing.
+    const Status dir_status = SyncContainingDir(path_);
+    if (!dir_status.ok()) {
+      CSJ_METRIC_COUNT("output_file.errors", 1);
+      status_ = dir_status;
       return status_;
     }
   }
@@ -123,7 +263,7 @@ Status OutputFile::Fail(Status status) {
     std::fclose(file_);
     file_ = nullptr;
   }
-  std::remove(write_path_.c_str());
+  RemoveWritePath();
   return status_;
 }
 

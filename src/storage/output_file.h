@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <string>
 
+#include "util/retry.h"
 #include "util/status.h"
 
 /// \file
@@ -19,13 +20,24 @@
 /// operations short-circuit and return it. On the first error, and on
 /// destruction without a successful Close(), the partially written file is
 /// deleted, so a failed or interrupted writer never leaves partial output
-/// behind. With `Options::atomic`, data goes to a temporary sibling file
-/// that is renamed over the destination only after a fully successful
-/// Close(), making the write crash-safe as well.
+/// behind — unless `Options::preserve_on_error` is set, which checkpointed
+/// runs use so the partial file stays available for `--resume`. With
+/// `Options::atomic`, data goes to a temporary sibling file that is renamed
+/// over the destination only after a fully successful Close(), making the
+/// write crash-safe as well. With `Options::sync_on_close`, the file *and
+/// its parent directory* are fsynced, so the committed rename survives power
+/// loss (a file fsync alone does not persist the directory entry).
+///
+/// Transient faults: short writes whose errno is transient (EINTR, EAGAIN,
+/// ...; util/retry.h) are retried with bounded exponential backoff before
+/// the error sticks, writing only the not-yet-landed suffix on each attempt.
+/// Retries are visible through the `retry.*` metrics.
 ///
 /// Failpoints (see util/failpoint.h): `output_file.open`,
-/// `output_file.append` (simulated short write), `output_file.flush`,
-/// `output_file.sync`, `output_file.close`, `output_file.rename`.
+/// `output_file.append` (simulated hard short write),
+/// `output_file.append_transient` (simulated retryable short write),
+/// `output_file.flush`, `output_file.sync`, `output_file.dirsync`,
+/// `output_file.close`, `output_file.rename`.
 
 namespace csj {
 
@@ -36,8 +48,16 @@ class OutputFile {
     /// Write to `<path>.tmp.<pid>` and rename onto `path` in Close(): the
     /// destination either keeps its previous content or appears complete.
     bool atomic = false;
-    /// fsync() before closing, so a successful Close() survives power loss.
+    /// fsync() the file and its parent directory before/after closing, so a
+    /// successful Close() survives power loss.
     bool sync_on_close = false;
+    /// Keep the partial file on error and on abandonment instead of deleting
+    /// it. Checkpointed runs set this: the bytes up to the last checkpoint
+    /// are exactly what --resume needs. Forced on by OpenForResume().
+    bool preserve_on_error = false;
+    /// Backoff schedule for transient append faults (max_attempts = 1
+    /// disables retrying).
+    RetryPolicy retry = {};
   };
 
   OutputFile() = default;
@@ -51,20 +71,41 @@ class OutputFile {
   Status Open(const std::string& path, const Options& options);
   Status Open(const std::string& path) { return Open(path, Options()); }
 
+  /// Opens an existing file for a resumed run: keeps the first `keep_bytes`
+  /// bytes (the last checkpoint's durable position), truncates everything
+  /// after them, and appends from there. Requires non-atomic options;
+  /// forces preserve_on_error (a resumable file must never be auto-deleted).
+  /// bytes_written() continues from `keep_bytes`, i.e. it always reports the
+  /// absolute output position.
+  Status OpenForResume(const std::string& path, uint64_t keep_bytes,
+                       const Options& options);
+
   /// Appends raw bytes. Returns the sticky error state: once any append
-  /// fails, the file is closed, partial output is deleted, and every later
-  /// Append returns the original error. Appending to a file that was never
-  /// opened, or after Close(), returns (but does not stick) a
-  /// FailedPrecondition.
+  /// fails (after transient retries are exhausted), the file is closed,
+  /// partial output is deleted (unless preserved), and every later Append
+  /// returns the original error. Appending to a file that was never opened,
+  /// or after Close(), returns (but does not stick) a FailedPrecondition.
   Status Append(const char* data, size_t size);
   Status Append(const std::string& text) {
     return Append(text.data(), text.size());
   }
 
+  /// Flushes stdio buffers to the OS. Errors stick.
+  Status Flush();
+
+  /// Durable mid-stream commit: flush + fsync. After an OK Sync(), every
+  /// byte appended so far survives a crash of this process (checkpoints
+  /// record bytes_written() immediately after a Sync). Errors stick.
+  Status Sync();
+
   /// Flushes (and optionally fsyncs) buffers, closes, and — in atomic mode —
   /// renames the temporary onto the destination. Safe to call twice: the
   /// second call returns the sticky status of the first.
   Status Close();
+
+  /// fsyncs the directory containing `path`, making a just-created or
+  /// just-renamed directory entry durable. Failpoint: `output_file.dirsync`.
+  static Status SyncContainingDir(const std::string& path);
 
   /// Sticky error state; OK while the writer is healthy.
   const Status& status() const { return status_; }
@@ -75,8 +116,12 @@ class OutputFile {
 
  private:
   /// Records the first error, closes the stream, and deletes the partial
-  /// file. Returns the sticky status for tail-calling.
+  /// file (unless preserve_on_error). Returns the sticky status for
+  /// tail-calling.
   Status Fail(Status status);
+
+  /// Deletes the file being written unless options say to keep it.
+  void RemoveWritePath();
 
   std::FILE* file_ = nullptr;
   std::string path_;        ///< destination path

@@ -1,0 +1,54 @@
+#include "util/retry.h"
+
+#include <cerrno>
+
+#include <chrono>
+#include <thread>
+
+#include "util/metrics.h"
+
+namespace csj {
+
+bool IsTransientErrno(int err) {
+  switch (err) {
+    case EINTR:
+    case EAGAIN:
+#if defined(EWOULDBLOCK) && EWOULDBLOCK != EAGAIN
+    case EWOULDBLOCK:
+#endif
+    case EBUSY:
+    case ENOBUFS:
+      return true;
+    default:
+      return false;
+  }
+}
+
+RetryController::RetryController(const RetryPolicy& policy)
+    : policy_(policy), jitter_(policy.jitter_seed) {}
+
+bool RetryController::BackoffBeforeRetry() {
+  CSJ_METRIC_COUNT("retry.transient_errors", 1);
+  if (retries_ + 1 >= policy_.max_attempts) {
+    CSJ_METRIC_COUNT("retry.exhausted", 1);
+    return false;
+  }
+  // Full jitter: sleep uniform in [0, backoff], with backoff doubling per
+  // retry up to the ceiling. Randomizing the whole interval (not a fraction)
+  // is what de-synchronizes retry herds.
+  double backoff_ms = policy_.initial_backoff_ms;
+  for (int i = 0; i < retries_; ++i) backoff_ms *= 2.0;
+  if (backoff_ms > policy_.max_backoff_ms) backoff_ms = policy_.max_backoff_ms;
+  const double sleep_ms = jitter_.UniformDouble(0.0, backoff_ms);
+  ++retries_;
+  CSJ_METRIC_COUNT("retry.attempts", 1);
+  CSJ_METRIC_HIST("retry.backoff_us",
+                  static_cast<uint64_t>(sleep_ms * 1000.0));
+  if (sleep_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(sleep_ms));
+  }
+  return true;
+}
+
+}  // namespace csj

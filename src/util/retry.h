@@ -1,0 +1,81 @@
+#ifndef CSJ_UTIL_RETRY_H_
+#define CSJ_UTIL_RETRY_H_
+
+#include <cstdint>
+
+#include "util/random.h"
+#include "util/status.h"
+
+/// \file
+/// Bounded exponential-backoff retry for transient I/O failures.
+///
+/// A long-running external-memory join writes for minutes; a single EINTR or
+/// momentary EAGAIN from the output device should not abort (and discard)
+/// the whole run. Errors are split into two classes:
+///
+///  * *transient* — the operation may succeed if simply repeated
+///    (StatusCode::kUnavailable, or an errno like EINTR/EAGAIN). These are
+///    absorbed by a bounded exponential-backoff-with-jitter retry loop.
+///  * *permanent* — ENOSPC, a checksum mismatch, a closed file. These
+///    surface immediately through the usual sticky-Status channels.
+///
+/// The jitter is drawn from a private deterministic RNG so a retried run is
+/// reproducible under test; `retry.*` metrics record every attempt, sleep
+/// and exhaustion (docs/ROBUSTNESS.md, "Retry policy").
+
+namespace csj {
+
+/// Tunables for one retry loop. The defaults absorb sub-second blips while
+/// keeping the worst case (all attempts exhausted) under ~200 ms of sleep.
+struct RetryPolicy {
+  /// Total tries including the first; 1 disables retrying.
+  int max_attempts = 4;
+  /// Sleep before the first retry, doubled per subsequent retry.
+  double initial_backoff_ms = 2.0;
+  /// Backoff ceiling.
+  double max_backoff_ms = 100.0;
+  /// Seed of the deterministic jitter RNG.
+  uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
+};
+
+/// True for status codes the retry policy treats as transient.
+inline bool IsTransient(const Status& status) {
+  return status.code() == StatusCode::kUnavailable;
+}
+
+/// True for errno values worth retrying (interrupted or momentarily
+/// saturated I/O); ENOSPC, EIO etc. are permanent.
+bool IsTransientErrno(int err);
+
+/// One retry loop's state: attempt counting, backoff computation, sleeping
+/// and metric accounting. Typical shape:
+///
+///     RetryController retry(policy);
+///     for (;;) {
+///       Status s = TryOperation();
+///       if (s.ok() || !IsTransient(s) || !retry.BackoffBeforeRetry()) break;
+///     }
+///
+/// BackoffBeforeRetry() returns false once the attempt budget is exhausted
+/// (recording `retry.exhausted`); otherwise it sleeps the jittered backoff
+/// and returns true.
+class RetryController {
+ public:
+  explicit RetryController(const RetryPolicy& policy);
+
+  /// Call after a transient failure. Sleeps and returns true if another
+  /// attempt is allowed; returns false (no sleep) when exhausted.
+  bool BackoffBeforeRetry();
+
+  /// Retries consumed so far (0 before the first transient failure).
+  int retries() const { return retries_; }
+
+ private:
+  RetryPolicy policy_;
+  Rng jitter_;
+  int retries_ = 0;
+};
+
+}  // namespace csj
+
+#endif  // CSJ_UTIL_RETRY_H_

@@ -18,6 +18,12 @@ const char* StatusCodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kUnavailable:
+      return "UNAVAILABLE";
+    case StatusCode::kDeadlineExceeded:
+      return "DEADLINE_EXCEEDED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }

@@ -25,6 +25,9 @@ enum class StatusCode {
   kOutOfRange,
   kFailedPrecondition,
   kInternal,
+  kUnavailable,        ///< transient failure; retrying may succeed (util/retry.h)
+  kDeadlineExceeded,   ///< a caller-imposed deadline expired before completion
+  kCancelled,          ///< cooperative cancellation (signal, operator stop)
 };
 
 /// Returns a short human-readable name for a status code ("IO_ERROR", ...).
@@ -56,6 +59,15 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -15,6 +15,7 @@
 #include "metric/edit_distance.h"
 #include "metric/generic_mtree.h"
 #include "metric/metric_join.h"
+#include "storage/checkpoint.h"
 #include "util/random.h"
 
 /// \file
@@ -155,6 +156,34 @@ TEST_P(PagedFuzzTest, RandomGeometriesJoinLosslessly) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, PagedFuzzTest, testing::Range(0, 4));
+
+class ManifestFuzzTest : public testing::TestWithParam<int> {};
+
+// Random bytes thrown at the checkpoint-manifest parser: every input must
+// come back as a clean Status — no crash, and (thanks to the CRC) no
+// accidental acceptance that would let --resume continue from garbage.
+// tests/checkpoint_test.cc has the structured corruption matrix; this is the
+// unstructured complement.
+TEST_P(ManifestFuzzTest, RandomBytesYieldCleanStatusNeverAManifest) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7919 + 101);
+  int accepted = 0;
+  for (int trial = 0; trial < 2000; ++trial) {
+    std::string bytes(rng.UniformInt(uint64_t{300}), '\0');
+    for (auto& c : bytes) {
+      c = static_cast<char>(rng.UniformInt(uint64_t{256}));
+    }
+    // Some trials get a real header prefix so the payload decoder (not just
+    // the magic check) sees fuzzed input.
+    if (rng.Bernoulli(0.3)) {
+      bytes = std::string(checkpoint::kMagic, 4) + bytes;
+    }
+    checkpoint::Manifest manifest;
+    if (checkpoint::Parse(bytes, &manifest).ok()) ++accepted;
+  }
+  EXPECT_EQ(accepted, 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ManifestFuzzTest, testing::Range(0, 4));
 
 }  // namespace
 }  // namespace csj

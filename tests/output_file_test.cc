@@ -214,6 +214,129 @@ TEST_F(OutputFileTest, SyncFaultIsReportedAndCleansUp) {
 
 #endif  // CSJ_NO_FAILPOINTS
 
+TEST_F(OutputFileTest, OpenForResumeTruncatesAndContinues) {
+  const std::string path = testing::TempDir() + "/csj_of_resume.txt";
+  {
+    OutputFile file;
+    ASSERT_TRUE(file.Open(path).ok());
+    ASSERT_TRUE(file.Append("0123456789").ok());
+    ASSERT_TRUE(file.Close().ok());
+  }
+  // Keep the first 4 bytes (the "checkpointed" position); the tail written
+  // after the checkpoint is discarded and rewriting continues from there.
+  OutputFile file;
+  ASSERT_TRUE(file.OpenForResume(path, 4, OutputFile::Options()).ok());
+  EXPECT_EQ(file.bytes_written(), 4u);  // absolute output position
+  ASSERT_TRUE(file.Append("ABCD").ok());
+  EXPECT_EQ(file.bytes_written(), 8u);
+  ASSERT_TRUE(file.Close().ok());
+  EXPECT_EQ(ReadWholeFile(path), "0123ABCD");
+  std::remove(path.c_str());
+}
+
+TEST_F(OutputFileTest, OpenForResumeValidatesTheExistingFile) {
+  const std::string missing = testing::TempDir() + "/csj_of_no_such.txt";
+  OutputFile file;
+  const Status not_found =
+      file.OpenForResume(missing, 0, OutputFile::Options());
+  EXPECT_EQ(not_found.code(), StatusCode::kNotFound);
+
+  // A file shorter than the checkpointed position means the durable prefix
+  // is gone — resuming would corrupt the output.
+  const std::string path = testing::TempDir() + "/csj_of_short.txt";
+  {
+    OutputFile writer;
+    ASSERT_TRUE(writer.Open(path).ok());
+    ASSERT_TRUE(writer.Append("abc").ok());
+    ASSERT_TRUE(writer.Close().ok());
+  }
+  OutputFile resumer;
+  const Status too_short =
+      resumer.OpenForResume(path, 100, OutputFile::Options());
+  EXPECT_EQ(too_short.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(ReadWholeFile(path), "abc") << "validation must not truncate";
+  std::remove(path.c_str());
+}
+
+#ifndef CSJ_NO_FAILPOINTS
+
+TEST_F(OutputFileTest, DirSyncFaultOnDurableCloseIsReportedKeepingTheFile) {
+  // Satellite of the durability gap fix: a committed rename is only durable
+  // once the parent directory is fsynced, and a failure of that fsync must
+  // surface as a Status — while the (complete, renamed) file stays put.
+  const std::string path = testing::TempDir() + "/csj_of_dirsync.txt";
+  OutputFile file;
+  OutputFile::Options options;
+  options.atomic = true;
+  options.sync_on_close = true;
+  ASSERT_TRUE(file.Open(path, options).ok());
+  ASSERT_TRUE(file.Append("durable payload\n").ok());
+
+  failpoint::ScopedFailpoint fp("output_file.dirsync",
+                                failpoint::Spec::Always());
+  const Status close = file.Close();
+  EXPECT_FALSE(close.ok());
+  EXPECT_EQ(close.code(), StatusCode::kIoError);
+  EXPECT_TRUE(FileExists(path))
+      << "a dirsync failure must not delete the committed file";
+  EXPECT_EQ(ReadWholeFile(path), "durable payload\n");
+  std::remove(path.c_str());
+}
+
+TEST_F(OutputFileTest, SyncContainingDirFailpointFires) {
+  const std::string path = testing::TempDir() + "/csj_of_dirprobe.txt";
+  EXPECT_TRUE(OutputFile::SyncContainingDir(path).ok());
+  failpoint::ScopedFailpoint fp("output_file.dirsync",
+                                failpoint::Spec::Always());
+  EXPECT_FALSE(OutputFile::SyncContainingDir(path).ok());
+}
+
+TEST_F(OutputFileTest, TransientAppendFaultIsRetriedToSuccess) {
+  const std::string path = testing::TempDir() + "/csj_of_transient.txt";
+  OutputFile file;
+  ASSERT_TRUE(file.Open(path).ok());
+
+  // One simulated EINTR-style short write: the retry loop must re-append the
+  // missing suffix and succeed without surfacing an error.
+  failpoint::ScopedFailpoint fp("output_file.append_transient",
+                                failpoint::Spec::Once());
+  ASSERT_TRUE(file.Append("retry me please\n").ok());
+  EXPECT_TRUE(file.status().ok());
+  ASSERT_TRUE(file.Close().ok());
+  EXPECT_EQ(ReadWholeFile(path), "retry me please\n");
+  std::remove(path.c_str());
+}
+
+TEST_F(OutputFileTest, PersistentTransientFaultExhaustsRetriesAndSticks) {
+  const std::string path = testing::TempDir() + "/csj_of_exhaust.txt";
+  OutputFile file;
+  OutputFile::Options options;
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_ms = 0.01;  // keep the test fast
+  options.retry.max_backoff_ms = 0.02;
+  ASSERT_TRUE(file.Open(path, options).ok());
+
+  // The fault never clears, so after max_attempts the error must stick.
+  failpoint::ScopedFailpoint fp("output_file.append_transient",
+                                failpoint::Spec::Always());
+  const Status failed = file.Append("doomed\n");
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(file.Append("more"), failed) << "exhausted retry must be sticky";
+}
+
+TEST_F(OutputFileTest, RetryDisabledFailsOnFirstTransientFault) {
+  const std::string path = testing::TempDir() + "/csj_of_noretry.txt";
+  OutputFile file;
+  OutputFile::Options options;
+  options.retry.max_attempts = 1;
+  ASSERT_TRUE(file.Open(path, options).ok());
+  failpoint::ScopedFailpoint fp("output_file.append_transient",
+                                failpoint::Spec::Once());
+  EXPECT_FALSE(file.Append("no second chance\n").ok());
+}
+
+#endif  // CSJ_NO_FAILPOINTS
+
 TEST_F(OutputFileTest, ReusableAfterClose) {
   const std::string path_a = testing::TempDir() + "/csj_of_reuse_a.txt";
   const std::string path_b = testing::TempDir() + "/csj_of_reuse_b.txt";

@@ -15,6 +15,15 @@
 ///   csj_tool join     ... --output-format text|binary|none   (binary = the
 ///                     compact CSJ2 format, docs/OUTPUT_FORMAT.md; none =
 ///                     count bytes without writing; default text)
+///   csj_tool join     ... --checkpoint-interval 32 [--checkpoint run.ckpt]
+///                     [--threads 4] [--deadline-ms 60000]   (crash-safe
+///                     checkpointed execution, docs/ROBUSTNESS.md; the
+///                     manifest defaults to <out>.ckpt; SIGINT/SIGTERM save
+///                     a final checkpoint and exit 3, an expired deadline
+///                     exits 4)
+///   csj_tool join     ... --resume 1   (continue an interrupted run from
+///                     its manifest; the finished output is byte-identical
+///                     to an uninterrupted run)
 ///   csj_tool cat      --result result.bin [--out result.txt] [--width N]
 ///                     (decode any result — text or binary — to canonical
 ///                     text; stdout when --out is omitted)
@@ -27,6 +36,8 @@
 ///
 /// 2-D only (the common GIS case); the C++ API is dimension-generic.
 
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -38,6 +49,26 @@
 
 namespace csj::tool {
 namespace {
+
+/// Exit codes beyond the usual 0/1/2: a join stopped by SIGINT/SIGTERM with
+/// a saved checkpoint, and a join stopped by an expired --deadline-ms.
+constexpr int kExitInterrupted = 3;
+constexpr int kExitDeadline = 4;
+
+/// Flipped by the signal handler; polled by the checkpoint runner at task
+/// boundaries, which then writes a final checkpoint and unwinds cleanly.
+std::atomic<bool> g_cancel_requested{false};
+
+void HandleTerminationSignal(int) {
+  // async-signal-safe: just raise the flag; all I/O happens on the main
+  // thread once the runner reaches the next task boundary.
+  g_cancel_requested.store(true, std::memory_order_relaxed);
+}
+
+void InstallTerminationHandlers() {
+  std::signal(SIGINT, HandleTerminationSignal);
+  std::signal(SIGTERM, HandleTerminationSignal);
+}
 
 /// Minimal --flag value parser; every flag takes exactly one value.
 class Flags {
@@ -185,7 +216,28 @@ int CmdJoin(Flags& flags) {
   if (!ParseLeafKernel(kernel_name, &leaf_kernel)) {
     Flags::Die("--leaf-kernel must be naive, sweep or simd");
   }
+  // Checkpoint/resume flags. Any of them selects the crash-safe runner
+  // (docs/ROBUSTNESS.md); without them the join runs exactly as before.
+  const long threads = flags.GetInt("threads", 1);
+  const long tasks_per_thread = flags.GetInt("tasks-per-thread", 16);
+  const long checkpoint_interval = flags.GetInt("checkpoint-interval", -1);
+  const bool resume = flags.GetOr("resume", "0") != "0";
+  const long deadline_ms = flags.GetInt("deadline-ms", 0);
+  std::string manifest_path = flags.GetOr("checkpoint", "");
   flags.CheckAllUsed();
+
+  const bool checkpointed = resume || checkpoint_interval >= 0 ||
+                            deadline_ms > 0 || threads > 1 ||
+                            !manifest_path.empty();
+  if (threads < 1) Flags::Die("--threads must be at least 1");
+  if (tasks_per_thread < 1) Flags::Die("--tasks-per-thread must be positive");
+  if (deadline_ms < 0) Flags::Die("--deadline-ms must be non-negative");
+  if (checkpointed && (algo == "ego" || algo == "cego")) {
+    Flags::Die("checkpointing supports the tree algorithms (ssj|ncsj|csj)");
+  }
+  if (manifest_path.empty()) {
+    manifest_path = (out.empty() ? std::string("csj_join") : out) + ".ckpt";
+  }
 
   // Every sink — text file, binary file, or byte-counting — comes from the
   // same factory, so the join code below is format-agnostic.
@@ -238,17 +290,53 @@ int CmdJoin(Flags& flags) {
     options.epsilon = eps;
     options.window_size = g;
     options.leaf_kernel = leaf_kernel;
-    auto sink = make_sink(n);
+    JoinAlgorithm algorithm = JoinAlgorithm::kCSJ;
     if (algo == "ssj") {
-      stats = StandardSimilarityJoin(tree, options, sink.get());
+      algorithm = JoinAlgorithm::kSSJ;
     } else if (algo == "ncsj") {
-      stats = NaiveCompactJoin(tree, options, sink.get());
-    } else if (algo == "csj") {
-      stats = CompactSimilarityJoin(tree, options, sink.get());
-    } else {
+      algorithm = JoinAlgorithm::kNCSJ;
+    } else if (algo != "csj") {
       Flags::Die("unknown --algo '" + algo + "' (ssj|ncsj|csj|ego|cego)");
     }
-    DieOnError(sink->Finish());
+    if (checkpointed) {
+      options.deadline_ms = static_cast<uint64_t>(deadline_ms);
+      OutputSpec spec;
+      spec.format = format;
+      spec.path = out;
+      spec.id_width = IdWidthFor(n);
+      CheckpointJoinOptions ckpt;
+      ckpt.manifest_path = manifest_path;
+      ckpt.checkpoint_interval = checkpoint_interval < 0
+                                     ? uint64_t{32}
+                                     : static_cast<uint64_t>(checkpoint_interval);
+      ckpt.threads = static_cast<int>(threads);
+      ckpt.tasks_per_thread = static_cast<int>(tasks_per_thread);
+      ckpt.resume = resume;
+      ckpt.cancel = &g_cancel_requested;
+      InstallTerminationHandlers();
+      stats = CheckpointedSelfJoin(tree, algorithm, options, spec, ckpt);
+      if (stats.status.code() == StatusCode::kCancelled) {
+        std::fprintf(stderr, "interrupted: %s\n",
+                     stats.status.message().c_str());
+        return kExitInterrupted;
+      }
+      if (stats.status.code() == StatusCode::kDeadlineExceeded) {
+        std::fprintf(stderr, "deadline exceeded: %s\n",
+                     stats.status.message().c_str());
+        return kExitDeadline;
+      }
+      DieOnError(stats.status);
+    } else {
+      auto sink = make_sink(n);
+      if (algorithm == JoinAlgorithm::kSSJ) {
+        stats = StandardSimilarityJoin(tree, options, sink.get());
+      } else if (algorithm == JoinAlgorithm::kNCSJ) {
+        stats = NaiveCompactJoin(tree, options, sink.get());
+      } else {
+        stats = CompactSimilarityJoin(tree, options, sink.get());
+      }
+      DieOnError(sink->Finish());
+    }
   }
   if (metrics_mode == "json") {
     // Machine-readable mode: stdout carries exactly one JSON document with
