@@ -2,7 +2,6 @@
 #define CSJ_CORE_CHECKPOINT_JOIN_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -18,6 +17,7 @@
 #include "core/parallel_join.h"
 #include "core/similarity_join.h"
 #include "storage/checkpoint.h"
+#include "util/exec_context.h"
 #include "util/metrics.h"
 
 /// \file
@@ -49,15 +49,25 @@
 /// function of (task list, threads), so parallel resumes are byte-identical
 /// too — which is also why a resume must use the same thread count.
 ///
-/// Outcome statuses: OK (complete; manifest deleted), kCancelled (cancel
-/// flag fired; final checkpoint saved), kDeadlineExceeded (deadline watchdog
-/// fired; final checkpoint saved), or the sink's error (the manifest of the
-/// last successful checkpoint is kept for resume).
+/// Governance: the runner owns an ExecContext (util/exec_context.h) chaining
+/// `options.exec` with `options.deadline_ms` and the `ckpt.cancel` flag, and
+/// polls it between tasks. The *drivers* deliberately see only the memory
+/// budget — never the deadline or cancel flag — because a mid-task trip
+/// would leave the sink at a position no manifest can describe and break
+/// byte-identical resume. Deadline, cancel and external trips therefore take
+/// effect at the next task (or round) boundary, where a final checkpoint is
+/// still well-defined.
+///
+/// Outcome statuses: OK (complete; manifest deleted), kCancelled /
+/// kDeadlineExceeded (final checkpoint saved at the interrupted boundary),
+/// kResourceExhausted (a driver's budget charge was denied mid-task; the
+/// previous checkpoint remains the resume point), or the sink's error (the
+/// manifest of the last successful checkpoint is kept for resume).
 
 namespace csj {
 
 /// Checkpointed-execution knobs, on top of JoinOptions (whose deadline_ms
-/// arms the watchdog).
+/// and exec context the runner polls between tasks).
 struct CheckpointJoinOptions {
   /// Where the manifest lives. Saved via atomic temp+rename commit; deleted
   /// when the join completes. Required.
@@ -94,41 +104,6 @@ inline bool IsCheckpointedMetric(const std::string& name) {
   }
   return false;
 }
-
-/// Arms a watchdog that flips `expired` after `deadline_ms` (0 = never).
-/// Disarm() (or destruction) stops it without firing.
-class DeadlineWatchdog {
- public:
-  DeadlineWatchdog(uint64_t deadline_ms, std::atomic<bool>* expired) {
-    if (deadline_ms == 0) return;
-    thread_ = std::thread([this, deadline_ms, expired] {
-      std::unique_lock<std::mutex> lock(mu_);
-      if (!cv_.wait_for(lock, std::chrono::milliseconds(deadline_ms),
-                        [this] { return disarmed_; })) {
-        expired->store(true, std::memory_order_relaxed);
-        CSJ_METRIC_COUNT("checkpoint.deadline_expirations", 1);
-      }
-    });
-  }
-
-  ~DeadlineWatchdog() { Disarm(); }
-
-  void Disarm() {
-    if (!thread_.joinable()) return;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      disarmed_ = true;
-    }
-    cv_.notify_one();
-    thread_.join();
-  }
-
- private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  bool disarmed_ = false;
-  std::thread thread_;
-};
 
 /// Fingerprint of every knob that shapes the output stream. A manifest from
 /// a different configuration must not be resumed — the bytes would diverge.
@@ -354,8 +329,21 @@ JoinStats CheckpointedSelfJoin(const Tree& tree, JoinAlgorithm algorithm,
   metric_baseline.Capture();
 
   WallTimer timer;
-  std::atomic<bool> deadline_expired{false};
-  internal::DeadlineWatchdog watchdog(options.deadline_ms, &deadline_expired);
+
+  // The runner's governance context: deadline + cancel + whatever the caller
+  // installed in options.exec. Polled only between tasks / rounds.
+  ExecContext run_ctx;
+  run_ctx.SetParent(options.exec);
+  run_ctx.SetDeadlineAfterMs(options.deadline_ms);
+  run_ctx.SetCancelFlag(ckpt.cancel);
+  // What the drivers see: the memory budget only. A driver must run each
+  // task to completion (see the file comment), so its options strip the
+  // deadline and chain to a budget-only context.
+  ExecContext task_ctx;
+  task_ctx.SetMemoryBudget(run_ctx.memory_budget());
+  JoinOptions task_options = options;
+  task_options.deadline_ms = 0;
+  task_options.exec = &task_ctx;
 
   uint64_t next_task = ckpt.resume ? base.next_task : 0;
 
@@ -400,16 +388,21 @@ JoinStats CheckpointedSelfJoin(const Tree& tree, JoinAlgorithm algorithm,
     return checkpoint::Save(ckpt.manifest_path, m);
   };
 
-  auto interrupted = [&]() -> const char* {
-    if (deadline_expired.load(std::memory_order_relaxed)) return "deadline";
-    if (ckpt.cancel != nullptr &&
-        ckpt.cancel->load(std::memory_order_relaxed)) {
-      return "cancel";
+  // Non-OK once the governance context trips (deadline, cancel, or an
+  // external trip of options.exec). The deadline-expiration metric is
+  // recorded here, at detection, preserving the watchdog-era counter.
+  auto interrupted = [&]() -> Status {
+    // ShouldStopNow: boundary polls are rare, so read the clock every time
+    // instead of relying on the hot-loop stride amortization.
+    if (!run_ctx.ShouldStopNow()) return Status::OK();
+    Status s = run_ctx.status();
+    if (s.code() == StatusCode::kDeadlineExceeded) {
+      CSJ_METRIC_COUNT("checkpoint.deadline_expirations", 1);
     }
-    return nullptr;
+    return s;
   };
 
-  auto interruption_status = [&](const char* why, uint64_t frontier,
+  auto interruption_status = [&](const Status& why, uint64_t frontier,
                                  const Status& save) -> Status {
     if (!save.ok()) {
       return Status::IoError(StrFormat(
@@ -417,13 +410,12 @@ JoinStats CheckpointedSelfJoin(const Tree& tree, JoinAlgorithm algorithm,
           static_cast<unsigned long long>(frontier), tasks.size(),
           save.ToString().c_str()));
     }
-    const std::string msg = StrFormat(
-        "stopped at task %llu/%zu; checkpoint saved to %s — rerun with "
-        "--resume to continue",
-        static_cast<unsigned long long>(frontier), tasks.size(),
-        ckpt.manifest_path.c_str());
-    return why == std::string("deadline") ? Status::DeadlineExceeded(msg)
-                                          : Status::Cancelled(msg);
+    return Status(
+        why.code(),
+        StrFormat("stopped at task %llu/%zu (%s); checkpoint saved to %s — "
+                  "rerun with --resume to continue",
+                  static_cast<unsigned long long>(frontier), tasks.size(),
+                  why.message().c_str(), ckpt.manifest_path.c_str()));
   };
 
   // ==========================================================================
@@ -431,7 +423,7 @@ JoinStats CheckpointedSelfJoin(const Tree& tree, JoinAlgorithm algorithm,
   // across task (and checkpoint) boundaries exactly like a plain Run().
   // ==========================================================================
   if (threads == 1) {
-    Driver driver(tree, tree, /*self_join=*/true, algorithm, options,
+    Driver driver(tree, tree, /*self_join=*/true, algorithm, task_options,
                   sink.get());
     if (ckpt.resume && algorithm == JoinAlgorithm::kCSJ) {
       driver.window().RestoreState(base.window);
@@ -448,7 +440,7 @@ JoinStats CheckpointedSelfJoin(const Tree& tree, JoinAlgorithm algorithm,
     }
     uint64_t last_checkpoint = next_task;
     for (; next_task < tasks.size(); ++next_task) {
-      if (const char* why = interrupted()) {
+      if (const Status why = interrupted(); !why.ok()) {
         const Status save = save_checkpoint(
             next_task, driver.mutable_stats(),
             driver.write_seconds_so_far(), true,
@@ -475,9 +467,10 @@ JoinStats CheckpointedSelfJoin(const Tree& tree, JoinAlgorithm algorithm,
         last_checkpoint = next_task;
       }
       driver.RunTask(tasks[static_cast<size_t>(next_task)]);
-      if (driver.aborted()) break;  // sink error: stats report it below
+      // Sink error or a budget trip: stats report it below, and no further
+      // checkpoint is written — the previous one stays the resume point.
+      if (driver.aborted()) break;
     }
-    watchdog.Disarm();
     driver.FlushWindow();
     JoinStats out = driver.Finalize(timer);
     internal::ApplyStatsBase(&out, base.stats);
@@ -516,7 +509,7 @@ JoinStats CheckpointedSelfJoin(const Tree& tree, JoinAlgorithm algorithm,
   }
 
   while (next_task < tasks.size()) {
-    if (const char* why = interrupted()) {
+    if (const Status why = interrupted(); !why.ok()) {
       const Status save =
           save_checkpoint(next_task, session, session_write, false, {});
       JoinStats out = session;
@@ -556,7 +549,8 @@ JoinStats CheckpointedSelfJoin(const Tree& tree, JoinAlgorithm algorithm,
             if (CSJ_FAILPOINT("parallel_join.worker")) {
               throw std::runtime_error("injected worker fault");
             }
-            Driver driver(tree, tree, /*self_join=*/true, algorithm, options,
+            Driver driver(tree, tree, /*self_join=*/true, algorithm,
+                          task_options,
                           worker_sinks[static_cast<size_t>(t)].get());
             WallTimer worker_timer;
             for (uint64_t i = next_task + static_cast<uint64_t>(t);
@@ -636,7 +630,6 @@ JoinStats CheckpointedSelfJoin(const Tree& tree, JoinAlgorithm algorithm,
     }
   }
 
-  watchdog.Disarm();
   JoinStats out = session;
   internal::ApplyStatsBase(&out, base.stats);
   out.epsilon = options.epsilon;

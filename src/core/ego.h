@@ -51,6 +51,14 @@ struct EgoOptions {
   /// Leaf-range pair enumeration strategy (geom/kernels.h), same knob as
   /// JoinOptions::leaf_kernel. All modes produce identical output.
   LeafKernel leaf_kernel = LeafKernel::kSweep;
+
+  /// Wall-clock budget in milliseconds; 0 = unlimited. The recursion stops
+  /// at the next range visit and JoinStats::status reports DeadlineExceeded.
+  uint64_t deadline_ms = 0;
+
+  /// Optional governance context (deadline / cancel / memory budget), same
+  /// semantics as JoinOptions::exec. Not owned.
+  ExecContext* exec = nullptr;
 };
 
 namespace ego_internal {
@@ -94,8 +102,14 @@ struct EgoJoinState {
   JoinSink* sink = nullptr;
   JoinStats* stats = nullptr;
   GroupWindow<D>* window = nullptr;
+  /// Governance context polled at every range visit. Never null while the
+  /// recursion runs (RunEgoJoin installs a local context).
+  const ExecContext* exec = nullptr;
   /// Leaf-kernel scratch tiles + hit buffer, reused across range pairs.
   LeafJoinScratch<D> kernel_scratch;
+
+  /// Sink dead, cancel fired, deadline expired, or budget exhausted.
+  bool Aborted() const { return !sink->error().ok() || exec->ShouldStop(); }
   // Bounds memoization: the recursion revisits the same canonical ranges in
   // many pair combinations, so cache per-(lo,hi) boxes.
   std::unordered_map<uint64_t, Box<D>> cell_bounds_cache;
@@ -200,6 +214,7 @@ template <int D>
 void EgoJoinRanges(EgoJoinState<D>& state, size_t lo1, size_t hi1, size_t lo2,
                    size_t hi2) {
   if (lo1 >= hi1 || lo2 >= hi2) return;
+  if (state.Aborted()) return;
   const bool same = lo1 == lo2 && hi1 == hi2;
 
   if (!same) {
@@ -257,11 +272,28 @@ JoinStats RunEgoJoin(const std::vector<Entry<D>>& entries,
   stats.window_size = compact ? options.window_size : 0;
 
   WallTimer timer;
+  ExecContext run_ctx;
+  run_ctx.SetParent(options.exec);
+  run_ctx.SetDeadlineAfterMs(options.deadline_ms);
+
+  // The EGO order array is the join's one big allocation: charge it before
+  // building it, and fail cleanly instead of OOM-killing the process.
+  ScopedCharge order_charge;
+  if (MemoryBudget* budget = run_ctx.memory_budget()) {
+    if (!order_charge.Acquire(budget,
+                              entries.size() * sizeof(EgoEntry<D>))) {
+      run_ctx.Trip(Status::ResourceExhausted(
+          "memory budget exhausted building the EGO order array"));
+      stats.status = run_ctx.status();
+      return stats;
+    }
+  }
   const auto ordered = BuildEgoOrder(entries, options.epsilon);
 
   GroupWindow<D> window(std::max(options.window_size, 1), options.epsilon,
-                        sink, &stats, /*write_timer=*/nullptr);
+                        sink, &stats, /*write_timer=*/nullptr, &run_ctx);
   EgoJoinState<D> state;
+  state.exec = &run_ctx;
   state.data = &ordered;
   state.eps = options.epsilon;
   state.eps2 = options.epsilon * options.epsilon;
@@ -276,6 +308,8 @@ JoinStats RunEgoJoin(const std::vector<Entry<D>>& entries,
   EgoJoinRanges(state, 0, ordered.size(), 0, ordered.size());
   if (compact) window.Flush();
 
+  stats.status = sink->error();
+  if (stats.status.ok()) stats.status = run_ctx.status();
   stats.elapsed_seconds = timer.ElapsedSeconds();
   stats.links = sink->num_links();
   stats.groups = sink->num_groups();
@@ -316,6 +350,20 @@ JoinStats RunEgoSpatialJoin(const std::vector<Entry<D>>& set_a,
   stats.window_size = compact ? options.window_size : 0;
 
   WallTimer timer;
+  ExecContext run_ctx;
+  run_ctx.SetParent(options.exec);
+  run_ctx.SetDeadlineAfterMs(options.deadline_ms);
+
+  ScopedCharge order_charge;
+  if (MemoryBudget* budget = run_ctx.memory_budget()) {
+    if (!order_charge.Acquire(
+            budget, (set_a.size() + set_b.size()) * sizeof(EgoEntry<D>))) {
+      run_ctx.Trip(Status::ResourceExhausted(
+          "memory budget exhausted building the EGO order array"));
+      stats.status = run_ctx.status();
+      return stats;
+    }
+  }
   // Concatenate the EGO-ordered sets: A occupies [0, |A|), B occupies
   // [|A|, |A|+|B|) of one backing array, and the recursion joins the two
   // ranges (cross pairs only, per the spatial-join semantics).
@@ -325,8 +373,9 @@ JoinStats RunEgoSpatialJoin(const std::vector<Entry<D>>& set_a,
   ordered_a.insert(ordered_a.end(), ordered_b.begin(), ordered_b.end());
 
   GroupWindow<D> window(std::max(options.window_size, 1), options.epsilon,
-                        sink, &stats, /*write_timer=*/nullptr);
+                        sink, &stats, /*write_timer=*/nullptr, &run_ctx);
   EgoJoinState<D> state;
+  state.exec = &run_ctx;
   state.data = &ordered_a;
   state.eps = options.epsilon;
   state.eps2 = options.epsilon * options.epsilon;
@@ -341,6 +390,8 @@ JoinStats RunEgoSpatialJoin(const std::vector<Entry<D>>& set_a,
   EgoJoinRanges(state, 0, split, split, ordered_a.size());
   if (compact) window.Flush();
 
+  stats.status = sink->error();
+  if (stats.status.ok()) stats.status = run_ctx.status();
   stats.elapsed_seconds = timer.ElapsedSeconds();
   stats.links = sink->num_links();
   stats.groups = sink->num_groups();

@@ -10,6 +10,7 @@
 #include "core/brute.h"
 #include "core/result_cursor.h"
 #include "core/sink.h"
+#include "util/exec_context.h"
 #include "util/format.h"
 
 /// \file
@@ -86,9 +87,17 @@ void ForEachImpliedLink(const MemorySink& sink, Fn&& fn) {
 /// Streams every implied link of a materialized result file — text or
 /// binary, via a ResultCursor — without loading the output into memory.
 /// Returns the cursor's final status (visited links are valid regardless).
+///
+/// This is the path that can run for a very long time (a group of k members
+/// implies k*(k-1)/2 links, so expansion can dwarf the join itself). An
+/// optional ExecContext makes it governable: the deadline/cancel state is
+/// polled once per record, and a trip stops the stream and surfaces the
+/// context's status instead of the cursor's.
 template <typename Fn>
-Status ForEachImpliedLink(ResultCursor* cursor, Fn&& fn) {
+Status ForEachImpliedLink(ResultCursor* cursor, Fn&& fn,
+                          const ExecContext* exec = nullptr) {
   while (cursor->Next()) {
+    if (exec != nullptr && exec->ShouldStop()) return exec->status();
     const ResultRecord& record = cursor->record();
     const std::span<const PointId> ids = record.ids;
     if (!record.is_group) {
@@ -105,11 +114,36 @@ Status ForEachImpliedLink(ResultCursor* cursor, Fn&& fn) {
 }
 
 /// Expands a whole result file into a canonical, sorted, de-duplicated link
-/// set. Runs unchanged on text and binary results.
-inline Result<std::vector<Link>> ExpandSelfJoin(ResultCursor* cursor) {
+/// set. Runs unchanged on text and binary results. The optional ExecContext
+/// governs both the streaming pass (per-record poll) and the materialized
+/// link buffer, which is charged against the context's memory budget in
+/// chunks as it grows.
+inline Result<std::vector<Link>> ExpandSelfJoin(
+    ResultCursor* cursor, const ExecContext* exec = nullptr) {
   std::vector<Link> links;
+  ScopedCharge charge;
+  MemoryBudget* budget = exec != nullptr ? exec->memory_budget() : nullptr;
+  Status expand_status = Status::OK();
   const Status status = ForEachImpliedLink(
-      cursor, [&links](PointId a, PointId b) { links.push_back(MakeLink(a, b)); });
+      cursor,
+      [&](PointId a, PointId b) {
+        if (!expand_status.ok()) return;
+        if (budget != nullptr && links.size() == links.capacity()) {
+          const size_t next_cap = std::max<size_t>(links.capacity() * 2, 1024);
+          if (charge.budget() == nullptr
+                  ? !charge.Acquire(budget, next_cap * sizeof(Link))
+                  : !charge.Resize(next_cap * sizeof(Link))) {
+            expand_status = Status::ResourceExhausted(
+                "memory budget exhausted materializing the expanded link "
+                "set — stream with ForEachImpliedLink instead");
+            return;
+          }
+          links.reserve(next_cap);
+        }
+        links.push_back(MakeLink(a, b));
+      },
+      exec);
+  CSJ_RETURN_IF_ERROR(expand_status);
   CSJ_RETURN_IF_ERROR(status);
   std::sort(links.begin(), links.end());
   links.erase(std::unique(links.begin(), links.end()), links.end());

@@ -1,6 +1,7 @@
 #ifndef CSJ_CORE_GROUP_H_
 #define CSJ_CORE_GROUP_H_
 
+#include <algorithm>
 #include <deque>
 #include <unordered_set>
 #include <utility>
@@ -9,6 +10,8 @@
 #include "core/join_stats.h"
 #include "core/sink.h"
 #include "geom/box.h"
+#include "util/exec_context.h"
+#include "util/format.h"
 #include "util/metrics.h"
 #include "util/timer.h"
 
@@ -106,15 +109,36 @@ class GroupWindow {
   /// \param sink receives evicted/flushed groups. Not owned.
   /// \param stats implied-link accounting. Not owned.
   /// \param write_timer if non-null, sink time is accumulated there.
+  /// \param exec optional governance context (util/exec_context.h). When it
+  ///        carries a memory budget, each admitted group charges an estimate
+  ///        of its member storage; under pressure the window degrades by
+  ///        shedding its oldest groups (still-correct output, fewer merge
+  ///        opportunities) before tripping `kResourceExhausted`.
   GroupWindow(int capacity, double epsilon, JoinSink* sink, JoinStats* stats,
-              StopwatchAccumulator* write_timer)
+              StopwatchAccumulator* write_timer,
+              const ExecContext* exec = nullptr)
       : capacity_(static_cast<size_t>(capacity)),
         eps_squared_(epsilon * epsilon),
         sink_(sink),
         stats_(stats),
-        write_timer_(write_timer) {
+        write_timer_(write_timer),
+        exec_(exec) {
     CSJ_CHECK(capacity >= 1);
   }
+
+  ~GroupWindow() {
+    // An aborted run destroys the window with groups still pending; their
+    // reservations must flow back to the budget (without emitting).
+    MemoryBudget* budget = Budget();
+    if (budget != nullptr) {
+      for (uint64_t charge : charges_) {
+        if (charge > 0) budget->Release(charge);
+      }
+    }
+  }
+
+  GroupWindow(const GroupWindow&) = delete;
+  GroupWindow& operator=(const GroupWindow&) = delete;
 
   /// mergeIntoPrevGroup (Figure 3): try the g most recent groups, newest
   /// first; on failure start a new group containing just this link.
@@ -177,10 +201,7 @@ class GroupWindow {
   /// Emits everything still buffered. Call exactly once, after the traversal.
   void Flush() {
     CSJ_METRIC_COUNT("window.flushed_groups", window_.size());
-    while (!window_.empty()) {
-      Emit(window_.front());
-      window_.pop_front();
-    }
+    while (!window_.empty()) EvictOldest();
   }
 
   size_t live_groups() const { return window_.size(); }
@@ -214,21 +235,83 @@ class GroupWindow {
         hi[i] = wg.box_hi[static_cast<size_t>(i)];
       }
       // Straight push_back: the snapshot holds at most capacity_ groups and
-      // eviction here would double-emit.
-      window_.push_back(Group<D>(wg.members, Box<D>(lo, hi)));
+      // eviction here would double-emit. Reservations are best-effort on a
+      // resume: a denial here must not kill the run before its first task.
+      Group<D> group(wg.members, Box<D>(lo, hi));
+      uint64_t charged = 0;
+      MemoryBudget* budget = Budget();
+      if (budget != nullptr) {
+        const uint64_t bytes = GroupBytes(group);
+        if (budget->TryReserve(bytes)) charged = bytes;
+      }
+      window_.push_back(std::move(group));
+      charges_.push_back(charged);
     }
     CSJ_CHECK(window_.size() <= capacity_)
         << "checkpointed window exceeds the configured g";
   }
 
  private:
+  MemoryBudget* Budget() const {
+    return exec_ != nullptr ? exec_->memory_budget() : nullptr;
+  }
+
+  /// Estimated heap footprint of a group: member ids plus container
+  /// overhead. Deliberately approximate (links merged later grow members_
+  /// uncharged); the dominant cost — big subtree groups — is captured at
+  /// admission, which is when it is decided.
+  static uint64_t GroupBytes(const Group<D>& group) {
+    return static_cast<uint64_t>(group.size()) * sizeof(PointId) +
+           kGroupOverheadBytes;
+  }
+
   void Push(Group<D> group) {
+    uint64_t charged = 0;
+    MemoryBudget* budget = Budget();
+    if (budget != nullptr) {
+      const uint64_t bytes = GroupBytes(group);
+      // Graceful degradation: shed the oldest groups (their output is still
+      // correct; only future merge opportunities are lost) until the new
+      // group fits. Only when even an empty window cannot hold it does the
+      // run trip kResourceExhausted.
+      while (!budget->TryReserve(bytes)) {
+        if (window_.empty()) {
+          exec_->Trip(Status::ResourceExhausted(StrFormat(
+              "memory budget exhausted admitting a %zu-member group to the "
+              "CSJ(g) window (used %llu of %llu bytes)",
+              group.size(), static_cast<unsigned long long>(budget->used()),
+              static_cast<unsigned long long>(budget->limit()))));
+          return;
+        }
+        CSJ_METRIC_COUNT("resource.window_degradations", 1);
+        EvictOldest();
+      }
+      charged = bytes;
+    }
     window_.push_back(std::move(group));
+    charges_.push_back(charged);
     CSJ_METRIC_HIST("window.occupancy", window_.size());
-    if (window_.size() > capacity_) {
+    // Under budget pressure the window proactively halves its capacity —
+    // fewer pending groups, more headroom for the rest of the run.
+    size_t capacity = capacity_;
+    if (budget != nullptr && window_.size() > 1 && budget->UnderPressure()) {
+      capacity = std::max<size_t>(1, capacity_ / 2);
+    }
+    while (window_.size() > capacity) {
       CSJ_METRIC_COUNT("window.evictions", 1);
-      Emit(window_.front());
-      window_.pop_front();
+      if (capacity != capacity_) {
+        CSJ_METRIC_COUNT("resource.window_degradations", 1);
+      }
+      EvictOldest();
+    }
+  }
+
+  void EvictOldest() {
+    Emit(window_.front());
+    window_.pop_front();
+    if (!charges_.empty()) {
+      if (charges_.front() > 0) Budget()->Release(charges_.front());
+      charges_.pop_front();
     }
   }
 
@@ -239,12 +322,17 @@ class GroupWindow {
     sink_->Group(group.members());
   }
 
+  static constexpr uint64_t kGroupOverheadBytes = 96;
+
   size_t capacity_;
   double eps_squared_;
   JoinSink* sink_;
   JoinStats* stats_;
   StopwatchAccumulator* write_timer_;
+  const ExecContext* exec_;
   std::deque<Group<D>> window_;
+  /// Per-group budget reservation, aligned with window_ (0 = uncharged).
+  std::deque<uint64_t> charges_;
 };
 
 }  // namespace csj

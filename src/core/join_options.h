@@ -5,6 +5,7 @@
 
 #include "geom/kernels.h"
 #include "index/node_access.h"
+#include "util/exec_context.h"
 
 /// \file
 /// Options shared by all join drivers.
@@ -80,13 +81,22 @@ struct JoinOptions {
   /// emission, so leave off in pure-runtime sweeps.
   bool measure_write_time = false;
 
-  /// Wall-clock budget in milliseconds; 0 = unlimited. Checkpointed runs
-  /// (core/checkpoint_join.h) arm a watchdog that trips the driver's cancel
-  /// flag when the budget expires: the run stops at the next task boundary,
-  /// writes a final checkpoint and reports DeadlineExceeded, so `--resume`
-  /// can pick up exactly where the budget ran out. Drivers outside the
-  /// checkpoint runner ignore this field.
+  /// Wall-clock budget in milliseconds; 0 = unlimited. Every driver honors
+  /// it: the run stops at the next task boundary (node visit / task start)
+  /// and reports DeadlineExceeded through `JoinStats::status`. Checkpointed
+  /// runs (core/checkpoint_join.h) additionally write a final checkpoint at
+  /// the interrupted boundary, so `--resume` picks up exactly where the
+  /// budget ran out.
   uint64_t deadline_ms = 0;
+
+  /// Optional resource governance (util/exec_context.h): cancel flag,
+  /// deadline, memory budget. Not owned; may be shared across concurrent
+  /// runs (polling is thread-safe). A driver layers `deadline_ms` on top by
+  /// chaining a private context under this one, so both constraints apply.
+  /// On a trip the run unwinds at the next task boundary and
+  /// `JoinStats::status` carries kDeadlineExceeded / kCancelled /
+  /// kResourceExhausted.
+  ExecContext* exec = nullptr;
 
   /// Optional node/page access accounting (Experiment 3). Not owned.
   NodeAccessTracker* tracker = nullptr;

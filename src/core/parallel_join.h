@@ -33,7 +33,8 @@
 /// representation was never unique (paper, Figure 2).
 ///
 /// Caveats: requires a thread-safe-for-reads tree (all in-memory trees
-/// qualify; PagedTree's block cache does not). options.measure_write_time is
+/// qualify, and so does PagedTree — its BufferPool block cache is
+/// concurrency-safe). options.measure_write_time is
 /// ignored in parallel mode. Node-access tracking is not supported: a
 /// non-null options.tracker is rejected with an InvalidArgument status in
 /// `JoinStats::status` (trackers are not thread safe, and silently ignoring
@@ -124,9 +125,8 @@ JoinStats ParallelCompactSimilarityJoin(
     const Tree& tree, const JoinOptions& options, JoinSink* sink,
     const ParallelJoinOptions& parallel = ParallelJoinOptions()) {
   static_assert(Tree::kThreadSafeReads,
-                "this tree type is not safe for concurrent reads "
-                "(PagedTree's block cache mutates on access); load it into "
-                "an in-memory tree first");
+                "this tree type is not safe for concurrent reads; load it "
+                "into an in-memory tree (or a PagedTree) first");
   CSJ_CHECK(sink != nullptr);
   if (options.tracker != nullptr) {
     // Trackers are single-threaded; aborting the process here (the old

@@ -12,6 +12,8 @@
 #include "core/sink.h"
 #include "geom/kernels.h"
 #include "index/spatial_index.h"
+#include "util/exec_context.h"
+#include "util/format.h"
 #include "util/metrics.h"
 #include "util/timer.h"
 
@@ -54,9 +56,19 @@ class JoinDriver {
         eps_squared_(options.epsilon * options.epsilon),
         sink_(sink),
         window_(std::max(options.window_size, 1), options.epsilon, sink,
-                &stats_, options.measure_write_time ? &write_timer_ : nullptr) {
+                &stats_, options.measure_write_time ? &write_timer_ : nullptr,
+                &run_ctx_) {
     CSJ_CHECK(options.epsilon > 0.0) << "epsilon must be positive";
     CSJ_CHECK(sink != nullptr);
+    // Governance: the driver's private context layers options.deadline_ms on
+    // top of whatever the caller installed in options.exec (deadline, cancel
+    // flag, memory budget) — both are honored at every node visit.
+    run_ctx_.SetParent(options.exec);
+    run_ctx_.SetDeadlineAfterMs(options.deadline_ms);
+    if (MemoryBudget* budget = run_ctx_.memory_budget()) {
+      kernel_scratch_charge_.Acquire(budget, 0);
+      pair_scratch_charge_.Acquire(budget, 0);
+    }
     stats_.algorithm = algorithm;
     stats_.epsilon = options.epsilon;
     stats_.window_size =
@@ -164,17 +176,20 @@ class JoinDriver {
   }
 
  private:
-  /// True when the run should stop producing output: either the sink hit a
-  /// sticky error (full disk, failed write) or an external canceller fired.
-  /// Checked at every node visit, so a dead sink aborts the traversal in
-  /// O(depth) instead of grinding through the remaining pair space.
+  /// True when the run should stop producing output: the sink hit a sticky
+  /// error (full disk, failed write), an external canceller fired, or the
+  /// governance context tripped (deadline, cancel, memory budget). Checked
+  /// at every node visit, so the traversal unwinds in O(depth) instead of
+  /// grinding through the remaining pair space.
   bool Aborted() const {
     return !sink_->error().ok() ||
-           (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed));
+           (cancel_ != nullptr && cancel_->load(std::memory_order_relaxed)) ||
+           run_ctx_.ShouldStop();
   }
 
   void FinalizeStats(const WallTimer& timer) {
     stats_.status = sink_->error();
+    if (stats_.status.ok()) stats_.status = run_ctx_.status();
     stats_.elapsed_seconds = timer.ElapsedSeconds();
     stats_.write_seconds = write_timer_.TotalSeconds();
     stats_.links = sink_->num_links();
@@ -229,6 +244,33 @@ class JoinDriver {
     stats_.kernel_hits += kc.hits;
   }
 
+  /// Budget accounting for the reusable leaf-kernel scratch (SoA tiles, hit
+  /// buffers). The charge is a monotone high-water mark resized only when a
+  /// bigger leaf is visited; a denial trips the context and the traversal
+  /// unwinds at the next node visit.
+  bool ChargeLeafScratch(size_t entry_count) {
+    if (entry_count <= charged_leaf_entries_) return true;
+    charged_leaf_entries_ = entry_count;
+    constexpr uint64_t kPerEntry =
+        2 * (D * sizeof(double) + sizeof(PointId) + sizeof(uint32_t)) +
+        2 * sizeof(KernelHit) + sizeof(uint32_t);
+    if (kernel_scratch_charge_.Resize(entry_count * kPerEntry)) return true;
+    run_ctx_.Trip(Status::ResourceExhausted(
+        "memory budget exhausted growing leaf-kernel scratch"));
+    return false;
+  }
+
+  /// Budget accounting for a subtree group's member collection buffer.
+  bool ChargeMembers(ScopedCharge& charge, size_t count) {
+    MemoryBudget* budget = run_ctx_.memory_budget();
+    if (budget == nullptr) return true;
+    if (charge.Acquire(budget, count * sizeof(PointId))) return true;
+    run_ctx_.Trip(Status::ResourceExhausted(StrFormat(
+        "memory budget exhausted collecting a %zu-member subtree group",
+        count)));
+    return false;
+  }
+
   /// MinDistance-sorted child pair lists (Brinkhoff ordering) need a
   /// (dist, pair) buffer per recursion level; the pool reuses one buffer per
   /// depth so steady-state traversals allocate nothing. Indexed access only:
@@ -237,6 +279,13 @@ class JoinDriver {
   std::vector<ChildPair>& PairScratch(int depth) {
     if (static_cast<size_t>(depth) >= pair_scratch_pool_.size()) {
       pair_scratch_pool_.resize(depth + 1);
+      // Nominal per-level estimate; the sort scratch is small but the issue
+      // is the principle: every reusable buffer answers to the budget.
+      if (!pair_scratch_charge_.Resize(pair_scratch_pool_.size() *
+                                       kPairScratchLevelBytes)) {
+        run_ctx_.Trip(Status::ResourceExhausted(
+            "memory budget exhausted growing the child-pair sort scratch"));
+      }
     }
     pair_scratch_pool_[depth].clear();
     return pair_scratch_pool_[depth];
@@ -254,9 +303,10 @@ class JoinDriver {
       return;
     }
     if (tree_a_.IsLeaf(n)) {
+      decltype(auto) entries = tree_a_.Entries(n);
+      if (!ChargeLeafScratch(entries.size())) return;
       AddKernelWork(SelfJoinKernel(
-          kernel_scratch_, tree_a_.Entries(n), eps_squared_,
-          options_.leaf_kernel,
+          kernel_scratch_, entries, eps_squared_, options_.leaf_kernel,
           [this](const Entry<D>& a, const Entry<D>& b) { EmitLink(a, b); }));
       return;
     }
@@ -304,9 +354,12 @@ class JoinDriver {
     const bool leaf1 = tree_a_.IsLeaf(n1);
     const bool leaf2 = tree_a_.IsLeaf(n2);
     if (leaf1 && leaf2) {
+      decltype(auto) entries1 = tree_a_.Entries(n1);
+      decltype(auto) entries2 = tree_a_.Entries(n2);
+      if (!ChargeLeafScratch(entries1.size() + entries2.size())) return;
       AddKernelWork(BlockJoinKernel(
-          kernel_scratch_, tree_a_.Entries(n1), tree_a_.Entries(n2),
-          eps_squared_, options_.leaf_kernel,
+          kernel_scratch_, entries1, entries2, eps_squared_,
+          options_.leaf_kernel,
           [this](const Entry<D>& a, const Entry<D>& b) { EmitLink(a, b); }));
       return;
     }
@@ -360,9 +413,12 @@ class JoinDriver {
     const bool leaf_a = tree_a_.IsLeaf(a);
     const bool leaf_b = tree_b_.IsLeaf(b);
     if (leaf_a && leaf_b) {
+      decltype(auto) entries_a = tree_a_.Entries(a);
+      decltype(auto) entries_b = tree_b_.Entries(b);
+      if (!ChargeLeafScratch(entries_a.size() + entries_b.size())) return;
       AddKernelWork(BlockJoinKernel(
-          kernel_scratch_, tree_a_.Entries(a), tree_b_.Entries(b),
-          eps_squared_, options_.leaf_kernel,
+          kernel_scratch_, entries_a, entries_b, eps_squared_,
+          options_.leaf_kernel,
           [this](const Entry<D>& ea, const Entry<D>& eb) {
             EmitLink(ea, eb);
           }));
@@ -427,8 +483,11 @@ class JoinDriver {
   /// Early-stopping rule on one subtree: all points below n become a group.
   void EmitSubtreeGroup(NodeId n) {
     ++stats_.early_stops;
+    const size_t count = CountEntriesInSubtree(tree_a_, n);
+    ScopedCharge charge;
+    if (!ChargeMembers(charge, count)) return;
     std::vector<PointId> members;
-    members.reserve(CountEntriesInSubtree(tree_a_, n));
+    members.reserve(count);
     Box<D> box;
     ForEachEntryInSubtree(tree_a_, n, options_.tracker,
                           [&](const Entry<D>& e) {
@@ -441,9 +500,12 @@ class JoinDriver {
   /// Early-stopping rule on a pair of subtrees of the self-joined tree.
   void EmitSubtreePairGroupSelf(NodeId n1, NodeId n2) {
     ++stats_.early_stops;
+    const size_t count = CountEntriesInSubtree(tree_a_, n1) +
+                         CountEntriesInSubtree(tree_a_, n2);
+    ScopedCharge charge;
+    if (!ChargeMembers(charge, count)) return;
     std::vector<PointId> members;
-    members.reserve(CountEntriesInSubtree(tree_a_, n1) +
-                    CountEntriesInSubtree(tree_a_, n2));
+    members.reserve(count);
     Box<D> box;
     auto collect = [&](const Entry<D>& e) {
       members.push_back(e.id);
@@ -457,9 +519,12 @@ class JoinDriver {
   /// Early-stopping rule across the two spatial-join trees.
   void EmitSubtreePairGroupDual(NodeId a, NodeId b) {
     ++stats_.early_stops;
+    const size_t count = CountEntriesInSubtree(tree_a_, a) +
+                         CountEntriesInSubtree(tree_b_, b);
+    ScopedCharge charge;
+    if (!ChargeMembers(charge, count)) return;
     std::vector<PointId> members;
-    members.reserve(CountEntriesInSubtree(tree_a_, a) +
-                    CountEntriesInSubtree(tree_b_, b));
+    members.reserve(count);
     Box<D> box;
     auto collect = [&](const Entry<D>& e) {
       members.push_back(e.id);
@@ -494,11 +559,20 @@ class JoinDriver {
   const std::atomic<bool>* cancel_ = nullptr;
   JoinStats stats_;
   StopwatchAccumulator write_timer_;
+  /// Governance context: layers options.deadline_ms over options.exec.
+  /// Declared before window_, which captures a pointer to it.
+  ExecContext run_ctx_;
   GroupWindow<D> window_;
   /// Leaf-kernel scratch (SoA tiles + hit buffer), reused across leaf visits.
   LeafJoinScratch<D> kernel_scratch_;
   /// Per-recursion-depth (dist, child pair) buffers for sort_child_pairs.
   std::vector<std::vector<ChildPair>> pair_scratch_pool_;
+  /// High-water-mark budget reservations for the scratch buffers above.
+  ScopedCharge kernel_scratch_charge_;
+  ScopedCharge pair_scratch_charge_;
+  size_t charged_leaf_entries_ = 0;
+  static constexpr uint64_t kPairScratchLevelBytes =
+      256 * sizeof(ChildPair);
 };
 
 }  // namespace internal

@@ -133,11 +133,31 @@ BinaryFileSink::BinaryFileSink(int id_width, std::string path,
   open_status_ = file_.Open(path_, file_options);
   SetError(open_status_);
   if (!open_status_.ok()) return;
+  if (!ChargeBuffers()) return;
   writer_ = std::make_unique<AsyncBlockWriter>(&file_);
   std::string header;
   binfmt::AppendFileHeader(&header, this->id_width());
   writer_->Submit(std::move(header));
   StartBlock();
+}
+
+bool BinaryFileSink::ChargeBuffers() {
+  if (options_.budget == nullptr) return true;
+  // Steady-state buffer footprint: the block being filled plus the async
+  // writer's bounded queue and its recycled free buffer.
+  const uint64_t per_block = static_cast<uint64_t>(
+      binfmt::kBlockHeaderBytes + options_.block_payload_bytes);
+  const uint64_t bytes =
+      per_block * (AsyncBlockWriter::Options().max_queued_blocks + 1);
+  if (!buffer_charge_.Acquire(options_.budget, bytes)) {
+    open_status_ = Status::ResourceExhausted(StrFormat(
+        "memory budget exhausted reserving %llu bytes of output block "
+        "buffers for %s",
+        static_cast<unsigned long long>(bytes), path_.c_str()));
+    SetError(open_status_);
+    return false;
+  }
+  return true;
 }
 
 BinaryFileSink::BinaryFileSink(int id_width, std::string path,
@@ -157,6 +177,7 @@ BinaryFileSink::BinaryFileSink(int id_width, std::string path,
       file_.OpenForResume(path_, resume.committed_bytes, file_options);
   SetError(open_status_);
   if (!open_status_.ok()) return;
+  if (!ChargeBuffers()) return;
   RestoreAccounting(resume);
   writer_ = std::make_unique<AsyncBlockWriter>(&file_);
   // The committed prefix already holds the file header and every sealed
@@ -313,6 +334,7 @@ Result<std::unique_ptr<JoinSink>> MakeSink(const OutputSpec& spec) {
       options.atomic = spec.atomic;
       options.sync_on_close = spec.sync_on_close;
       options.checkpointable = spec.checkpointable;
+      options.budget = spec.budget;
       auto sink =
           std::make_unique<BinaryFileSink>(spec.id_width, spec.path, options);
       if (!sink->open_status().ok()) return sink->open_status();
@@ -375,6 +397,7 @@ Result<std::unique_ptr<JoinSink>> ResumeSink(
       BinaryFileSink::Options options;
       options.sync_on_close = spec.sync_on_close;
       options.checkpointable = true;
+      options.budget = spec.budget;
       auto sink = std::make_unique<BinaryFileSink>(spec.id_width, spec.path,
                                                    options, state);
       if (!sink->open_status().ok()) return sink->open_status();

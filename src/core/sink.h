@@ -13,6 +13,7 @@
 #include "storage/block_writer.h"
 #include "storage/checkpoint.h"
 #include "storage/output_file.h"
+#include "util/exec_context.h"
 #include "util/format.h"
 #include "util/metrics.h"
 #include "util/status.h"
@@ -318,6 +319,11 @@ class BinaryFileSink final : public JoinSink {
     /// Checkpointed run: stream straight to `path` and preserve the partial
     /// file on error/abandonment for `--resume`. Overrides `atomic`.
     bool checkpointable = false;
+    /// Charge the sink's block buffers — the open block plus the async
+    /// writer's queue and free list — against this budget at construction.
+    /// Denial becomes the sink's sticky open error (ResourceExhausted), so
+    /// MakeSink fails fast before the join starts. Not owned; may be null.
+    MemoryBudget* budget = nullptr;
   };
 
   BinaryFileSink(int id_width, std::string path, const Options& options);
@@ -351,6 +357,9 @@ class BinaryFileSink final : public JoinSink {
   void DoGroup(std::span<const PointId> members) override;
 
  private:
+  /// Reserves the block-buffer footprint against options_.budget (no-op
+  /// without one). On denial sets the sticky ResourceExhausted open error.
+  bool ChargeBuffers();
   /// Pulls a background write error into the sink's sticky error.
   void PollWriter() {
     if (writer_ != nullptr && !writer_->ok()) SetError(writer_->status());
@@ -365,6 +374,7 @@ class BinaryFileSink final : public JoinSink {
   Options options_;
   OutputFile file_;
   Status open_status_;
+  ScopedCharge buffer_charge_;  ///< block buffers held against the budget
   std::unique_ptr<AsyncBlockWriter> writer_;
   std::string block_;  ///< header slot + payload of the block being filled
   uint32_t record_count_ = 0;
@@ -413,6 +423,10 @@ struct OutputSpec {
   bool checkpointable = false;
   /// Byte model a kNone (counting) sink reports in.
   OutputFormat count_model = OutputFormat::kText;
+  /// Memory budget the sink's buffers are charged against (binary sinks
+  /// hold several block-sized buffers). Denial fails MakeSink with
+  /// ResourceExhausted instead of letting the join start. Not owned.
+  MemoryBudget* budget = nullptr;
 
   /// Counting sink over ids in [0, num_points), in the given byte model.
   static OutputSpec Counting(uint64_t num_points,

@@ -55,6 +55,7 @@
 #include "storage/buffer_pool.h"
 #include "storage/checkpoint.h"
 #include "storage/output_file.h"
+#include "util/exec_context.h"
 #include "util/format.h"
 #include "util/json.h"
 #include "util/metrics.h"

@@ -1,5 +1,7 @@
 #include "data/point_io.h"
 
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -64,8 +66,23 @@ Result<std::vector<std::vector<double>>> ReadPointsText(
     std::vector<double> row;
     while (true) {
       char* end = nullptr;
+      errno = 0;
       const double value = std::strtod(cursor, &end);
       if (end == cursor) break;
+      // Coordinates must be finite: "nan"/"inf" literals and values whose
+      // magnitude overflows a double (strtod returns ±HUGE_VAL with ERANGE)
+      // would poison every distance computed from them. Underflow to zero
+      // (e.g. 1e-400) is harmless and accepted.
+      if (!std::isfinite(value)) {
+        std::fclose(f);
+        return Status::InvalidArgument(StrFormat(
+            "%s:%d: column %zu is %s — coordinates must be finite",
+            path.c_str(), line_no, row.size() + 1,
+            std::isnan(value) ? "NaN"
+                              : (errno == ERANGE
+                                     ? "out of range for a double"
+                                     : "infinite")));
+      }
       row.push_back(value);
       cursor = end;
     }

@@ -1,11 +1,15 @@
 #ifndef CSJ_INDEX_PAGED_TREE_H_
 #define CSJ_INDEX_PAGED_TREE_H_
 
+#include <fcntl.h>
+#include <unistd.h>
+
 #include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
-#include <list>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -14,6 +18,9 @@
 #include "geom/box.h"
 #include "geom/point.h"
 #include "index/spatial_index.h"
+#include "storage/buffer_pool.h"
+#include "util/exec_context.h"
+#include "util/failpoint.h"
 #include "util/format.h"
 #include "util/status.h"
 
@@ -25,9 +32,22 @@
 /// in-memory trees plus the NodeAccessTracker *simulate* that; PagedTree
 /// makes it real: WritePagedTree lays an R-tree/R*-tree out into fixed-size
 /// blocks in a file, and PagedTree::Open serves the SpatialIndex interface
-/// by reading blocks on demand (pread) through an LRU block cache, counting
-/// actual reads. All join algorithms run unmodified on it — Children() and
-/// Entries() return by value so cached blocks may be evicted mid-traversal.
+/// by reading blocks on demand (pread) through a shared, thread-safe
+/// BufferPool (storage/buffer_pool.h), counting actual reads. All join
+/// algorithms run unmodified on it — Children() and Entries() return by
+/// value so cached blocks may be evicted mid-traversal.
+///
+/// Concurrency: reads go through `pread` on a plain file descriptor (no
+/// shared seek position) and the pool pins blocks while they are being
+/// decoded, so **concurrent reads are safe** (`kThreadSafeReads = true`) —
+/// one PagedTree may back all workers of a parallel join.
+///
+/// Error handling: an IO failure (short pread, injected fault) is reported
+/// through the installed ExecContext — the read trips the context and
+/// returns an empty node, so a governed join unwinds with a clean Status at
+/// its next boundary instead of crashing. Without a context the historical
+/// behavior (CSJ_CHECK abort) is kept, since the SpatialIndex read API has
+/// no error channel.
 ///
 /// Directory information (per-node MBR + leaf flag) is kept in memory after
 /// Open, mirroring how a real R-tree obtains child MBRs from the parent
@@ -48,7 +68,11 @@ namespace csj {
 /// Tuning knobs for the paged read path.
 struct PagedTreeOptions {
   uint32_t block_size = 4096;   ///< write-time layout / read-time IO unit
-  size_t cache_blocks = 256;    ///< LRU capacity of the block cache
+  size_t cache_blocks = 256;    ///< capacity of the block cache, in blocks
+  /// Optional memory budget cached blocks are charged against (not owned;
+  /// thread-safe). Under pressure the pool sheds clean blocks before a read
+  /// fails with kResourceExhausted.
+  MemoryBudget* budget = nullptr;
 };
 
 /// Real IO counters of a PagedTree.
@@ -78,8 +102,8 @@ template <int D>
 class PagedTree {
  public:
   static constexpr int kDim = D;
-  /// The block cache mutates on reads: NOT safe for concurrent use.
-  static constexpr bool kThreadSafeReads = false;
+  /// pread + pinned pool blocks: safe for concurrent readers.
+  static constexpr bool kThreadSafeReads = true;
   using PointT = Point<D>;
   using BoxT = Box<D>;
   using EntryT = Entry<D>;
@@ -93,24 +117,33 @@ class PagedTree {
   PagedTree(PagedTree&& other) noexcept { *this = std::move(other); }
   PagedTree& operator=(PagedTree&& other) noexcept {
     if (this == &other) return *this;
-    if (file_ != nullptr) std::fclose(file_);
-    file_ = std::exchange(other.file_, nullptr);
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = std::exchange(other.fd_, -1);
     path_ = std::move(other.path_);
     options_ = other.options_;
     blob_start_ = other.blob_start_;
     size_ = other.size_;
     root_ = other.root_;
     directory_ = std::move(other.directory_);
-    lru_ = std::move(other.lru_);
-    cache_ = std::move(other.cache_);
-    io_stats_ = other.io_stats_;
+    pool_ = std::move(other.pool_);
+    exec_ = std::exchange(other.exec_, nullptr);
+    node_decodes_.store(other.node_decodes_.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+    baseline_ = other.baseline_;
+    decode_baseline_ = other.decode_baseline_;
     return *this;
   }
   PagedTree(const PagedTree&) = delete;
   PagedTree& operator=(const PagedTree&) = delete;
   ~PagedTree() {
-    if (file_ != nullptr) std::fclose(file_);
+    pool_.reset();  // release budget charges before the fd goes away
+    if (fd_ >= 0) ::close(fd_);
   }
+
+  /// Installs a governance context (not owned; null to clear). IO failures
+  /// then trip the context (usually with kIoError / kResourceExhausted)
+  /// instead of aborting the process. Not thread-safe; set before the run.
+  void SetExecContext(const ExecContext* exec) { exec_ = exec; }
 
   // --- SpatialIndex concept ---------------------------------------------------
 
@@ -136,9 +169,25 @@ class PagedTree {
   uint64_t NodeCount() const { return directory_.size(); }
   bool empty() const { return directory_.empty(); }
 
-  /// Real IO statistics since Open/ResetIoStats.
-  const PagedIoStats& io_stats() const { return io_stats_; }
-  void ResetIoStats() { io_stats_ = PagedIoStats(); }
+  /// Real IO statistics since Open/ResetIoStats. Snapshot by value (the
+  /// counters are concurrently updated).
+  PagedIoStats io_stats() const {
+    const BufferPool::StatsSnapshot s = pool_->stats();
+    PagedIoStats io;
+    io.block_requests = s.requests - baseline_.requests;
+    io.block_cache_hits = s.hits - baseline_.hits;
+    io.disk_reads = s.misses - baseline_.misses;
+    io.node_decodes =
+        node_decodes_.load(std::memory_order_relaxed) - decode_baseline_;
+    return io;
+  }
+  void ResetIoStats() {
+    baseline_ = pool_->stats();
+    decode_baseline_ = node_decodes_.load(std::memory_order_relaxed);
+  }
+
+  /// The underlying block cache (e.g. to ShedClean between phases).
+  BufferPool& pool() const { return *pool_; }
 
  private:
   struct DirectoryEntry {
@@ -152,10 +201,14 @@ class PagedTree {
 
   /// Fetches the raw payload bytes of a node through the block cache.
   Status FetchNodeBytes(NodeId n, std::vector<char>* out) const;
-  /// Returns a pointer to the cached block, reading it on a miss.
-  Result<const std::vector<char>*> GetBlock(uint64_t block_index) const;
 
-  std::FILE* file_ = nullptr;
+  /// Reads one block from disk (the pool's loader).
+  Status LoadBlock(uint64_t block_index, std::vector<char>* out) const;
+
+  /// Reports a read failure: trips the context when installed, else aborts.
+  void HandleReadError(NodeId n, const Status& status) const;
+
+  int fd_ = -1;
   std::string path_;
   PagedTreeOptions options_;
   uint64_t blob_start_ = 0;
@@ -163,12 +216,12 @@ class PagedTree {
   NodeId root_ = kInvalidNode;
   std::vector<DirectoryEntry> directory_;
 
-  // Block cache (mutable: logically const reads).
-  mutable std::list<uint64_t> lru_;
-  mutable std::unordered_map<
-      uint64_t, std::pair<std::list<uint64_t>::iterator, std::vector<char>>>
-      cache_;
-  mutable PagedIoStats io_stats_;
+  mutable std::unique_ptr<BufferPool> pool_;
+  const ExecContext* exec_ = nullptr;
+  mutable std::atomic<uint64_t> node_decodes_{0};
+  // ResetIoStats baselines (the pool's counters are monotonic).
+  mutable BufferPool::StatsSnapshot baseline_{};
+  mutable uint64_t decode_baseline_ = 0;
 };
 
 // --- Implementation ---------------------------------------------------------------
@@ -311,7 +364,6 @@ Result<PagedTree<D>> PagedTree<D>::Open(const std::string& path,
   if (f == nullptr) return Status::NotFound("cannot open: " + path);
 
   PagedTree tree;
-  tree.file_ = f;
   tree.path_ = path;
   tree.options_ = options;
 
@@ -319,14 +371,17 @@ Result<PagedTree<D>> PagedTree<D>::Open(const std::string& path,
   uint32_t dim = 0, block_size = 0, node_count = 0, root = 0;
   uint64_t entries = 0;
   if (!pi::ReadRaw(f, magic, 8) || std::memcmp(magic, pi::kMagic, 8) != 0) {
+    std::fclose(f);
     return Status::InvalidArgument("not a CSJPAGE1 file: " + path);
   }
   if (!pi::ReadRaw(f, &dim, 4) || !pi::ReadRaw(f, &block_size, 4) ||
       !pi::ReadRaw(f, &entries, 8) || !pi::ReadRaw(f, &node_count, 4) ||
       !pi::ReadRaw(f, &root, 4)) {
+    std::fclose(f);
     return Status::IoError("truncated header: " + path);
   }
   if (dim != static_cast<uint32_t>(D)) {
+    std::fclose(f);
     return Status::InvalidArgument(
         StrFormat("dimension mismatch: file %u, tree %d", dim, D));
   }
@@ -340,43 +395,50 @@ Result<PagedTree<D>> PagedTree<D>::Open(const std::string& path,
         !pi::ReadRaw(f, &entry.length, 4) || !pi::ReadRaw(f, &is_leaf, 1) ||
         !pi::ReadRaw(f, entry.mbr.lo.data(), sizeof(double) * D) ||
         !pi::ReadRaw(f, entry.mbr.hi.data(), sizeof(double) * D)) {
+      std::fclose(f);
       return Status::IoError("truncated node table: " + path);
     }
     entry.is_leaf = is_leaf != 0;
   }
   tree.blob_start_ = static_cast<uint64_t>(std::ftell(f));
+  std::fclose(f);
   tree.root_ = node_count == 0 ? kInvalidNode : root;
+
+  // Reopen as a plain descriptor: pread has no shared seek position, which
+  // is what makes concurrent reads safe.
+  tree.fd_ = ::open(path.c_str(), O_RDONLY);
+  if (tree.fd_ < 0) return Status::IoError("cannot reopen: " + path);
+
+  BufferPool::Options pool_options;
+  pool_options.capacity_pages = tree.options_.cache_blocks;
+  pool_options.budget = tree.options_.budget;
+  tree.pool_ = std::make_unique<BufferPool>(pool_options);
   return tree;
 }
 
 template <int D>
-Result<const std::vector<char>*> PagedTree<D>::GetBlock(
-    uint64_t block_index) const {
-  ++io_stats_.block_requests;
-  auto it = cache_.find(block_index);
-  if (it != cache_.end()) {
-    ++io_stats_.block_cache_hits;
-    lru_.splice(lru_.begin(), lru_, it->second.first);
-    return &it->second.second;
+Status PagedTree<D>::LoadBlock(uint64_t block_index,
+                               std::vector<char>* out) const {
+  if (CSJ_FAILPOINT("paged_tree.read")) {
+    return Status::IoError(
+        StrFormat("injected read fault at block %llu of %s",
+                  static_cast<unsigned long long>(block_index),
+                  path_.c_str()));
   }
-  ++io_stats_.disk_reads;
-  std::vector<char> block(options_.block_size);
+  out->resize(options_.block_size);
   const uint64_t file_offset =
       blob_start_ + block_index * options_.block_size;
-  if (std::fseek(file_, static_cast<long>(file_offset), SEEK_SET) != 0) {
-    return Status::IoError("seek failed: " + path_);
+  size_t got = 0;
+  while (got < out->size()) {
+    const ssize_t n =
+        ::pread(fd_, out->data() + got, out->size() - got,
+                static_cast<off_t>(file_offset + got));
+    if (n < 0) return Status::IoError("pread failed: " + path_);
+    if (n == 0) break;  // EOF: the last block may be short
+    got += static_cast<size_t>(n);
   }
-  const size_t got = std::fread(block.data(), 1, block.size(), file_);
-  block.resize(got);  // the last block may be short
-  lru_.push_front(block_index);
-  auto [inserted, fresh] =
-      cache_.try_emplace(block_index, lru_.begin(), std::move(block));
-  CSJ_CHECK(fresh);
-  if (lru_.size() > options_.cache_blocks) {
-    cache_.erase(lru_.back());
-    lru_.pop_back();
-  }
-  return &inserted->second.second;
+  out->resize(got);
+  return Status::OK();
 }
 
 template <int D>
@@ -389,27 +451,45 @@ Status PagedTree<D>::FetchNodeBytes(NodeId n, std::vector<char>* out) const {
   while (remaining > 0) {
     const uint64_t block_index = position / options_.block_size;
     const uint64_t within = position % options_.block_size;
-    CSJ_ASSIGN_OR_RETURN(const std::vector<char>* block,
-                         GetBlock(block_index));
-    if (within >= block->size()) {
+    CSJ_ASSIGN_OR_RETURN(
+        BufferPool::PageRef block,
+        pool_->Fetch(block_index, [this](uint64_t index,
+                                         std::vector<char>* bytes) {
+          return LoadBlock(index, bytes);
+        }));
+    const std::vector<char>& data = block.data();
+    if (within >= data.size()) {
       return Status::IoError("node payload past end of file: " + path_);
     }
-    const uint64_t take =
-        std::min<uint64_t>(remaining, block->size() - within);
-    out->insert(out->end(), block->data() + within,
-                block->data() + within + take);
+    const uint64_t take = std::min<uint64_t>(remaining, data.size() - within);
+    out->insert(out->end(), data.data() + within,
+                data.data() + within + take);
     remaining -= take;
     position += take;
   }
-  ++io_stats_.node_decodes;
+  node_decodes_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
+}
+
+template <int D>
+void PagedTree<D>::HandleReadError(NodeId n, const Status& status) const {
+  if (exec_ != nullptr) {
+    exec_->Trip(status);
+    return;
+  }
+  CSJ_CHECK(false) << "IO error reading node " << n << ": "
+                   << status.ToString();
 }
 
 template <int D>
 std::vector<NodeId> PagedTree<D>::Children(NodeId n) const {
   CSJ_DCHECK(!directory_[n].is_leaf);
   std::vector<char> bytes;
-  CSJ_CHECK(FetchNodeBytes(n, &bytes).ok()) << "IO error reading node " << n;
+  const Status fetched = FetchNodeBytes(n, &bytes);
+  if (!fetched.ok()) {
+    HandleReadError(n, fetched);
+    return {};
+  }
   size_t pos = 0;
   uint32_t count = 0;
   CSJ_CHECK(paged_internal::ReadPod(bytes, &pos, &count));
@@ -427,7 +507,11 @@ template <int D>
 std::vector<Entry<D>> PagedTree<D>::Entries(NodeId n) const {
   CSJ_DCHECK(directory_[n].is_leaf);
   std::vector<char> bytes;
-  CSJ_CHECK(FetchNodeBytes(n, &bytes).ok()) << "IO error reading node " << n;
+  const Status fetched = FetchNodeBytes(n, &bytes);
+  if (!fetched.ok()) {
+    HandleReadError(n, fetched);
+    return {};
+  }
   size_t pos = 0;
   uint32_t count = 0;
   CSJ_CHECK(paged_internal::ReadPod(bytes, &pos, &count));

@@ -10,6 +10,8 @@
 #include "core/join_stats.h"
 #include "core/sink.h"
 #include "metric/generic_mtree.h"
+#include "util/exec_context.h"
+#include "util/metrics.h"
 #include "util/timer.h"
 
 /// \file
@@ -64,6 +66,8 @@ class MetricJoinDriver {
         sink_(sink) {
     CSJ_CHECK(options.epsilon > 0.0);
     CSJ_CHECK(sink != nullptr);
+    run_ctx_.SetParent(options.exec);
+    run_ctx_.SetDeadlineAfterMs(options.deadline_ms);
     stats_.algorithm = algorithm;
     stats_.epsilon = options.epsilon;
     stats_.window_size =
@@ -76,6 +80,8 @@ class MetricJoinDriver {
       SelfJoin(tree_.Root());
     }
     Flush();
+    stats_.status = sink_->error();
+    if (stats_.status.ok()) stats_.status = run_ctx_.status();
     stats_.elapsed_seconds = timer.ElapsedSeconds();
     stats_.links = sink_->num_links();
     stats_.groups = sink_->num_groups();
@@ -88,7 +94,12 @@ class MetricJoinDriver {
   bool Compact() const { return algorithm_ != JoinAlgorithm::kSSJ; }
   const Metric& metric() const { return tree_.metric(); }
 
+  /// Sink dead, cancel fired, deadline expired, or budget exhausted —
+  /// checked at every node visit, like the vector-space driver.
+  bool Aborted() const { return !sink_->error().ok() || run_ctx_.ShouldStop(); }
+
   void SelfJoin(NodeId n) {
+    if (Aborted()) return;
     if (Compact() && options_.early_stop && tree_.MaxDiameter(n) <= eps_) {
       EmitSubtree(n, kInvalidNode);
       return;
@@ -117,6 +128,7 @@ class MetricJoinDriver {
   }
 
   void DualJoin(NodeId n1, NodeId n2) {
+    if (Aborted()) return;
     if (Compact() && options_.early_stop &&
         tree_.MaxDiameter(n1, n2) <= eps_) {
       EmitSubtree(n1, n2);
@@ -218,11 +230,43 @@ class MetricJoinDriver {
     for (NodeId child : tree_.Children(n)) CollectMembers(child, group);
   }
 
+  /// Estimated heap footprint of a ball group (members + dedup set).
+  static uint64_t GroupBytes(const Group& group) {
+    return static_cast<uint64_t>(group.members.size()) *
+               (sizeof(PointId) + 2 * sizeof(PointId)) +
+           128;
+  }
+
   void Push(Group group) {
+    uint64_t charged = 0;
+    if (MemoryBudget* budget = run_ctx_.memory_budget()) {
+      const uint64_t bytes = GroupBytes(group);
+      // Same degradation order as GroupWindow: shed oldest groups before
+      // tripping kResourceExhausted.
+      while (!budget->TryReserve(bytes)) {
+        if (window_.empty()) {
+          run_ctx_.Trip(Status::ResourceExhausted(
+              "memory budget exhausted admitting a metric ball group"));
+          return;
+        }
+        CSJ_METRIC_COUNT("resource.window_degradations", 1);
+        EvictOldest();
+      }
+      charged = bytes;
+    }
     window_.push_back(std::move(group));
+    charges_.push_back(charged);
     if (window_.size() > static_cast<size_t>(std::max(options_.window_size, 1))) {
-      Emit(window_.front());
-      window_.pop_front();
+      EvictOldest();
+    }
+  }
+
+  void EvictOldest() {
+    Emit(window_.front());
+    window_.pop_front();
+    if (!charges_.empty()) {
+      if (charges_.front() > 0) run_ctx_.memory_budget()->Release(charges_.front());
+      charges_.pop_front();
     }
   }
 
@@ -233,10 +277,7 @@ class MetricJoinDriver {
   }
 
   void Flush() {
-    while (!window_.empty()) {
-      Emit(window_.front());
-      window_.pop_front();
-    }
+    while (!window_.empty()) EvictOldest();
   }
 
   const Tree& tree_;
@@ -245,8 +286,10 @@ class MetricJoinDriver {
   double eps_;
   double half_eps_;
   JoinSink* sink_;
+  ExecContext run_ctx_;
   JoinStats stats_;
   std::deque<Group> window_;
+  std::deque<uint64_t> charges_;
 };
 
 /// Standard similarity self-join over a metric tree.

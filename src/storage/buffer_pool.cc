@@ -1,5 +1,8 @@
 #include "storage/buffer_pool.h"
 
+#include <algorithm>
+#include <iterator>
+
 #include "util/check.h"
 #include "util/format.h"
 #include "util/metrics.h"
@@ -43,6 +46,153 @@ std::string BufferPoolSim::Summary() const {
                    static_cast<unsigned long long>(stats_.hits),
                    static_cast<unsigned long long>(stats_.disk_reads),
                    100.0 * stats_.HitRate());
+}
+
+// --- BufferPool -------------------------------------------------------------
+
+BufferPool::BufferPool(const Options& options)
+    : capacity_(std::max<size_t>(options.capacity_pages, 1)),
+      budget_(options.budget) {}
+
+BufferPool::~BufferPool() {
+  // No PageRef may outlive the pool; release every remaining charge.
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto& [page, slot] : shard.map) {
+      CSJ_CHECK(slot.second->pins.load(std::memory_order_acquire) == 0)
+          << "BufferPool destroyed with page " << page << " still pinned";
+      if (budget_ != nullptr && slot.second->charge > 0) {
+        budget_->Release(slot.second->charge);
+      }
+    }
+  }
+}
+
+void BufferPool::Erase(Shard& shard, std::list<uint64_t>::iterator lru_it) {
+  auto it = shard.map.find(*lru_it);
+  CSJ_CHECK(it != shard.map.end());
+  if (budget_ != nullptr && it->second.second->charge > 0) {
+    budget_->Release(it->second.second->charge);
+  }
+  shard.map.erase(it);
+  shard.lru.erase(lru_it);
+  resident_.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void BufferPool::EnforceCapacity(Shard& shard) {
+  // The capacity is global but eviction is shard-local (no nested shard
+  // locks): evict from this shard's cold end while the pool as a whole is
+  // over target. Hashing balances shards over time.
+  while (resident_.load(std::memory_order_relaxed) > capacity_ &&
+         !shard.lru.empty()) {
+    auto victim = shard.lru.end();
+    bool found = false;
+    for (auto it = std::prev(shard.lru.end());; --it) {
+      const auto& slot = shard.map.at(*it);
+      if (slot.second->pins.load(std::memory_order_acquire) == 0) {
+        victim = it;
+        found = true;
+        break;
+      }
+      if (it == shard.lru.begin()) break;
+    }
+    if (!found) return;  // everything pinned: overcommit rather than block
+    Erase(shard, victim);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+size_t BufferPool::ShedClean() {
+  size_t dropped = 0;
+  for (Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (auto it = shard.lru.begin(); it != shard.lru.end();) {
+      auto next = std::next(it);
+      const auto& slot = shard.map.at(*it);
+      if (slot.second->pins.load(std::memory_order_acquire) == 0) {
+        Erase(shard, it);
+        ++dropped;
+      }
+      it = next;
+    }
+  }
+  if (dropped > 0) {
+    sheds_.fetch_add(dropped, std::memory_order_relaxed);
+    CSJ_METRIC_COUNT("resource.pool_sheds", dropped);
+  }
+  return dropped;
+}
+
+Result<BufferPool::PageRef> BufferPool::Fetch(uint64_t page,
+                                              const Loader& loader) {
+  Shard& shard = shards_[ShardIndex(page)];
+  requests_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    auto it = shard.map.find(page);
+    if (it != shard.map.end()) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      shard.lru.splice(shard.lru.begin(), shard.lru, it->second.first);
+      it->second.second->pins.fetch_add(1, std::memory_order_relaxed);
+      return PageRef(it->second.second);
+    }
+    misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Load outside the lock so one slow read does not serialize the shard.
+  auto frame = std::make_shared<Frame>();
+  const Status loaded = loader(page, &frame->data);
+  if (!loaded.ok()) {
+    load_errors_.fetch_add(1, std::memory_order_relaxed);
+    return loaded;
+  }
+  frame->charge = frame->data.size() + kFrameOverheadBytes;
+  if (budget_ != nullptr && !budget_->TryReserve(frame->charge)) {
+    // Graceful degradation: all resident pages are clean, so shed them and
+    // retry before reporting exhaustion.
+    if (ShedClean() == 0 || !budget_->TryReserve(frame->charge)) {
+      denials_.fetch_add(1, std::memory_order_relaxed);
+      return Status::ResourceExhausted(StrFormat(
+          "buffer pool cannot reserve %llu bytes for page %llu even after "
+          "shedding clean pages",
+          static_cast<unsigned long long>(frame->charge),
+          static_cast<unsigned long long>(page)));
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.map.find(page);
+  if (it != shard.map.end()) {
+    // Another thread loaded the same page while we were reading: keep the
+    // resident copy, discard ours.
+    races_.fetch_add(1, std::memory_order_relaxed);
+    if (budget_ != nullptr) budget_->Release(frame->charge);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second.first);
+    it->second.second->pins.fetch_add(1, std::memory_order_relaxed);
+    return PageRef(it->second.second);
+  }
+  frame->pins.store(1, std::memory_order_relaxed);
+  shard.lru.push_front(page);
+  shard.map.emplace(page, std::make_pair(shard.lru.begin(), frame));
+  resident_.fetch_add(1, std::memory_order_relaxed);
+  insertions_.fetch_add(1, std::memory_order_relaxed);
+  EnforceCapacity(shard);
+  return PageRef(std::move(frame));
+}
+
+BufferPool::StatsSnapshot BufferPool::stats() const {
+  StatsSnapshot s;
+  s.requests = requests_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.insertions = insertions_.load(std::memory_order_relaxed);
+  s.load_errors = load_errors_.load(std::memory_order_relaxed);
+  s.races = races_.load(std::memory_order_relaxed);
+  s.denials = denials_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.sheds = sheds_.load(std::memory_order_relaxed);
+  s.resident_pages = resident_.load(std::memory_order_relaxed);
+  return s;
 }
 
 }  // namespace csj

@@ -1,21 +1,46 @@
 #ifndef CSJ_STORAGE_BUFFER_POOL_H_
 #define CSJ_STORAGE_BUFFER_POOL_H_
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "util/exec_context.h"
+#include "util/status.h"
 
 /// \file
-/// LRU buffer-pool simulator.
+/// Page caching, twice:
 ///
-/// Experiment 3 of the paper measures disk-page and cache accesses of the
-/// join algorithms under varying page and cache sizes and finds no
-/// significant difference between SSJ / N-CSJ / CSJ(g). Our index trees live
-/// in memory, so instead of a real pager we *simulate* one: every node visit
-/// is mapped to a page id and run through an LRU pool of configurable
-/// capacity, which yields exact request/hit/miss counts for the same
-/// traversal a disk-resident tree would perform.
+///  * **BufferPoolSim** — the LRU *simulator* behind Experiment 3's
+///    disk-access counts. Single-threaded, no data, exact hit/miss counters
+///    for a traversal a disk-resident tree would perform.
+///
+///  * **BufferPool** — a real, thread-safe page cache used by the paged
+///    read path (index/paged_tree.h). Pages are loaded through a caller
+///    supplied loader, pinned while in use (RAII PageRef), and evicted LRU
+///    among *unpinned* frames only. The pool is sharded: a page maps to one
+///    of `kShards` shards, each with its own mutex, LRU list and map, so
+///    concurrent readers rarely contend. Frame memory is charged against an
+///    optional MemoryBudget (util/exec_context.h); when a reservation is
+///    denied the pool **sheds** clean unpinned pages first (all pages are
+///    clean — the pool is read-only) and fails with kResourceExhausted only
+///    when shedding frees nothing.
+///
+/// Counter conservation (asserted by the concurrent stress test):
+///
+///     requests   == hits + misses
+///     misses     == insertions + load_errors + races + denials
+///     insertions == resident_pages + evictions + sheds
+///
+/// where `races` counts duplicate loads discarded when two threads missed
+/// the same page concurrently (the loader runs outside the shard lock).
 
 namespace csj {
 
@@ -55,6 +80,160 @@ class BufferPoolSim {
   // Front = most recently used.
   std::list<uint64_t> lru_;
   std::unordered_map<uint64_t, std::list<uint64_t>::iterator> index_;
+};
+
+/// A real, thread-safe, pin-counted LRU page cache. See the file comment.
+class BufferPool {
+ public:
+  /// Shard count: fixed so the page → shard map never changes. Eight is
+  /// plenty for the worker counts the join drivers use.
+  static constexpr size_t kShards = 8;
+  /// Per-frame bookkeeping overhead charged to the budget on top of the
+  /// page bytes (map node, LRU node, control block, pin counter).
+  static constexpr uint64_t kFrameOverheadBytes = 96;
+
+  struct Options {
+    /// Target resident pages across all shards (>= 1). Enforcement is
+    /// approximate under pinning: a shard whose frames are all pinned may
+    /// temporarily overcommit rather than block.
+    size_t capacity_pages = 256;
+    /// Optional memory budget every resident frame is charged against.
+    /// Not owned; may be shared (MemoryBudget is thread-safe).
+    MemoryBudget* budget = nullptr;
+  };
+
+  /// Fills `out` with the bytes of `page`. Runs outside the shard lock; may
+  /// be called concurrently for different pages (and, rarely, for the same
+  /// page — the losing copy is discarded).
+  using Loader = std::function<Status(uint64_t page, std::vector<char>* out)>;
+
+  /// Point-in-time counters; see the conservation laws in the file comment.
+  struct StatsSnapshot {
+    uint64_t requests = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t insertions = 0;
+    uint64_t load_errors = 0;
+    uint64_t races = 0;
+    uint64_t denials = 0;    ///< misses refused by the budget after shedding
+    uint64_t evictions = 0;  ///< capacity evictions (excludes sheds)
+    uint64_t sheds = 0;      ///< pages dropped by ShedClean / budget pressure
+    size_t resident_pages = 0;
+  };
+
+  explicit BufferPool(const Options& options);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  class PageRef;
+
+  /// Returns a pinned reference to `page`, loading it via `loader` on a
+  /// miss. The page stays resident at least until the PageRef is destroyed.
+  /// Loader failures are returned (and never cached); budget denial that
+  /// survives shedding returns kResourceExhausted.
+  Result<PageRef> Fetch(uint64_t page, const Loader& loader);
+
+  /// Drops every unpinned page, releasing its budget charge. Returns the
+  /// number of pages dropped. Called internally under budget pressure;
+  /// callable externally (e.g. between join phases).
+  size_t ShedClean();
+
+  StatsSnapshot stats() const;
+  size_t capacity() const { return capacity_; }
+  size_t resident_pages() const {
+    return resident_.load(std::memory_order_relaxed);
+  }
+  MemoryBudget* budget() const { return budget_; }
+
+ private:
+  struct Frame {
+    std::vector<char> data;
+    std::atomic<uint32_t> pins{0};
+    uint64_t charge = 0;  ///< bytes reserved against the budget
+  };
+
+  struct Shard {
+    std::mutex mu;
+    // Front = most recently used; only unpinned frames are evictable.
+    std::list<uint64_t> lru;
+    std::unordered_map<
+        uint64_t,
+        std::pair<std::list<uint64_t>::iterator, std::shared_ptr<Frame>>>
+        map;
+  };
+
+  static size_t ShardIndex(uint64_t page) {
+    // Mix so sequential page ids spread across shards.
+    page ^= page >> 33;
+    page *= 0xff51afd7ed558ccdULL;
+    page ^= page >> 33;
+    return static_cast<size_t>(page % kShards);
+  }
+
+  /// Removes `page` from `shard` (caller holds shard.mu; frame unpinned).
+  void Erase(Shard& shard, std::list<uint64_t>::iterator lru_it);
+
+  /// Evicts from the tail of `shard` while the pool is over capacity,
+  /// skipping pinned frames. Caller holds shard.mu.
+  void EnforceCapacity(Shard& shard);
+
+  const size_t capacity_;
+  MemoryBudget* const budget_;
+  Shard shards_[kShards];
+  std::atomic<size_t> resident_{0};
+
+  // Stats (relaxed; exactness comes from being incremented exactly once per
+  // event, not from ordering).
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> insertions_{0};
+  std::atomic<uint64_t> load_errors_{0};
+  std::atomic<uint64_t> races_{0};
+  std::atomic<uint64_t> denials_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> sheds_{0};
+};
+
+/// Pinned view of a cached page. Move-only; unpins on destruction. The
+/// underlying bytes are immutable and outlive the ref even if the page is
+/// shed concurrently (shared ownership).
+class BufferPool::PageRef {
+ public:
+  PageRef() = default;
+  ~PageRef() { Unpin(); }
+
+  PageRef(PageRef&& other) noexcept : frame_(std::move(other.frame_)) {
+    other.frame_ = nullptr;
+  }
+  PageRef& operator=(PageRef&& other) noexcept {
+    if (this != &other) {
+      Unpin();
+      frame_ = std::move(other.frame_);
+      other.frame_ = nullptr;
+    }
+    return *this;
+  }
+  PageRef(const PageRef&) = delete;
+  PageRef& operator=(const PageRef&) = delete;
+
+  bool valid() const { return frame_ != nullptr; }
+  const std::vector<char>& data() const { return frame_->data; }
+
+ private:
+  friend class BufferPool;
+  explicit PageRef(std::shared_ptr<Frame> frame) : frame_(std::move(frame)) {}
+
+  void Unpin() {
+    if (frame_ != nullptr) {
+      frame_->pins.fetch_sub(1, std::memory_order_release);
+      frame_ = nullptr;
+    }
+  }
+
+  std::shared_ptr<Frame> frame_;
 };
 
 }  // namespace csj

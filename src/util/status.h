@@ -28,6 +28,8 @@ enum class StatusCode {
   kUnavailable,        ///< transient failure; retrying may succeed (util/retry.h)
   kDeadlineExceeded,   ///< a caller-imposed deadline expired before completion
   kCancelled,          ///< cooperative cancellation (signal, operator stop)
+  kResourceExhausted,  ///< a memory budget (util/exec_context.h) was exceeded
+  kDataLoss,           ///< stored data is unreadable (CRC mismatch, truncation)
 };
 
 /// Returns a short human-readable name for a status code ("IO_ERROR", ...).
@@ -68,6 +70,12 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

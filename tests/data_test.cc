@@ -236,6 +236,65 @@ TEST(PointIoTest, NonNumericTokenRejected) {
       << result.status().ToString();
 }
 
+TEST(PointIoTest, NaNCoordinateRejected) {
+  const std::string path = testing::TempDir() + "/csj_points_nan.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("0.1 0.2\n0.3 nan\n", f);
+  std::fclose(f);
+  auto result = LoadPoints<2>(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("NaN"), std::string::npos)
+      << result.status().ToString();
+  EXPECT_NE(result.status().message().find("column 2"), std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(PointIoTest, InfinityCoordinateRejected) {
+  for (const char* row : {"inf 0.5\n", "-inf 0.5\n", "0.5 infinity\n"}) {
+    const std::string path = testing::TempDir() + "/csj_points_inf.txt";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs(row, f);
+    std::fclose(f);
+    auto result = LoadPoints<2>(path);
+    ASSERT_FALSE(result.ok()) << row;
+    EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+    EXPECT_NE(result.status().message().find("infinite"), std::string::npos)
+        << row << ": " << result.status().ToString();
+  }
+}
+
+TEST(PointIoTest, OverflowingCoordinateRejected) {
+  // 1e999 overflows a double: strtod returns +HUGE_VAL with ERANGE, which
+  // must be reported as out-of-range, not accepted as infinity.
+  const std::string path = testing::TempDir() + "/csj_points_overflow.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("1e999 0.5\n", f);
+  std::fclose(f);
+  auto result = LoadPoints<2>(path);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("out of range for a double"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(PointIoTest, UnderflowToZeroAccepted) {
+  // 1e-400 underflows to 0.0 — harmless, so it loads.
+  const std::string path = testing::TempDir() + "/csj_points_underflow.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("1e-400 0.5\n", f);
+  std::fclose(f);
+  auto result = LoadPoints<2>(path);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->size(), 1u);
+  EXPECT_EQ((*result)[0].coords[0], 0.0);
+}
+
 TEST(PointIoTest, TrailingGarbageAfterFullRowRejected) {
   // Regression: "0.1 0.2 oops" used to load as (0.1, 0.2), silently
   // dropping the unparseable token.

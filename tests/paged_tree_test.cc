@@ -1,17 +1,22 @@
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <functional>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "core/brute.h"
 #include "core/expand.h"
+#include "core/parallel_join.h"
 #include "core/similarity_join.h"
 #include "core/sink.h"
 #include "data/generators.h"
 #include "index/bulk_load.h"
 #include "index/paged_tree.h"
 #include "index/rstar_tree.h"
+#include "util/exec_context.h"
+#include "util/failpoint.h"
 
 namespace csj {
 namespace {
@@ -212,6 +217,158 @@ TEST(PagedTreeTest, DimensionMismatchRejected) {
   auto paged = PagedTree<2>::Open(path);
   EXPECT_FALSE(paged.ok());
   EXPECT_EQ(paged.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PagedTreeTest, ConcurrentReadersShareOneTree) {
+  // N threads traverse one shared PagedTree under heavy eviction pressure
+  // (a 3-block cache). Every thread must see the complete entry set, and
+  // the pool counters must balance afterwards. Run under TSan in CI.
+  RStarTree<2> tree;
+  const auto entries = RandomEntries<2>(4000, 31);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const std::string path = TempPath("paged_concurrent.csjp");
+  ASSERT_TRUE(WritePagedTree(tree, path).ok());
+  PagedTreeOptions tiny;
+  tiny.cache_blocks = 3;
+  auto paged = PagedTree<2>::Open(path, tiny);
+  ASSERT_TRUE(paged.ok());
+
+  constexpr int kThreads = 8;
+  std::atomic<int> complete{0};
+  {
+    std::vector<std::thread> readers;
+    for (int t = 0; t < kThreads; ++t) {
+      readers.emplace_back([&] {
+        std::set<PointId> found;
+        ForEachEntryInSubtree(*paged, paged->Root(),
+                              static_cast<NodeAccessTracker*>(nullptr),
+                              [&](const Entry<2>& e) { found.insert(e.id); });
+        if (found.size() == entries.size()) complete.fetch_add(1);
+      });
+    }
+    for (auto& thread : readers) thread.join();
+  }
+  EXPECT_EQ(complete.load(), kThreads);
+  const auto io = paged->io_stats();
+  EXPECT_EQ(io.block_requests, io.block_cache_hits + io.disk_reads);
+}
+
+TEST(PagedTreeTest, ParallelJoinOverPagedTreeIsLossless) {
+  // The static_assert gate on Tree::kThreadSafeReads now admits PagedTree;
+  // prove the parallel join over a disk tree matches brute force.
+  RStarTree<2> tree;
+  const auto entries = RandomEntries<2>(3000, 37);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const std::string path = TempPath("paged_parallel_join.csjp");
+  ASSERT_TRUE(WritePagedTree(tree, path).ok());
+  PagedTreeOptions small;
+  small.cache_blocks = 8;  // force concurrent miss/evict traffic
+  auto paged = PagedTree<2>::Open(path, small);
+  ASSERT_TRUE(paged.ok());
+
+  JoinOptions options;
+  options.epsilon = 0.04;
+  options.window_size = 10;
+  MemorySink sink(IdWidthFor(entries.size()));
+  ParallelJoinOptions parallel;
+  parallel.threads = 4;
+  const JoinStats stats =
+      ParallelCompactSimilarityJoin(*paged, options, &sink, parallel);
+  ASSERT_TRUE(stats.status.ok()) << stats.status.ToString();
+  const auto report = CompareLinkSets(
+      ExpandSelfJoin(sink), BruteForceSelfJoin(entries, options.epsilon));
+  EXPECT_TRUE(report.lossless()) << report.ToString();
+}
+
+#ifndef CSJ_NO_FAILPOINTS
+TEST(PagedTreeTest, GovernedReadFaultTripsContextInsteadOfAborting) {
+  // With an ExecContext installed, an injected mid-read I/O fault becomes a
+  // clean sticky status on the context (and an empty node view) instead of
+  // the historical CSJ_CHECK crash.
+  RStarTree<2> tree;
+  const auto entries = RandomEntries<2>(2000, 41);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const std::string path = TempPath("paged_fault.csjp");
+  ASSERT_TRUE(WritePagedTree(tree, path).ok());
+  PagedTreeOptions tiny;
+  tiny.cache_blocks = 2;  // evictions force re-reads that can fault
+  auto paged = PagedTree<2>::Open(path, tiny);
+  ASSERT_TRUE(paged.ok());
+
+  ExecContext exec;
+  paged->SetExecContext(&exec);
+  failpoint::ScopedFailpoint fp("paged_tree.read",
+                                failpoint::Spec::EveryNth(5));
+  JoinOptions options;
+  options.epsilon = 0.04;
+  options.exec = &exec;
+  MemorySink sink(IdWidthFor(entries.size()));
+  const JoinStats stats = CompactSimilarityJoin(*paged, options, &sink);
+  EXPECT_EQ(stats.status.code(), StatusCode::kIoError);
+  EXPECT_NE(stats.status.message().find("injected read fault"),
+            std::string::npos);
+  paged->SetExecContext(nullptr);
+}
+
+TEST(PagedTreeTest, ConcurrentReadersSurviveInjectedFaults) {
+  // Faulty reads under concurrency: each governed reader stops cleanly with
+  // the injected IoError; nothing crashes and the counters still balance.
+  RStarTree<2> tree;
+  const auto entries = RandomEntries<2>(3000, 43);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const std::string path = TempPath("paged_concurrent_fault.csjp");
+  ASSERT_TRUE(WritePagedTree(tree, path).ok());
+  PagedTreeOptions tiny;
+  tiny.cache_blocks = 2;
+  auto paged = PagedTree<2>::Open(path, tiny);
+  ASSERT_TRUE(paged.ok());
+
+  ExecContext exec;
+  paged->SetExecContext(&exec);
+  failpoint::ScopedFailpoint fp("paged_tree.read",
+                                failpoint::Spec::EveryNth(17));
+  {
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 4; ++t) {
+      readers.emplace_back([&] {
+        ForEachEntryInSubtree(*paged, paged->Root(),
+                              static_cast<NodeAccessTracker*>(nullptr),
+                              [&](const Entry<2>&) {});
+      });
+    }
+    for (auto& thread : readers) thread.join();
+  }
+  EXPECT_TRUE(exec.ShouldStop());
+  EXPECT_EQ(exec.status().code(), StatusCode::kIoError);
+  const auto io = paged->io_stats();
+  EXPECT_EQ(io.block_requests, io.block_cache_hits + io.disk_reads);
+  paged->SetExecContext(nullptr);
+}
+#endif  // CSJ_NO_FAILPOINTS
+
+TEST(PagedTreeTest, BudgetedCacheStaysWithinLimit) {
+  RStarTree<2> tree;
+  const auto entries = RandomEntries<2>(3000, 47);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const std::string path = TempPath("paged_budget.csjp");
+  ASSERT_TRUE(WritePagedTree(tree, path).ok());
+
+  MemoryBudget budget(64 * 1024);  // ~15 4K blocks with overhead
+  {
+    PagedTreeOptions options;
+    options.cache_blocks = 100000;  // budget, not capacity, is the constraint
+    options.budget = &budget;
+    auto paged = PagedTree<2>::Open(path, options);
+    ASSERT_TRUE(paged.ok());
+    std::set<PointId> found;
+    ForEachEntryInSubtree(*paged, paged->Root(),
+                          static_cast<NodeAccessTracker*>(nullptr),
+                          [&](const Entry<2>& e) { found.insert(e.id); });
+    EXPECT_EQ(found.size(), entries.size());
+    EXPECT_LE(budget.peak(), budget.limit());
+  }
+  // Destroying the tree (and its pool) releases every charge.
+  EXPECT_EQ(budget.used(), 0u);
 }
 
 TEST(PagedTreeTest, PackedTreeWorksToo) {

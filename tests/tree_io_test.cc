@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstring>
 #include <vector>
 
 #include "core/brute.h"
@@ -132,6 +134,148 @@ TEST(TreeIoTest, MissingFileIsNotFound) {
   RStarTree<2> loaded;
   EXPECT_EQ(LoadTree(&loaded, "/no/such/tree.csjt").code(),
             StatusCode::kNotFound);
+}
+
+// --- Checksum matrix (CSJTREE2) ---------------------------------------------
+
+std::vector<char> ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr) << path;
+  std::vector<char> bytes;
+  char chunk[4096];
+  size_t got;
+  while ((got = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + got);
+  }
+  std::fclose(f);
+  return bytes;
+}
+
+void WriteFileBytes(const std::string& path, const std::vector<char>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr) << path;
+  ASSERT_EQ(std::fwrite(bytes.data(), 1, bytes.size(), f), bytes.size());
+  ASSERT_EQ(std::fclose(f), 0);
+}
+
+/// Saves a small tree and returns the raw v2 file bytes.
+std::vector<char> SavedTreeBytes(const std::string& path) {
+  RStarTree<2> tree;
+  for (const auto& e : RandomEntries<2>(400, 77)) tree.Insert(e.id, e.point);
+  EXPECT_TRUE(SaveTree(tree, path).ok());
+  return ReadFileBytes(path);
+}
+
+TEST(TreeIoTest, TruncationAtAnyOffsetIsDataLoss) {
+  const std::string path = TempPath("tree_truncate.csjt");
+  const std::vector<char> bytes = SavedTreeBytes(path);
+  ASSERT_GT(bytes.size(), 64u);
+
+  // Mid-magic, mid-checksum, mid-header, mid-body, and one byte short: every
+  // cut must be reported as clean data loss, never a crash or silent load.
+  const size_t cuts[] = {4,  10, 20, bytes.size() / 2, bytes.size() - 1};
+  for (const size_t cut : cuts) {
+    const std::string cut_path = TempPath("tree_truncate_cut.csjt");
+    WriteFileBytes(cut_path,
+                   std::vector<char>(bytes.begin(), bytes.begin() + cut));
+    RStarTree<2> loaded;
+    const Status status = LoadTree(&loaded, cut_path);
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss)
+        << "cut at " << cut << ": " << status.ToString();
+  }
+}
+
+TEST(TreeIoTest, BitFlipAnywhereAfterMagicIsDataLoss) {
+  const std::string path = TempPath("tree_bitflip.csjt");
+  const std::vector<char> bytes = SavedTreeBytes(path);
+  ASSERT_GT(bytes.size(), 64u);
+
+  // Flips in the stored checksum (offset 8..11), the header and the node
+  // payload must all fail the CRC check with a descriptive message.
+  const size_t flips[] = {8, 12, 17, 30, bytes.size() / 2, bytes.size() - 1};
+  for (const size_t offset : flips) {
+    std::vector<char> corrupt = bytes;
+    corrupt[offset] ^= 0x20;
+    const std::string flip_path = TempPath("tree_bitflip_one.csjt");
+    WriteFileBytes(flip_path, corrupt);
+    RStarTree<2> loaded;
+    const Status status = LoadTree(&loaded, flip_path);
+    EXPECT_EQ(status.code(), StatusCode::kDataLoss)
+        << "flip at " << offset << ": " << status.ToString();
+    EXPECT_NE(status.message().find("checksum mismatch"), std::string::npos)
+        << status.ToString();
+  }
+}
+
+TEST(TreeIoTest, CorruptMagicIsInvalidArgumentNotDataLoss) {
+  const std::string path = TempPath("tree_badmagic.csjt");
+  std::vector<char> bytes = SavedTreeBytes(path);
+  bytes[0] ^= 0x01;  // no longer CSJTREE1/2
+  WriteFileBytes(path, bytes);
+  RStarTree<2> loaded;
+  EXPECT_EQ(LoadTree(&loaded, path).code(), StatusCode::kInvalidArgument);
+}
+
+/// Rewrites a v2 file as the historical un-checksummed v1 format: same body,
+/// "CSJTREE1" magic, no CRC word.
+std::vector<char> AsV1(const std::vector<char>& v2_bytes) {
+  std::vector<char> v1(8 + (v2_bytes.size() - 12));
+  std::memcpy(v1.data(), "CSJTREE1", 8);
+  std::memcpy(v1.data() + 8, v2_bytes.data() + 12, v2_bytes.size() - 12);
+  return v1;
+}
+
+TEST(TreeIoTest, VersionOneFilesRemainReadable) {
+  RStarTree<2> tree;
+  const auto entries = RandomEntries<2>(400, 78);
+  for (const auto& e : entries) tree.Insert(e.id, e.point);
+  const std::string v2_path = TempPath("tree_v2.csjt");
+  ASSERT_TRUE(SaveTree(tree, v2_path).ok());
+
+  const std::string v1_path = TempPath("tree_v1.csjt");
+  WriteFileBytes(v1_path, AsV1(ReadFileBytes(v2_path)));
+
+  RStarTree<2> loaded;
+  ASSERT_TRUE(LoadTree(&loaded, v1_path).ok());
+  loaded.CheckInvariants();
+  EXPECT_EQ(loaded.size(), tree.size());
+  EXPECT_EQ(loaded.NodeCount(), tree.NodeCount());
+  for (const auto& e : entries) {
+    EXPECT_TRUE(loaded.Contains(e.id, e.point));
+  }
+}
+
+TEST(TreeIoTest, VersionOneTruncationIsIoError) {
+  // v1 has no checksum, so truncation surfaces as the historical kIoError
+  // from the body parser rather than kDataLoss.
+  const std::string v2_path = TempPath("tree_v1trunc_src.csjt");
+  const std::vector<char> v1 = AsV1(SavedTreeBytes(v2_path));
+  const std::string v1_path = TempPath("tree_v1trunc.csjt");
+  WriteFileBytes(v1_path,
+                 std::vector<char>(v1.begin(), v1.begin() + v1.size() / 2));
+  RStarTree<2> loaded;
+  EXPECT_EQ(LoadTree(&loaded, v1_path).code(), StatusCode::kIoError);
+}
+
+TEST(TreeIoTest, PeekReadsBothVersions) {
+  RStarOptions opts;
+  opts.max_fanout = 8;
+  opts.min_fanout = 3;
+  RStarTree<2> tree(opts);
+  for (const auto& e : RandomEntries<2>(100, 79)) tree.Insert(e.id, e.point);
+  const std::string v2_path = TempPath("tree_peek_v2.csjt");
+  ASSERT_TRUE(SaveTree(tree, v2_path).ok());
+  const std::string v1_path = TempPath("tree_peek_v1.csjt");
+  WriteFileBytes(v1_path, AsV1(ReadFileBytes(v2_path)));
+
+  for (const std::string& path : {v2_path, v1_path}) {
+    auto info = PeekTreeFile(path);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    EXPECT_EQ(info->dim, 2u);
+    EXPECT_EQ(info->max_fanout, 8u);
+    EXPECT_EQ(info->min_fanout, 3u);
+    EXPECT_EQ(info->entries, 100u);
+  }
 }
 
 // --- Join-output reader ------------------------------------------------------------

@@ -15,12 +15,18 @@
 ///   csj_tool join     ... --output-format text|binary|none   (binary = the
 ///                     compact CSJ2 format, docs/OUTPUT_FORMAT.md; none =
 ///                     count bytes without writing; default text)
+///   csj_tool join     ... [--deadline-ms 60000] [--mem-budget 268435456]
+///                     (resource governance, docs/ROBUSTNESS.md: every join
+///                     — including plain, ego and cego runs — stops cleanly
+///                     when the wall-clock budget or the memory budget in
+///                     bytes runs out; deadline exits 4, exhausted memory
+///                     exits 5, SIGINT/SIGTERM exits 3; no partial output
+///                     file is left behind)
 ///   csj_tool join     ... --checkpoint-interval 32 [--checkpoint run.ckpt]
-///                     [--threads 4] [--deadline-ms 60000]   (crash-safe
-///                     checkpointed execution, docs/ROBUSTNESS.md; the
-///                     manifest defaults to <out>.ckpt; SIGINT/SIGTERM save
-///                     a final checkpoint and exit 3, an expired deadline
-///                     exits 4)
+///                     [--threads 4]   (crash-safe checkpointed execution,
+///                     docs/ROBUSTNESS.md; the manifest defaults to
+///                     <out>.ckpt; SIGINT/SIGTERM and deadlines additionally
+///                     save a final checkpoint for --resume)
 ///   csj_tool join     ... --resume 1   (continue an interrupted run from
 ///                     its manifest; the finished output is byte-identical
 ///                     to an uninterrupted run)
@@ -50,10 +56,12 @@
 namespace csj::tool {
 namespace {
 
-/// Exit codes beyond the usual 0/1/2: a join stopped by SIGINT/SIGTERM with
-/// a saved checkpoint, and a join stopped by an expired --deadline-ms.
+/// Exit codes beyond the usual 0/1/2: a join stopped by SIGINT/SIGTERM, one
+/// stopped by an expired --deadline-ms, and one stopped by an exhausted
+/// --mem-budget.
 constexpr int kExitInterrupted = 3;
 constexpr int kExitDeadline = 4;
+constexpr int kExitResourceExhausted = 5;
 
 /// Flipped by the signal handler; polled by the checkpoint runner at task
 /// boundaries, which then writes a final checkpoint and unwinds cleanly.
@@ -127,6 +135,35 @@ class Flags {
 
 void DieOnError(const Status& status) {
   if (!status.ok()) Flags::Die(status.ToString());
+}
+
+/// Maps a governed join's terminal status to the exit codes above; 0 for
+/// statuses that are not governance outcomes.
+int GovernanceExitCode(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kCancelled:
+      return kExitInterrupted;
+    case StatusCode::kDeadlineExceeded:
+      return kExitDeadline;
+    case StatusCode::kResourceExhausted:
+      return kExitResourceExhausted;
+    default:
+      return 0;
+  }
+}
+
+/// Reports a join's terminal status: returns 0 for OK (continue), the
+/// governance exit code for a clean stop, and dies (exit 2) on any other
+/// error. On a non-zero return the caller must skip sink->Finish(), so the
+/// atomic output file is discarded instead of committed half-written.
+int HandleJoinStatus(const Status& status) {
+  if (status.ok()) return 0;
+  const int code = GovernanceExitCode(status);
+  if (code != 0) {
+    std::fprintf(stderr, "join stopped: %s\n", status.ToString().c_str());
+    return code;
+  }
+  Flags::Die(status.ToString());
 }
 
 Result<std::vector<Entry<2>>> LoadEntries(const std::string& path) {
@@ -223,21 +260,32 @@ int CmdJoin(Flags& flags) {
   const long checkpoint_interval = flags.GetInt("checkpoint-interval", -1);
   const bool resume = flags.GetOr("resume", "0") != "0";
   const long deadline_ms = flags.GetInt("deadline-ms", 0);
+  const long mem_budget = flags.GetInt("mem-budget", 0);
   std::string manifest_path = flags.GetOr("checkpoint", "");
   flags.CheckAllUsed();
 
+  // A deadline or memory budget alone no longer selects the checkpointed
+  // runner: plain (and ego) joins honor them directly through ExecContext.
   const bool checkpointed = resume || checkpoint_interval >= 0 ||
-                            deadline_ms > 0 || threads > 1 ||
-                            !manifest_path.empty();
+                            threads > 1 || !manifest_path.empty();
   if (threads < 1) Flags::Die("--threads must be at least 1");
   if (tasks_per_thread < 1) Flags::Die("--tasks-per-thread must be positive");
   if (deadline_ms < 0) Flags::Die("--deadline-ms must be non-negative");
+  if (mem_budget < 0) Flags::Die("--mem-budget must be non-negative bytes");
   if (checkpointed && (algo == "ego" || algo == "cego")) {
     Flags::Die("checkpointing supports the tree algorithms (ssj|ncsj|csj)");
   }
   if (manifest_path.empty()) {
     manifest_path = (out.empty() ? std::string("csj_join") : out) + ".ckpt";
   }
+
+  // Governance shared by every join flavor below: SIGINT/SIGTERM cancel,
+  // plus the optional memory budget. Drivers layer --deadline-ms on top.
+  MemoryBudget budget(static_cast<uint64_t>(mem_budget));
+  ExecContext exec;
+  exec.SetCancelFlag(&g_cancel_requested);
+  exec.SetMemoryBudget(&budget);
+  InstallTerminationHandlers();
 
   // Every sink — text file, binary file, or byte-counting — comes from the
   // same factory, so the join code below is format-agnostic.
@@ -246,6 +294,7 @@ int CmdJoin(Flags& flags) {
     spec.format = format;
     spec.path = out;
     spec.id_width = IdWidthFor(n);
+    spec.budget = &budget;
     auto sink = MakeSink(spec);
     DieOnError(sink.status());
     return std::move(sink).value();
@@ -263,8 +312,13 @@ int CmdJoin(Flags& flags) {
     options.epsilon = eps;
     options.window_size = g;
     options.leaf_kernel = leaf_kernel;
+    options.deadline_ms = static_cast<uint64_t>(deadline_ms);
+    options.exec = &exec;
     stats = algo == "ego" ? EgoSimilarityJoin(*entries, options, sink.get())
                           : CompactEgoJoin(*entries, options, sink.get());
+    // A governed stop must not leave a partial artifact: skipping Finish()
+    // makes the atomic FileSink discard its temp file.
+    if (const int code = HandleJoinStatus(stats.status)) return code;
     DieOnError(sink->Finish());
   } else {
     RStarOptions tree_options;
@@ -290,6 +344,8 @@ int CmdJoin(Flags& flags) {
     options.epsilon = eps;
     options.window_size = g;
     options.leaf_kernel = leaf_kernel;
+    options.deadline_ms = static_cast<uint64_t>(deadline_ms);
+    options.exec = &exec;
     JoinAlgorithm algorithm = JoinAlgorithm::kCSJ;
     if (algo == "ssj") {
       algorithm = JoinAlgorithm::kSSJ;
@@ -299,11 +355,11 @@ int CmdJoin(Flags& flags) {
       Flags::Die("unknown --algo '" + algo + "' (ssj|ncsj|csj|ego|cego)");
     }
     if (checkpointed) {
-      options.deadline_ms = static_cast<uint64_t>(deadline_ms);
       OutputSpec spec;
       spec.format = format;
       spec.path = out;
       spec.id_width = IdWidthFor(n);
+      spec.budget = &budget;
       CheckpointJoinOptions ckpt;
       ckpt.manifest_path = manifest_path;
       ckpt.checkpoint_interval = checkpoint_interval < 0
@@ -313,19 +369,10 @@ int CmdJoin(Flags& flags) {
       ckpt.tasks_per_thread = static_cast<int>(tasks_per_thread);
       ckpt.resume = resume;
       ckpt.cancel = &g_cancel_requested;
-      InstallTerminationHandlers();
       stats = CheckpointedSelfJoin(tree, algorithm, options, spec, ckpt);
-      if (stats.status.code() == StatusCode::kCancelled) {
-        std::fprintf(stderr, "interrupted: %s\n",
-                     stats.status.message().c_str());
-        return kExitInterrupted;
-      }
-      if (stats.status.code() == StatusCode::kDeadlineExceeded) {
-        std::fprintf(stderr, "deadline exceeded: %s\n",
-                     stats.status.message().c_str());
-        return kExitDeadline;
-      }
-      DieOnError(stats.status);
+      // The checkpoint runner already persisted a resumable manifest, so a
+      // governed stop here is an orderly exit, not a Die().
+      if (const int code = HandleJoinStatus(stats.status)) return code;
     } else {
       auto sink = make_sink(n);
       if (algorithm == JoinAlgorithm::kSSJ) {
@@ -335,6 +382,9 @@ int CmdJoin(Flags& flags) {
       } else {
         stats = CompactSimilarityJoin(tree, options, sink.get());
       }
+      // Skip Finish() on a governed stop so the atomic FileSink discards its
+      // temp file instead of publishing a partial result.
+      if (const int code = HandleJoinStatus(stats.status)) return code;
       DieOnError(sink->Finish());
     }
   }
