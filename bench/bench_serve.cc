@@ -1,0 +1,191 @@
+/// \file
+/// Serving-path overhead and concurrency scaling for csj_serve's core.
+///
+/// The daemon's pitch is amortization: load the index once, answer many
+/// queries. This bench quantifies what one served query costs over the
+/// in-process join it wraps (protocol framing + socket copy + governance),
+/// and how throughput scales when N clients hammer one shared paged tree.
+/// In --smoke mode it exits non-zero if any served response fails or if the
+/// concurrent clients disagree on the payload size — the byte-level
+/// identity claim is serve_test's job; this guards the bench's own math.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "data/generators.h"
+#include "index/bulk_load.h"
+#include "index/tree_io.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+
+namespace csj::bench {
+namespace {
+
+int ConnectUnix(const std::string& socket_path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return -1;
+  struct sockaddr_un addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, socket_path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// One full served query; returns payload bytes, or 0 on any failure.
+uint64_t ServedQuery(const std::string& socket_path,
+                     const std::string& request) {
+  const int fd = ConnectUnix(socket_path);
+  if (fd < 0) return 0;
+  uint64_t bytes = 0;
+  if (serve::WriteAll(fd, request).ok()) {
+    serve::LineReader reader(fd, /*timeout_ms=*/60000);
+    std::string header, trailer;
+    if (reader.ReadLine(&header).ok() &&
+        header.find("\"ok\":true") != std::string::npos) {
+      const Status streamed = serve::StreamFramedPayload(
+          &reader, OutputFormat::kText,
+          [&bytes](const char*, size_t size) {
+            bytes += size;
+            return Status::OK();
+          },
+          &trailer);
+      if (!streamed.ok() ||
+          trailer.find("\"code\":\"OK\"") == std::string::npos) {
+        bytes = 0;
+      }
+    }
+  }
+  ::close(fd);
+  return bytes;
+}
+
+void Main(const BenchArgs& args) {
+  const size_t n = args.smoke ? 20'000 : (args.full ? 400'000 : 100'000);
+  const double eps = 0.005;
+  const int queries = args.smoke ? 8 : 32;
+
+  auto points = GenerateUniform<2>(n, /*seed=*/17);
+  std::vector<Entry<2>> entries(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries[i] = Entry<2>{static_cast<PointId>(i), points[i]};
+  }
+  RStarTree<2> tree;
+  PackStr(&tree, entries);
+
+  char work_template[] = "/tmp/bench_serve.XXXXXX";
+  const char* work = ::mkdtemp(work_template);
+  if (work == nullptr) {
+    std::fprintf(stderr, "FAIL: mkdtemp: %s\n", std::strerror(errno));
+    std::exit(1);
+  }
+  const std::string index_path = std::string(work) + "/pts.csjt";
+  const std::string socket_path = std::string(work) + "/csj.sock";
+  if (!SaveTree(tree, index_path).ok()) {
+    std::fprintf(stderr, "FAIL: SaveTree\n");
+    std::exit(1);
+  }
+
+  serve::DatasetRegistry registry;
+  serve::DatasetSpec spec;
+  spec.name = "pts";
+  spec.path = index_path;
+  if (!registry.Load(spec).ok()) {
+    std::fprintf(stderr, "FAIL: registry load\n");
+    std::exit(1);
+  }
+  serve::ServerOptions options;
+  options.unix_socket_path = socket_path;
+  options.workers = 8;
+  options.max_pending = 64;
+  serve::Server server(&registry, options);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "FAIL: server start\n");
+    std::exit(1);
+  }
+
+  const std::string request = StrFormat(
+      "{\"op\":\"join\",\"dataset\":\"pts\",\"algo\":\"csj\",\"eps\":%g}\n",
+      eps);
+
+  // Baseline: the same join in-process, no protocol, no socket.
+  BenchRecorder::Get().SetContext("direct");
+  JoinOptions join_options;
+  join_options.epsilon = eps;
+  join_options.window_size = 10;
+  CountingSink counting(IdWidthFor(n));
+  const JoinStats direct_stats =
+      RunSelfJoin(JoinAlgorithm::kCSJ, tree, join_options, &counting);
+  BenchRecorder::Get().RecordStats(direct_stats);
+  const double direct_seconds = direct_stats.elapsed_seconds;
+
+  // Warm the serving path (first query pays cold block-cache faults).
+  const uint64_t expected_bytes = ServedQuery(socket_path, request);
+  if (expected_bytes == 0) {
+    std::fprintf(stderr, "FAIL: warm-up served query failed\n");
+    std::exit(1);
+  }
+
+  Table table(StrFormat("csj_serve: CSJ(10), eps=%g, %s uniform points", eps,
+                        WithThousands(n).c_str()),
+              {"clients", "queries", "wall", "per-query", "vs direct"});
+  bool failed = false;
+  for (const int clients : {1, 2, 4, 8}) {
+    WallTimer wall;
+    std::vector<std::thread> threads;
+    std::vector<uint64_t> ok_count(static_cast<size_t>(clients), 0);
+    for (int c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (int q = 0; q < queries; ++q) {
+          if (ServedQuery(socket_path, request) == expected_bytes) {
+            ++ok_count[static_cast<size_t>(c)];
+          }
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    const double seconds = wall.ElapsedSeconds();
+    uint64_t ok_total = 0;
+    for (const uint64_t ok : ok_count) ok_total += ok;
+    const uint64_t total = static_cast<uint64_t>(clients) *
+                           static_cast<uint64_t>(queries);
+    if (ok_total != total) failed = true;
+    const double per_query = seconds / static_cast<double>(total);
+    table.AddRow({StrFormat("%d", clients), StrFormat("%llu (%llu ok)",
+                  static_cast<unsigned long long>(total),
+                  static_cast<unsigned long long>(ok_total)),
+                  HumanDuration(seconds), HumanDuration(per_query),
+                  StrFormat("%.2fx", per_query / direct_seconds)});
+  }
+  EmitTable(table, args, "serve_scaling");
+
+  server.Shutdown();
+  ::unlink(index_path.c_str());
+  ::rmdir(work);
+
+  if (args.smoke && failed) {
+    std::fprintf(stderr,
+                 "FAIL: some served responses failed or differed in size\n");
+    std::exit(1);
+  }
+}
+
+}  // namespace
+}  // namespace csj::bench
+
+int main(int argc, char** argv) {
+  return csj::bench::BenchMain(argc, argv, csj::bench::Main);
+}

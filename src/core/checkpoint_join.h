@@ -264,7 +264,8 @@ JoinStats CheckpointedSelfJoin(const Tree& tree, JoinAlgorithm algorithm,
   const auto tasks = internal::BuildTaskList(
       tree, options.epsilon,
       static_cast<size_t>(threads) *
-          static_cast<size_t>(std::max(ckpt.tasks_per_thread, 1)));
+          static_cast<size_t>(std::max(ckpt.tasks_per_thread, 1)),
+      options.exec);
   const uint64_t fingerprint =
       internal::ConfigFingerprint(tree, algorithm, options, spec, ckpt);
   const uint64_t task_hash = internal::TaskListHash(tasks);

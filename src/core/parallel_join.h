@@ -67,7 +67,8 @@ namespace internal {
 /// (splitting it would only lose grouping opportunities).
 template <SpatialIndex Tree>
 std::vector<typename JoinDriver<Tree, Tree>::Task> BuildTaskList(
-    const Tree& tree, double eps, size_t target) {
+    const Tree& tree, double eps, size_t target,
+    const ExecContext* exec = nullptr) {
   using Task = typename JoinDriver<Tree, Tree>::Task;
   std::vector<Task> tasks;
   if (tree.Root() == kInvalidNode || tree.size() < 2) return tasks;
@@ -92,7 +93,7 @@ std::vector<typename JoinDriver<Tree, Tree>::Task> BuildTaskList(
     tasks[scan] = tasks.back();
     tasks.pop_back();
     if (self) {
-      const auto children = tree.Children(task.first);
+      const auto children = TreeChildren(tree, task.first, exec);
       for (size_t i = 0; i < children.size(); ++i) {
         tasks.push_back(Task{children[i], kInvalidNode});
         for (size_t j = i + 1; j < children.size(); ++j) {
@@ -102,8 +103,8 @@ std::vector<typename JoinDriver<Tree, Tree>::Task> BuildTaskList(
         }
       }
     } else {
-      const auto c1 = tree.Children(task.first);
-      const auto c2 = tree.Children(task.second);
+      const auto c1 = TreeChildren(tree, task.first, exec);
+      const auto c2 = TreeChildren(tree, task.second, exec);
       for (NodeId a : c1) {
         for (NodeId b : c2) {
           if (tree.MinDistance(a, b) <= eps) tasks.push_back(Task{a, b});
@@ -160,7 +161,8 @@ JoinStats ParallelCompactSimilarityJoin(
   const auto tasks = internal::BuildTaskList(
       tree, options.epsilon,
       static_cast<size_t>(threads) *
-          static_cast<size_t>(std::max(parallel.tasks_per_thread, 1)));
+          static_cast<size_t>(std::max(parallel.tasks_per_thread, 1)),
+      options.exec);
 
   CSJ_METRIC_COUNT("parallel.joins", 1);
   CSJ_METRIC_COUNT("parallel.workers", static_cast<uint64_t>(threads));

@@ -303,14 +303,14 @@ class JoinDriver {
       return;
     }
     if (tree_a_.IsLeaf(n)) {
-      decltype(auto) entries = tree_a_.Entries(n);
+      decltype(auto) entries = TreeEntries(tree_a_, n, &run_ctx_);
       if (!ChargeLeafScratch(entries.size())) return;
       AddKernelWork(SelfJoinKernel(
           kernel_scratch_, entries, eps_squared_, options_.leaf_kernel,
           [this](const Entry<D>& a, const Entry<D>& b) { EmitLink(a, b); }));
       return;
     }
-    const auto children = tree_a_.Children(n);
+    const auto children = TreeChildren(tree_a_, n, &run_ctx_);
     for (NodeId child : children) SelfJoin(child, depth + 1);
 
     if (options_.sort_child_pairs) {
@@ -354,8 +354,8 @@ class JoinDriver {
     const bool leaf1 = tree_a_.IsLeaf(n1);
     const bool leaf2 = tree_a_.IsLeaf(n2);
     if (leaf1 && leaf2) {
-      decltype(auto) entries1 = tree_a_.Entries(n1);
-      decltype(auto) entries2 = tree_a_.Entries(n2);
+      decltype(auto) entries1 = TreeEntries(tree_a_, n1, &run_ctx_);
+      decltype(auto) entries2 = TreeEntries(tree_a_, n2, &run_ctx_);
       if (!ChargeLeafScratch(entries1.size() + entries2.size())) return;
       AddKernelWork(BlockJoinKernel(
           kernel_scratch_, entries1, entries2, eps_squared_,
@@ -364,21 +364,21 @@ class JoinDriver {
       return;
     }
     if (leaf1) {
-      for (NodeId c2 : tree_a_.Children(n2)) {
+      for (NodeId c2 : TreeChildren(tree_a_, n2, &run_ctx_)) {
         if (tree_a_.MinDistance(n1, c2) <= eps_) SelfDualJoin(n1, c2, depth + 1);
       }
       return;
     }
     if (leaf2) {
-      for (NodeId c1 : tree_a_.Children(n1)) {
+      for (NodeId c1 : TreeChildren(tree_a_, n1, &run_ctx_)) {
         if (tree_a_.MinDistance(c1, n2) <= eps_) SelfDualJoin(c1, n2, depth + 1);
       }
       return;
     }
     if (options_.sort_child_pairs) {
       auto& pairs = PairScratch(depth);
-      for (NodeId c1 : tree_a_.Children(n1)) {
-        for (NodeId c2 : tree_a_.Children(n2)) {
+      for (NodeId c1 : TreeChildren(tree_a_, n1, &run_ctx_)) {
+        for (NodeId c2 : TreeChildren(tree_a_, n2, &run_ctx_)) {
           const double dist = tree_a_.MinDistance(c1, c2);
           if (dist <= eps_) pairs.push_back({dist, {c1, c2}});
         }
@@ -391,8 +391,8 @@ class JoinDriver {
       }
       return;
     }
-    for (NodeId c1 : tree_a_.Children(n1)) {
-      for (NodeId c2 : tree_a_.Children(n2)) {
+    for (NodeId c1 : TreeChildren(tree_a_, n1, &run_ctx_)) {
+      for (NodeId c2 : TreeChildren(tree_a_, n2, &run_ctx_)) {
         if (tree_a_.MinDistance(c1, c2) <= eps_) SelfDualJoin(c1, c2, depth + 1);
       }
     }
@@ -413,8 +413,8 @@ class JoinDriver {
     const bool leaf_a = tree_a_.IsLeaf(a);
     const bool leaf_b = tree_b_.IsLeaf(b);
     if (leaf_a && leaf_b) {
-      decltype(auto) entries_a = tree_a_.Entries(a);
-      decltype(auto) entries_b = tree_b_.Entries(b);
+      decltype(auto) entries_a = TreeEntries(tree_a_, a, &run_ctx_);
+      decltype(auto) entries_b = TreeEntries(tree_b_, b, &run_ctx_);
       if (!ChargeLeafScratch(entries_a.size() + entries_b.size())) return;
       AddKernelWork(BlockJoinKernel(
           kernel_scratch_, entries_a, entries_b, eps_squared_,
@@ -425,13 +425,13 @@ class JoinDriver {
       return;
     }
     if (leaf_a) {
-      for (NodeId cb : tree_b_.Children(b)) {
+      for (NodeId cb : TreeChildren(tree_b_, b, &run_ctx_)) {
         if (MinDist(a, cb) <= eps_) DualJoin(a, cb, depth + 1);
       }
       return;
     }
     if (leaf_b) {
-      for (NodeId ca : tree_a_.Children(a)) {
+      for (NodeId ca : TreeChildren(tree_a_, a, &run_ctx_)) {
         if (MinDist(ca, b) <= eps_) DualJoin(ca, b, depth + 1);
       }
       return;
@@ -440,8 +440,8 @@ class JoinDriver {
       // Brinkhoff ordering for the spatial join too (it used to be silently
       // ignored outside SelfJoin).
       auto& pairs = PairScratch(depth);
-      for (NodeId ca : tree_a_.Children(a)) {
-        for (NodeId cb : tree_b_.Children(b)) {
+      for (NodeId ca : TreeChildren(tree_a_, a, &run_ctx_)) {
+        for (NodeId cb : TreeChildren(tree_b_, b, &run_ctx_)) {
           const double dist = MinDist(ca, cb);
           if (dist <= eps_) pairs.push_back({dist, {ca, cb}});
         }
@@ -454,8 +454,8 @@ class JoinDriver {
       }
       return;
     }
-    for (NodeId ca : tree_a_.Children(a)) {
-      for (NodeId cb : tree_b_.Children(b)) {
+    for (NodeId ca : TreeChildren(tree_a_, a, &run_ctx_)) {
+      for (NodeId cb : TreeChildren(tree_b_, b, &run_ctx_)) {
         if (MinDist(ca, cb) <= eps_) DualJoin(ca, cb, depth + 1);
       }
     }
@@ -483,7 +483,7 @@ class JoinDriver {
   /// Early-stopping rule on one subtree: all points below n become a group.
   void EmitSubtreeGroup(NodeId n) {
     ++stats_.early_stops;
-    const size_t count = CountEntriesInSubtree(tree_a_, n);
+    const size_t count = CountEntriesInSubtree(tree_a_, n, &run_ctx_);
     ScopedCharge charge;
     if (!ChargeMembers(charge, count)) return;
     std::vector<PointId> members;
@@ -493,15 +493,16 @@ class JoinDriver {
                           [&](const Entry<D>& e) {
                             members.push_back(e.id);
                             box.Extend(e.point);
-                          });
+                          },
+                          &run_ctx_);
     EmitGroup(std::move(members), box);
   }
 
   /// Early-stopping rule on a pair of subtrees of the self-joined tree.
   void EmitSubtreePairGroupSelf(NodeId n1, NodeId n2) {
     ++stats_.early_stops;
-    const size_t count = CountEntriesInSubtree(tree_a_, n1) +
-                         CountEntriesInSubtree(tree_a_, n2);
+    const size_t count = CountEntriesInSubtree(tree_a_, n1, &run_ctx_) +
+                         CountEntriesInSubtree(tree_a_, n2, &run_ctx_);
     ScopedCharge charge;
     if (!ChargeMembers(charge, count)) return;
     std::vector<PointId> members;
@@ -511,16 +512,16 @@ class JoinDriver {
       members.push_back(e.id);
       box.Extend(e.point);
     };
-    ForEachEntryInSubtree(tree_a_, n1, options_.tracker, collect);
-    ForEachEntryInSubtree(tree_a_, n2, options_.tracker, collect);
+    ForEachEntryInSubtree(tree_a_, n1, options_.tracker, collect, &run_ctx_);
+    ForEachEntryInSubtree(tree_a_, n2, options_.tracker, collect, &run_ctx_);
     EmitGroup(std::move(members), box);
   }
 
   /// Early-stopping rule across the two spatial-join trees.
   void EmitSubtreePairGroupDual(NodeId a, NodeId b) {
     ++stats_.early_stops;
-    const size_t count = CountEntriesInSubtree(tree_a_, a) +
-                         CountEntriesInSubtree(tree_b_, b);
+    const size_t count = CountEntriesInSubtree(tree_a_, a, &run_ctx_) +
+                         CountEntriesInSubtree(tree_b_, b, &run_ctx_);
     ScopedCharge charge;
     if (!ChargeMembers(charge, count)) return;
     std::vector<PointId> members;
@@ -530,8 +531,8 @@ class JoinDriver {
       members.push_back(e.id);
       box.Extend(e.point);
     };
-    ForEachEntryInSubtree(tree_a_, a, options_.tracker, collect);
-    ForEachEntryInSubtree(tree_b_, b, options_.tracker, collect);
+    ForEachEntryInSubtree(tree_a_, a, options_.tracker, collect, &run_ctx_);
+    ForEachEntryInSubtree(tree_b_, b, options_.tracker, collect, &run_ctx_);
     EmitGroup(std::move(members), box);
   }
 

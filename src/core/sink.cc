@@ -32,10 +32,12 @@ FileSink::FileSink(int id_width, std::string path, const Options& options)
   OutputFile::Options file_options;
   // Checkpointable output streams straight to the destination and survives
   // errors/kills: the bytes up to the last checkpoint are the resume state.
-  file_options.atomic = options.atomic && !options.checkpointable;
+  file_options.atomic =
+      options.atomic && !options.checkpointable && options.fd < 0;
   file_options.sync_on_close = options.sync_on_close;
   file_options.preserve_on_error = options.checkpointable;
-  open_status_ = file_.Open(path_, file_options);
+  open_status_ = options.fd >= 0 ? file_.OpenFd(options.fd, file_options)
+                                 : file_.Open(path_, file_options);
   SetError(open_status_);
   scratch_.reserve(256);
 }
@@ -127,10 +129,12 @@ BinaryFileSink::BinaryFileSink(int id_width, std::string path,
       path_(std::move(path)),
       options_(options) {
   OutputFile::Options file_options;
-  file_options.atomic = options.atomic && !options.checkpointable;
+  file_options.atomic =
+      options.atomic && !options.checkpointable && options.fd < 0;
   file_options.sync_on_close = options.sync_on_close;
   file_options.preserve_on_error = options.checkpointable;
-  open_status_ = file_.Open(path_, file_options);
+  open_status_ = options.fd >= 0 ? file_.OpenFd(options.fd, file_options)
+                                 : file_.Open(path_, file_options);
   SetError(open_status_);
   if (!open_status_.ok()) return;
   if (!ChargeBuffers()) return;
@@ -305,36 +309,48 @@ Result<std::unique_ptr<JoinSink>> MakeSink(const OutputSpec& spec) {
           std::make_unique<CountingSink>(spec.id_width, spec.count_model));
     }
     case OutputFormat::kText: {
-      if (spec.path.empty()) {
-        return Status::InvalidArgument("text output needs OutputSpec.path");
+      if (spec.path.empty() && spec.fd < 0) {
+        return Status::InvalidArgument(
+            "text output needs OutputSpec.path or OutputSpec.fd");
       }
       if (spec.checkpointable && spec.cap_bytes != 0) {
         return Status::InvalidArgument(
             "checkpointable output cannot be size-capped");
+      }
+      if (spec.fd >= 0 && (spec.checkpointable || spec.cap_bytes != 0)) {
+        return Status::InvalidArgument(
+            "a streamed (fd) sink cannot be checkpointed or size-capped");
       }
       FileSink::Options options;
       options.atomic = spec.atomic;
       options.sync_on_close = spec.sync_on_close;
       options.cap_bytes = spec.cap_bytes;
       options.checkpointable = spec.checkpointable;
+      options.fd = spec.fd;
       auto sink =
           std::make_unique<FileSink>(spec.id_width, spec.path, options);
       if (!sink->open_status().ok()) return sink->open_status();
       return std::unique_ptr<JoinSink>(std::move(sink));
     }
     case OutputFormat::kBinary: {
-      if (spec.path.empty()) {
-        return Status::InvalidArgument("binary output needs OutputSpec.path");
+      if (spec.path.empty() && spec.fd < 0) {
+        return Status::InvalidArgument(
+            "binary output needs OutputSpec.path or OutputSpec.fd");
       }
       if (spec.cap_bytes != 0) {
         return Status::InvalidArgument(
             "cap_bytes is only supported for text output");
+      }
+      if (spec.fd >= 0 && spec.checkpointable) {
+        return Status::InvalidArgument(
+            "a streamed (fd) sink cannot be checkpointed");
       }
       BinaryFileSink::Options options;
       options.atomic = spec.atomic;
       options.sync_on_close = spec.sync_on_close;
       options.checkpointable = spec.checkpointable;
       options.budget = spec.budget;
+      options.fd = spec.fd;
       auto sink =
           std::make_unique<BinaryFileSink>(spec.id_width, spec.path, options);
       if (!sink->open_status().ok()) return sink->open_status();

@@ -253,6 +253,11 @@ class FileSink final : public JoinSink {
     /// truncate it back to the last checkpoint. Overrides `atomic`;
     /// incompatible with cap_bytes (enforced by MakeSink).
     bool checkpointable = false;
+    /// >= 0: stream to this already-open descriptor (dup()ed; the caller
+    /// keeps the original) instead of opening `path` — how a server points
+    /// the sink at a client socket. Forces non-atomic; `path` becomes a
+    /// display label only.
+    int fd = -1;
   };
 
   FileSink(int id_width, std::string path, const Options& options);
@@ -324,6 +329,9 @@ class BinaryFileSink final : public JoinSink {
     /// Denial becomes the sink's sticky open error (ResourceExhausted), so
     /// MakeSink fails fast before the join starts. Not owned; may be null.
     MemoryBudget* budget = nullptr;
+    /// >= 0: stream CSJ2 to this already-open descriptor (dup()ed) instead
+    /// of opening `path`. Forces non-atomic; `path` is a label only.
+    int fd = -1;
   };
 
   BinaryFileSink(int id_width, std::string path, const Options& options);
@@ -427,6 +435,23 @@ struct OutputSpec {
   /// hold several block-sized buffers). Denial fails MakeSink with
   /// ResourceExhausted instead of letting the join start. Not owned.
   MemoryBudget* budget = nullptr;
+  /// >= 0: stream to this already-open descriptor (socket, pipe) instead of
+  /// opening `path`. The fd is dup()ed — the caller keeps ownership. Only
+  /// text/binary formats; atomic commit, checkpointing and cap_bytes do not
+  /// apply to a stream (enforced by MakeSink). A peer hang-up mid-stream
+  /// becomes the sink's sticky kCancelled (EPIPE mapping in OutputFile).
+  int fd = -1;
+
+  /// Streaming sink over an open descriptor, over ids in [0, num_points).
+  static OutputSpec Stream(int fd, uint64_t num_points,
+                           OutputFormat format = OutputFormat::kText) {
+    OutputSpec spec;
+    spec.format = format;
+    spec.fd = fd;
+    spec.id_width = IdWidthFor(num_points);
+    spec.atomic = false;
+    return spec;
+  }
 
   /// Counting sink over ids in [0, num_points), in the given byte model.
   static OutputSpec Counting(uint64_t num_points,

@@ -43,9 +43,14 @@
 /// one PagedTree may back all workers of a parallel join.
 ///
 /// Error handling: an IO failure (short pread, injected fault) is reported
-/// through the installed ExecContext — the read trips the context and
-/// returns an empty node, so a governed join unwinds with a clean Status at
-/// its next boundary instead of crashing. Without a context the historical
+/// through the ExecContext the *operation* passes in — the read trips that
+/// context and returns an empty node, so a governed join unwinds with a
+/// clean Status at its next boundary instead of crashing. The context is a
+/// per-call parameter (`Children(n, exec)` / `Entries(n, exec)`), never
+/// tree state: one PagedTree is shared read-only by many concurrent
+/// queries, each with its own deadline and cancel flag, and a tree-level
+/// context would trip one query's governance into a neighbor's reads (or
+/// dangle once that query finishes). Without a context the historical
 /// behavior (CSJ_CHECK abort) is kept, since the SpatialIndex read API has
 /// no error channel.
 ///
@@ -126,7 +131,6 @@ class PagedTree {
     root_ = other.root_;
     directory_ = std::move(other.directory_);
     pool_ = std::move(other.pool_);
-    exec_ = std::exchange(other.exec_, nullptr);
     node_decodes_.store(other.node_decodes_.load(std::memory_order_relaxed),
                         std::memory_order_relaxed);
     baseline_ = other.baseline_;
@@ -140,21 +144,20 @@ class PagedTree {
     if (fd_ >= 0) ::close(fd_);
   }
 
-  /// Installs a governance context (not owned; null to clear). IO failures
-  /// then trip the context (usually with kIoError / kResourceExhausted)
-  /// instead of aborting the process. Not thread-safe; set before the run.
-  void SetExecContext(const ExecContext* exec) { exec_ = exec; }
-
   // --- SpatialIndex concept ---------------------------------------------------
 
   NodeId Root() const { return root_; }
   bool IsLeaf(NodeId n) const { return directory_[n].is_leaf; }
 
-  /// Child ids, by value: safe across block-cache evictions.
-  std::vector<NodeId> Children(NodeId n) const;
+  /// Child ids, by value: safe across block-cache evictions. The ungoverned
+  /// form aborts on an IO failure (the concept has no error channel); pass
+  /// the calling query's context to turn read faults into a clean trip.
+  std::vector<NodeId> Children(NodeId n) const { return Children(n, nullptr); }
+  std::vector<NodeId> Children(NodeId n, const ExecContext* exec) const;
 
-  /// Leaf entries, by value.
-  std::vector<EntryT> Entries(NodeId n) const;
+  /// Leaf entries, by value; same governance contract as Children.
+  std::vector<EntryT> Entries(NodeId n) const { return Entries(n, nullptr); }
+  std::vector<EntryT> Entries(NodeId n, const ExecContext* exec) const;
 
   double MaxDiameter(NodeId n) const { return directory_[n].mbr.Diagonal(); }
   double MaxDiameter(NodeId a, NodeId b) const {
@@ -205,8 +208,10 @@ class PagedTree {
   /// Reads one block from disk (the pool's loader).
   Status LoadBlock(uint64_t block_index, std::vector<char>* out) const;
 
-  /// Reports a read failure: trips the context when installed, else aborts.
-  void HandleReadError(NodeId n, const Status& status) const;
+  /// Reports a read failure: trips the caller's context when given, else
+  /// aborts.
+  void HandleReadError(NodeId n, const Status& status,
+                       const ExecContext* exec) const;
 
   int fd_ = -1;
   std::string path_;
@@ -217,7 +222,6 @@ class PagedTree {
   std::vector<DirectoryEntry> directory_;
 
   mutable std::unique_ptr<BufferPool> pool_;
-  const ExecContext* exec_ = nullptr;
   mutable std::atomic<uint64_t> node_decodes_{0};
   // ResetIoStats baselines (the pool's counters are monotonic).
   mutable BufferPool::StatsSnapshot baseline_{};
@@ -472,9 +476,10 @@ Status PagedTree<D>::FetchNodeBytes(NodeId n, std::vector<char>* out) const {
 }
 
 template <int D>
-void PagedTree<D>::HandleReadError(NodeId n, const Status& status) const {
-  if (exec_ != nullptr) {
-    exec_->Trip(status);
+void PagedTree<D>::HandleReadError(NodeId n, const Status& status,
+                                   const ExecContext* exec) const {
+  if (exec != nullptr) {
+    exec->Trip(status);
     return;
   }
   CSJ_CHECK(false) << "IO error reading node " << n << ": "
@@ -482,12 +487,13 @@ void PagedTree<D>::HandleReadError(NodeId n, const Status& status) const {
 }
 
 template <int D>
-std::vector<NodeId> PagedTree<D>::Children(NodeId n) const {
+std::vector<NodeId> PagedTree<D>::Children(NodeId n,
+                                           const ExecContext* exec) const {
   CSJ_DCHECK(!directory_[n].is_leaf);
   std::vector<char> bytes;
   const Status fetched = FetchNodeBytes(n, &bytes);
   if (!fetched.ok()) {
-    HandleReadError(n, fetched);
+    HandleReadError(n, fetched, exec);
     return {};
   }
   size_t pos = 0;
@@ -504,12 +510,13 @@ std::vector<NodeId> PagedTree<D>::Children(NodeId n) const {
 }
 
 template <int D>
-std::vector<Entry<D>> PagedTree<D>::Entries(NodeId n) const {
+std::vector<Entry<D>> PagedTree<D>::Entries(NodeId n,
+                                            const ExecContext* exec) const {
   CSJ_DCHECK(directory_[n].is_leaf);
   std::vector<char> bytes;
   const Status fetched = FetchNodeBytes(n, &bytes);
   if (!fetched.ok()) {
-    HandleReadError(n, fetched);
+    HandleReadError(n, fetched, exec);
     return {};
   }
   size_t pos = 0;

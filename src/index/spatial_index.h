@@ -20,6 +20,8 @@
 
 namespace csj {
 
+class ExecContext;
+
 /// Node handle used by all trees: an index into the tree's node arena.
 using NodeId = uint32_t;
 
@@ -54,28 +56,57 @@ concept SpatialIndex = requires(const T& tree, NodeId n, NodeId m) {
 };
 // clang-format on
 
+/// Reads the children of `n`, routing the caller's governance context to
+/// trees whose reads can fail (PagedTree). In-memory trees ignore `exec`:
+/// the `if constexpr` keeps the concept's context-free `Children(n)` the
+/// only requirement. Disk-backed trees report a read fault by tripping
+/// `exec` and returning an empty span — callers unwind at the next
+/// `ShouldStop()` poll.
+template <typename Tree>
+decltype(auto) TreeChildren(const Tree& tree, NodeId n,
+                            const ExecContext* exec) {
+  if constexpr (requires { tree.Children(n, exec); }) {
+    return tree.Children(n, exec);
+  } else {
+    return tree.Children(n);
+  }
+}
+
+/// Governed counterpart of `Entries(n)`; see TreeChildren.
+template <typename Tree>
+decltype(auto) TreeEntries(const Tree& tree, NodeId n,
+                           const ExecContext* exec) {
+  if constexpr (requires { tree.Entries(n, exec); }) {
+    return tree.Entries(n, exec);
+  } else {
+    return tree.Entries(n);
+  }
+}
+
 /// Applies `fn(const Entry<D>&)` to every entry stored under `node`,
-/// touching `tracker` (if any) for every visited node.
+/// touching `tracker` (if any) for every visited node. Read faults on a
+/// governed disk-backed tree trip `exec` and cut the walk short.
 template <typename Tree, typename Fn, typename Tracker>
 void ForEachEntryInSubtree(const Tree& tree, NodeId node, Tracker* tracker,
-                           Fn&& fn) {
+                           Fn&& fn, const ExecContext* exec = nullptr) {
   if (tracker != nullptr) tracker->Touch(node);
   if (tree.IsLeaf(node)) {
-    for (const auto& entry : tree.Entries(node)) fn(entry);
+    for (const auto& entry : TreeEntries(tree, node, exec)) fn(entry);
     return;
   }
-  for (NodeId child : tree.Children(node)) {
-    ForEachEntryInSubtree(tree, child, tracker, fn);
+  for (NodeId child : TreeChildren(tree, node, exec)) {
+    ForEachEntryInSubtree(tree, child, tracker, fn, exec);
   }
 }
 
 /// Counts entries under `node` without touching the tracker.
 template <typename Tree>
-uint64_t CountEntriesInSubtree(const Tree& tree, NodeId node) {
-  if (tree.IsLeaf(node)) return tree.Entries(node).size();
+uint64_t CountEntriesInSubtree(const Tree& tree, NodeId node,
+                               const ExecContext* exec = nullptr) {
+  if (tree.IsLeaf(node)) return TreeEntries(tree, node, exec).size();
   uint64_t total = 0;
-  for (NodeId child : tree.Children(node)) {
-    total += CountEntriesInSubtree(tree, child);
+  for (NodeId child : TreeChildren(tree, node, exec)) {
+    total += CountEntriesInSubtree(tree, child, exec);
   }
   return total;
 }

@@ -1,0 +1,152 @@
+#ifndef CSJ_SERVE_PROTOCOL_H_
+#define CSJ_SERVE_PROTOCOL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/join_options.h"
+#include "core/join_stats.h"
+#include "core/sink.h"
+#include "util/json.h"
+#include "util/metrics.h"
+#include "util/status.h"
+
+/// \file
+/// Wire protocol of csj_serve: newline-delimited JSON framing around the
+/// engine's native payload formats.
+///
+/// A connection carries exactly one request and one response:
+///
+///   client -> server   one JSON object on a single line
+///   server -> client   header line | payload bytes | trailer line
+///
+/// Request fields (all optional unless noted):
+///
+///   op          (required) "ping" | "list" | "join" | "range"
+///   dataset     (join/range) registered dataset name
+///   dataset_b   second dataset: selects a dual (spatial) join
+///   algo        "ssj" | "ncsj" | "csj"            (default "csj")
+///   eps         epsilon > 0 (required for join/range)
+///   g           CSJ(g) window size                 (default 10)
+///   leaf_kernel "naive" | "sweep" | "simd"         (default "sweep")
+///   sort_child_pairs  bool                         (default false)
+///   output      "text" | "binary" | "none"         (default "text";
+///               range queries are text-only)
+///   deadline_ms per-query wall-clock budget; 0 = server default
+///   mem_budget  per-query bytes, carved from the server-wide budget
+///   metrics     bool: include a per-query metrics delta in the trailer
+///   center      (range, required) point coordinates, e.g. [0.5, 0.5]
+///
+/// Response framing:
+///
+///   * errors before execution: a single `{"ok":false,...}` line, no payload.
+///   * "ping"/"list": a single `{"ok":true,...}` line.
+///   * "join"/"range": a header line `{"ok":true,"format":...,"id_width":W}`,
+///     the payload in the engine's native format (the same bytes a one-shot
+///     `csj_tool join --out` run writes), then one trailer line with
+///     `"done":true`, the terminal status, JoinStats, and (on request) the
+///     metrics window of the query. The payload of a governed stop
+///     (deadline / cancel / budget) is a valid prefix: text ends at a record
+///     boundary, binary is sealed with its EOF marker and footer, and the
+///     trailer's status code says why the result is partial.
+///
+/// Text payload lines never start with '{' (fixed-width decimal ids), and a
+/// binary payload is structurally self-delimiting, so the trailer line is
+/// unambiguous in both formats; ReadFramedPayload implements the client
+/// side.
+
+namespace csj::serve {
+
+/// One parsed request line.
+struct Request {
+  std::string op;
+  std::string dataset;
+  std::string dataset_b;
+  JoinAlgorithm algorithm = JoinAlgorithm::kCSJ;
+  double eps = 0.0;
+  int window = 10;
+  LeafKernel leaf_kernel = LeafKernel::kSweep;
+  bool sort_child_pairs = false;
+  OutputFormat output = OutputFormat::kText;
+  uint64_t deadline_ms = 0;
+  uint64_t mem_budget = 0;
+  bool want_metrics = false;
+  std::vector<double> center;
+};
+
+/// Parses and validates one request line. Unknown fields are rejected (a
+/// typo'd knob silently ignored would be worse than an error).
+Result<Request> ParseRequest(const std::string& line);
+
+/// `{"ok":false,"code":...,"error":...}` — single-line, newline-terminated.
+std::string ErrorLine(const Status& status);
+
+/// `{"ok":true,"op":...}` plus `extra`'s fields — single line for ping/list.
+std::string OkLine(const std::string& op, const json::Object& extra = {});
+
+/// Header line announcing a payload.
+std::string HeaderLine(const std::string& op, OutputFormat format,
+                       int id_width);
+
+/// Trailer line: terminal status + stats (+ metrics delta when non-null).
+std::string TrailerLine(const Status& status, const JoinStats& stats,
+                        uint64_t payload_bytes,
+                        const metrics::MetricsSnapshot* delta);
+
+/// Buffered line/byte reader over a descriptor, used by the query client
+/// and the tests. `timeout_ms < 0` blocks forever; otherwise each refill
+/// poll()s and a quiet peer fails with kDeadlineExceeded.
+class LineReader {
+ public:
+  explicit LineReader(int fd, int timeout_ms = -1)
+      : fd_(fd), timeout_ms_(timeout_ms) {}
+
+  /// Reads up to and including '\n'; returns the line without it. EOF with
+  /// no buffered bytes is kUnavailable ("peer closed").
+  Status ReadLine(std::string* line);
+
+  /// Reads exactly `size` bytes (for binary payload scanning).
+  Status ReadExact(char* out, size_t size);
+
+  /// Maximum accepted line length; longer requests are a protocol error.
+  static constexpr size_t kMaxLine = 1 << 20;
+
+ private:
+  Status Refill();
+
+  int fd_;
+  int timeout_ms_;
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
+/// Client-side framing: after the header line has been read, consumes the
+/// payload — forwarding each chunk to `write` as it arrives, so a consumer
+/// sees bytes before the query finishes — and then the trailer line. Text
+/// payloads are delimited by the first line starting with '{'; binary
+/// payloads are walked structurally (file header, blocks, EOF marker,
+/// footer); `format == kNone` expects an empty payload. A non-OK status
+/// from `write` aborts the scan and is returned as-is (e.g. the consumer
+/// hung up — close the socket, which cancels the query server-side).
+Status StreamFramedPayload(LineReader* reader, OutputFormat format,
+                           const std::function<Status(const char*, size_t)>&
+                               write,
+                           std::string* trailer_line);
+
+/// StreamFramedPayload into a string (tests, small results).
+Status ReadFramedPayload(LineReader* reader, OutputFormat format,
+                         std::string* payload, std::string* trailer_line);
+
+/// Writes all of `data`, retrying short writes; EPIPE (and any other write
+/// failure) returns the error without raising SIGPIPE side effects — the
+/// process is expected to ignore SIGPIPE.
+Status WriteAll(int fd, const char* data, size_t size);
+inline Status WriteAll(int fd, const std::string& s) {
+  return WriteAll(fd, s.data(), s.size());
+}
+
+}  // namespace csj::serve
+
+#endif  // CSJ_SERVE_PROTOCOL_H_

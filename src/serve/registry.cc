@@ -1,0 +1,97 @@
+#include "serve/registry.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "core/sink.h"
+#include "data/dataset.h"
+#include "data/point_io.h"
+#include "index/bulk_load.h"
+#include "index/rstar_tree.h"
+#include "index/tree_io.h"
+#include "util/format.h"
+
+namespace csj::serve {
+
+namespace {
+
+/// Lays an in-memory tree out as a temporary paged image, opens it, and
+/// unlinks the temporary: the returned PagedTree's descriptor is the only
+/// remaining reference, so the image can never outlive the process.
+Result<PagedTree<kServeDim>> OpenAsPaged(const RStarTree<kServeDim>& tree,
+                                         const DatasetSpec& spec,
+                                         MemoryBudget* budget) {
+  PagedTreeOptions options;
+  options.block_size = spec.block_size;
+  options.cache_blocks = spec.cache_blocks;
+  options.budget = budget;
+  const std::string temp =
+      StrFormat("%s.paged.tmp.%d", spec.path.c_str(), getpid());
+  CSJ_RETURN_IF_ERROR(WritePagedTree(tree, temp, options));
+  auto paged = PagedTree<kServeDim>::Open(temp, options);
+  ::unlink(temp.c_str());
+  return paged;
+}
+
+}  // namespace
+
+Status DatasetRegistry::Load(const DatasetSpec& spec) {
+  if (spec.name.empty()) {
+    return Status::InvalidArgument("dataset name must not be empty");
+  }
+  if (datasets_.count(spec.name) != 0) {
+    return Status::InvalidArgument("duplicate dataset name: " + spec.name);
+  }
+
+  PagedTreeOptions options;
+  options.block_size = spec.block_size;
+  options.cache_blocks = spec.cache_blocks;
+  options.budget = &budget_;
+
+  // Source sniffing, cheapest first: an already-paged image is opened in
+  // place; a serialized tree is loaded and converted; anything else is
+  // treated as a point text file, bulk-loaded and converted.
+  Result<PagedTree<kServeDim>> paged =
+      PagedTree<kServeDim>::Open(spec.path, options);
+  if (!paged.ok()) {
+    if (paged.status().code() == StatusCode::kNotFound) return paged.status();
+    auto info = PeekTreeFile(spec.path);
+    if (info.ok()) {
+      RStarOptions tree_options;
+      tree_options.max_fanout = info->max_fanout;
+      tree_options.min_fanout = info->min_fanout;
+      RStarTree<kServeDim> tree(tree_options);
+      CSJ_RETURN_IF_ERROR(LoadTree(&tree, spec.path));
+      paged = OpenAsPaged(tree, spec, &budget_);
+    } else {
+      CSJ_ASSIGN_OR_RETURN(auto points, LoadPoints<kServeDim>(spec.path));
+      RStarTree<kServeDim> tree;
+      PackStr(&tree, ToEntries(points));
+      paged = OpenAsPaged(tree, spec, &budget_);
+    }
+  }
+  CSJ_RETURN_IF_ERROR(paged.status());
+
+  auto dataset = std::make_unique<Dataset>(std::move(paged).value());
+  dataset->name = spec.name;
+  dataset->source_path = spec.path;
+  dataset->num_points = dataset->tree.size();
+  dataset->id_width = IdWidthFor(dataset->num_points);
+  datasets_.emplace(spec.name, std::move(dataset));
+  return Status::OK();
+}
+
+const Dataset* DatasetRegistry::Find(const std::string& name) const {
+  auto it = datasets_.find(name);
+  return it == datasets_.end() ? nullptr : it->second.get();
+}
+
+std::vector<const Dataset*> DatasetRegistry::All() const {
+  std::vector<const Dataset*> all;
+  all.reserve(datasets_.size());
+  for (const auto& [name, dataset] : datasets_) all.push_back(dataset.get());
+  return all;
+}
+
+}  // namespace csj::serve

@@ -1,0 +1,94 @@
+#ifndef CSJ_SERVE_REGISTRY_H_
+#define CSJ_SERVE_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/paged_tree.h"
+#include "util/exec_context.h"
+#include "util/status.h"
+
+/// \file
+/// Named dataset registry: the read-only state csj_serve shares across
+/// every concurrent query.
+///
+/// Each dataset is one disk-resident PagedTree (CSJPAGE1), opened once and
+/// then read by any number of queries at the same time (PagedTree is
+/// pread-based and its BufferPool pins pages, so concurrent reads are safe
+/// by construction). Sources that are not already paged — a CSJTREE1/2
+/// index file or a raw point file — are converted at load time: the tree is
+/// materialized in memory, laid out into a temporary paged image next to
+/// the source, opened, and the temporary is unlinked immediately, so the
+/// open descriptor is the only reference and nothing can leak on exit.
+/// WritePagedTree preserves child order, which is what keeps a served
+/// join's output byte-identical to a one-shot csj_tool run over the same
+/// index.
+///
+/// All block caches charge one registry-wide MemoryBudget, which the server
+/// also parents every per-query budget under — a single ceiling governs the
+/// whole process.
+///
+/// Loading happens before serving starts and is not thread-safe; lookups
+/// afterwards are const and lock-free.
+
+namespace csj::serve {
+
+/// The server is 2-D, like csj_tool (the common GIS case); the underlying
+/// library is dimension-generic.
+inline constexpr int kServeDim = 2;
+
+/// One dataset to load at startup.
+struct DatasetSpec {
+  std::string name;
+  /// A CSJPAGE1 paged image, a CSJTREE1/2 index, or a point text file
+  /// (tried in that order by sniffing the content).
+  std::string path;
+  uint32_t block_size = 4096;   ///< layout block size when converting
+  size_t cache_blocks = 1024;   ///< per-dataset block cache capacity
+};
+
+/// A loaded dataset: the shared read-only tree plus display facts.
+struct Dataset {
+  std::string name;
+  std::string source_path;
+  uint64_t num_points = 0;
+  int id_width = 0;
+  PagedTree<kServeDim> tree;
+
+  explicit Dataset(PagedTree<kServeDim> t) : tree(std::move(t)) {}
+};
+
+class DatasetRegistry {
+ public:
+  /// `memory_budget_bytes` caps block caches *and* (via the server) every
+  /// per-query reservation; 0 = unlimited.
+  explicit DatasetRegistry(uint64_t memory_budget_bytes = 0)
+      : budget_(memory_budget_bytes) {}
+
+  DatasetRegistry(const DatasetRegistry&) = delete;
+  DatasetRegistry& operator=(const DatasetRegistry&) = delete;
+
+  /// Loads (converting if necessary) and registers one dataset. Duplicate
+  /// names are an error. Not thread-safe; call before serving.
+  Status Load(const DatasetSpec& spec);
+
+  /// nullptr when the name is unknown. Safe from any thread once loading
+  /// is done.
+  const Dataset* Find(const std::string& name) const;
+
+  /// All datasets, sorted by name.
+  std::vector<const Dataset*> All() const;
+
+  /// The registry-wide budget (thread-safe; shared with the server).
+  MemoryBudget* budget() { return &budget_; }
+
+ private:
+  MemoryBudget budget_;
+  std::map<std::string, std::unique_ptr<Dataset>> datasets_;
+};
+
+}  // namespace csj::serve
+
+#endif  // CSJ_SERVE_REGISTRY_H_

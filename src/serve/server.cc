@@ -1,0 +1,451 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <arpa/inet.h>
+
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+#include "core/similarity_join.h"
+#include "core/sink.h"
+#include "serve/protocol.h"
+#include "storage/output_file.h"
+#include "util/format.h"
+#include "util/metrics.h"
+
+namespace csj::serve {
+
+namespace {
+
+/// Runs a governed range query (all points within eps of a center) over the
+/// shared tree, streaming fixed-width ids in tree order. Counts land in the
+/// JoinStats `links` / `output_bytes` fields so the trailer shape matches
+/// joins.
+Status RunRangeQuery(int fd, const Request& req, const Dataset& dataset,
+                     const ExecContext& exec, JoinStats* stats) {
+  if (req.center.size() != static_cast<size_t>(kServeDim)) {
+    return Status::InvalidArgument(StrFormat(
+        "center has %zu coordinates, the dataset is %d-dimensional",
+        req.center.size(), kServeDim));
+  }
+  Point<kServeDim> center;
+  for (int d = 0; d < kServeDim; ++d) center[d] = req.center[d];
+
+  OutputFile out;
+  CSJ_RETURN_IF_ERROR(out.OpenFd(fd, OutputFile::Options{.atomic = false}));
+
+  const auto& tree = dataset.tree;
+  Status result;
+  std::vector<NodeId> stack;
+  if (tree.Root() != kInvalidNode) stack.push_back(tree.Root());
+  while (!stack.empty()) {
+    if (exec.ShouldStop()) {
+      result = exec.status();
+      break;
+    }
+    const NodeId n = stack.back();
+    stack.pop_back();
+    if (tree.IsLeaf(n)) {
+      for (const auto& entry : tree.Entries(n, &exec)) {
+        if (Distance(center, entry.point) > req.eps) continue;
+        ++stats->links;
+        result = out.Append(
+            StrFormat("%0*u\n", dataset.id_width, entry.id));
+        if (!result.ok()) break;
+      }
+      if (!result.ok()) break;
+    } else {
+      for (const NodeId child : tree.Children(n, &exec)) {
+        if (MinDistance(center, tree.Shape(child)) <= req.eps) {
+          stack.push_back(child);
+        }
+      }
+    }
+  }
+  stats->output_bytes = out.bytes_written();
+  const Status closed = out.Close();
+  return result.ok() ? closed : result;
+}
+
+json::Value DatasetInfo(const Dataset& dataset) {
+  json::Value info = json::Object{};
+  info["name"] = dataset.name;
+  info["points"] = dataset.num_points;
+  info["id_width"] = static_cast<int64_t>(dataset.id_width);
+  info["source"] = dataset.source_path;
+  return info;
+}
+
+}  // namespace
+
+Server::Server(DatasetRegistry* registry, ServerOptions options)
+    : registry_(registry), options_(std::move(options)) {}
+
+Server::~Server() { Shutdown(); }
+
+Status Server::Start() {
+  CSJ_CHECK(!started_) << "Server::Start called twice";
+  // Streaming responses rely on a hangup surfacing as EPIPE in the sink
+  // (clean per-query kCancelled), never as a process-killing signal.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  if (!options_.unix_socket_path.empty()) {
+    struct sockaddr_un addr;
+    if (options_.unix_socket_path.size() >= sizeof(addr.sun_path)) {
+      return Status::InvalidArgument("socket path too long: " +
+                                     options_.unix_socket_path);
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IoError(std::string("socket failed: ") +
+                             std::strerror(errno));
+    }
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, options_.unix_socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(options_.unix_socket_path.c_str());  // stale socket from a crash
+    if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const Status status =
+          Status::IoError("bind failed: " + options_.unix_socket_path + ": " +
+                          std::strerror(errno));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return status;
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      return Status::IoError(std::string("socket failed: ") +
+                             std::strerror(errno));
+    }
+    const int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    struct sockaddr_in addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(options_.tcp_port));
+    if (::inet_pton(AF_INET, options_.tcp_host.c_str(), &addr.sin_addr) != 1) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return Status::InvalidArgument("bad listen host: " + options_.tcp_host);
+    }
+    if (::bind(listen_fd_, reinterpret_cast<struct sockaddr*>(&addr),
+               sizeof(addr)) != 0) {
+      const Status status = Status::IoError(
+          StrFormat("bind failed: %s:%d: %s", options_.tcp_host.c_str(),
+                    options_.tcp_port, std::strerror(errno)));
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return status;
+    }
+    struct sockaddr_in bound;
+    socklen_t bound_len = sizeof(bound);
+    if (::getsockname(listen_fd_, reinterpret_cast<struct sockaddr*>(&bound),
+                      &bound_len) == 0) {
+      bound_tcp_port_ = ntohs(bound.sin_port);
+    }
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    const Status status = Status::IoError(std::string("listen failed: ") +
+                                          std::strerror(errno));
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+
+  started_ = true;
+  acceptor_ = std::thread([this] { AcceptLoop(); });
+  const int workers = options_.workers < 1 ? 1 : options_.workers;
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+  watcher_ = std::thread([this] { WatchLoop(); });
+  return Status::OK();
+}
+
+void Server::Shutdown() {
+  if (!started_ || stopped_) return;
+  stopped_ = true;
+  // Drain, not abort: stop admitting, then let every accepted query finish.
+  draining_.store(true, std::memory_order_release);
+  acceptor_.join();
+  queue_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  watch_stop_.store(true, std::memory_order_release);
+  watcher_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!options_.unix_socket_path.empty()) {
+    ::unlink(options_.unix_socket_path.c_str());
+  }
+}
+
+ServerCounters Server::counters() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+void Server::AcceptLoop() {
+  while (!draining_.load(std::memory_order_acquire)) {
+    // Poll with a timeout instead of blocking in accept: Shutdown() only
+    // has to flip `draining_` and the loop exits within one tick.
+    struct pollfd pfd = {listen_fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, 100);
+    if (rc < 0 && errno != EINTR) break;
+    if (rc <= 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    bool admitted = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!draining_.load(std::memory_order_relaxed) &&
+          pending_.size() < options_.max_pending) {
+        pending_.push_back(fd);
+        ++counters_.accepted;
+        admitted = true;
+      } else {
+        ++counters_.rejected;
+      }
+    }
+    if (admitted) {
+      queue_cv_.notify_one();
+    } else {
+      // Reject at the door with a well-formed error — bounded memory under
+      // overload, and the client learns why instead of seeing a hangup.
+      CSJ_METRIC_COUNT("serve.admission_rejects", 1);
+      WriteAll(fd, ErrorLine(Status::ResourceExhausted(
+                       "admission queue is full, try again later")))
+          .ok();
+      ::close(fd);
+    }
+  }
+}
+
+void Server::WorkerLoop() {
+  for (;;) {
+    int fd = -1;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      queue_cv_.wait(lock, [this] {
+        return !pending_.empty() || draining_.load(std::memory_order_relaxed);
+      });
+      if (pending_.empty()) {
+        // Draining and nothing left: the queue can only shrink now.
+        if (draining_.load(std::memory_order_relaxed)) return;
+        continue;
+      }
+      fd = pending_.front();
+      pending_.pop_front();
+    }
+    HandleConnection(fd);
+    ::close(fd);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      ++counters_.served;
+    }
+    CSJ_METRIC_COUNT("serve.requests", 1);
+  }
+}
+
+void Server::WatchLoop() {
+  // Drain semantics: Shutdown() raises watch_stop_ only after every worker
+  // has joined, so in-flight queries stay cancellable to the very end.
+  while (!watch_stop_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lock(watch_mu_);
+      for (const WatchEntry& watch : watches_) {
+        char byte;
+        ssize_t rc;
+        do {
+          rc = ::recv(watch.fd, &byte, 1, MSG_PEEK | MSG_DONTWAIT);
+        } while (rc < 0 && errno == EINTR);
+        // 0 = orderly hangup; an error other than "no data yet" (a reset,
+        // a bad descriptor) also means the client is gone. Pending request
+        // bytes (rc == 1) mean the peer is alive.
+        if (rc == 0 ||
+            (rc < 0 && errno != EAGAIN && errno != EWOULDBLOCK)) {
+          watch.flag->store(true, std::memory_order_relaxed);
+          CSJ_METRIC_COUNT("serve.disconnect_cancels", 1);
+        }
+      }
+    }
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.watch_interval_ms));
+  }
+}
+
+uint64_t Server::Watch(int fd, std::atomic<bool>* flag) {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  const uint64_t ticket = next_ticket_++;
+  watches_.push_back(WatchEntry{ticket, fd, flag});
+  return ticket;
+}
+
+void Server::Unwatch(uint64_t ticket) {
+  std::lock_guard<std::mutex> lock(watch_mu_);
+  for (size_t i = 0; i < watches_.size(); ++i) {
+    if (watches_[i].ticket == ticket) {
+      watches_[i] = watches_.back();
+      watches_.pop_back();
+      return;
+    }
+  }
+}
+
+void Server::HandleConnection(int fd) {
+  LineReader reader(fd, options_.request_timeout_ms);
+  std::string line;
+  const Status read_status = reader.ReadLine(&line);
+  if (!read_status.ok()) {
+    WriteAll(fd, ErrorLine(read_status)).ok();
+    return;
+  }
+  auto parsed = ParseRequest(line);
+  if (!parsed.ok()) {
+    WriteAll(fd, ErrorLine(parsed.status())).ok();
+    return;
+  }
+  const Request& req = *parsed;
+
+  if (req.op == "ping") {
+    WriteAll(fd, OkLine("ping")).ok();
+    return;
+  }
+  if (req.op == "list") {
+    json::Value datasets = json::Array{};
+    for (const Dataset* dataset : registry_->All()) {
+      datasets.Append(DatasetInfo(*dataset));
+    }
+    json::Object extra;
+    extra["datasets"] = datasets;
+    WriteAll(fd, OkLine("list", extra)).ok();
+    return;
+  }
+
+  const Dataset* dataset = registry_->Find(req.dataset);
+  if (dataset == nullptr) {
+    WriteAll(fd, ErrorLine(Status::NotFound("unknown dataset: " +
+                                            req.dataset)))
+        .ok();
+    return;
+  }
+  const Dataset* dataset_b = nullptr;
+  if (!req.dataset_b.empty()) {
+    dataset_b = registry_->Find(req.dataset_b);
+    if (dataset_b == nullptr) {
+      WriteAll(fd, ErrorLine(Status::NotFound("unknown dataset: " +
+                                              req.dataset_b)))
+          .ok();
+      return;
+    }
+  }
+
+  // Per-query governance, all of it private to this request: a deadline
+  // (request value, server default, clamped by the server maximum), a
+  // cancel flag raised by the disconnect watcher, and a memory budget
+  // carved from the server-wide budget the block caches also charge.
+  uint64_t deadline_ms = req.deadline_ms != 0 ? req.deadline_ms
+                                              : options_.default_deadline_ms;
+  if (options_.max_deadline_ms != 0 &&
+      (deadline_ms == 0 || deadline_ms > options_.max_deadline_ms)) {
+    deadline_ms = options_.max_deadline_ms;
+  }
+  std::atomic<bool> disconnected{false};
+  const uint64_t ticket = Watch(fd, &disconnected);
+  MemoryBudget query_budget(req.mem_budget, registry_->budget());
+  ExecContext exec;
+  exec.SetCancelFlag(&disconnected);
+  exec.SetMemoryBudget(&query_budget);
+
+  // The process-wide registry smears concurrent queries together; the
+  // begin/end delta is this query's attributable window (see
+  // metrics::DiffSnapshots — approximate under concurrency, exact alone).
+  metrics::MetricsSnapshot begin;
+  if (req.want_metrics) begin = metrics::Snapshot();
+
+  const int id_width =
+      dataset_b == nullptr
+          ? dataset->id_width
+          : std::max(dataset->id_width, dataset_b->id_width);
+  if (!WriteAll(fd, HeaderLine(req.op, req.output, id_width)).ok()) {
+    Unwatch(ticket);
+    return;
+  }
+
+  JoinStats stats;
+  Status status;
+  if (req.op == "range") {
+    exec.SetDeadlineAfterMs(deadline_ms);
+    status = RunRangeQuery(fd, req, *dataset, exec, &stats);
+  } else {
+    OutputSpec spec;
+    spec.format = req.output;
+    if (req.output != OutputFormat::kNone) spec.fd = fd;
+    spec.id_width = id_width;
+    spec.atomic = false;
+    spec.budget = &query_budget;
+    auto sink_result = MakeSink(spec);
+    if (!sink_result.ok()) {
+      Unwatch(ticket);
+      WriteAll(fd, TrailerLine(sink_result.status(), stats, 0, nullptr)).ok();
+      return;
+    }
+    std::unique_ptr<JoinSink> sink = std::move(sink_result).value();
+
+    JoinOptions options;
+    options.epsilon = req.eps;
+    options.window_size = req.window;
+    options.leaf_kernel = req.leaf_kernel;
+    options.sort_child_pairs = req.sort_child_pairs;
+    options.deadline_ms = deadline_ms;
+    options.exec = &exec;
+    if (dataset_b != nullptr) {
+      switch (req.algorithm) {
+        case JoinAlgorithm::kSSJ:
+          stats = StandardSpatialJoin(dataset->tree, dataset_b->tree, options,
+                                      sink.get());
+          break;
+        case JoinAlgorithm::kNCSJ:
+          stats = NaiveCompactSpatialJoin(dataset->tree, dataset_b->tree,
+                                          options, sink.get());
+          break;
+        case JoinAlgorithm::kCSJ:
+          stats = CompactSpatialJoin(dataset->tree, dataset_b->tree, options,
+                                     sink.get());
+          break;
+      }
+    } else {
+      stats = RunSelfJoin(req.algorithm, dataset->tree, options, sink.get());
+    }
+    status = stats.status;
+    // Unlike a one-shot file sink (where a governed stop discards the
+    // artifact), a stream has no artifact to discard: always seal it, so a
+    // partial binary payload still carries its EOF marker and footer and
+    // the client-side structural scan terminates. The trailer's status says
+    // the result is partial.
+    const Status sealed = sink->Finish();
+    if (status.ok()) status = sealed;
+  }
+  Unwatch(ticket);
+
+  metrics::MetricsSnapshot delta;
+  if (req.want_metrics) delta = DiffSnapshots(begin, metrics::Snapshot());
+  WriteAll(fd, TrailerLine(status, stats, stats.output_bytes,
+                           req.want_metrics ? &delta : nullptr))
+      .ok();
+}
+
+}  // namespace csj::serve

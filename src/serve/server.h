@@ -1,0 +1,132 @@
+#ifndef CSJ_SERVE_SERVER_H_
+#define CSJ_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/registry.h"
+#include "util/status.h"
+
+/// \file
+/// The csj_serve daemon core: one listener, a bounded admission queue, a
+/// fixed worker pool, and per-query resource governance.
+///
+/// Life of a query:
+///
+///   accept -> admission queue -> worker -> parse -> execute -> respond
+///
+/// The acceptor never blocks on a client: a connection either enters the
+/// bounded queue or is refused on the spot with a kResourceExhausted error
+/// line — under overload the server degrades by rejecting, never by
+/// growing. Each admitted query runs with its own ExecContext: a deadline
+/// (client-requested, clamped to the server maximum), a cancel flag raised
+/// by the disconnect watcher the moment the client hangs up, and a
+/// MemoryBudget carved from the server-wide budget shared with the dataset
+/// block caches. Queries never share mutable state — the trees are
+/// read-only, per-query metrics come from snapshot deltas
+/// (metrics::DiffSnapshots), and one query tripping its deadline or budget
+/// is invisible to its neighbors.
+///
+/// Shutdown() (SIGTERM in the daemon) drains: the listener closes, queued
+/// and in-flight queries run to completion, then the threads join. It never
+/// cancels admitted work — a client that wants out disconnects, which
+/// cancels just that query.
+
+namespace csj::serve {
+
+struct ServerOptions {
+  /// Listener: a Unix-domain socket path, or a TCP port on `tcp_host` when
+  /// the path is empty (port 0 binds an ephemeral port; see tcp_port()).
+  std::string unix_socket_path;
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = 0;
+
+  int workers = 4;            ///< concurrent query executors
+  size_t max_pending = 16;    ///< admission queue bound (beyond = reject)
+  uint64_t default_deadline_ms = 0;  ///< applied when a request sets none
+  uint64_t max_deadline_ms = 0;      ///< clamp on requested deadlines; 0 = off
+  int watch_interval_ms = 20;        ///< disconnect poll cadence
+  /// A connected client must send its request line within this window, so a
+  /// silent connection cannot pin a worker (and cannot stall a drain).
+  int request_timeout_ms = 10000;
+};
+
+/// Monotonic counters for tests and the smoke script.
+struct ServerCounters {
+  uint64_t accepted = 0;   ///< connections admitted to the queue
+  uint64_t rejected = 0;   ///< connections refused at admission
+  uint64_t served = 0;     ///< requests answered (any terminal status)
+};
+
+class Server {
+ public:
+  /// The registry outlives the server. Its budget becomes the parent of
+  /// every per-query budget.
+  Server(DatasetRegistry* registry, ServerOptions options);
+  ~Server();  ///< implies Shutdown()
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens and spawns the acceptor, workers and watcher. Also
+  /// ignores SIGPIPE process-wide: response streaming relies on hangups
+  /// surfacing as EPIPE.
+  Status Start();
+
+  /// Stops accepting, drains queued and in-flight queries, joins all
+  /// threads, and removes the Unix socket file. Idempotent.
+  void Shutdown();
+
+  /// The bound TCP port (resolves port 0), or -1 on a Unix listener.
+  int tcp_port() const { return bound_tcp_port_; }
+
+  ServerCounters counters() const;
+
+ private:
+  void AcceptLoop();
+  void WorkerLoop();
+  void WatchLoop();
+  void HandleConnection(int fd);
+  /// Registers `flag` to be raised if `fd`'s peer disconnects; returns a
+  /// ticket for Unwatch.
+  uint64_t Watch(int fd, std::atomic<bool>* flag);
+  void Unwatch(uint64_t ticket);
+
+  DatasetRegistry* const registry_;
+  const ServerOptions options_;
+
+  int listen_fd_ = -1;
+  int bound_tcp_port_ = -1;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> watch_stop_{false};
+  bool started_ = false;
+  bool stopped_ = false;
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+  std::thread watcher_;
+
+  mutable std::mutex mu_;
+  std::condition_variable queue_cv_;
+  std::deque<int> pending_;  ///< accepted, not yet claimed by a worker
+  ServerCounters counters_;
+
+  struct WatchEntry {
+    uint64_t ticket;
+    int fd;
+    std::atomic<bool>* flag;
+  };
+  std::mutex watch_mu_;
+  std::vector<WatchEntry> watches_;
+  uint64_t next_ticket_ = 1;
+};
+
+}  // namespace csj::serve
+
+#endif  // CSJ_SERVE_SERVER_H_

@@ -63,6 +63,36 @@ Status OutputFile::Open(const std::string& path, const Options& options) {
   return Status::OK();
 }
 
+Status OutputFile::OpenFd(int fd, const Options& options) {
+  CSJ_CHECK(file_ == nullptr) << "OutputFile already open: " << path_;
+  CSJ_CHECK(!options.atomic)
+      << "atomic commit is a rename; a stream descriptor has no name";
+  path_ = StrFormat("<fd:%d>", fd);
+  options_ = options;
+  options_.preserve_on_error = true;  // nothing on disk to delete
+  write_path_ = path_;
+  status_ = Status::OK();
+  bytes_written_ = 0;
+  errno = 0;
+  if (CSJ_FAILPOINT("output_file.open")) {
+    return Fail(Status::IoError("injected open fault: " + write_path_));
+  }
+  const int owned = ::dup(fd);
+  if (owned < 0) {
+    status_ = Status::IoError("cannot dup descriptor: " + path_ +
+                              ErrnoSuffix());
+    return status_;
+  }
+  file_ = ::fdopen(owned, "wb");
+  if (file_ == nullptr) {
+    status_ = Status::IoError("cannot fdopen: " + path_ + ErrnoSuffix());
+    ::close(owned);
+    return status_;
+  }
+  std::setvbuf(file_, nullptr, _IOFBF, 1 << 20);
+  return Status::OK();
+}
+
 Status OutputFile::OpenForResume(const std::string& path, uint64_t keep_bytes,
                                  const Options& options) {
   CSJ_CHECK(file_ == nullptr) << "OutputFile already open: " << path_;
@@ -147,6 +177,15 @@ Status OutputFile::Append(const char* data, size_t size) {
     // An injected fault writes a strict prefix (want/2 < want), so reaching
     // `size` means every byte genuinely landed.
     if (done == size) return Status::OK();
+    if (!injected_hard && !injected_transient && write_errno == EPIPE) {
+      // The reader hung up (`| head`, a client disconnect). That is a
+      // consumer decision, not a device fault: no retry (the pipe stays
+      // broken), no IoError — a clean sticky kCancelled the join unwinds on.
+      CSJ_METRIC_COUNT("output_file.epipe_cancels", 1);
+      return Fail(Status::Cancelled(StrFormat(
+          "output consumer closed the stream: %s (%zu of %zu bytes)",
+          write_path_.c_str(), done, size)));
+    }
     if (injected_transient ||
         (!injected_hard && IsTransientErrno(write_errno))) {
       // Retry only the not-yet-landed suffix after a jittered backoff.
@@ -170,6 +209,11 @@ Status OutputFile::Flush() {
   }
   errno = 0;
   if (CSJ_FAILPOINT("output_file.flush") || std::fflush(file_) != 0) {
+    if (errno == EPIPE) {
+      CSJ_METRIC_COUNT("output_file.epipe_cancels", 1);
+      return Fail(Status::Cancelled("output consumer closed the stream: " +
+                                    write_path_));
+    }
     return Fail(Status::IoError("flush failed: " + write_path_ +
                                 ErrnoSuffix()));
   }
@@ -212,6 +256,11 @@ Status OutputFile::Close() {
   if (file_ == nullptr) return status_;  // never opened, failed, or closed
   errno = 0;
   if (CSJ_FAILPOINT("output_file.flush") || std::fflush(file_) != 0) {
+    if (errno == EPIPE) {
+      CSJ_METRIC_COUNT("output_file.epipe_cancels", 1);
+      return Fail(Status::Cancelled("output consumer closed the stream: " +
+                                    write_path_));
+    }
     return Fail(Status::IoError("flush failed: " + write_path_ +
                                 ErrnoSuffix()));
   }

@@ -71,6 +71,15 @@ class OutputFile {
   Status Open(const std::string& path, const Options& options);
   Status Open(const std::string& path) { return Open(path, Options()); }
 
+  /// Streams to an already-open descriptor (socket, pipe, stdout). The fd is
+  /// dup()ed — the caller keeps ownership of the original. Atomic mode is
+  /// meaningless for a stream (checked), nothing is ever deleted on error,
+  /// and Close() flushes and closes only the duplicate. A peer that hangs up
+  /// mid-stream surfaces as EPIPE, which Append maps to a sticky kCancelled
+  /// (see below).
+  Status OpenFd(int fd, const Options& options);
+  Status OpenFd(int fd) { return OpenFd(fd, Options()); }
+
   /// Opens an existing file for a resumed run: keeps the first `keep_bytes`
   /// bytes (the last checkpoint's durable position), truncates everything
   /// after them, and appends from there. Requires non-atomic options;
@@ -85,6 +94,9 @@ class OutputFile {
   /// partial output is deleted (unless preserved), and every later Append
   /// returns the original error. Appending to a file that was never opened,
   /// or after Close(), returns (but does not stick) a FailedPrecondition.
+  /// EPIPE — the reader closed its end (`csj_tool join | head`, a client
+  /// disconnect) — is not an I/O fault and not transient: it becomes a
+  /// sticky kCancelled with no retry, so the producing join unwinds cleanly.
   Status Append(const char* data, size_t size);
   Status Append(const std::string& text) {
     return Append(text.data(), text.size());

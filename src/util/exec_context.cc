@@ -38,8 +38,17 @@ bool MemoryBudget::TryReserve(uint64_t bytes) {
            !peak_.compare_exchange_weak(peak, now_used,
                                         std::memory_order_relaxed)) {
     }
-    CSJ_METRIC_GAUGE_SET("resource.peak_bytes",
-                         peak_.load(std::memory_order_relaxed));
+#ifndef CSJ_NO_METRICS
+    // Process-wide high-water mark, advance-only: with one gauge shared by
+    // every budget, a plain Set would let a small query's peak overwrite a
+    // bigger concurrent one's and the gauge would regress. Per-budget peaks
+    // stay exact through peak().
+    static metrics::Gauge* peak_gauge =
+        metrics::GetGauge("resource.peak_bytes");
+    const int64_t observed =
+        static_cast<int64_t>(peak_.load(std::memory_order_relaxed));
+    if (peak_gauge->value() < observed) peak_gauge->Set(observed);
+#endif
   }
   return true;
 }

@@ -154,6 +154,65 @@ MetricsSnapshot Snapshot() {
   return snapshot;
 }
 
+MetricsSnapshot DiffSnapshots(const MetricsSnapshot& begin,
+                              const MetricsSnapshot& end) {
+  MetricsSnapshot diff;
+  // Snapshots are sorted by name within each kind, so each section is a
+  // linear merge keyed on name.
+  auto baseline = [](const auto& sorted_pairs, const std::string& name,
+                     auto missing) {
+    const auto it = std::lower_bound(
+        sorted_pairs.begin(), sorted_pairs.end(), name,
+        [](const auto& pair, const std::string& key) {
+          return pair.first < key;
+        });
+    return it != sorted_pairs.end() && it->first == name ? it->second
+                                                         : missing;
+  };
+  for (const auto& [name, value] : end.counters) {
+    const uint64_t before = baseline(begin.counters, name, uint64_t{0});
+    // Clamp instead of wrapping: a ResetAll racing the window would
+    // otherwise report a ~2^64 "delta".
+    const uint64_t delta = value >= before ? value - before : 0;
+    if (delta != 0) diff.counters.emplace_back(name, delta);
+  }
+  for (const auto& [name, value] : end.gauges) {
+    // Gauges carry last-value semantics; report the end value.
+    const bool known = baseline(begin.gauges, name, int64_t{0}) != 0 ||
+                       value != 0;
+    if (known) diff.gauges.emplace_back(name, value);
+  }
+  for (const auto& h : end.histograms) {
+    const auto it = std::lower_bound(
+        begin.histograms.begin(), begin.histograms.end(), h.name,
+        [](const HistogramSnapshot& snap, const std::string& key) {
+          return snap.name < key;
+        });
+    const HistogramSnapshot* before =
+        it != begin.histograms.end() && it->name == h.name ? &*it : nullptr;
+    HistogramSnapshot d;
+    d.name = h.name;
+    const uint64_t count_before = before != nullptr ? before->count : 0;
+    const uint64_t sum_before = before != nullptr ? before->sum : 0;
+    d.count = h.count >= count_before ? h.count - count_before : 0;
+    d.sum = h.sum >= sum_before ? h.sum - sum_before : 0;
+    if (d.count == 0) continue;
+    // Min/max are process-lifetime extremes; a window cannot recover its
+    // own. Report the end extremes as documented.
+    d.min = h.min;
+    d.max = h.max;
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const uint64_t bucket_before =
+          before != nullptr ? before->buckets[static_cast<size_t>(b)] : 0;
+      const uint64_t bucket_end = h.buckets[static_cast<size_t>(b)];
+      d.buckets[static_cast<size_t>(b)] =
+          bucket_end >= bucket_before ? bucket_end - bucket_before : 0;
+    }
+    diff.histograms.push_back(std::move(d));
+  }
+  return diff;
+}
+
 std::string MetricsSnapshot::ToText() const {
   std::string out;
   for (const auto& [name, value] : counters) {

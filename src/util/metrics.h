@@ -165,6 +165,26 @@ struct MetricsSnapshot {
 /// Captures every registered metric.
 MetricsSnapshot Snapshot();
 
+/// Attribution window over the process-wide registry: the metrics activity
+/// between two snapshots. The registry is shared by every concurrent query,
+/// so absolute values smear neighbors together; a begin/end delta is how a
+/// server reports per-query `join.*`/`sink.*` numbers (still approximate
+/// under concurrency — the window sees overlapping queries' traffic — but
+/// exact when the window brackets a single query, e.g. one-shot tools).
+///
+/// Semantics per kind:
+///  * counters — end minus begin. Counters are monotonic by contract; a
+///    negative delta (a Reset raced the window) is clamped to 0 rather than
+///    wrapping to ~2^64. Counters registered mid-window keep their end
+///    value; zero deltas are dropped, so the result lists what *happened*.
+///  * gauges — last-value semantics, a delta is meaningless: the end value
+///    is reported as-is (dropped when also absent from `begin` and zero).
+///  * histograms — count/sum/bucket deltas (negatives clamped like
+///    counters); min/max cannot be diffed and report the end snapshot's
+///    process-lifetime extremes. Empty-window histograms are dropped.
+MetricsSnapshot DiffSnapshots(const MetricsSnapshot& begin,
+                              const MetricsSnapshot& end);
+
 /// RAII nanosecond timer recording into a histogram on destruction.
 class ScopedTimerNs {
  public:

@@ -1,0 +1,511 @@
+/// \file
+/// csj_serve core tests: the shared-registry server under concurrency.
+///
+/// The load-bearing assertions: (1) every streamed response is byte-
+/// identical to the equivalent one-shot run over the same index, (2) one
+/// query's deadline, cancel or budget never leaks into a neighbor running
+/// on the same shared tree, (3) the bounded admission queue rejects with
+/// kResourceExhausted instead of growing, (4) shutdown drains. The whole
+/// file runs under the CSJ_TSAN job — the server's sharing discipline is a
+/// TSan claim, not a comment.
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/similarity_join.h"
+#include "core/sink.h"
+#include "data/generators.h"
+#include "geom/point.h"
+#include "index/bulk_load.h"
+#include "index/rstar_tree.h"
+#include "index/tree_io.h"
+#include "serve/protocol.h"
+#include "serve/registry.h"
+#include "serve/server.h"
+#include "util/format.h"
+#include "util/json.h"
+
+namespace csj::serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return testing::TempDir() + "/" + name;
+}
+
+std::vector<Entry<2>> FixtureEntries(size_t n, uint64_t seed) {
+  auto points = GenerateUniform<2>(n, seed);
+  std::vector<Entry<2>> entries(n);
+  for (size_t i = 0; i < n; ++i) {
+    entries[i] = Entry<2>{static_cast<PointId>(i), points[i]};
+  }
+  return entries;
+}
+
+/// One shared fixture: a bulk-loaded index saved as CSJTREE2 (exercising
+/// the registry's convert-to-paged path) plus the in-memory tree for
+/// reference runs.
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    // The gtest binary has no tool main to ignore SIGPIPE for us, and the
+    // response stream of an abandoned query writes into a closed socket.
+    std::signal(SIGPIPE, SIG_IGN);
+    entries_ = new std::vector<Entry<2>>(FixtureEntries(4000, 21));
+    tree_ = new RStarTree<2>();
+    PackStr(tree_, *entries_);
+    index_path_ = new std::string(TempPath("serve_fixture.csjt"));
+    ASSERT_TRUE(SaveTree(*tree_, *index_path_).ok());
+  }
+  static void TearDownTestSuite() {
+    delete entries_;
+    delete tree_;
+    ::unlink(index_path_->c_str());
+    delete index_path_;
+  }
+
+  /// Registry + server on a fresh Unix socket. Returns the socket path.
+  std::string StartServer(DatasetRegistry* registry, ServerOptions options,
+                          std::unique_ptr<Server>* server) {
+    const std::string socket_path =
+        TempPath(StrFormat("serve_%d_%d.sock", getpid(), socket_seq_++));
+    options.unix_socket_path = socket_path;
+    server->reset(new Server(registry, options));
+    EXPECT_TRUE((*server)->Start().ok());
+    return socket_path;
+  }
+
+  static int ConnectTo(const std::string& socket_path) {
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, socket_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    EXPECT_EQ(
+        ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)),
+        0)
+        << std::strerror(errno);
+    return fd;
+  }
+
+  struct Response {
+    Status transport;       ///< framing-level failure, if any
+    std::string first_line; ///< header (payload ops) or the single line
+    std::string payload;
+    std::string trailer;    ///< empty for single-line responses
+    /// The trailer's (or error line's) "code" field; "" when unparseable.
+    std::string code;
+  };
+
+  /// Sends one request line and reads the whole response.
+  static Response RoundTrip(const std::string& socket_path,
+                            const std::string& request,
+                            OutputFormat format = OutputFormat::kText) {
+    Response response;
+    const int fd = ConnectTo(socket_path);
+    // An admission reject writes its error line and closes before reading,
+    // so this write can land on a closed socket (EPIPE). The response is
+    // already in the socket buffer — the read below is what matters.
+    WriteAll(fd, request + "\n").ok();
+    LineReader reader(fd, /*timeout_ms=*/30000);
+    response.transport = reader.ReadLine(&response.first_line);
+    if (response.transport.ok()) {
+      auto head = json::Parse(response.first_line);
+      const json::Value* ok = head.ok() ? head->Find("ok") : nullptr;
+      const bool has_payload = ok != nullptr && ok->is_bool() &&
+                               ok->AsBool() &&
+                               head->Find("format") != nullptr;
+      if (has_payload) {
+        response.transport = ReadFramedPayload(
+            &reader, format, &response.payload, &response.trailer);
+      }
+    }
+    ::close(fd);
+    const std::string& coded =
+        response.trailer.empty() ? response.first_line : response.trailer;
+    auto doc = json::Parse(coded);
+    if (doc.ok()) {
+      const json::Value* code = doc->Find("code");
+      if (code != nullptr && code->is_string()) response.code = code->AsString();
+    }
+    return response;
+  }
+
+  /// The bytes a one-shot csj_tool-style run writes for these parameters.
+  static std::string OneShotPayload(JoinAlgorithm algorithm, double eps,
+                                    int g, OutputFormat format) {
+    const std::string path = TempPath(StrFormat(
+        "serve_ref_%d_%g_%d_%d.out", static_cast<int>(algorithm), eps, g,
+        static_cast<int>(format)));
+    OutputSpec spec;
+    spec.format = format;
+    spec.path = path;
+    spec.id_width = IdWidthFor(tree_->size());
+    auto sink = MakeSink(spec);
+    EXPECT_TRUE(sink.ok());
+    JoinOptions options;
+    options.epsilon = eps;
+    options.window_size = g;
+    const JoinStats stats =
+        RunSelfJoin(algorithm, *tree_, options, sink->get());
+    EXPECT_TRUE(stats.status.ok());
+    EXPECT_TRUE((*sink)->Finish().ok());
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::string bytes;
+    char chunk[1 << 16];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      bytes.append(chunk, n);
+    }
+    std::fclose(f);
+    ::unlink(path.c_str());
+    return bytes;
+  }
+
+  static std::string JoinRequest(const std::string& algo, double eps, int g,
+                                 const std::string& extra = "") {
+    return StrFormat(
+        "{\"op\":\"join\",\"dataset\":\"pts\",\"algo\":\"%s\",\"eps\":%g,"
+        "\"g\":%d%s}",
+        algo.c_str(), eps, g, extra.c_str());
+  }
+
+  static std::vector<Entry<2>>* entries_;
+  static RStarTree<2>* tree_;
+  static std::string* index_path_;
+  int socket_seq_ = 0;
+};
+
+std::vector<Entry<2>>* ServeTest::entries_ = nullptr;
+RStarTree<2>* ServeTest::tree_ = nullptr;
+std::string* ServeTest::index_path_ = nullptr;
+
+TEST_F(ServeTest, PingListAndErrors) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Load({.name = "pts", .path = *index_path_}).ok());
+  std::unique_ptr<Server> server;
+  const std::string socket_path = StartServer(&registry, {}, &server);
+
+  Response ping = RoundTrip(socket_path, "{\"op\":\"ping\"}");
+  ASSERT_TRUE(ping.transport.ok()) << ping.transport.ToString();
+  EXPECT_NE(ping.first_line.find("\"ok\":true"), std::string::npos);
+
+  Response list = RoundTrip(socket_path, "{\"op\":\"list\"}");
+  ASSERT_TRUE(list.transport.ok());
+  EXPECT_NE(list.first_line.find("\"pts\""), std::string::npos);
+  EXPECT_NE(list.first_line.find("4000"), std::string::npos);
+
+  // Protocol errors are single well-formed lines, not hangups.
+  EXPECT_EQ(RoundTrip(socket_path, "not json").code, "InvalidArgument");
+  EXPECT_EQ(RoundTrip(socket_path, "{\"op\":\"nope\"}").code,
+            "InvalidArgument");
+  EXPECT_EQ(RoundTrip(socket_path, "{\"op\":\"join\",\"dataset\":\"nope\","
+                                   "\"eps\":0.01}")
+                .code,
+            "NotFound");
+  EXPECT_EQ(RoundTrip(socket_path, JoinRequest("csj", 0.01, 10,
+                                               ",\"unknown_knob\":1"))
+                .code,
+            "InvalidArgument");
+  server->Shutdown();
+}
+
+TEST_F(ServeTest, ResponsesByteIdenticalToOneShotRuns) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Load({.name = "pts", .path = *index_path_}).ok());
+  std::unique_ptr<Server> server;
+  const std::string socket_path = StartServer(&registry, {}, &server);
+
+  for (const std::string algo : {"ssj", "ncsj", "csj"}) {
+    JoinAlgorithm algorithm = algo == "ssj"    ? JoinAlgorithm::kSSJ
+                              : algo == "ncsj" ? JoinAlgorithm::kNCSJ
+                                               : JoinAlgorithm::kCSJ;
+    Response response = RoundTrip(socket_path, JoinRequest(algo, 0.01, 10));
+    ASSERT_TRUE(response.transport.ok()) << response.transport.ToString();
+    EXPECT_EQ(response.code, "OK");
+    EXPECT_EQ(response.payload,
+              OneShotPayload(algorithm, 0.01, 10, OutputFormat::kText))
+        << algo;
+  }
+
+  Response binary = RoundTrip(
+      socket_path, JoinRequest("csj", 0.01, 10, ",\"output\":\"binary\""),
+      OutputFormat::kBinary);
+  ASSERT_TRUE(binary.transport.ok()) << binary.transport.ToString();
+  EXPECT_EQ(binary.code, "OK");
+  EXPECT_EQ(binary.payload,
+            OneShotPayload(JoinAlgorithm::kCSJ, 0.01, 10,
+                           OutputFormat::kBinary));
+  server->Shutdown();
+}
+
+TEST_F(ServeTest, RangeQueryMatchesBruteForce) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Load({.name = "pts", .path = *index_path_}).ok());
+  std::unique_ptr<Server> server;
+  const std::string socket_path = StartServer(&registry, {}, &server);
+
+  const Point<2> center = (*entries_)[17].point;
+  const double eps = 0.02;
+  Response response = RoundTrip(
+      socket_path,
+      StrFormat("{\"op\":\"range\",\"dataset\":\"pts\",\"eps\":%g,"
+                "\"center\":[%.17g,%.17g]}",
+                eps, center[0], center[1]));
+  ASSERT_TRUE(response.transport.ok()) << response.transport.ToString();
+  EXPECT_EQ(response.code, "OK");
+
+  std::multiset<PointId> got;
+  for (size_t start = 0; start < response.payload.size();) {
+    const size_t nl = response.payload.find('\n', start);
+    got.insert(static_cast<PointId>(
+        std::stoul(response.payload.substr(start, nl - start))));
+    start = nl + 1;
+  }
+  std::multiset<PointId> want;
+  for (const auto& entry : *entries_) {
+    if (Distance(center, entry.point) <= eps) want.insert(entry.id);
+  }
+  EXPECT_EQ(got, want);
+  server->Shutdown();
+}
+
+TEST_F(ServeTest, ConcurrentMixedQueriesStayIsolated) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Load({.name = "pts", .path = *index_path_}).ok());
+  std::unique_ptr<Server> server;
+  ServerOptions options;
+  options.workers = 8;
+  options.max_pending = 64;
+  const std::string socket_path = StartServer(&registry, options, &server);
+
+  // References computed up front, single-threaded.
+  const std::string ref_ssj =
+      OneShotPayload(JoinAlgorithm::kSSJ, 0.01, 10, OutputFormat::kText);
+  const std::string ref_ncsj =
+      OneShotPayload(JoinAlgorithm::kNCSJ, 0.008, 10, OutputFormat::kText);
+  const std::string ref_csj =
+      OneShotPayload(JoinAlgorithm::kCSJ, 0.01, 6, OutputFormat::kText);
+  const std::string ref_bin =
+      OneShotPayload(JoinAlgorithm::kCSJ, 0.01, 10, OutputFormat::kBinary);
+
+  // 12 concurrent queries over the one shared paged tree: normal joins of
+  // every algorithm, a binary join, a 1 ms deadline victim, a query whose
+  // client disconnects mid-stream, and a budget-starved one. The normal
+  // queries must come back byte-identical — their neighbors' trips must be
+  // invisible to them.
+  struct Task {
+    std::string request;
+    OutputFormat format = OutputFormat::kText;
+    const std::string* expect_payload = nullptr;
+    std::string expect_code = "OK";
+    bool disconnect_early = false;
+  };
+  std::vector<Task> tasks = {
+      {JoinRequest("ssj", 0.01, 10), OutputFormat::kText, &ref_ssj},
+      {JoinRequest("ncsj", 0.008, 10), OutputFormat::kText, &ref_ncsj},
+      {JoinRequest("csj", 0.01, 6), OutputFormat::kText, &ref_csj},
+      {JoinRequest("csj", 0.01, 10, ",\"output\":\"binary\""),
+       OutputFormat::kBinary, &ref_bin},
+      {JoinRequest("ssj", 0.01, 10), OutputFormat::kText, &ref_ssj},
+      {JoinRequest("csj", 0.01, 6), OutputFormat::kText, &ref_csj},
+      {JoinRequest("ssj", 0.02, 10, ",\"deadline_ms\":1"),
+       OutputFormat::kText, nullptr, "DeadlineExceeded"},
+      {JoinRequest("ssj", 0.02, 10, ",\"deadline_ms\":1"),
+       OutputFormat::kText, nullptr, "DeadlineExceeded"},
+      {JoinRequest("ssj", 0.02, 10), OutputFormat::kText, nullptr, "",
+       /*disconnect_early=*/true},
+      {JoinRequest("csj", 0.01, 10, ",\"mem_budget\":1024"),
+       OutputFormat::kText, nullptr, "ResourceExhausted"},
+      {JoinRequest("ncsj", 0.008, 10), OutputFormat::kText, &ref_ncsj},
+      {JoinRequest("csj", 0.01, 10, ",\"output\":\"binary\""),
+       OutputFormat::kBinary, &ref_bin},
+  };
+
+  std::vector<Response> responses(tasks.size());
+  std::vector<std::thread> clients;
+  clients.reserve(tasks.size());
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    clients.emplace_back([&, i] {
+      const Task& task = tasks[i];
+      if (task.disconnect_early) {
+        // Read the header, then hang up mid-stream: the disconnect watcher
+        // (or the sink's EPIPE) must cancel this query — and only this one.
+        const int fd = ConnectTo(socket_path);
+        ASSERT_TRUE(WriteAll(fd, task.request + "\n").ok());
+        LineReader reader(fd, 30000);
+        std::string header;
+        ASSERT_TRUE(reader.ReadLine(&header).ok());
+        ::close(fd);
+        return;
+      }
+      responses[i] = RoundTrip(socket_path, task.request, task.format);
+    });
+  }
+  for (std::thread& client : clients) client.join();
+
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const Task& task = tasks[i];
+    if (task.disconnect_early) continue;
+    ASSERT_TRUE(responses[i].transport.ok())
+        << i << ": " << responses[i].transport.ToString();
+    EXPECT_EQ(responses[i].code, task.expect_code) << i;
+    if (task.expect_payload != nullptr) {
+      EXPECT_EQ(responses[i].payload, *task.expect_payload) << i;
+    }
+  }
+
+  // The server survives the mix and still answers.
+  EXPECT_EQ(RoundTrip(socket_path, "{\"op\":\"ping\"}").transport.ok(), true);
+  server->Shutdown();
+}
+
+TEST_F(ServeTest, AdmissionQueueRejectsWhenFull) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Load({.name = "pts", .path = *index_path_}).ok());
+  std::unique_ptr<Server> server;
+  ServerOptions options;
+  options.workers = 1;
+  options.max_pending = 1;
+  // Generous: the stalled connections are unblocked below by closing their
+  // fds (EOF), never by this timeout — it must not expire mid-test on a
+  // slow sanitizer run and un-pin the worker early.
+  options.request_timeout_ms = 30000;
+  const std::string socket_path = StartServer(&registry, options, &server);
+
+  // Pin the single worker with a connection that sends nothing, fill the
+  // queue of one with a second silent connection, and watch the third get
+  // refused at the door with kResourceExhausted.
+  const int pinned = ConnectTo(socket_path);
+  for (int spin = 0; spin < 200 && server->counters().accepted < 1; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server->counters().accepted, 1u);
+  // Give the worker a beat to claim `pinned` off the queue; only then does
+  // `queued` land in the queue slot instead of being rejected itself.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const int queued = ConnectTo(socket_path);
+  for (int spin = 0; spin < 200 && server->counters().accepted < 2; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_EQ(server->counters().accepted, 2u);
+
+  Response rejected = RoundTrip(socket_path, "{\"op\":\"ping\"}");
+  ASSERT_TRUE(rejected.transport.ok()) << rejected.transport.ToString();
+  EXPECT_EQ(rejected.code, "ResourceExhausted");
+  EXPECT_GE(server->counters().rejected, 1u);
+
+  ::close(pinned);
+  ::close(queued);
+  // Closing the stalled fds surfaces as EOF in the worker; service resumes.
+  for (int spin = 0; spin < 200; ++spin) {
+    Response ping = RoundTrip(socket_path, "{\"op\":\"ping\"}");
+    if (ping.transport.ok() && ping.first_line.find("\"ok\":true") !=
+                                   std::string::npos) {
+      server->Shutdown();
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  FAIL() << "server never recovered from the stalled connections";
+}
+
+TEST_F(ServeTest, ShutdownDrainsInFlightQueries) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Load({.name = "pts", .path = *index_path_}).ok());
+  std::unique_ptr<Server> server;
+  ServerOptions options;
+  options.workers = 4;
+  const std::string socket_path = StartServer(&registry, options, &server);
+
+  const std::string ref_ssj =
+      OneShotPayload(JoinAlgorithm::kSSJ, 0.01, 10, OutputFormat::kText);
+  const std::string request = JoinRequest("ssj", 0.01, 10) + "\n";
+  std::vector<Response> responses(4);
+  std::atomic<size_t> connected{0};
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < responses.size(); ++i) {
+    clients.emplace_back([&, i] {
+      // Connect and send before Shutdown is triggered (the main thread
+      // waits on `connected`), so every request is in the listener's
+      // backlog or beyond when the drain starts.
+      const int fd = ConnectTo(socket_path);
+      WriteAll(fd, request).ok();
+      connected.fetch_add(1);
+      LineReader reader(fd, /*timeout_ms=*/30000);
+      Response& response = responses[i];
+      response.transport = reader.ReadLine(&response.first_line);
+      if (response.transport.ok()) {
+        response.transport = ReadFramedPayload(
+            &reader, OutputFormat::kText, &response.payload,
+            &response.trailer);
+      }
+      ::close(fd);
+      auto doc = json::Parse(response.trailer);
+      if (doc.ok()) {
+        const json::Value* code = doc->Find("code");
+        if (code != nullptr && code->is_string()) {
+          response.code = code->AsString();
+        }
+      }
+    });
+  }
+  while (connected.load() < responses.size()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Shut down while the queries are queued or in flight: drain must finish
+  // everything it admitted, not cut it off.
+  server->Shutdown();
+  for (std::thread& client : clients) client.join();
+
+  for (size_t i = 0; i < responses.size(); ++i) {
+    // A request still in the un-accepted backlog when the listener closed
+    // legitimately sees a hangup; anything admitted must complete whole.
+    if (!responses[i].transport.ok()) continue;
+    EXPECT_EQ(responses[i].code, "OK") << i;
+    EXPECT_EQ(responses[i].payload, ref_ssj) << i;
+  }
+  // The socket file is gone; a late client cannot connect.
+  struct stat st;
+  EXPECT_NE(::stat(socket_path.c_str(), &st), 0);
+}
+
+TEST_F(ServeTest, PerQueryMetricsDeltaInTrailer) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Load({.name = "pts", .path = *index_path_}).ok());
+  std::unique_ptr<Server> server;
+  const std::string socket_path = StartServer(&registry, {}, &server);
+
+  Response response = RoundTrip(
+      socket_path, JoinRequest("csj", 0.01, 10, ",\"metrics\":true"));
+  ASSERT_TRUE(response.transport.ok());
+  EXPECT_EQ(response.code, "OK");
+  auto trailer = json::Parse(response.trailer);
+  ASSERT_TRUE(trailer.ok());
+  const json::Value* metrics = trailer->Find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  // The delta window brackets exactly this query, so its sink counters are
+  // present and non-smeared.
+  EXPECT_NE(metrics->Find("counters"), nullptr);
+  server->Shutdown();
+}
+
+}  // namespace
+}  // namespace csj::serve

@@ -43,6 +43,7 @@
 /// 2-D only (the common GIS case); the C++ API is dimension-generic.
 
 #include <atomic>
+#include <cerrno>
 #include <csignal>
 #include <cstdio>
 #include <cstring>
@@ -526,11 +527,23 @@ int CmdCat(Flags& flags) {
                     .c_str(),
                 out.c_str(), width);
   } else {
-    while (cursor->Next()) {
+    bool consumer_gone = false;
+    while (!consumer_gone && cursor->Next()) {
       const auto ids = cursor->record().ids;
       for (size_t i = 0; i < ids.size(); ++i) {
-        std::printf("%0*u%c", width, ids[i],
-                    i + 1 == ids.size() ? '\n' : ' ');
+        errno = 0;
+        if (std::printf("%0*u%c", width, ids[i],
+                        i + 1 == ids.size() ? '\n' : ' ') < 0) {
+          // `csj_tool cat ... | head`: the consumer closed stdout. SIGPIPE
+          // is ignored process-wide, so the hangup surfaces here as EPIPE —
+          // a consumer decision, not an error. Anything else still dies.
+          if (errno != EPIPE) {
+            Flags::Die(std::string("write to stdout failed: ") +
+                       std::strerror(errno));
+          }
+          consumer_gone = true;
+          break;
+        }
       }
     }
     DieOnError(cursor->status());
@@ -627,6 +640,11 @@ int Usage() {
 }
 
 int Main(int argc, char** argv) {
+  // A consumer hanging up mid-stream (`csj_tool join ... | head`) must not
+  // kill the process with SIGPIPE: ignored, the broken pipe surfaces as
+  // EPIPE, which OutputFile maps to a clean sticky kCancelled (exit 3) and
+  // CmdCat's stdout loop treats as end-of-interest (exit 0).
+  std::signal(SIGPIPE, SIG_IGN);
   if (argc < 2) return Usage();
   const std::string command = argv[1];
   Flags flags(argc, argv, 2);
