@@ -127,6 +127,13 @@ class BenchRecorder {
   /// Labels subsequent records, e.g. with the current dataset name.
   void SetContext(std::string context) { context_ = std::move(context); }
 
+  /// Adds an entry to the report's config block — environment facts a reader
+  /// needs to interpret the numbers, e.g. which kernel ISA the `simd` rows
+  /// dispatched to on this host. Last write per key wins.
+  void AddConfig(const std::string& key, json::Value value) {
+    extra_config_[key] = std::move(value);
+  }
+
   /// One measured (or estimated) MeasureJoin result.
   void RecordRun(JoinAlgorithm algorithm, double eps,
                  const RunResult& result) {
@@ -170,6 +177,7 @@ class BenchRecorder {
     config["runs"] = static_cast<int64_t>(args.runs);
     config["csv_dir"] = args.csv_dir;
     config["link_budget"] = args.link_budget;
+    for (auto& [key, value] : extra_config_) config[key] = value;
     doc["config"] = std::move(config);
     doc["runs"] = std::move(runs_);
     runs_ = json::Value(json::Array{});
@@ -195,6 +203,7 @@ class BenchRecorder {
   BenchRecorder() = default;
 
   std::string context_;
+  json::Object extra_config_;
   json::Value runs_ = json::Value(json::Array{});
 };
 

@@ -12,7 +12,13 @@
 /// the naive loop on the same scenario; each cell also lands in
 /// BENCH_bench_kernels.json (context "self|block dim=D k=K eps=E
 /// kernel=MODE") so the bench trajectory tracks kernel performance over
-/// time. `--smoke` shrinks sizes and repetitions to CI scale.
+/// time. In addition to the portable modes, one row per *available* explicit
+/// ISA backend (avx2, avx512) isolates the per-ISA cost, and the config
+/// block records which ISA the `simd` rows dispatched to on this host.
+/// `--smoke` shrinks sizes and repetitions to CI scale and additionally
+/// asserts the dispatched SIMD backend is no slower than `sweep` on the
+/// dense-leaf cells (exit 1 on regression; skipped when dispatch resolves
+/// to scalar, e.g. under -DCSJ_SIMD=OFF).
 
 #include <cstdio>
 #include <span>
@@ -21,14 +27,32 @@
 
 #include "bench_common.h"
 #include "data/generators.h"
+#include "geom/dispatch.h"
 #include "geom/kernels.h"
 #include "util/random.h"
 
 namespace csj::bench {
 namespace {
 
-constexpr LeafKernel kModes[] = {LeafKernel::kNaive, LeafKernel::kSweep,
-                                 LeafKernel::kSimd};
+/// The portable modes plus every explicit ISA backend this host can run.
+/// (Unavailable ISA modes would silently degrade to scalar — a row labeled
+/// "avx512" timing the scalar loop is worse than no row.)
+std::vector<LeafKernel> BenchModes() {
+  std::vector<LeafKernel> modes = {LeafKernel::kNaive, LeafKernel::kSweep,
+                                   LeafKernel::kSimd};
+  if (KernelIsaAvailable(KernelIsa::kAvx2)) modes.push_back(LeafKernel::kAvx2);
+  if (KernelIsaAvailable(KernelIsa::kAvx512)) {
+    modes.push_back(LeafKernel::kAvx512);
+  }
+  return modes;
+}
+
+/// Accumulated dense-leaf (largest epsilon fraction) per-call times, the
+/// basis of the --smoke regression gate.
+struct SmokeTotals {
+  double sweep_seconds = 0.0;
+  double simd_seconds = 0.0;
+};
 
 template <int D>
 std::vector<Entry<D>> LeafPoints(size_t k, uint64_t seed) {
@@ -84,7 +108,7 @@ void Record(const std::string& context, double eps, const Cell& cell) {
 }
 
 template <int D>
-void BenchDim(const BenchArgs& args, Table* table) {
+void BenchDim(const BenchArgs& args, Table* table, SmokeTotals* smoke) {
   const std::vector<size_t> sizes =
       args.smoke ? std::vector<size_t>{64, 256}
                  : std::vector<size_t>{64, 256, 1024};
@@ -109,7 +133,7 @@ void BenchDim(const BenchArgs& args, Table* table) {
       LeafJoinScratch<D> scratch;
       double naive_self = 0.0;
       double naive_block = 0.0;
-      for (LeafKernel mode : kModes) {
+      for (LeafKernel mode : BenchModes()) {
         const Cell self = TimeKernel(
             [&](uint64_t* hits) {
               return SelfJoinKernel(
@@ -128,6 +152,17 @@ void BenchDim(const BenchArgs& args, Table* table) {
         if (mode == LeafKernel::kNaive) {
           naive_self = self.seconds_per_call;
           naive_block = block.seconds_per_call;
+        }
+        // Dense-leaf cells (widest epsilon fraction) feed the --smoke gate:
+        // that is the regime the SIMD backend exists for.
+        if (frac == 0.4) {
+          if (mode == LeafKernel::kSweep) {
+            smoke->sweep_seconds += self.seconds_per_call +
+                                    block.seconds_per_call;
+          } else if (mode == LeafKernel::kSimd) {
+            smoke->simd_seconds += self.seconds_per_call +
+                                   block.seconds_per_call;
+          }
         }
         const auto row = [&](const char* shape, const Cell& cell,
                              double naive_seconds) {
@@ -156,19 +191,55 @@ void BenchDim(const BenchArgs& args, Table* table) {
   }
 }
 
+/// Set by the --smoke regression gate; surfaced as the process exit code.
+bool g_smoke_failed = false;
+
 void Main(const BenchArgs& args) {
+  const KernelIsa dispatched = DispatchedKernelIsa();
+  BenchRecorder::Get().AddConfig("kernel_isa", KernelIsaName(dispatched));
+  BenchRecorder::Get().AddConfig("kernel_isa_avx2_available",
+                                 KernelIsaAvailable(KernelIsa::kAvx2));
+  BenchRecorder::Get().AddConfig("kernel_isa_avx512_available",
+                                 KernelIsaAvailable(KernelIsa::kAvx512));
+  std::printf("simd dispatches to: %s\n\n", KernelIsaName(dispatched));
+
   Table table("Leaf-join kernels — pair enumeration throughput",
               {"dim", "shape", "k", "eps", "kernel", "t/call", "Mpairs/s",
                "computed", "hits", "speedup"});
-  BenchDim<2>(args, &table);
-  BenchDim<3>(args, &table);
-  if (!args.smoke) BenchDim<5>(args, &table);
+  SmokeTotals smoke;
+  BenchDim<2>(args, &table, &smoke);
+  BenchDim<3>(args, &table, &smoke);
+  if (!args.smoke) BenchDim<5>(args, &table, &smoke);
   EmitTable(table, args, "kernels");
+
+  if (args.smoke) {
+    // CI regression gate: on the dense-leaf cells the dispatched SIMD
+    // backend must be at least as fast as the portable sweep (10% noise
+    // allowance). Meaningless when dispatch resolves to scalar — then simd
+    // *is* sweep-with-function-pointers and only correctness matters.
+    if (dispatched == KernelIsa::kScalar) {
+      std::printf("smoke gate: skipped (dispatched ISA is scalar)\n");
+    } else {
+      const double ratio = smoke.simd_seconds /
+                           std::max(smoke.sweep_seconds, 1e-12);
+      std::printf("smoke gate: dense-leaf simd/sweep time ratio %.3f "
+                  "(dispatched %s, limit 1.10)\n",
+                  ratio, KernelIsaName(dispatched));
+      if (ratio > 1.10) {
+        std::fprintf(stderr,
+                     "FAIL: dispatched SIMD backend slower than sweep on "
+                     "dense leaves (ratio %.3f > 1.10)\n", ratio);
+        g_smoke_failed = true;
+      }
+    }
+  }
 }
 
 }  // namespace
 }  // namespace csj::bench
 
 int main(int argc, char** argv) {
-  return csj::bench::BenchMain(argc, argv, csj::bench::Main);
+  const int rc = csj::bench::BenchMain(argc, argv, csj::bench::Main);
+  if (rc != 0) return rc;
+  return csj::bench::g_smoke_failed ? 1 : 0;
 }

@@ -49,6 +49,13 @@ struct JoinStats {
   uint64_t merge_attempts = 0;  ///< link-into-group trials (CSJ)
   uint64_t merges = 0;          ///< successful merges (CSJ)
 
+  /// KernelIsaName of the SIMD backend the leaf kernels actually ran
+  /// ("scalar", "avx2", "avx512"); empty when the run's leaf_kernel mode
+  /// never consults a backend (naive, sweep). Recomputed per run — resume
+  /// does not persist it, since a resumed run may land on different
+  /// hardware.
+  std::string kernel_isa;
+
   // Timing.
   double elapsed_seconds = 0.0;  ///< total join wall time (includes writes)
   double write_seconds = 0.0;    ///< sink time, if measure_write_time was set
@@ -104,6 +111,7 @@ struct JoinStats {
     v["early_stops"] = early_stops;
     v["merge_attempts"] = merge_attempts;
     v["merges"] = merges;
+    if (!kernel_isa.empty()) v["kernel_isa"] = kernel_isa;
     v["elapsed_seconds"] = elapsed_seconds;
     v["write_seconds"] = write_seconds;
     v["implied_links"] = implied_links_;

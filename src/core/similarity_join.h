@@ -9,6 +9,7 @@
 #include "core/group.h"
 #include "core/join_options.h"
 #include "core/join_stats.h"
+#include "core/leaf_batch.h"
 #include "core/sink.h"
 #include "geom/kernels.h"
 #include "index/spatial_index.h"
@@ -68,7 +69,13 @@ class JoinDriver {
     if (MemoryBudget* budget = run_ctx_.memory_budget()) {
       kernel_scratch_charge_.Acquire(budget, 0);
       pair_scratch_charge_.Acquire(budget, 0);
+      batch_charge_.Acquire(budget, 0);
     }
+    // kNaive stays undeferred so it remains the honest pre-batching
+    // baseline; every other mode defers leaf work through the batch.
+    batch_enabled_ = options.leaf_batch > 1 &&
+                     options.leaf_kernel != LeafKernel::kNaive;
+    leaf_batch_.SetCapacity(options.leaf_batch);
     stats_.algorithm = algorithm;
     stats_.epsilon = options.epsilon;
     stats_.window_size =
@@ -104,6 +111,9 @@ class JoinDriver {
       } else {
         SelfDualJoin(task.first, task.second);
       }
+      // Tasks stay atomic units of progress: nothing deferred leaks across
+      // a task boundary.
+      DrainLeafBatch();
     }
     if (algorithm_ == JoinAlgorithm::kCSJ) window_.Flush();
     CSJ_METRIC_HIST("parallel.tasks_per_worker", tasks_processed);
@@ -125,6 +135,7 @@ class JoinDriver {
         DualJoin(tree_a_.Root(), tree_b_.Root());
       }
     }
+    DrainLeafBatch();
     if (algorithm_ == JoinAlgorithm::kCSJ) window_.Flush();
     FinalizeStats(timer);
     return stats_;
@@ -146,6 +157,9 @@ class JoinDriver {
     } else {
       SelfDualJoin(task.first, task.second);
     }
+    // Checkpoint atomicity: a task's deferred leaf work is part of the task
+    // — it must reach the sink/window before the runner snapshots.
+    DrainLeafBatch();
   }
 
   /// Emits everything still pending in the CSJ(g) merge window (no-op for
@@ -188,6 +202,11 @@ class JoinDriver {
   }
 
   void FinalizeStats(const WallTimer& timer) {
+    if (LeafKernelUsesBackend(options_.leaf_kernel)) {
+      const KernelIsa isa = EffectiveKernelIsa(options_.leaf_kernel);
+      stats_.kernel_isa = KernelIsaName(isa);
+      RecordKernelBackendMetric(isa);
+    }
     stats_.status = sink_->error();
     if (stats_.status.ok()) stats_.status = run_ctx_.status();
     stats_.elapsed_seconds = timer.ElapsedSeconds();
@@ -260,6 +279,75 @@ class JoinDriver {
     return false;
   }
 
+  // --- Batched leaf pipeline (core/leaf_batch.h) ----------------------------
+
+  /// Batch keys: tree A leaves use the node id; tree B leaves (dual joins)
+  /// set the top bit so the two id spaces never collide in one batch.
+  static uint64_t LeafKeyA(NodeId n) { return static_cast<uint64_t>(n); }
+  static uint64_t LeafKeyB(NodeId n) {
+    return static_cast<uint64_t>(n) | (uint64_t{1} << 63);
+  }
+
+  /// High-water budget accounting for the batch's resident tiles + queue,
+  /// called after every enqueue. A denial trips the context; the pending
+  /// events are abandoned with the rest of the run.
+  bool ChargeBatch() {
+    const uint64_t bytes = leaf_batch_.BytesResident();
+    if (bytes <= charged_batch_bytes_) return true;
+    charged_batch_bytes_ = bytes;
+    if (batch_charge_.Resize(bytes)) return true;
+    run_ctx_.Trip(Status::ResourceExhausted(
+        "memory budget exhausted growing the leaf batch"));
+    return false;
+  }
+
+  /// Charge + capacity check after an enqueue; drains a full batch.
+  void AfterEnqueue() {
+    if (!ChargeBatch()) return;
+    if (leaf_batch_.Full()) DrainLeafBatch();
+  }
+
+  /// Executes every deferred event in enqueue (= traversal) order, then
+  /// resets the batch. Kernel work runs back to back over the resident
+  /// tiles; group events re-walk their subtrees here, so their member
+  /// collections interleave with links exactly as in the undeferred driver.
+  void DrainLeafBatch() {
+    for (const LeafEvent& e : leaf_batch_.events()) {
+      if (Aborted()) break;
+      switch (e.kind) {
+        case LeafEvent::Kind::kSelfLeaf:
+          AddKernelWork(SelfJoinTileKernel(
+              kernel_scratch_, leaf_batch_.Tile(e.tile_a), eps_squared_,
+              options_.leaf_kernel,
+              [this](const Entry<D>& a, const Entry<D>& b) {
+                EmitLink(a, b);
+              }));
+          break;
+        case LeafEvent::Kind::kPairLeaf:
+          AddKernelWork(BlockJoinTileKernel(
+              kernel_scratch_, leaf_batch_.Tile(e.tile_a),
+              leaf_batch_.Tile(e.tile_b), eps_squared_, options_.leaf_kernel,
+              [this](const Entry<D>& a, const Entry<D>& b) {
+                EmitLink(a, b);
+              }));
+          break;
+        case LeafEvent::Kind::kGroup:
+          EmitSubtreeGroup(static_cast<NodeId>(e.id_a));
+          break;
+        case LeafEvent::Kind::kGroupPair:
+          if (self_join_) {
+            EmitSubtreePairGroupSelf(static_cast<NodeId>(e.id_a),
+                                     static_cast<NodeId>(e.id_b));
+          } else {
+            EmitSubtreePairGroupDual(static_cast<NodeId>(e.id_a),
+                                     static_cast<NodeId>(e.id_b));
+          }
+          break;
+      }
+    }
+    leaf_batch_.Clear();
+  }
+
   /// Budget accounting for a subtree group's member collection buffer.
   bool ChargeMembers(ScopedCharge& charge, size_t count) {
     MemoryBudget* budget = run_ctx_.memory_budget();
@@ -299,12 +387,23 @@ class JoinDriver {
     TouchA(n);
     if (Compact() && options_.early_stop &&
         tree_a_.MaxDiameter(n) <= eps_) {
-      EmitSubtreeGroup(n);
+      if (batch_enabled_) {
+        leaf_batch_.PushGroup(LeafKeyA(n));
+        AfterEnqueue();
+      } else {
+        EmitSubtreeGroup(n);
+      }
       return;
     }
     if (tree_a_.IsLeaf(n)) {
       decltype(auto) entries = TreeEntries(tree_a_, n, &run_ctx_);
       if (!ChargeLeafScratch(entries.size())) return;
+      if (batch_enabled_) {
+        leaf_batch_.PushSelf(leaf_batch_.TileSlot(
+            LeafKeyA(n), [&](LeafTile<D>& t) { t.Load(entries); }));
+        AfterEnqueue();
+        return;
+      }
       AddKernelWork(SelfJoinKernel(
           kernel_scratch_, entries, eps_squared_, options_.leaf_kernel,
           [this](const Entry<D>& a, const Entry<D>& b) { EmitLink(a, b); }));
@@ -348,7 +447,12 @@ class JoinDriver {
     TouchA(n2);
     if (Compact() && options_.early_stop &&
         tree_a_.MaxDiameter(n1, n2) <= eps_) {
-      EmitSubtreePairGroupSelf(n1, n2);
+      if (batch_enabled_) {
+        leaf_batch_.PushGroupPair(LeafKeyA(n1), LeafKeyA(n2));
+        AfterEnqueue();
+      } else {
+        EmitSubtreePairGroupSelf(n1, n2);
+      }
       return;
     }
     const bool leaf1 = tree_a_.IsLeaf(n1);
@@ -357,6 +461,15 @@ class JoinDriver {
       decltype(auto) entries1 = TreeEntries(tree_a_, n1, &run_ctx_);
       decltype(auto) entries2 = TreeEntries(tree_a_, n2, &run_ctx_);
       if (!ChargeLeafScratch(entries1.size() + entries2.size())) return;
+      if (batch_enabled_) {
+        const uint32_t slot1 = leaf_batch_.TileSlot(
+            LeafKeyA(n1), [&](LeafTile<D>& t) { t.Load(entries1); });
+        const uint32_t slot2 = leaf_batch_.TileSlot(
+            LeafKeyA(n2), [&](LeafTile<D>& t) { t.Load(entries2); });
+        leaf_batch_.PushPair(slot1, slot2);
+        AfterEnqueue();
+        return;
+      }
       AddKernelWork(BlockJoinKernel(
           kernel_scratch_, entries1, entries2, eps_squared_,
           options_.leaf_kernel,
@@ -407,7 +520,12 @@ class JoinDriver {
     TouchB(b);
     if (Compact() && options_.early_stop &&
         UnionDiameterBound(tree_a_.Shape(a), tree_b_.Shape(b)) <= eps_) {
-      EmitSubtreePairGroupDual(a, b);
+      if (batch_enabled_) {
+        leaf_batch_.PushGroupPair(a, b);
+        AfterEnqueue();
+      } else {
+        EmitSubtreePairGroupDual(a, b);
+      }
       return;
     }
     const bool leaf_a = tree_a_.IsLeaf(a);
@@ -416,6 +534,15 @@ class JoinDriver {
       decltype(auto) entries_a = TreeEntries(tree_a_, a, &run_ctx_);
       decltype(auto) entries_b = TreeEntries(tree_b_, b, &run_ctx_);
       if (!ChargeLeafScratch(entries_a.size() + entries_b.size())) return;
+      if (batch_enabled_) {
+        const uint32_t slot_a = leaf_batch_.TileSlot(
+            LeafKeyA(a), [&](LeafTile<D>& t) { t.Load(entries_a); });
+        const uint32_t slot_b = leaf_batch_.TileSlot(
+            LeafKeyB(b), [&](LeafTile<D>& t) { t.Load(entries_b); });
+        leaf_batch_.PushPair(slot_a, slot_b);
+        AfterEnqueue();
+        return;
+      }
       AddKernelWork(BlockJoinKernel(
           kernel_scratch_, entries_a, entries_b, eps_squared_,
           options_.leaf_kernel,
@@ -566,12 +693,17 @@ class JoinDriver {
   GroupWindow<D> window_;
   /// Leaf-kernel scratch (SoA tiles + hit buffer), reused across leaf visits.
   LeafJoinScratch<D> kernel_scratch_;
+  /// Deferred leaf/group events + per-batch tile cache (core/leaf_batch.h).
+  LeafBatch<D> leaf_batch_;
+  bool batch_enabled_ = false;
   /// Per-recursion-depth (dist, child pair) buffers for sort_child_pairs.
   std::vector<std::vector<ChildPair>> pair_scratch_pool_;
   /// High-water-mark budget reservations for the scratch buffers above.
   ScopedCharge kernel_scratch_charge_;
   ScopedCharge pair_scratch_charge_;
+  ScopedCharge batch_charge_;
   size_t charged_leaf_entries_ = 0;
+  uint64_t charged_batch_bytes_ = 0;
   static constexpr uint64_t kPairScratchLevelBytes =
       256 * sizeof(ChildPair);
 };

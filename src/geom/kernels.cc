@@ -10,6 +10,10 @@ const char* LeafKernelName(LeafKernel kernel) {
       return "sweep";
     case LeafKernel::kSimd:
       return "simd";
+    case LeafKernel::kAvx2:
+      return "avx2";
+    case LeafKernel::kAvx512:
+      return "avx512";
   }
   return "?";
 }
@@ -21,6 +25,10 @@ bool ParseLeafKernel(std::string_view name, LeafKernel* out) {
     *out = LeafKernel::kSweep;
   } else if (name == "simd") {
     *out = LeafKernel::kSimd;
+  } else if (name == "avx2") {
+    *out = LeafKernel::kAvx2;
+  } else if (name == "avx512") {
+    *out = LeafKernel::kAvx512;
   } else {
     return false;
   }

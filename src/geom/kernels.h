@@ -9,6 +9,7 @@
 #include <string_view>
 #include <vector>
 
+#include "geom/dispatch.h"
 #include "geom/point.h"
 #include "util/metrics.h"
 
@@ -39,11 +40,14 @@
 ///     dimensions only add non-negative terms, and IEEE rounding is
 ///     monotone). Ties exactly at epsilon are therefore preserved bit-for-bit.
 ///
-///  3. **Blocked distance evaluation** (LeafKernel::kSimd): within the sweep
-///     window, squared distances are computed for kKernelLaneWidth candidates
-///     at a time into a small accumulator array with no branches in the
-///     dimension loop — the classic auto-vectorization shape (one FMA stream
-///     per lane). Hit detection scans the accumulators afterwards.
+///  3. **Explicit-SIMD backends** (LeafKernel::kSimd): within the sweep
+///     window, squared distances are evaluated by an ISA-specific backend
+///     (geom/dispatch.h) — hand-written AVX2 / AVX-512 intrinsic loops or a
+///     blocked scalar fallback — selected once at startup by CPUID (with the
+///     CSJ_KERNEL_ISA env override). kSimd runs the best ISA the host
+///     offers; kAvx2 / kAvx512 pin one backend for A/B benchmarking. Every
+///     backend follows the determinism contract in geom/dispatch.h, so
+///     accept/reject decisions are bit-identical across ISAs.
 ///
 /// **Output discipline.** The sweep kernels buffer qualifying pairs as
 /// original-index hits and replay them through the callback in exactly the
@@ -51,9 +55,17 @@
 /// index ranges keeps that replay cheap even when most pairs hit). The naive
 /// kernel emits directly — it already enumerates canonically, and skipping
 /// the tile transpose and hit buffer keeps it an honest pre-PR baseline.
-/// All three kernels are therefore *output-identical* — not just
-/// multiset-equal — which matters for CSJ(g), whose group window is
-/// order-sensitive. Benchmarks can ablate kernels without changing results.
+/// All kernels are therefore *output-identical* — not just multiset-equal —
+/// which matters for CSJ(g), whose group window is order-sensitive.
+/// Benchmarks can ablate kernels (and ISAs) without changing results.
+///
+/// The kernels come in two flavors per join shape: span-based
+/// (SelfJoinKernel / BlockJoinKernel, which load driver scratch tiles and
+/// delegate) and tile-based (SelfJoinTileKernel / BlockJoinTileKernel,
+/// operating on pre-loaded tiles). The tile flavor is what the batched leaf
+/// pipeline (core/leaf_batch.h) drains through: tiles shared by several
+/// deferred leaf-pair tasks are transposed once per batch, not once per
+/// task.
 ///
 /// **Accounting.** Instead of a per-pair ++stats counter, each kernel call
 /// returns bulk KernelCounters (candidate pairs, distances actually
@@ -67,22 +79,46 @@ namespace csj {
 
 /// Leaf-level pair-enumeration strategy.
 enum class LeafKernel {
-  kNaive,  ///< scalar double loop in entry order (the pre-kernel baseline)
-  kSweep,  ///< sort by widest dimension + 1-D gap break
-  kSimd,   ///< sweep window + blocked, branch-free distance lanes
+  kNaive,   ///< scalar double loop in entry order (the pre-kernel baseline)
+  kSweep,   ///< sort by widest dimension + 1-D gap break
+  kSimd,    ///< sweep window + best available explicit-SIMD backend
+  kAvx2,    ///< like kSimd, pinned to the AVX2 backend (benchmarking)
+  kAvx512,  ///< like kSimd, pinned to the AVX-512 backend (benchmarking)
 };
 
-/// Display name: "naive", "sweep", "simd".
+/// Display name: "naive", "sweep", "simd", "avx2", "avx512".
 const char* LeafKernelName(LeafKernel kernel);
 
 /// Parses a LeafKernelName string (case-sensitive). Returns false on unknown
 /// names and leaves *out untouched.
 bool ParseLeafKernel(std::string_view name, LeafKernel* out);
 
-/// Candidates evaluated per inner block by the kSimd kernel. Eight doubles
-/// fill a cache line and map to 2x AVX2 / 4x SSE2 vectors; the dimension
-/// loop over a block is fully branch-free.
-inline constexpr size_t kKernelLaneWidth = 8;
+/// The ISA a sweep-window mode executes with: kSimd follows the runtime
+/// dispatch decision (CSJ_KERNEL_ISA override included); kAvx2 / kAvx512 pin
+/// their backend, degrading to scalar via GetKernelBackend when the host (or
+/// build) lacks it. kNaive and kSweep never consult a backend.
+inline KernelIsa ResolveKernelIsa(LeafKernel mode) {
+  switch (mode) {
+    case LeafKernel::kAvx2:
+      return KernelIsa::kAvx2;
+    case LeafKernel::kAvx512:
+      return KernelIsa::kAvx512;
+    default:
+      return DispatchedKernelIsa();
+  }
+}
+
+/// True for modes whose distance evaluation runs through a KernelBackend
+/// (and should therefore report JoinStats::kernel_isa).
+inline bool LeafKernelUsesBackend(LeafKernel mode) {
+  return mode != LeafKernel::kNaive && mode != LeafKernel::kSweep;
+}
+
+/// The ISA `mode` would actually execute with right now — degradation to
+/// scalar included, so this is the truthful stats/metrics label.
+inline KernelIsa EffectiveKernelIsa(LeafKernel mode) {
+  return GetKernelBackend(ResolveKernelIsa(mode)).isa;
+}
 
 /// Bulk work accounting for one kernel invocation (or a running total).
 struct KernelCounters {
@@ -280,6 +316,7 @@ struct LeafJoinScratch {
   std::vector<KernelHit> hits;
   std::vector<KernelHit> hits_tmp;
   std::vector<uint32_t> hit_slots;
+  std::vector<uint32_t> isa_hits;  ///< per-window buffer for the backends
   KernelCounters totals;
 };
 
@@ -340,105 +377,27 @@ inline void SortHitsCanonical(std::vector<KernelHit>& hits,
   for (const KernelHit& h : tmp) hits[slots[h.first]++] = h;
 }
 
-/// First index in [begin, end) of the sorted axis `x` whose 1-D squared gap
-/// from `xi` exceeds eps2 (candidates live in [begin, result)). Uses the
-/// same fl((x[j]-xi)^2) predicate as the sweep break, which is monotone in
-/// x[j], so binary search and linear break agree exactly.
-inline size_t SweepBound(const double* x, size_t begin, size_t end, double xi,
-                         double eps2) {
-  size_t lo = begin;
-  size_t hi = end;
-  while (lo < hi) {
-    const size_t mid = lo + (hi - lo) / 2;
-    const double gap = x[mid] - xi;
-    if (gap * gap <= eps2) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return lo;
-}
-
-/// Blocked, branch-free squared-distance evaluation of the candidate window
-/// [begin, end) of `other` against slot `i` of `self` (self == other for the
-/// self kernel). Calls `hit(j)` for every in-range candidate.
-template <int D, typename HitFn>
-inline void BlockedLanes(const LeafTile<D>& self, size_t i,
-                         const LeafTile<D>& other, size_t begin, size_t end,
-                         double eps2, HitFn&& hit) {
-  std::array<const double*, D> dims;
-  std::array<double, D> center;
-  for (int d = 0; d < D; ++d) {
-    dims[d] = other.Dim(d);
-    center[d] = self.Dim(d)[i];
-  }
-  size_t j = begin;
-  for (; j + kKernelLaneWidth <= end; j += kKernelLaneWidth) {
-    double acc[kKernelLaneWidth] = {};
-    for (int d = 0; d < D; ++d) {
-      const double* c = dims[d];
-      const double cd = center[d];
-      for (size_t lane = 0; lane < kKernelLaneWidth; ++lane) {
-        const double diff = c[j + lane] - cd;
-        acc[lane] += diff * diff;
-      }
-    }
-    for (size_t lane = 0; lane < kKernelLaneWidth; ++lane) {
-      if (acc[lane] <= eps2) hit(j + lane);
-    }
-  }
-  for (; j < end; ++j) {
-    double acc = 0.0;
-    for (int d = 0; d < D; ++d) {
-      const double diff = dims[d][j] - center[d];
-      acc += diff * diff;
-    }
-    if (acc <= eps2) hit(j);
-  }
-}
-
 }  // namespace kernel_internal
 
-/// Joins one leaf against itself: every unordered pair of distinct entries
-/// within epsilon is passed to `emit(e1, e2)`, where e1 precedes e2 in the
-/// original entry order — the exact pairs, in the exact order, the scalar
-/// `for i < j` loop produces. Returns this call's work counters (also
-/// accumulated into `s.totals` and the process metrics).
-template <int D, typename Span,
-          typename Proj = kernel_internal::IdentityProj, typename Emit>
-KernelCounters SelfJoinKernel(LeafJoinScratch<D>& s, const Span& entries,
-                              double eps2, LeafKernel mode, Emit&& emit,
-                              Proj proj = {}) {
+/// Joins a pre-loaded tile against itself: every unordered pair of distinct
+/// entries within epsilon is passed to `emit(e1, e2)`, where e1 precedes e2
+/// in the tile's original entry order — the exact pairs, in the exact order,
+/// the scalar `for i < j` loop produces. This is the tile-major entry point
+/// the batched leaf pipeline drains through; `tile` may be driver scratch or
+/// a batch-cached tile shared by several deferred tasks. The tile's sort
+/// state on entry does not matter: SortByDim is memoized, window bounds and
+/// prune decisions depend only on coordinate values, and hits are replayed
+/// canonically. kNaive is executed as kSweep here (the transpose has already
+/// been paid; output is identical) — drivers keep the naive baseline honest
+/// by never routing it through tiles.
+template <int D, typename Emit>
+KernelCounters SelfJoinTileKernel(LeafJoinScratch<D>& s, LeafTile<D>& tile,
+                                  double eps2, LeafKernel mode, Emit&& emit) {
   KernelCounters c;
   c.invocations = 1;
-  const size_t n = entries.size();
+  const size_t n = tile.size();
   if (n >= 2) {
     c.candidates = static_cast<uint64_t>(n) * (n - 1) / 2;
-
-    if (mode == LeafKernel::kNaive) {
-      // The pre-kernel baseline, byte for byte: AoS double loop in entry
-      // order with direct emission. No tile transpose, no hit buffering —
-      // this is the honest ablation floor the other modes are measured
-      // against.
-      c.computed = c.candidates;
-      const auto end = std::end(entries);
-      for (auto it1 = std::begin(entries); it1 != end; ++it1) {
-        const Entry<D>& e1 = proj(*it1);
-        for (auto it2 = std::next(it1); it2 != end; ++it2) {
-          const Entry<D>& e2 = proj(*it2);
-          if (SquaredDistance(e1.point, e2.point) <= eps2) {
-            ++c.hits;
-            emit(e1, e2);
-          }
-        }
-      }
-      kernel_internal::Account(s, c);
-      return c;
-    }
-
-    LeafTile<D>& tile = s.a;
-    tile.Load(entries, proj);
     s.hits.clear();
     auto record = [&](size_t i, size_t j) {
       const uint32_t a = tile.OriginalIndex(i);
@@ -451,12 +410,12 @@ KernelCounters SelfJoinKernel(LeafJoinScratch<D>& s, const Span& entries,
 
     tile.SortByDim(tile.WidestDim());
     const double* x = tile.Dim(tile.WidestDim());
-    if (mode == LeafKernel::kSweep) {
-      // Dimension pointers hoisted into a local array so the inner distance
-      // loop streams over registers + SoA arrays instead of re-resolving
-      // vector storage after every hit push.
-      std::array<const double*, D> dims;
-      for (int d = 0; d < D; ++d) dims[d] = tile.Dim(d);
+    // Dimension pointers hoisted into a local array so the inner distance
+    // loop streams over registers + SoA arrays instead of re-resolving
+    // vector storage after every hit push.
+    std::array<const double*, D> dims;
+    for (int d = 0; d < D; ++d) dims[d] = tile.Dim(d);
+    if (mode == LeafKernel::kSweep || mode == LeafKernel::kNaive) {
       for (size_t i = 0; i < n; ++i) {
         const double xi = x[i];
         std::array<double, D> center;
@@ -474,12 +433,16 @@ KernelCounters SelfJoinKernel(LeafJoinScratch<D>& s, const Span& entries,
         }
       }
     } else {
+      const KernelBackend& be = GetKernelBackend(ResolveKernelIsa(mode));
+      s.isa_hits.resize(n);
+      std::array<double, D> center;
       for (size_t i = 0; i < n; ++i) {
-        const size_t bound =
-            kernel_internal::SweepBound(x, i + 1, n, x[i], eps2);
+        const size_t bound = be.sweep_bound(x, i + 1, n, x[i], eps2);
         c.computed += bound - (i + 1);
-        kernel_internal::BlockedLanes(tile, i, tile, i + 1, bound, eps2,
-                                      [&](size_t j) { record(i, j); });
+        for (int d = 0; d < D; ++d) center[d] = dims[d][i];
+        const size_t nh = be.window_hits(dims.data(), D, center.data(), i + 1,
+                                         bound, eps2, s.isa_hits.data());
+        for (size_t k = 0; k < nh; ++k) record(i, s.isa_hits[k]);
       }
     }
     c.pruned = c.candidates - c.computed;
@@ -494,44 +457,60 @@ KernelCounters SelfJoinKernel(LeafJoinScratch<D>& s, const Span& entries,
   return c;
 }
 
-/// Joins two distinct leaves (tiles A and B): every cross pair within
-/// epsilon is passed to `emit(ea, eb)` with ea always drawn from
-/// `entries_a`, in the order of the scalar `for a { for b }` loop. Returns
-/// this call's work counters.
-template <int D, typename SpanA, typename SpanB,
+/// Joins one leaf against itself from a span of entries: loads driver
+/// scratch tile s.a and delegates to SelfJoinTileKernel — except under
+/// kNaive, which runs the pre-kernel baseline byte for byte (AoS double loop
+/// in entry order, direct emission, no tile transpose, no hit buffering —
+/// the honest ablation floor the other modes are measured against). Returns
+/// this call's work counters (also accumulated into `s.totals` and the
+/// process metrics).
+template <int D, typename Span,
           typename Proj = kernel_internal::IdentityProj, typename Emit>
-KernelCounters BlockJoinKernel(LeafJoinScratch<D>& s, const SpanA& entries_a,
-                               const SpanB& entries_b, double eps2,
-                               LeafKernel mode, Emit&& emit, Proj proj = {}) {
-  KernelCounters c;
-  c.invocations = 1;
-  const size_t na = entries_a.size();
-  const size_t nb = entries_b.size();
-  if (na != 0 && nb != 0) {
-    c.candidates = static_cast<uint64_t>(na) * nb;
-
-    if (mode == LeafKernel::kNaive) {
-      // The pre-kernel baseline: AoS cross loop in entry order with direct
-      // emission (see SelfJoinKernel).
+KernelCounters SelfJoinKernel(LeafJoinScratch<D>& s, const Span& entries,
+                              double eps2, LeafKernel mode, Emit&& emit,
+                              Proj proj = {}) {
+  if (mode == LeafKernel::kNaive) {
+    KernelCounters c;
+    c.invocations = 1;
+    const size_t n = entries.size();
+    if (n >= 2) {
+      c.candidates = static_cast<uint64_t>(n) * (n - 1) / 2;
       c.computed = c.candidates;
-      for (const auto& elem_a : entries_a) {
-        const Entry<D>& e1 = proj(elem_a);
-        for (const auto& elem_b : entries_b) {
-          const Entry<D>& e2 = proj(elem_b);
+      const auto end = std::end(entries);
+      for (auto it1 = std::begin(entries); it1 != end; ++it1) {
+        const Entry<D>& e1 = proj(*it1);
+        for (auto it2 = std::next(it1); it2 != end; ++it2) {
+          const Entry<D>& e2 = proj(*it2);
           if (SquaredDistance(e1.point, e2.point) <= eps2) {
             ++c.hits;
             emit(e1, e2);
           }
         }
       }
-      kernel_internal::Account(s, c);
-      return c;
     }
+    kernel_internal::Account(s, c);
+    return c;
+  }
+  s.a.Load(entries, proj);
+  return SelfJoinTileKernel(s, s.a, eps2, mode,
+                            static_cast<Emit&&>(emit));
+}
 
-    LeafTile<D>& ta = s.a;
-    LeafTile<D>& tb = s.b;
-    ta.Load(entries_a, proj);
-    tb.Load(entries_b, proj);
+/// Joins two distinct pre-loaded tiles: every cross pair within epsilon is
+/// passed to `emit(ea, eb)` with ea always drawn from tile A, in the order
+/// of the scalar `for a { for b }` loop. Tile-major analog of
+/// SelfJoinTileKernel, with the same caveats (sort state irrelevant, kNaive
+/// executed as kSweep).
+template <int D, typename Emit>
+KernelCounters BlockJoinTileKernel(LeafJoinScratch<D>& s, LeafTile<D>& ta,
+                                   LeafTile<D>& tb, double eps2,
+                                   LeafKernel mode, Emit&& emit) {
+  KernelCounters c;
+  c.invocations = 1;
+  const size_t na = ta.size();
+  const size_t nb = tb.size();
+  if (na != 0 && nb != 0) {
+    c.candidates = static_cast<uint64_t>(na) * nb;
     s.hits.clear();
     auto record = [&](size_t i, size_t j) {
       s.hits.push_back(KernelHit{ta.OriginalIndex(i), tb.OriginalIndex(j),
@@ -564,15 +543,15 @@ KernelCounters BlockJoinKernel(LeafJoinScratch<D>& s, const SpanA& entries_a,
       }
       // Classic merge sweep: for ascending a-slots, the window of b-slots
       // within the 1-D bound only moves right.
-      size_t start = 0;
-      for (size_t i = 0; i < na; ++i) {
-        const double xi = xa[i];
-        while (start < nb && xb[start] < xi) {
-          const double gap = xi - xb[start];
-          if (gap * gap <= eps2) break;
-          ++start;
-        }
-        if (mode == LeafKernel::kSweep) {
+      if (mode == LeafKernel::kSweep || mode == LeafKernel::kNaive) {
+        size_t start = 0;
+        for (size_t i = 0; i < na; ++i) {
+          const double xi = xa[i];
+          while (start < nb && xb[start] < xi) {
+            const double gap = xi - xb[start];
+            if (gap * gap <= eps2) break;
+            ++start;
+          }
           std::array<double, D> center;
           for (int d = 0; d < D; ++d) center[d] = dims_a[d][i];
           for (size_t j = start; j < nb; ++j) {
@@ -586,12 +565,31 @@ KernelCounters BlockJoinKernel(LeafJoinScratch<D>& s, const SpanA& entries_a,
             }
             if (acc <= eps2) record(i, j);
           }
-        } else {
-          const size_t bound =
-              kernel_internal::SweepBound(xb, start, nb, xi, eps2);
+        }
+      } else {
+        // Each window [start, nb) satisfies the backend's monotonicity
+        // precondition: every b-slot in it with xb[j] < xi is already
+        // within the 1-D bound (the start advance established that), so
+        // fl((xb[j]-xi)^2) > eps2 flips false -> true exactly once going
+        // right.
+        const KernelBackend& be = GetKernelBackend(ResolveKernelIsa(mode));
+        s.isa_hits.resize(nb);
+        std::array<double, D> center;
+        size_t start = 0;
+        for (size_t i = 0; i < na; ++i) {
+          const double xi = xa[i];
+          while (start < nb && xb[start] < xi) {
+            const double gap = xi - xb[start];
+            if (gap * gap <= eps2) break;
+            ++start;
+          }
+          const size_t bound = be.sweep_bound(xb, start, nb, xi, eps2);
           c.computed += bound - start;
-          kernel_internal::BlockedLanes(ta, i, tb, start, bound, eps2,
-                                        [&](size_t j) { record(i, j); });
+          for (int d = 0; d < D; ++d) center[d] = dims_a[d][i];
+          const size_t nh =
+              be.window_hits(dims_b.data(), D, center.data(), start, bound,
+                             eps2, s.isa_hits.data());
+          for (size_t k = 0; k < nh; ++k) record(i, s.isa_hits[k]);
         }
       }
       c.pruned = c.candidates - c.computed;
@@ -606,6 +604,43 @@ KernelCounters BlockJoinKernel(LeafJoinScratch<D>& s, const SpanA& entries_a,
   }
   kernel_internal::Account(s, c);
   return c;
+}
+
+/// Joins two distinct leaves from spans of entries: loads driver scratch
+/// tiles s.a / s.b and delegates to BlockJoinTileKernel — except under
+/// kNaive, which runs the pre-kernel baseline byte for byte (AoS cross loop
+/// in entry order, direct emission; see SelfJoinKernel).
+template <int D, typename SpanA, typename SpanB,
+          typename Proj = kernel_internal::IdentityProj, typename Emit>
+KernelCounters BlockJoinKernel(LeafJoinScratch<D>& s, const SpanA& entries_a,
+                               const SpanB& entries_b, double eps2,
+                               LeafKernel mode, Emit&& emit, Proj proj = {}) {
+  if (mode == LeafKernel::kNaive) {
+    KernelCounters c;
+    c.invocations = 1;
+    const size_t na = entries_a.size();
+    const size_t nb = entries_b.size();
+    if (na != 0 && nb != 0) {
+      c.candidates = static_cast<uint64_t>(na) * nb;
+      c.computed = c.candidates;
+      for (const auto& elem_a : entries_a) {
+        const Entry<D>& e1 = proj(elem_a);
+        for (const auto& elem_b : entries_b) {
+          const Entry<D>& e2 = proj(elem_b);
+          if (SquaredDistance(e1.point, e2.point) <= eps2) {
+            ++c.hits;
+            emit(e1, e2);
+          }
+        }
+      }
+    }
+    kernel_internal::Account(s, c);
+    return c;
+  }
+  s.a.Load(entries_a, proj);
+  s.b.Load(entries_b, proj);
+  return BlockJoinTileKernel(s, s.a, s.b, eps2, mode,
+                             static_cast<Emit&&>(emit));
 }
 
 }  // namespace csj

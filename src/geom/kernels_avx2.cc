@@ -1,0 +1,77 @@
+#include "geom/kernels_isa.h"
+
+#include <immintrin.h>
+
+/// \file
+/// AVX2 kernel backend: 4 doubles per 256-bit vector. Compiled with -mavx2
+/// -ffp-contract=off for this TU only; only geom/dispatch.cc calls in, and
+/// only after CPUID confirms AVX2 (see geom/dispatch.h).
+///
+/// Determinism: each lane performs the scalar loop's exact FP sequence —
+/// `diff = c[d] - center[d]; acc += diff * diff` over ascending d with
+/// separate mul and add (no FMA: contraction is disabled, and no fmadd
+/// intrinsic is used) — so accept/reject decisions are bit-identical to the
+/// scalar backend, including ties exactly at epsilon.
+
+namespace csj::isa {
+
+size_t Avx2WindowHits(const double* const* dims, int dim_count,
+                      const double* center, size_t begin, size_t end,
+                      double eps2, uint32_t* hits) {
+  size_t n = 0;
+  const __m256d veps2 = _mm256_set1_pd(eps2);
+  size_t j = begin;
+  for (; j + 4 <= end; j += 4) {
+    __m256d acc = _mm256_setzero_pd();
+    for (int d = 0; d < dim_count; ++d) {
+      const __m256d c = _mm256_loadu_pd(dims[d] + j);
+      const __m256d diff = _mm256_sub_pd(c, _mm256_set1_pd(center[d]));
+      acc = _mm256_add_pd(acc, _mm256_mul_pd(diff, diff));
+    }
+    // Ordered <= : same NaN behavior as the scalar comparison (inputs are
+    // finite anyway — data/point_io.cc rejects NaN/Inf at load).
+    int mask = _mm256_movemask_pd(_mm256_cmp_pd(acc, veps2, _CMP_LE_OQ));
+    while (mask != 0) {
+      const int lane = __builtin_ctz(static_cast<unsigned>(mask));
+      hits[n++] = static_cast<uint32_t>(j) + static_cast<uint32_t>(lane);
+      mask &= mask - 1;
+    }
+  }
+  for (; j < end; ++j) {  // scalar tail, same op order per pair
+    double acc = 0.0;
+    for (int d = 0; d < dim_count; ++d) {
+      const double diff = dims[d][j] - center[d];
+      acc += diff * diff;
+    }
+    if (acc <= eps2) hits[n++] = static_cast<uint32_t>(j);
+  }
+  return n;
+}
+
+size_t Avx2SweepBound(const double* x, size_t begin, size_t end, double xi,
+                      double eps2) {
+  // Sweep windows are usually short: scan forward a few vectors for the
+  // first out-of-range gap, then hand long windows to the binary search.
+  // Both find the same partition point (the predicate is monotone over the
+  // window), so the cutover is invisible to callers.
+  const __m256d vxi = _mm256_set1_pd(xi);
+  const __m256d veps2 = _mm256_set1_pd(eps2);
+  size_t j = begin;
+  const size_t scan_end = end - begin > 64 ? begin + 64 : end;
+  for (; j + 4 <= scan_end; j += 4) {
+    const __m256d gap = _mm256_sub_pd(_mm256_loadu_pd(x + j), vxi);
+    const int mask = _mm256_movemask_pd(
+        _mm256_cmp_pd(_mm256_mul_pd(gap, gap), veps2, _CMP_GT_OQ));
+    if (mask != 0) {
+      return j + static_cast<size_t>(
+                     __builtin_ctz(static_cast<unsigned>(mask)));
+    }
+  }
+  for (; j < scan_end; ++j) {
+    const double gap = x[j] - xi;
+    if (gap * gap > eps2) return j;
+  }
+  return j < end ? ScalarSweepBound(x, j, end, xi, eps2) : end;
+}
+
+}  // namespace csj::isa

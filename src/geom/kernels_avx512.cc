@@ -1,0 +1,65 @@
+#include "geom/kernels_isa.h"
+
+#include <immintrin.h>
+
+/// \file
+/// AVX-512 kernel backend: 8 doubles per 512-bit vector, mask-register
+/// compares. Compiled with -mavx512f -ffp-contract=off for this TU only;
+/// only geom/dispatch.cc calls in, and only after CPUID confirms AVX512F.
+/// Uses foundation (F) instructions exclusively so the dispatch gate stays
+/// a single feature check. Same determinism contract as the AVX2 backend:
+/// separate mul/add per dimension in ascending order, no FMA.
+
+namespace csj::isa {
+
+size_t Avx512WindowHits(const double* const* dims, int dim_count,
+                        const double* center, size_t begin, size_t end,
+                        double eps2, uint32_t* hits) {
+  size_t n = 0;
+  const __m512d veps2 = _mm512_set1_pd(eps2);
+  size_t j = begin;
+  for (; j + 8 <= end; j += 8) {
+    __m512d acc = _mm512_setzero_pd();
+    for (int d = 0; d < dim_count; ++d) {
+      const __m512d c = _mm512_loadu_pd(dims[d] + j);
+      const __m512d diff = _mm512_sub_pd(c, _mm512_set1_pd(center[d]));
+      acc = _mm512_add_pd(acc, _mm512_mul_pd(diff, diff));
+    }
+    unsigned mask = _mm512_cmp_pd_mask(acc, veps2, _CMP_LE_OQ);
+    while (mask != 0) {
+      const int lane = __builtin_ctz(mask);
+      hits[n++] = static_cast<uint32_t>(j) + static_cast<uint32_t>(lane);
+      mask &= mask - 1;
+    }
+  }
+  for (; j < end; ++j) {  // scalar tail, same op order per pair
+    double acc = 0.0;
+    for (int d = 0; d < dim_count; ++d) {
+      const double diff = dims[d][j] - center[d];
+      acc += diff * diff;
+    }
+    if (acc <= eps2) hits[n++] = static_cast<uint32_t>(j);
+  }
+  return n;
+}
+
+size_t Avx512SweepBound(const double* x, size_t begin, size_t end, double xi,
+                        double eps2) {
+  const __m512d vxi = _mm512_set1_pd(xi);
+  const __m512d veps2 = _mm512_set1_pd(eps2);
+  size_t j = begin;
+  const size_t scan_end = end - begin > 64 ? begin + 64 : end;
+  for (; j + 8 <= scan_end; j += 8) {
+    const __m512d gap = _mm512_sub_pd(_mm512_loadu_pd(x + j), vxi);
+    const unsigned mask =
+        _mm512_cmp_pd_mask(_mm512_mul_pd(gap, gap), veps2, _CMP_GT_OQ);
+    if (mask != 0) return j + static_cast<size_t>(__builtin_ctz(mask));
+  }
+  for (; j < scan_end; ++j) {
+    const double gap = x[j] - xi;
+    if (gap * gap > eps2) return j;
+  }
+  return j < end ? ScalarSweepBound(x, j, end, xi, eps2) : end;
+}
+
+}  // namespace csj::isa

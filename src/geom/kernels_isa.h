@@ -1,0 +1,52 @@
+#ifndef CSJ_GEOM_KERNELS_ISA_H_
+#define CSJ_GEOM_KERNELS_ISA_H_
+
+#include <cstddef>
+#include <cstdint>
+
+/// \file
+/// Entry points of the per-ISA kernel TUs (kernels_avx2.cc and
+/// kernels_avx512.cc). Each TU is compiled with exactly its own ISA flags
+/// (and -ffp-contract=off, see geom/dispatch.h for the determinism
+/// contract); nothing outside geom/dispatch.cc may call these directly —
+/// they are only safe to execute on a CPU that supports the ISA, which the
+/// dispatcher checks. Signatures mirror KernelBackend.
+
+namespace csj::isa {
+
+/// Shared scalar binary search for the sweep bound: the reference
+/// implementation of KernelBackend::sweep_bound and the tail the SIMD scans
+/// fall back to on long windows. The predicate fl((x[j]-xi)^2) > eps2 is
+/// monotone over every kernel window (geom/kernels.h), so the partition
+/// point it finds equals the first-true index a linear scan finds.
+inline size_t ScalarSweepBound(const double* x, size_t begin, size_t end,
+                               double xi, double eps2) {
+  size_t lo = begin;
+  size_t hi = end;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const double gap = x[mid] - xi;
+    if (gap * gap <= eps2) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+size_t Avx2WindowHits(const double* const* dims, int dim_count,
+                      const double* center, size_t begin, size_t end,
+                      double eps2, uint32_t* hits);
+size_t Avx2SweepBound(const double* x, size_t begin, size_t end, double xi,
+                      double eps2);
+
+size_t Avx512WindowHits(const double* const* dims, int dim_count,
+                        const double* center, size_t begin, size_t end,
+                        double eps2, uint32_t* hits);
+size_t Avx512SweepBound(const double* x, size_t begin, size_t end, double xi,
+                        double eps2);
+
+}  // namespace csj::isa
+
+#endif  // CSJ_GEOM_KERNELS_ISA_H_

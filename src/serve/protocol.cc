@@ -81,8 +81,11 @@ Result<Request> ParseRequest(const std::string& line) {
     } else if (key == "leaf_kernel") {
       if (!value.is_string()) return FieldError(key, "expected a string");
       if (!ParseLeafKernel(value.AsString(), &req.leaf_kernel)) {
-        return FieldError(key, "must be naive, sweep or simd");
+        return FieldError(key, "must be naive, sweep, simd, avx2 or avx512");
       }
+    } else if (key == "leaf_batch") {
+      if (!value.is_number()) return FieldError(key, "expected a number");
+      req.leaf_batch = static_cast<size_t>(value.AsUint());
     } else if (key == "sort_child_pairs") {
       if (!value.is_bool()) return FieldError(key, "expected a bool");
       req.sort_child_pairs = value.AsBool();

@@ -30,7 +30,11 @@
 ///   algo        "ssj" | "ncsj" | "csj"            (default "csj")
 ///   eps         epsilon > 0 (required for join/range)
 ///   g           CSJ(g) window size                 (default 10)
-///   leaf_kernel "naive" | "sweep" | "simd"         (default "sweep")
+///   leaf_kernel "naive" | "sweep" | "simd" | "avx2" | "avx512"
+///               (default "sweep"; simd dispatches to the best host ISA and
+///               the trailer's stats.kernel_isa records which one ran)
+///   leaf_batch  leaf-tile pairs buffered per batched kernel pass
+///               (default 64; 0/1 disables batching; output-invariant)
 ///   sort_child_pairs  bool                         (default false)
 ///   output      "text" | "binary" | "none"         (default "text";
 ///               range queries are text-only)
@@ -68,6 +72,7 @@ struct Request {
   double eps = 0.0;
   int window = 10;
   LeafKernel leaf_kernel = LeafKernel::kSweep;
+  size_t leaf_batch = 64;
   bool sort_child_pairs = false;
   OutputFormat output = OutputFormat::kText;
   uint64_t deadline_ms = 0;

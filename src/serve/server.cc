@@ -409,6 +409,7 @@ void Server::HandleConnection(int fd) {
     options.epsilon = req.eps;
     options.window_size = req.window;
     options.leaf_kernel = req.leaf_kernel;
+    options.leaf_batch = req.leaf_batch;
     options.sort_child_pairs = req.sort_child_pairs;
     options.deadline_ms = deadline_ms;
     options.exec = &exec;

@@ -77,17 +77,40 @@ LinkVec BruteBlockPairs(const std::vector<Entry<2>>& a,
   return out;
 }
 
-constexpr LeafKernel kAllModes[] = {LeafKernel::kNaive, LeafKernel::kSweep,
-                                    LeafKernel::kSimd};
+/// Every kernel mode this host can execute meaningfully. The explicit ISA
+/// modes degrade to scalar when unavailable (still correct, but then they
+/// duplicate kSweep-level coverage), so they join the list only when the
+/// backend really runs.
+std::vector<LeafKernel> AllKernelModes() {
+  std::vector<LeafKernel> modes = {LeafKernel::kNaive, LeafKernel::kSweep,
+                                   LeafKernel::kSimd};
+  if (KernelIsaAvailable(KernelIsa::kAvx2)) modes.push_back(LeafKernel::kAvx2);
+  if (KernelIsaAvailable(KernelIsa::kAvx512)) {
+    modes.push_back(LeafKernel::kAvx512);
+  }
+  return modes;
+}
+
+/// The non-naive modes compared against the kNaive baseline in the
+/// driver-level tests.
+std::vector<LeafKernel> PrunedKernelModes() {
+  auto modes = AllKernelModes();
+  modes.erase(modes.begin());  // kNaive is the baseline.
+  return modes;
+}
 
 TEST(KernelsTest, ParseAndNameRoundTrip) {
-  for (LeafKernel mode : kAllModes) {
+  // All five names parse whether or not the backend is available — the
+  // explicit ISA modes are valid requests that degrade to scalar.
+  for (LeafKernel mode :
+       {LeafKernel::kNaive, LeafKernel::kSweep, LeafKernel::kSimd,
+        LeafKernel::kAvx2, LeafKernel::kAvx512}) {
     LeafKernel parsed;
     ASSERT_TRUE(ParseLeafKernel(LeafKernelName(mode), &parsed));
     EXPECT_EQ(parsed, mode);
   }
   LeafKernel unused = LeafKernel::kNaive;
-  EXPECT_FALSE(ParseLeafKernel("avx512", &unused));
+  EXPECT_FALSE(ParseLeafKernel("sse2", &unused));
   EXPECT_FALSE(ParseLeafKernel("", &unused));
   EXPECT_EQ(unused, LeafKernel::kNaive);
 }
@@ -122,7 +145,7 @@ TEST(KernelsTest, SelfKernelMatchesScalarLoopExactly) {
       for (double eps : {0.01, 0.08, 0.3, 2.0}) {
         const double eps2 = eps * eps;
         const LinkVec expected = BruteSelfPairs(entries, eps2);
-        for (LeafKernel mode : kAllModes) {
+        for (LeafKernel mode : AllKernelModes()) {
           LinkVec got;
           const KernelCounters kc = SelfJoinKernel(
               scratch, std::span<const Entry<2>>(entries), eps2, mode,
@@ -157,7 +180,7 @@ TEST(KernelsTest, BlockKernelMatchesScalarLoopExactly) {
       for (double eps : {0.02, 0.15, 1.5}) {
         const double eps2 = eps * eps;
         const LinkVec expected = BruteBlockPairs(a, b, eps2);
-        for (LeafKernel mode : kAllModes) {
+        for (LeafKernel mode : AllKernelModes()) {
           LinkVec got;
           const KernelCounters kc = BlockJoinKernel(
               scratch, std::span<const Entry<2>>(a),
@@ -214,7 +237,7 @@ TEST(KernelsTest, TiesExactlyAtEpsilonSurviveAllModes) {
   ASSERT_GT(exact_ties, 10u);
 
   LeafJoinScratch<2> scratch;
-  for (LeafKernel mode : kAllModes) {
+  for (LeafKernel mode : AllKernelModes()) {
     LinkVec got;
     SelfJoinKernel(scratch, std::span<const Entry<2>>(entries), eps2, mode,
                    [&](const Entry<2>& a, const Entry<2>& b) {
@@ -279,7 +302,7 @@ TEST(KernelsTest, SelfJoinDriversIdenticalAcrossKernels) {
           const JoinStats naive_stats =
               RunSelfJoin(algo, tree, options, &baseline);
 
-          for (LeafKernel mode : {LeafKernel::kSweep, LeafKernel::kSimd}) {
+          for (LeafKernel mode : PrunedKernelModes()) {
             options.leaf_kernel = mode;
             MemorySink sink(IdWidthFor(entries.size()));
             const JoinStats stats = RunSelfJoin(algo, tree, options, &sink);
@@ -295,6 +318,53 @@ TEST(KernelsTest, SelfJoinDriversIdenticalAcrossKernels) {
         }
       }
     }
+  }
+}
+
+/// The batched leaf-tile pipeline is a pure scheduling change: every batch
+/// capacity — tiny ones that force drains mid-descent, huge ones that defer
+/// everything to the end, and 0/1 which disable batching outright — must
+/// reproduce the unbatched output byte for byte, links *and* groups, for
+/// both the tree and EGO drivers.
+TEST(KernelsTest, LeafBatchSizesAreOutputInvariant) {
+  const auto points = GenerateGaussianClusters<2>(500, 6, 0.02, 43);
+  std::vector<Entry<2>> entries(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    entries[i] = Entry<2>{static_cast<PointId>(i), points[i]};
+  }
+  const auto tree = SmallFanoutTree(entries);
+  const size_t batches[] = {0, 1, 2, 3, 64, size_t{1} << 20};
+
+  for (auto algo : {JoinAlgorithm::kSSJ, JoinAlgorithm::kCSJ}) {
+    JoinOptions options;
+    options.epsilon = 0.05;
+    options.leaf_kernel = LeafKernel::kSimd;
+    options.leaf_batch = 0;  // Unbatched reference.
+    MemorySink baseline(IdWidthFor(entries.size()));
+    RunSelfJoin(algo, tree, options, &baseline);
+    for (size_t batch : batches) {
+      options.leaf_batch = batch;
+      MemorySink sink(IdWidthFor(entries.size()));
+      RunSelfJoin(algo, tree, options, &sink);
+      EXPECT_EQ(sink.links(), baseline.links())
+          << JoinAlgorithmName(algo) << " leaf_batch=" << batch;
+      EXPECT_EQ(sink.groups(), baseline.groups());
+    }
+  }
+
+  EgoOptions ego;
+  ego.epsilon = 0.05;
+  ego.leaf_size = 16;
+  ego.leaf_kernel = LeafKernel::kSimd;
+  ego.leaf_batch = 0;
+  MemorySink ego_baseline(IdWidthFor(entries.size()));
+  CompactEgoJoin(entries, ego, &ego_baseline);
+  for (size_t batch : batches) {
+    ego.leaf_batch = batch;
+    MemorySink sink(IdWidthFor(entries.size()));
+    CompactEgoJoin(entries, ego, &sink);
+    EXPECT_EQ(sink.links(), ego_baseline.links()) << "leaf_batch=" << batch;
+    EXPECT_EQ(sink.groups(), ego_baseline.groups());
   }
 }
 
@@ -321,7 +391,7 @@ TEST(KernelsTest, SpatialJoinDriversIdenticalAcrossKernels) {
       MemorySink baseline_csj(IdWidthFor(100000 + eb.size()));
       CompactSpatialJoin(tree_a, tree_b, options, &baseline_csj);
 
-      for (LeafKernel mode : {LeafKernel::kSweep, LeafKernel::kSimd}) {
+      for (LeafKernel mode : PrunedKernelModes()) {
         options.leaf_kernel = mode;
         MemorySink ssj(IdWidthFor(100000 + eb.size()));
         StandardSpatialJoin(tree_a, tree_b, options, &ssj);
@@ -352,7 +422,7 @@ TEST(KernelsTest, EgoJoinsIdenticalAcrossKernels) {
     MemorySink base_csj(IdWidthFor(entries.size()));
     CompactEgoJoin(entries, options, &base_csj);
 
-    for (LeafKernel mode : {LeafKernel::kSweep, LeafKernel::kSimd}) {
+    for (LeafKernel mode : PrunedKernelModes()) {
       options.leaf_kernel = mode;
       MemorySink ssj(IdWidthFor(entries.size()));
       EgoSimilarityJoin(entries, options, &ssj);

@@ -17,6 +17,7 @@
 ///
 ///   csj_serve query --socket /tmp/csj.sock --dataset pts --eps 0.05
 ///                   [--algo csj] [--g 10] [--leaf-kernel sweep]
+///                   [--leaf-batch 64]
 ///                   [--output-format text|binary|none] [--out result.txt]
 ///                   [--deadline-ms N] [--mem-budget BYTES] [--metrics 1]
 ///                   [--dataset-b other]           (dual/spatial join)
@@ -280,6 +281,8 @@ int CmdQuery(Flags& flags) {
   if (g >= 0) request["g"] = static_cast<int64_t>(g);
   const std::string kernel = flags.GetOr("leaf-kernel", "");
   if (!kernel.empty()) request["leaf_kernel"] = kernel;
+  const long leaf_batch = flags.GetInt("leaf-batch", -1);
+  if (leaf_batch >= 0) request["leaf_batch"] = static_cast<int64_t>(leaf_batch);
   const std::string format_name = flags.GetOr("output-format", "text");
   OutputFormat format = OutputFormat::kText;
   if (!ParseOutputFormat(format_name, &format)) {

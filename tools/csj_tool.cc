@@ -9,9 +9,14 @@
 ///   csj_tool join     --points pts.txt --eps 0.05 --algo ego --out r.txt
 ///   csj_tool join     ... --metrics json   (stats + metrics snapshot JSON
 ///                     on stdout; --metrics text appends a readable dump)
-///   csj_tool join     ... --leaf-kernel naive|sweep|simd   (leaf-level
-///                     pair-enumeration strategy; identical output, see
-///                     docs/PERFORMANCE.md; default sweep)
+///   csj_tool join     ... --leaf-kernel naive|sweep|simd|avx2|avx512
+///                     (leaf-level pair-enumeration strategy; simd picks the
+///                     best ISA the host supports, avx2/avx512 force one;
+///                     identical output either way, see docs/PERFORMANCE.md;
+///                     default sweep)
+///   csj_tool join     ... --leaf-batch 64   (leaf-tile pairs buffered per
+///                     batched kernel pass; 0 or 1 disables batching;
+///                     identical output at any value)
 ///   csj_tool join     ... --output-format text|binary|none   (binary = the
 ///                     compact CSJ2 format, docs/OUTPUT_FORMAT.md; none =
 ///                     count bytes without writing; default text)
@@ -252,8 +257,10 @@ int CmdJoin(Flags& flags) {
   const std::string kernel_name = flags.GetOr("leaf-kernel", "sweep");
   LeafKernel leaf_kernel = LeafKernel::kSweep;
   if (!ParseLeafKernel(kernel_name, &leaf_kernel)) {
-    Flags::Die("--leaf-kernel must be naive, sweep or simd");
+    Flags::Die("--leaf-kernel must be naive, sweep, simd, avx2 or avx512");
   }
+  const long leaf_batch = flags.GetInt("leaf-batch", 64);
+  if (leaf_batch < 0) Flags::Die("--leaf-batch must be non-negative");
   // Checkpoint/resume flags. Any of them selects the crash-safe runner
   // (docs/ROBUSTNESS.md); without them the join runs exactly as before.
   const long threads = flags.GetInt("threads", 1);
@@ -313,6 +320,7 @@ int CmdJoin(Flags& flags) {
     options.epsilon = eps;
     options.window_size = g;
     options.leaf_kernel = leaf_kernel;
+    options.leaf_batch = static_cast<size_t>(leaf_batch);
     options.deadline_ms = static_cast<uint64_t>(deadline_ms);
     options.exec = &exec;
     stats = algo == "ego" ? EgoSimilarityJoin(*entries, options, sink.get())
@@ -345,6 +353,7 @@ int CmdJoin(Flags& flags) {
     options.epsilon = eps;
     options.window_size = g;
     options.leaf_kernel = leaf_kernel;
+    options.leaf_batch = static_cast<size_t>(leaf_batch);
     options.deadline_ms = static_cast<uint64_t>(deadline_ms);
     options.exec = &exec;
     JoinAlgorithm algorithm = JoinAlgorithm::kCSJ;
