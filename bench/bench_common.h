@@ -7,10 +7,12 @@
 #include <string>
 #include <vector>
 
+#include "core/query_spec.h"
 #include "core/similarity_join.h"
 #include "core/sink.h"
 #include "data/roadnet.h"
 #include "index/rstar_tree.h"
+#include "plan/planner.h"
 #include "storage/output_file.h"
 #include "util/format.h"
 #include "util/json.h"
@@ -274,14 +276,19 @@ struct Calibration {
 ///
 /// `predicted_links` is the sampling estimate for this (tree, eps); pass the
 /// value from EstimateLinkCount so all three algorithms share one probe.
+///
+/// The run's knobs come from `base_spec` through the same
+/// `plan::DeriveJoinOptions` mapping the tool and the server use — benches
+/// measure exactly what those entry points execute. `base_spec.eps` is
+/// overridden by `eps` per measurement.
 template <typename Tree, int D>
 RunResult MeasureJoin(JoinAlgorithm algorithm, const Tree& tree,
                       const std::vector<Entry<D>>& entries, double eps,
-                      const BenchArgs& args, const JoinOptions& base_options,
+                      const BenchArgs& args, const QuerySpec& base_spec,
                       uint64_t predicted_links, Calibration* calibration) {
   constexpr uint64_t kFileCap = 1ull << 30;
   RunResult result;
-  JoinOptions options = base_options;
+  JoinOptions options = plan::DeriveJoinOptions(base_spec);
   options.epsilon = eps;
   options.measure_write_time = true;
 

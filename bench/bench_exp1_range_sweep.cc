@@ -34,8 +34,8 @@ void RunDataset(const std::string& name, const std::vector<Entry<D>>& entries,
 
   // Per-algorithm calibrations feed the paper-style estimate rows.
   Calibration ssj_cal, ncsj_cal, csj_cal;
-  JoinOptions base;
-  base.window_size = 10;
+  QuerySpec base;
+  base.window = 10;
 
   // Smoke mode (CI) keeps only the three smallest ranges; the large ones
   // dominate the runtime without exercising any extra code.

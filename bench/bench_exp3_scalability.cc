@@ -35,8 +35,8 @@ void Main(const BenchArgs& args) {
 
   Calibration ssj_cal, ncsj_cal, csj_cal;
   std::vector<std::pair<size_t, uint64_t>> real_ssj, real_ncsj, real_csj;
-  JoinOptions base;
-  base.window_size = 10;
+  QuerySpec base;
+  base.window = 10;
 
   for (size_t n : sizes) {
     const auto points = GenerateSierpinski3D(n, /*seed=*/3);

@@ -8,7 +8,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "geom/hilbert.h"
 #include "geom/point.h"
+#include "util/status.h"
 
 /// \file
 /// Intrinsic ("fractal") dimensionality analysis — the paper's stated future
@@ -54,9 +56,21 @@ PowerLawFit FitPowerLaw(const std::vector<ScalingPoint>& points);
 
 /// Box-counting dimension D0 over grid sides 2^-level for level in
 /// [min_level, max_level] (first three coordinates are used for D > 3).
+///
+/// Cell occupancy at every level is read off ONE sorted array of
+/// hierarchical space-filling-curve keys (Hilbert for 2-D, Morton
+/// otherwise — the same curves index/bulk_load.h packs with): the level-L
+/// cell of a point is a prefix of its finest-level key, so the number of
+/// occupied cells at level L is the number of distinct prefixes — no
+/// per-level re-sort.
+///
+/// Degenerate inputs (fewer than two points, or every point in one
+/// finest-level cell — i.e. zero spread at the analysis resolution) return
+/// InvalidArgument instead of a silent dimension-0 fit.
 template <int D>
-PowerLawFit BoxCountingDimension(const std::vector<Point<D>>& points,
-                                 int min_level = 2, int max_level = 7);
+Result<PowerLawFit> BoxCountingDimension(const std::vector<Point<D>>& points,
+                                         int min_level = 2,
+                                         int max_level = 7);
 
 /// Correlation-sum samples: for each eps, the average number of neighbors
 /// within eps over a sample of anchors (computed exactly with a grid, or by
@@ -80,31 +94,54 @@ uint64_t PredictLinkCount(const PowerLawFit& correlation_fit, size_t n,
 // --- Template implementations -------------------------------------------------
 
 template <int D>
-PowerLawFit BoxCountingDimension(const std::vector<Point<D>>& points,
-                                 int min_level, int max_level) {
+Result<PowerLawFit> BoxCountingDimension(const std::vector<Point<D>>& points,
+                                         int min_level, int max_level) {
+  constexpr int kDims = D < 3 ? D : 3;
+  if (points.size() < 2) {
+    return Status::InvalidArgument(
+        "box-counting needs at least two points");
+  }
+  if (min_level < 0 || min_level > max_level || max_level > 20) {
+    return Status::InvalidArgument(
+        "box-counting levels must satisfy 0 <= min <= max <= 20");
+  }
+  // One hierarchical curve key per point at the finest level. A level-L
+  // cell is the key's leading kDims*L bits (quadrant recursion for
+  // Hilbert, bit interleaving for Morton), and truncating the quantized
+  // coordinate is exactly the coarser grid's cell index, so the distinct
+  // prefix count below equals the per-level cell count the naive rebuild
+  // produced.
+  const int grid = 1 << max_level;
+  std::vector<uint64_t> keys;
+  keys.reserve(points.size());
+  std::array<uint32_t, static_cast<size_t>(kDims)> c{};
+  for (const auto& p : points) {
+    for (int d = 0; d < kDims; ++d) {
+      auto q = static_cast<int64_t>(p[d] * grid);
+      if (q >= grid) q = grid - 1;
+      if (q < 0) q = 0;
+      c[static_cast<size_t>(d)] = static_cast<uint32_t>(q);
+    }
+    keys.push_back(D == 2 ? HilbertIndex2D(max_level, c[0], c[1 % kDims])
+                          : MortonIndex(c.data(), kDims, max_level));
+  }
+  std::sort(keys.begin(), keys.end());
+  if (keys.front() == keys.back()) {
+    return Status::InvalidArgument(
+        "degenerate input: every point falls in one finest-level cell "
+        "(zero spread at the analysis resolution)");
+  }
   std::vector<ScalingPoint> samples;
   for (int level = min_level; level <= max_level; ++level) {
-    const int grid = 1 << level;
-    // Count occupied cells over (up to) the first three coordinates.
-    std::vector<uint64_t> cells;
-    cells.reserve(points.size());
-    for (const auto& p : points) {
-      uint64_t key = 0;
-      for (int d = 0; d < (D < 3 ? D : 3); ++d) {
-        int c = static_cast<int>(p[d] * grid);
-        if (c >= grid) c = grid - 1;
-        if (c < 0) c = 0;
-        key = (key << 21) | static_cast<uint64_t>(c);
-      }
-      cells.push_back(key);
+    const int shift = kDims * (max_level - level);
+    uint64_t occupied = 1;
+    for (size_t i = 1; i < keys.size(); ++i) {
+      occupied += (keys[i] >> shift) != (keys[i - 1] >> shift);
     }
-    std::sort(cells.begin(), cells.end());
-    const auto unique_end = std::unique(cells.begin(), cells.end());
-    const double occupied =
-        static_cast<double>(std::distance(cells.begin(), unique_end));
     // N(r) ~ r^-D0 with r = 2^-level, so log2 N vs level has slope D0;
     // store as (log2 r, log2 N) to reuse FitPowerLaw (slope = -D0).
-    samples.push_back({-static_cast<double>(level), std::log2(occupied)});
+    samples.push_back({-static_cast<double>(level),
+                       std::log2(static_cast<double>(occupied))});
   }
   PowerLawFit fit = FitPowerLaw(samples);
   fit.slope = -fit.slope;  // report the dimension positively

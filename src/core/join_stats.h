@@ -60,6 +60,17 @@ struct JoinStats {
   double elapsed_seconds = 0.0;  ///< total join wall time (includes writes)
   double write_seconds = 0.0;    ///< sink time, if measure_write_time was set
 
+  // Planner wiring (plan/planner.h). Zero/empty for unplanned runs. The
+  // predictions are stamped by AttachPlan after the run; predicted_links
+  // counts total qualifying pairs (compare against ImpliedLinkUpperBound),
+  // predicted_groups is zero when the resolved algorithm emits no groups.
+  uint64_t predicted_links = 0;
+  uint64_t predicted_groups = 0;
+  /// The serialized QueryPlan (json::Write of QueryPlan::ToJsonValue), so
+  /// one-shot runs, serve trailers and bench reports all echo the same
+  /// explainable plan document.
+  std::string plan_json;
+
   /// Number of links the output *implies*: each emitted group of k members
   /// stands for k*(k-1)/2 links, plus the individual links. For a lossless
   /// compact join this matches SSJ's link count minus duplicates (groups may
@@ -115,6 +126,15 @@ struct JoinStats {
     v["elapsed_seconds"] = elapsed_seconds;
     v["write_seconds"] = write_seconds;
     v["implied_links"] = implied_links_;
+    // Planned runs only, so unplanned stats documents are unchanged.
+    if (predicted_links != 0 || predicted_groups != 0 || !plan_json.empty()) {
+      v["predicted_links"] = predicted_links;
+      v["predicted_groups"] = predicted_groups;
+    }
+    if (!plan_json.empty()) {
+      auto plan = json::Parse(plan_json);
+      v["plan"] = plan.ok() ? *plan : json::Value(plan_json);
+    }
     return v;
   }
 

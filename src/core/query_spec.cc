@@ -1,0 +1,138 @@
+#include "core/query_spec.h"
+
+namespace csj {
+
+const char* QueryAlgoName(QueryAlgo algo) {
+  switch (algo) {
+    case QueryAlgo::kAuto:
+      return "auto";
+    case QueryAlgo::kSSJ:
+      return "ssj";
+    case QueryAlgo::kNCSJ:
+      return "ncsj";
+    case QueryAlgo::kCSJ:
+      return "csj";
+    case QueryAlgo::kEgo:
+      return "ego";
+    case QueryAlgo::kCEgo:
+      return "cego";
+  }
+  return "?";
+}
+
+bool ParseQueryAlgo(const std::string& name, QueryAlgo* algo) {
+  if (name == "auto") {
+    *algo = QueryAlgo::kAuto;
+  } else if (name == "ssj") {
+    *algo = QueryAlgo::kSSJ;
+  } else if (name == "ncsj") {
+    *algo = QueryAlgo::kNCSJ;
+  } else if (name == "csj") {
+    *algo = QueryAlgo::kCSJ;
+  } else if (name == "ego") {
+    *algo = QueryAlgo::kEgo;
+  } else if (name == "cego") {
+    *algo = QueryAlgo::kCEgo;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Status QuerySpec::Validate() const {
+  if (eps <= 0.0) return Status::InvalidArgument("eps must be positive");
+  if (window < 1) return Status::InvalidArgument("g must be at least 1");
+  if (threads < 0) {
+    return Status::InvalidArgument("threads must be non-negative");
+  }
+  if (!dataset_b.empty()) {
+    if (IsEgoAlgo(algo)) {
+      return Status::InvalidArgument(
+          "dataset_b selects a dual tree join; not supported by ego/cego");
+    }
+    if (dataset.empty()) {
+      return Status::InvalidArgument("dataset_b requires dataset");
+    }
+  }
+  return Status::OK();
+}
+
+json::Value QuerySpec::ToJsonValue() const {
+  json::Value v = json::Object{};
+  if (!dataset.empty()) v["dataset"] = dataset;
+  if (!dataset_b.empty()) v["dataset_b"] = dataset_b;
+  v["algo"] = QueryAlgoName(algo);
+  v["eps"] = eps;
+  v["g"] = static_cast<int64_t>(window);
+  v["leaf_kernel"] = LeafKernelName(leaf_kernel);
+  v["leaf_batch"] = static_cast<uint64_t>(leaf_batch);
+  v["sort_child_pairs"] = sort_child_pairs;
+  v["threads"] = static_cast<int64_t>(threads);
+  v["deadline_ms"] = deadline_ms;
+  v["mem_budget"] = mem_budget;
+  v["output"] = OutputFormatName(output);
+  return v;
+}
+
+namespace {
+Status FieldError(const std::string& field, const std::string& why) {
+  return Status::InvalidArgument("request field '" + field + "': " + why);
+}
+}  // namespace
+
+Result<QuerySpec> QuerySpec::FromJson(const json::Value& doc) {
+  if (!doc.is_object()) {
+    return Status::InvalidArgument("QuerySpec must be a JSON object");
+  }
+  QuerySpec spec;
+  for (const auto& [key, value] : doc.AsObject()) {
+    if (key == "dataset") {
+      if (!value.is_string()) return FieldError(key, "expected a string");
+      spec.dataset = value.AsString();
+    } else if (key == "dataset_b") {
+      if (!value.is_string()) return FieldError(key, "expected a string");
+      spec.dataset_b = value.AsString();
+    } else if (key == "algo") {
+      if (!value.is_string()) return FieldError(key, "expected a string");
+      if (!ParseQueryAlgo(value.AsString(), &spec.algo)) {
+        return FieldError(key, "must be auto, ssj, ncsj, csj, ego or cego");
+      }
+    } else if (key == "eps") {
+      if (!value.is_number()) return FieldError(key, "expected a number");
+      spec.eps = value.AsDouble();
+    } else if (key == "g") {
+      if (!value.is_number()) return FieldError(key, "expected a number");
+      spec.window = static_cast<int>(value.AsInt());
+    } else if (key == "leaf_kernel") {
+      if (!value.is_string()) return FieldError(key, "expected a string");
+      if (!ParseLeafKernel(value.AsString(), &spec.leaf_kernel)) {
+        return FieldError(key, "must be naive, sweep, simd, avx2 or avx512");
+      }
+    } else if (key == "leaf_batch") {
+      if (!value.is_number()) return FieldError(key, "expected a number");
+      spec.leaf_batch = static_cast<size_t>(value.AsUint());
+    } else if (key == "sort_child_pairs") {
+      if (!value.is_bool()) return FieldError(key, "expected a bool");
+      spec.sort_child_pairs = value.AsBool();
+    } else if (key == "threads") {
+      if (!value.is_number()) return FieldError(key, "expected a number");
+      spec.threads = static_cast<int>(value.AsInt());
+    } else if (key == "deadline_ms") {
+      if (!value.is_number()) return FieldError(key, "expected a number");
+      spec.deadline_ms = value.AsUint();
+    } else if (key == "mem_budget") {
+      if (!value.is_number()) return FieldError(key, "expected a number");
+      spec.mem_budget = value.AsUint();
+    } else if (key == "output") {
+      if (!value.is_string()) return FieldError(key, "expected a string");
+      if (!ParseOutputFormat(value.AsString(), &spec.output)) {
+        return FieldError(key, "must be text, binary or none");
+      }
+    } else {
+      return Status::InvalidArgument("unknown request field '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+}  // namespace csj

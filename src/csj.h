@@ -28,6 +28,7 @@
 #include "core/output_reader.h"
 #include "core/output_stats.h"
 #include "core/join_stats.h"
+#include "core/query_spec.h"
 #include "core/result_cursor.h"
 #include "core/similarity_join.h"
 #include "core/sink.h"
@@ -50,6 +51,8 @@
 #include "metric/edit_distance.h"
 #include "metric/generic_mtree.h"
 #include "metric/metric_join.h"
+#include "plan/estimator.h"
+#include "plan/planner.h"
 #include "storage/binary_format.h"
 #include "storage/block_writer.h"
 #include "storage/buffer_pool.h"

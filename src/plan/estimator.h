@@ -1,0 +1,135 @@
+#ifndef CSJ_PLAN_ESTIMATOR_H_
+#define CSJ_PLAN_ESTIMATOR_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "analysis/fractal.h"
+#include "geom/point.h"
+#include "util/json.h"
+
+/// \file
+/// Dataset sketches and output-size estimation for the query planner.
+///
+/// The planner's inputs are cheap, query-independent *sketches* of a
+/// dataset, built once (at index load in csj_serve, per invocation in
+/// csj_tool / bench):
+///
+///  * a deterministic uniform sample of the points (seeded partial
+///    Fisher-Yates), kept in the sketch so eps-specific questions can be
+///    answered later by direct probes;
+///  * per-dimension bounds, spread and standard deviation;
+///  * an LSH collision-count ladder: same-cell pair counts over a ladder of
+///    grid widths (grid cells are the classic L2 LSH buckets), fitted to a
+///    power law — the join-size estimator of Lee/Ng/Shim-style LSH sketches;
+///  * the fractal correlation dimension D2 fitted over the sample
+///    (analysis/fractal.h): links(eps) ~ C * eps^D2 on self-similar data.
+///
+/// `EstimateOutput` then predicts, for a concrete (dataset, eps): the link
+/// count, the group structure CSJ can exploit (count / member total /
+/// covered links via an eps/sqrt(2) grid whose cells are guaranteed
+/// mergeable groups), the byte cost of the SSJ and CSJ outputs, the
+/// compression ratio between them, and a leaf-visit work proxy. The primary
+/// link estimator is an exact neighbor probe over the retained sample
+/// (scaled by the sampling fraction); when eps is below the sample's
+/// resolution (too few sampled pairs to trust), it falls back to the D2
+/// power law, and failing that the collision-ladder fit. Predictions are
+/// deterministic for a fixed seed.
+///
+/// Everything here is 2-D (Point2), matching csj_tool and csj_serve; the
+/// underlying analysis layer is dimension-generic.
+
+namespace csj::plan {
+
+/// Sketch-building knobs. Defaults are cheap enough for index load time.
+struct SketchOptions {
+  size_t sample_size = 4096;  ///< retained sample cap
+  uint64_t seed = 17;         ///< sampling seed (determinism)
+  int ladder_min_exp = -9;    ///< collision ladder: widths 2^min .. 2^max
+  int ladder_max_exp = -2;
+};
+
+/// One rung of the collision-count ladder: same-cell pairs among the
+/// *sample* at the given grid width.
+struct CollisionPoint {
+  double width = 0.0;
+  uint64_t pairs = 0;
+};
+
+/// Query-independent dataset sketch.
+struct DatasetSketch {
+  uint64_t num_points = 0;
+  size_t sample_size = 0;
+  double sample_fraction = 1.0;  ///< sample_size / num_points
+
+  std::array<double, 2> min_coord = {0.0, 0.0};
+  std::array<double, 2> max_coord = {0.0, 0.0};
+  std::array<double, 2> spread = {0.0, 0.0};
+  std::array<double, 2> stddev = {0.0, 0.0};
+
+  /// Correlation-dimension fit over the sample; valid when d2_points >= 2.
+  PowerLawFit d2;
+  size_t d2_points = 0;
+
+  /// Collision-count ladder and its power-law fit (over non-empty rungs).
+  std::vector<CollisionPoint> collisions;
+  PowerLawFit collision_fit;
+  size_t collision_points = 0;
+
+  /// The retained sample, for eps-specific probes.
+  std::vector<Point2> sample;
+
+  /// Everything except the raw sample (for explain output / reports).
+  json::Value ToJsonValue() const;
+};
+
+/// Builds a sketch over an in-memory point set. Deterministic in
+/// (points, options).
+DatasetSketch BuildSketch(const std::vector<Point2>& points,
+                          const SketchOptions& options = {});
+
+/// Builds a sketch from an externally drawn sample of a dataset with
+/// `num_points` total points (csj_serve samples from the paged tree without
+/// materializing the dataset). The sample is assumed uniform.
+DatasetSketch BuildSketchFromSample(std::vector<Point2> sample,
+                                    uint64_t num_points,
+                                    const SketchOptions& options = {});
+
+/// Predicted output shape and work for one (dataset, eps).
+struct OutputEstimate {
+  double eps = 0.0;
+
+  uint64_t links = 0;  ///< total qualifying pairs (SSJ-equivalent)
+  double avg_neighbors = 0.0;  ///< expected within-eps neighbors per point
+
+  /// Predicted group structure: cells of side eps/sqrt(2) with expected
+  /// occupancy >= 2 are guaranteed-mergeable groups.
+  uint64_t groups = 0;
+  uint64_t group_member_total = 0;
+  uint64_t grouped_links = 0;   ///< links covered by the predicted groups
+  uint64_t residual_links = 0;  ///< links CSJ would still emit individually
+
+  uint64_t ssj_bytes = 0;  ///< text bytes of the plain link listing
+  uint64_t csj_bytes = 0;  ///< text bytes of groups + residual links
+  double compression = 1.0;  ///< ssj_bytes / csj_bytes (>= 1 when groups help)
+
+  /// Leaf-work proxy: expected candidate pairs the leaf kernels evaluate
+  /// (neighbors within ~3 eps, the MBR slop of the tree traversal).
+  double leaf_work = 0.0;
+
+  /// True when the link estimate came from a power-law extrapolation
+  /// instead of the direct sample probe (eps below sample resolution).
+  bool from_power_law = false;
+
+  json::Value ToJsonValue() const;
+};
+
+/// Predicts the output at `eps`. `id_width` is the zero-padding width of the
+/// text format (IdWidthFor(n)), which prices the byte predictions.
+OutputEstimate EstimateOutput(const DatasetSketch& sketch, double eps,
+                              int id_width);
+
+}  // namespace csj::plan
+
+#endif  // CSJ_PLAN_ESTIMATOR_H_

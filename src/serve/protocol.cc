@@ -50,56 +50,15 @@ Result<Request> ParseRequest(const std::string& line) {
     return Status::InvalidArgument("request must be a JSON object");
   }
   Request req;
+  // The protocol envelope owns op/metrics/center; every other key is a
+  // QuerySpec field and goes through its strict parser, which also rejects
+  // unknown fields (a typo'd knob silently ignored would be worse than an
+  // error).
+  json::Value spec_doc = json::Object{};
   for (const auto& [key, value] : doc.AsObject()) {
     if (key == "op") {
       if (!value.is_string()) return FieldError(key, "expected a string");
       req.op = value.AsString();
-    } else if (key == "dataset") {
-      if (!value.is_string()) return FieldError(key, "expected a string");
-      req.dataset = value.AsString();
-    } else if (key == "dataset_b") {
-      if (!value.is_string()) return FieldError(key, "expected a string");
-      req.dataset_b = value.AsString();
-    } else if (key == "algo") {
-      if (!value.is_string()) return FieldError(key, "expected a string");
-      const std::string& algo = value.AsString();
-      if (algo == "ssj") {
-        req.algorithm = JoinAlgorithm::kSSJ;
-      } else if (algo == "ncsj") {
-        req.algorithm = JoinAlgorithm::kNCSJ;
-      } else if (algo == "csj") {
-        req.algorithm = JoinAlgorithm::kCSJ;
-      } else {
-        return FieldError(key, "must be ssj, ncsj or csj");
-      }
-    } else if (key == "eps") {
-      if (!value.is_number()) return FieldError(key, "expected a number");
-      req.eps = value.AsDouble();
-    } else if (key == "g") {
-      if (!value.is_number()) return FieldError(key, "expected a number");
-      req.window = static_cast<int>(value.AsInt());
-    } else if (key == "leaf_kernel") {
-      if (!value.is_string()) return FieldError(key, "expected a string");
-      if (!ParseLeafKernel(value.AsString(), &req.leaf_kernel)) {
-        return FieldError(key, "must be naive, sweep, simd, avx2 or avx512");
-      }
-    } else if (key == "leaf_batch") {
-      if (!value.is_number()) return FieldError(key, "expected a number");
-      req.leaf_batch = static_cast<size_t>(value.AsUint());
-    } else if (key == "sort_child_pairs") {
-      if (!value.is_bool()) return FieldError(key, "expected a bool");
-      req.sort_child_pairs = value.AsBool();
-    } else if (key == "output") {
-      if (!value.is_string()) return FieldError(key, "expected a string");
-      if (!ParseOutputFormat(value.AsString(), &req.output)) {
-        return FieldError(key, "must be text, binary or none");
-      }
-    } else if (key == "deadline_ms") {
-      if (!value.is_number()) return FieldError(key, "expected a number");
-      req.deadline_ms = value.AsUint();
-    } else if (key == "mem_budget") {
-      if (!value.is_number()) return FieldError(key, "expected a number");
-      req.mem_budget = value.AsUint();
     } else if (key == "metrics") {
       if (!value.is_bool()) return FieldError(key, "expected a bool");
       req.want_metrics = value.AsBool();
@@ -110,8 +69,13 @@ Result<Request> ParseRequest(const std::string& line) {
         req.center.push_back(c.AsDouble());
       }
     } else {
-      return Status::InvalidArgument("unknown request field '" + key + "'");
+      spec_doc[key] = value;
     }
+  }
+  CSJ_ASSIGN_OR_RETURN(req.spec, QuerySpec::FromJson(spec_doc));
+  if (IsEgoAlgo(req.spec.algo)) {
+    // The ego family needs raw points; served datasets are paged trees.
+    return FieldError("algo", "must be auto, ssj, ncsj or csj");
   }
   if (req.op.empty()) {
     return Status::InvalidArgument("request is missing 'op'");
@@ -121,16 +85,19 @@ Result<Request> ParseRequest(const std::string& line) {
     return FieldError("op", "must be ping, list, join or range");
   }
   if (req.op == "join" || req.op == "range") {
-    if (req.dataset.empty()) return FieldError("dataset", "required");
-    if (req.eps <= 0.0) return FieldError("eps", "must be positive");
-    if (req.window < 1) return FieldError("g", "must be at least 1");
+    if (req.spec.dataset.empty()) return FieldError("dataset", "required");
+    if (req.spec.eps <= 0.0) return FieldError("eps", "must be positive");
+    if (req.spec.window < 1) return FieldError("g", "must be at least 1");
   }
   if (req.op == "range") {
     if (req.center.empty()) return FieldError("center", "required");
-    if (req.output != OutputFormat::kText) {
+    if (req.spec.algo == QueryAlgo::kAuto) {
+      return FieldError("algo", "range queries have nothing to plan");
+    }
+    if (req.spec.output != OutputFormat::kText) {
       return FieldError("output", "range queries are text-only");
     }
-    if (!req.dataset_b.empty()) {
+    if (!req.spec.dataset_b.empty()) {
       return FieldError("dataset_b", "not meaningful for a range query");
     }
   }

@@ -8,6 +8,7 @@
 
 #include "core/join_options.h"
 #include "core/join_stats.h"
+#include "core/query_spec.h"
 #include "core/sink.h"
 #include "util/json.h"
 #include "util/metrics.h"
@@ -22,12 +23,19 @@
 ///   client -> server   one JSON object on a single line
 ///   server -> client   header line | payload bytes | trailer line
 ///
-/// Request fields (all optional unless noted):
+/// Request fields (all optional unless noted). Everything except `op`,
+/// `metrics` and `center` is a QuerySpec field (core/query_spec.h) and is
+/// parsed by `QuerySpec::FromJson` — the wire names ARE the QuerySpec JSON
+/// names, so a served query and a one-shot `csj_tool join` run are described
+/// by the same document:
 ///
 ///   op          (required) "ping" | "list" | "join" | "range"
 ///   dataset     (join/range) registered dataset name
 ///   dataset_b   second dataset: selects a dual (spatial) join
-///   algo        "ssj" | "ncsj" | "csj"            (default "csj")
+///   algo        "auto" | "ssj" | "ncsj" | "csj"    (default "csj"; "auto"
+///               lets the cost-based planner pick the algorithm and knobs
+///               against the dataset's load-time sketch, and the trailer's
+///               stats.plan echoes the resolved, explained plan)
 ///   eps         epsilon > 0 (required for join/range)
 ///   g           CSJ(g) window size                 (default 10)
 ///   leaf_kernel "naive" | "sweep" | "simd" | "avx2" | "avx512"
@@ -36,6 +44,8 @@
 ///   leaf_batch  leaf-tile pairs buffered per batched kernel pass
 ///               (default 64; 0/1 disables batching; output-invariant)
 ///   sort_child_pairs  bool                         (default false)
+///   threads     accepted and ignored: every served query runs serial on a
+///               server worker
 ///   output      "text" | "binary" | "none"         (default "text";
 ///               range queries are text-only)
 ///   deadline_ms per-query wall-clock budget; 0 = server default
@@ -63,22 +73,13 @@
 
 namespace csj::serve {
 
-/// One parsed request line.
+/// One parsed request line: the protocol envelope (op / metrics / center)
+/// around the embedded QuerySpec carrying every query knob.
 struct Request {
   std::string op;
-  std::string dataset;
-  std::string dataset_b;
-  JoinAlgorithm algorithm = JoinAlgorithm::kCSJ;
-  double eps = 0.0;
-  int window = 10;
-  LeafKernel leaf_kernel = LeafKernel::kSweep;
-  size_t leaf_batch = 64;
-  bool sort_child_pairs = false;
-  OutputFormat output = OutputFormat::kText;
-  uint64_t deadline_ms = 0;
-  uint64_t mem_budget = 0;
   bool want_metrics = false;
   std::vector<double> center;
+  QuerySpec spec;
 };
 
 /// Parses and validates one request line. Unknown fields are rejected (a

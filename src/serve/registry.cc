@@ -8,7 +8,9 @@
 #include "data/dataset.h"
 #include "data/point_io.h"
 #include "index/bulk_load.h"
+#include "index/node_access.h"
 #include "index/rstar_tree.h"
+#include "index/spatial_index.h"
 #include "index/tree_io.h"
 #include "util/format.h"
 
@@ -78,6 +80,28 @@ Status DatasetRegistry::Load(const DatasetSpec& spec) {
   dataset->source_path = spec.path;
   dataset->num_points = dataset->tree.size();
   dataset->id_width = IdWidthFor(dataset->num_points);
+
+  // Planner sketch: one deterministic stride sample over the leaves in DFS
+  // order (every query over this dataset plans against the same sketch).
+  // The DFS touches each page once through the block cache and nothing is
+  // retained beyond ~4k sample points.
+  const plan::SketchOptions sketch_options;
+  const size_t stride = std::max<uint64_t>(
+      1, dataset->num_points / sketch_options.sample_size);
+  std::vector<Point2> sample;
+  sample.reserve(sketch_options.sample_size + 1);
+  uint64_t index = 0;
+  if (dataset->tree.Root() != kInvalidNode) {
+    ForEachEntryInSubtree(
+        dataset->tree, dataset->tree.Root(),
+        static_cast<NodeAccessTracker*>(nullptr),
+        [&](const Entry<kServeDim>& e) {
+          if (index++ % stride == 0) sample.push_back(e.point);
+        });
+  }
+  dataset->sketch = plan::BuildSketchFromSample(
+      std::move(sample), dataset->num_points, sketch_options);
+
   datasets_.emplace(spec.name, std::move(dataset));
   return Status::OK();
 }

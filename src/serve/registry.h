@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "index/paged_tree.h"
+#include "plan/estimator.h"
 #include "util/exec_context.h"
 #include "util/status.h"
 
@@ -49,13 +50,19 @@ struct DatasetSpec {
   size_t cache_blocks = 1024;   ///< per-dataset block cache capacity
 };
 
-/// A loaded dataset: the shared read-only tree plus display facts.
+/// A loaded dataset: the shared read-only tree plus display facts and the
+/// planner's sketch.
 struct Dataset {
   std::string name;
   std::string source_path;
   uint64_t num_points = 0;
   int id_width = 0;
   PagedTree<kServeDim> tree;
+
+  /// Built once at load time from a deterministic stride sample of the
+  /// tree's leaves; read-only afterwards, so "algo":"auto" queries plan
+  /// concurrently without touching the disk image.
+  plan::DatasetSketch sketch;
 
   explicit Dataset(PagedTree<kServeDim> t) : tree(std::move(t)) {}
 };

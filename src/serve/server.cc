@@ -12,9 +12,11 @@
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <optional>
 
 #include "core/similarity_join.h"
 #include "core/sink.h"
+#include "plan/planner.h"
 #include "serve/protocol.h"
 #include "storage/output_file.h"
 #include "util/format.h"
@@ -54,7 +56,7 @@ Status RunRangeQuery(int fd, const Request& req, const Dataset& dataset,
     stack.pop_back();
     if (tree.IsLeaf(n)) {
       for (const auto& entry : tree.Entries(n, &exec)) {
-        if (Distance(center, entry.point) > req.eps) continue;
+        if (Distance(center, entry.point) > req.spec.eps) continue;
         ++stats->links;
         result = out.Append(
             StrFormat("%0*u\n", dataset.id_width, entry.id));
@@ -63,7 +65,7 @@ Status RunRangeQuery(int fd, const Request& req, const Dataset& dataset,
       if (!result.ok()) break;
     } else {
       for (const NodeId child : tree.Children(n, &exec)) {
-        if (MinDistance(center, tree.Shape(child)) <= req.eps) {
+        if (MinDistance(center, tree.Shape(child)) <= req.spec.eps) {
           stack.push_back(child);
         }
       }
@@ -335,19 +337,19 @@ void Server::HandleConnection(int fd) {
     return;
   }
 
-  const Dataset* dataset = registry_->Find(req.dataset);
+  const Dataset* dataset = registry_->Find(req.spec.dataset);
   if (dataset == nullptr) {
     WriteAll(fd, ErrorLine(Status::NotFound("unknown dataset: " +
-                                            req.dataset)))
+                                            req.spec.dataset)))
         .ok();
     return;
   }
   const Dataset* dataset_b = nullptr;
-  if (!req.dataset_b.empty()) {
-    dataset_b = registry_->Find(req.dataset_b);
+  if (!req.spec.dataset_b.empty()) {
+    dataset_b = registry_->Find(req.spec.dataset_b);
     if (dataset_b == nullptr) {
       WriteAll(fd, ErrorLine(Status::NotFound("unknown dataset: " +
-                                              req.dataset_b)))
+                                              req.spec.dataset_b)))
           .ok();
       return;
     }
@@ -357,15 +359,16 @@ void Server::HandleConnection(int fd) {
   // (request value, server default, clamped by the server maximum), a
   // cancel flag raised by the disconnect watcher, and a memory budget
   // carved from the server-wide budget the block caches also charge.
-  uint64_t deadline_ms = req.deadline_ms != 0 ? req.deadline_ms
-                                              : options_.default_deadline_ms;
+  uint64_t deadline_ms = req.spec.deadline_ms != 0
+                             ? req.spec.deadline_ms
+                             : options_.default_deadline_ms;
   if (options_.max_deadline_ms != 0 &&
       (deadline_ms == 0 || deadline_ms > options_.max_deadline_ms)) {
     deadline_ms = options_.max_deadline_ms;
   }
   std::atomic<bool> disconnected{false};
   const uint64_t ticket = Watch(fd, &disconnected);
-  MemoryBudget query_budget(req.mem_budget, registry_->budget());
+  MemoryBudget query_budget(req.spec.mem_budget, registry_->budget());
   ExecContext exec;
   exec.SetCancelFlag(&disconnected);
   exec.SetMemoryBudget(&query_budget);
@@ -380,7 +383,7 @@ void Server::HandleConnection(int fd) {
       dataset_b == nullptr
           ? dataset->id_width
           : std::max(dataset->id_width, dataset_b->id_width);
-  if (!WriteAll(fd, HeaderLine(req.op, req.output, id_width)).ok()) {
+  if (!WriteAll(fd, HeaderLine(req.op, req.spec.output, id_width)).ok()) {
     Unwatch(ticket);
     return;
   }
@@ -392,8 +395,8 @@ void Server::HandleConnection(int fd) {
     status = RunRangeQuery(fd, req, *dataset, exec, &stats);
   } else {
     OutputSpec spec;
-    spec.format = req.output;
-    if (req.output != OutputFormat::kNone) spec.fd = fd;
+    spec.format = req.spec.output;
+    if (req.spec.output != OutputFormat::kNone) spec.fd = fd;
     spec.id_width = id_width;
     spec.atomic = false;
     spec.budget = &query_budget;
@@ -405,16 +408,22 @@ void Server::HandleConnection(int fd) {
     }
     std::unique_ptr<JoinSink> sink = std::move(sink_result).value();
 
-    JoinOptions options;
-    options.epsilon = req.eps;
-    options.window_size = req.window;
-    options.leaf_kernel = req.leaf_kernel;
-    options.leaf_batch = req.leaf_batch;
-    options.sort_child_pairs = req.sort_child_pairs;
+    // "algo":"auto" — resolve against the dataset's load-time sketch. The
+    // resolved plan drives execution and is echoed (with its predictions)
+    // in the trailer's stats.plan. Dual joins plan against the left side.
+    QuerySpec run_spec = req.spec;
+    std::optional<plan::QueryPlan> query_plan;
+    if (run_spec.algo == QueryAlgo::kAuto) {
+      query_plan = plan::PlanQuery(run_spec, dataset->sketch, id_width);
+      run_spec = query_plan->resolved;
+    }
+
+    JoinOptions options = plan::DeriveJoinOptions(run_spec);
     options.deadline_ms = deadline_ms;
     options.exec = &exec;
+    const JoinAlgorithm algorithm = TreeAlgorithmFor(run_spec.algo);
     if (dataset_b != nullptr) {
-      switch (req.algorithm) {
+      switch (algorithm) {
         case JoinAlgorithm::kSSJ:
           stats = StandardSpatialJoin(dataset->tree, dataset_b->tree, options,
                                       sink.get());
@@ -429,7 +438,11 @@ void Server::HandleConnection(int fd) {
           break;
       }
     } else {
-      stats = RunSelfJoin(req.algorithm, dataset->tree, options, sink.get());
+      stats = RunSelfJoin(algorithm, dataset->tree, options, sink.get());
+    }
+    if (query_plan) {
+      plan::AttachPlan(*query_plan, &stats);
+      if (stats.status.ok()) plan::RecordPlanAccuracy(stats);
     }
     status = stats.status;
     // Unlike a one-shot file sink (where a governed stop discards the

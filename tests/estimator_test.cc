@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/brute.h"
+#include "data/dataset.h"
+#include "data/generators.h"
+#include "plan/estimator.h"
+
+namespace csj::plan {
+namespace {
+
+/// Exact link count (qualifying pairs, d <= eps) by brute force.
+uint64_t ExactLinks(const std::vector<Point2>& points, double eps) {
+  return BruteForceSelfJoin(ToEntries(points), eps).size();
+}
+
+TEST(EstimatorTest, SketchIsDeterministic) {
+  const auto points = GenerateGaussianClusters<2>(5000, 6, 0.03, 42);
+  const DatasetSketch a = BuildSketch(points);
+  const DatasetSketch b = BuildSketch(points);
+  EXPECT_EQ(a.num_points, b.num_points);
+  EXPECT_EQ(a.sample_size, b.sample_size);
+  EXPECT_EQ(a.sample.size(), b.sample.size());
+  for (size_t i = 0; i < a.sample.size(); ++i) {
+    EXPECT_EQ(a.sample[i], b.sample[i]) << "sample diverged at " << i;
+  }
+  EXPECT_EQ(a.collisions.size(), b.collisions.size());
+  for (size_t i = 0; i < a.collisions.size(); ++i) {
+    EXPECT_EQ(a.collisions[i].pairs, b.collisions[i].pairs);
+  }
+  EXPECT_DOUBLE_EQ(a.d2.slope, b.d2.slope);
+
+  // And estimates built from equal sketches are equal.
+  const auto ea = EstimateOutput(a, 0.01, 4);
+  const auto eb = EstimateOutput(b, 0.01, 4);
+  EXPECT_EQ(ea.links, eb.links);
+  EXPECT_EQ(ea.groups, eb.groups);
+  EXPECT_EQ(ea.csj_bytes, eb.csj_bytes);
+}
+
+TEST(EstimatorTest, SketchBasicShape) {
+  const auto points = GenerateUniform<2>(10000, 9);
+  const DatasetSketch sketch = BuildSketch(points);
+  EXPECT_EQ(sketch.num_points, 10000u);
+  EXPECT_EQ(sketch.sample_size, 4096u);  // capped at SketchOptions default
+  EXPECT_NEAR(sketch.sample_fraction, 4096.0 / 10000.0, 1e-9);
+  for (int d = 0; d < 2; ++d) {
+    EXPECT_GE(sketch.min_coord[d], 0.0);
+    EXPECT_LE(sketch.max_coord[d], 1.0);
+    EXPECT_GT(sketch.spread[d], 0.9);  // uniform fills the unit square
+    EXPECT_GT(sketch.stddev[d], 0.1);
+  }
+  // Uniform 2-D data has correlation dimension ~2.
+  ASSERT_GE(sketch.d2_points, 2u);
+  EXPECT_NEAR(sketch.d2.slope, 2.0, 0.4);
+}
+
+TEST(EstimatorTest, SmallDatasetsAreSampledWhole) {
+  const auto points = GenerateUniform<2>(300, 5);
+  const DatasetSketch sketch = BuildSketch(points);
+  EXPECT_EQ(sketch.sample_size, 300u);
+  EXPECT_DOUBLE_EQ(sketch.sample_fraction, 1.0);
+}
+
+TEST(EstimatorTest, LinkEstimateWithinTwoXOfExact) {
+  // The acceptance bound of the planner work: predicted links within 2x of
+  // actual, on both a clustered and a uniform dataset, across the smoke eps
+  // ladder. Exact counts come from brute force on modest n.
+  struct Case {
+    const char* name;
+    std::vector<Point2> points;
+  };
+  const std::vector<Case> cases = {
+      {"clustered", GenerateGaussianClusters<2>(4000, 8, 0.02, 7)},
+      {"uniform", GenerateUniform<2>(4000, 11)},
+  };
+  for (const auto& c : cases) {
+    const DatasetSketch sketch = BuildSketch(c.points);
+    for (double eps : {0.005, 0.01, 0.02}) {
+      const uint64_t actual = ExactLinks(c.points, eps);
+      const OutputEstimate est = EstimateOutput(sketch, eps, 4);
+      if (actual == 0) continue;  // nothing to bound against
+      const double ratio = static_cast<double>(est.links) /
+                           static_cast<double>(actual);
+      EXPECT_GE(ratio, 0.5) << c.name << " eps=" << eps << " est=" << est.links
+                            << " actual=" << actual;
+      EXPECT_LE(ratio, 2.0) << c.name << " eps=" << eps << " est=" << est.links
+                            << " actual=" << actual;
+    }
+  }
+}
+
+TEST(EstimatorTest, EstimatesGrowWithEps) {
+  const auto points = GenerateGaussianClusters<2>(4000, 8, 0.02, 7);
+  const DatasetSketch sketch = BuildSketch(points);
+  uint64_t prev_links = 0;
+  double prev_work = 0.0;
+  for (double eps : {0.002, 0.005, 0.01, 0.02, 0.05}) {
+    const OutputEstimate est = EstimateOutput(sketch, eps, 4);
+    EXPECT_GE(est.links, prev_links) << "eps=" << eps;
+    EXPECT_GE(est.leaf_work, prev_work) << "eps=" << eps;
+    prev_links = est.links;
+    prev_work = est.leaf_work;
+  }
+}
+
+TEST(EstimatorTest, CompressionFavorsClusteredData) {
+  // At an eps that groups cluster cores, the predicted CSJ compression on
+  // clustered data must clearly beat the one on uniform data at the same
+  // output scale — this is the signal the planner keys off.
+  const DatasetSketch clustered =
+      BuildSketch(GenerateGaussianClusters<2>(6000, 8, 0.01, 7));
+  const DatasetSketch uniform = BuildSketch(GenerateUniform<2>(6000, 11));
+  const OutputEstimate ec = EstimateOutput(clustered, 0.02, 4);
+  const OutputEstimate eu = EstimateOutput(uniform, 0.005, 4);
+  EXPECT_GT(ec.compression, 1.2);
+  EXPECT_GT(ec.compression, eu.compression);
+  EXPECT_GE(eu.compression, 1.0 - 1e-9);
+  EXPECT_LE(ec.csj_bytes, ec.ssj_bytes);
+}
+
+TEST(EstimatorTest, TinyEpsFallsBackToPowerLaw) {
+  // Far below the sample's resolution the direct probe finds no pairs; the
+  // estimator must fall back to a power-law extrapolation, not report 0.
+  // (Uniform data: the clamped-Gaussian generator piles points onto the
+  // cube boundary, whose coincident pairs would satisfy the probe at any
+  // eps.)
+  const auto points = GenerateUniform<2>(6000, 13);
+  const DatasetSketch sketch = BuildSketch(points);
+  const OutputEstimate est = EstimateOutput(sketch, 1e-5, 4);
+  EXPECT_TRUE(est.from_power_law);
+}
+
+TEST(EstimatorTest, SketchJsonHasTheExplainFields) {
+  const DatasetSketch sketch = BuildSketch(GenerateUniform<2>(2000, 3));
+  const json::Value v = sketch.ToJsonValue();
+  ASSERT_TRUE(v.is_object());
+  const std::string text = json::Write(v);
+  EXPECT_NE(text.find("num_points"), std::string::npos);
+  EXPECT_NE(text.find("d2"), std::string::npos);
+  EXPECT_NE(text.find("sample_size"), std::string::npos);
+  // The raw sample must NOT be serialized (reports would balloon).
+  EXPECT_EQ(text.find("\"sample\""), std::string::npos);
+
+  const OutputEstimate est = EstimateOutput(sketch, 0.01, 4);
+  const std::string est_text = json::Write(est.ToJsonValue());
+  EXPECT_NE(est_text.find("links"), std::string::npos);
+  EXPECT_NE(est_text.find("compression"), std::string::npos);
+  EXPECT_NE(est_text.find("leaf_work"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace csj::plan

@@ -32,15 +32,44 @@ TEST(PowerLawFitTest, DegenerateInputs) {
 
 TEST(FractalTest, BoxCountingUniform2DIsTwo) {
   const auto points = GenerateUniform<2>(60000, 5);
-  const PowerLawFit fit = BoxCountingDimension(points, 2, 6);
-  EXPECT_NEAR(fit.slope, 2.0, 0.25);
+  const auto fit = BoxCountingDimension(points, 2, 6);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_NEAR(fit->slope, 2.0, 0.25);
 }
 
 TEST(FractalTest, BoxCountingSierpinski2D) {
   // The Sierpinski triangle has dimension log 3 / log 2 ~ 1.585.
   const auto points = GenerateSierpinski2D(80000, 7);
-  const PowerLawFit fit = BoxCountingDimension(points, 2, 6);
-  EXPECT_NEAR(fit.slope, 1.585, 0.2);
+  const auto fit = BoxCountingDimension(points, 2, 6);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_NEAR(fit->slope, 1.585, 0.2);
+}
+
+TEST(FractalTest, BoxCounting3DUsesFirstThreeCoordinates) {
+  const auto points = GenerateSierpinski3D(60000, 21);
+  const auto fit = BoxCountingDimension(points, 2, 6);
+  ASSERT_TRUE(fit.ok()) << fit.status().ToString();
+  EXPECT_NEAR(fit->slope, 2.0, 0.3);
+}
+
+TEST(FractalTest, BoxCountingDegenerateInputsAreErrors) {
+  // Too few points.
+  EXPECT_EQ(BoxCountingDimension(std::vector<Point2>{}).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(BoxCountingDimension(std::vector<Point2>{Point2{{0.5, 0.5}}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // All-identical points: zero spread must surface as a Status, not a
+  // silent dimension-0 fit.
+  std::vector<Point2> identical(1000, Point2{{0.25, 0.75}});
+  const auto fit = BoxCountingDimension(identical);
+  ASSERT_FALSE(fit.ok());
+  EXPECT_EQ(fit.status().code(), StatusCode::kInvalidArgument);
+  // Bad level ranges.
+  const auto points = GenerateUniform<2>(100, 3);
+  EXPECT_EQ(BoxCountingDimension(points, 5, 2).status().code(),
+            StatusCode::kInvalidArgument);
 }
 
 TEST(FractalTest, CorrelationUniform2DIsTwo) {

@@ -256,6 +256,58 @@ TEST_F(ServeTest, ResponsesByteIdenticalToOneShotRuns) {
   server->Shutdown();
 }
 
+TEST_F(ServeTest, AutoAlgoPlansAndMatchesExplicitRun) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Load({.name = "pts", .path = *index_path_}).ok());
+  std::unique_ptr<Server> server;
+  const std::string socket_path = StartServer(&registry, {}, &server);
+
+  // "algo":"auto": the server plans against the load-time sketch, runs the
+  // resolved spec, and echoes the plan in the trailer's stats.
+  Response response = RoundTrip(
+      socket_path,
+      "{\"op\":\"join\",\"dataset\":\"pts\",\"algo\":\"auto\",\"eps\":0.01}");
+  ASSERT_TRUE(response.transport.ok()) << response.transport.ToString();
+  EXPECT_EQ(response.code, "OK");
+
+  auto trailer = json::Parse(response.trailer);
+  ASSERT_TRUE(trailer.ok()) << trailer.status().ToString();
+  const json::Value* stats = trailer->Find("stats");
+  ASSERT_NE(stats, nullptr);
+  const json::Value* echoed_plan = stats->Find("plan");
+  ASSERT_NE(echoed_plan, nullptr) << "auto run did not echo its plan";
+  const json::Value* knobs = echoed_plan->Find("knobs");
+  ASSERT_NE(knobs, nullptr);
+  const json::Value* algo = knobs->Find("algo");
+  const json::Value* g = knobs->Find("g");
+  ASSERT_NE(algo, nullptr);
+  ASSERT_NE(g, nullptr);
+  EXPECT_NE(algo->AsString(), "auto");
+  EXPECT_NE(stats->Find("predicted_links"), nullptr);
+
+  // Re-issuing the resolved knobs explicitly is byte-identical: planning
+  // changes how the query runs, never what it returns.
+  Response explicit_run = RoundTrip(
+      socket_path,
+      JoinRequest(algo->AsString(), 0.01, static_cast<int>(g->AsInt())));
+  ASSERT_TRUE(explicit_run.transport.ok())
+      << explicit_run.transport.ToString();
+  EXPECT_EQ(explicit_run.code, "OK");
+  EXPECT_EQ(response.payload, explicit_run.payload);
+
+  // The planner refuses to plan what it cannot run: ego under serve, auto
+  // under range.
+  EXPECT_EQ(RoundTrip(socket_path, JoinRequest("ego", 0.01, 10)).code,
+            "InvalidArgument");
+  EXPECT_EQ(
+      RoundTrip(socket_path,
+                "{\"op\":\"range\",\"dataset\":\"pts\",\"algo\":\"auto\","
+                "\"eps\":0.01,\"center\":[0.5,0.5]}")
+          .code,
+      "InvalidArgument");
+  server->Shutdown();
+}
+
 TEST_F(ServeTest, RangeQueryMatchesBruteForce) {
   DatasetRegistry registry;
   ASSERT_TRUE(registry.Load({.name = "pts", .path = *index_path_}).ok());

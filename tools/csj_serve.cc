@@ -16,8 +16,10 @@
 /// exits 0.
 ///
 ///   csj_serve query --socket /tmp/csj.sock --dataset pts --eps 0.05
-///                   [--algo csj] [--g 10] [--leaf-kernel sweep]
-///                   [--leaf-batch 64]
+///                   [--algo auto|ssj|ncsj|csj] [--g 10]
+///                   [--leaf-kernel sweep] [--leaf-batch 64]
+///                   (--algo auto: the server's cost-based planner picks the
+///                   knobs and the trailer's stats.plan explains the choice)
 ///                   [--output-format text|binary|none] [--out result.txt]
 ///                   [--deadline-ms N] [--mem-budget BYTES] [--metrics 1]
 ///                   [--dataset-b other]           (dual/spatial join)

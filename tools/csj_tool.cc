@@ -7,6 +7,15 @@
 ///   csj_tool join     --index index.csjt --eps 0.05 --algo csj --g 10
 ///                     --out result.txt   (one line)
 ///   csj_tool join     --points pts.txt --eps 0.05 --algo ego --out r.txt
+///   csj_tool join     --index index.csjt --eps 0.05 --algo auto --out r.txt
+///                     (cost-based planner picks algorithm, g, leaf kernel
+///                     and serial-vs-parallel; the chosen plan and its
+///                     predictions ride along in --metrics json output; see
+///                     docs/PLANNING.md)
+///   csj_tool plan     --index index.csjt --eps 0.05 [--algo csj] [--json 1]
+///                     (alias: explain — print the QueryPlan, with a
+///                     rationale per decision, without executing anything;
+///                     defaults to --algo auto, an explicit algo is priced)
 ///   csj_tool join     ... --metrics json   (stats + metrics snapshot JSON
 ///                     on stdout; --metrics text appends a readable dump)
 ///   csj_tool join     ... --leaf-kernel naive|sweep|simd|avx2|avx512
@@ -53,6 +62,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -233,54 +243,109 @@ int CmdBuild(Flags& flags) {
   return 0;
 }
 
-int CmdJoin(Flags& flags) {
+/// Builds the QuerySpec shared by `join` and `plan` from the command-line
+/// flags, plus the dataset source flags (--index / --points). Dies on any
+/// malformed value. This is the only flag-to-spec mapping in the tool: both
+/// commands describe the same run identically, and execution knobs are
+/// derived from the spec (plan/planner.h), never re-read from the flags.
+QuerySpec SpecFromFlags(Flags& flags, std::string* index_path,
+                        std::string* points_path) {
+  QuerySpec spec;
   const std::string algo = flags.GetOr("algo", "csj");
-  const double eps = flags.GetDouble("eps", 0.0);
-  if (eps <= 0.0) Flags::Die("--eps must be positive");
-  const int g = static_cast<int>(flags.GetInt("g", 10));
+  if (!ParseQueryAlgo(algo, &spec.algo)) {
+    Flags::Die("unknown --algo '" + algo + "' (auto|ssj|ncsj|csj|ego|cego)");
+  }
+  spec.eps = flags.GetDouble("eps", 0.0);
+  spec.window = static_cast<int>(flags.GetInt("g", 10));
+  const std::string kernel_name = flags.GetOr("leaf-kernel", "sweep");
+  if (!ParseLeafKernel(kernel_name, &spec.leaf_kernel)) {
+    Flags::Die("--leaf-kernel must be naive, sweep, simd, avx2 or avx512");
+  }
+  const long leaf_batch = flags.GetInt("leaf-batch", 64);
+  if (leaf_batch < 0) Flags::Die("--leaf-batch must be non-negative");
+  spec.leaf_batch = static_cast<size_t>(leaf_batch);
+  spec.sort_child_pairs = flags.GetOr("sort-child-pairs", "0") != "0";
+  // Absent --threads leaves 0 ("unspecified"): the planner decides under
+  // --algo auto, explicit runs stay serial — the historical default.
+  spec.threads = static_cast<int>(flags.GetInt("threads", 0));
+  const long deadline_ms = flags.GetInt("deadline-ms", 0);
+  if (deadline_ms < 0) Flags::Die("--deadline-ms must be non-negative");
+  spec.deadline_ms = static_cast<uint64_t>(deadline_ms);
+  const long mem_budget = flags.GetInt("mem-budget", 0);
+  if (mem_budget < 0) Flags::Die("--mem-budget must be non-negative bytes");
+  spec.mem_budget = static_cast<uint64_t>(mem_budget);
   const std::string format_name = flags.GetOr("output-format", "text");
-  OutputFormat format = OutputFormat::kText;
-  if (!ParseOutputFormat(format_name, &format)) {
+  if (!ParseOutputFormat(format_name, &spec.output)) {
     Flags::Die("--output-format must be text, binary or none");
   }
+  *index_path = flags.GetOr("index", "");
+  *points_path = flags.GetOr("points", "");
+  spec.dataset = index_path->empty() ? *points_path : *index_path;
+  DieOnError(spec.Validate());
+  return spec;
+}
+
+/// Loads the dataset named by --index / --points as raw points (for the
+/// planner's sketch; `plan` also renders predictions from them).
+std::vector<Point2> LoadPlanningPoints(const std::string& index_path,
+                                       const std::string& points_path) {
+  std::vector<Point2> points;
+  if (!index_path.empty()) {
+    auto info = PeekTreeFile(index_path);
+    DieOnError(info.status());
+    RStarOptions options;
+    options.max_fanout = info->max_fanout;
+    options.min_fanout = info->min_fanout;
+    RStarTree<2> tree(options);
+    DieOnError(LoadTree(&tree, index_path));
+    points.reserve(tree.size());
+    ForEachEntryInSubtree(
+        tree, tree.Root(), static_cast<NodeAccessTracker*>(nullptr),
+        [&](const Entry<2>& e) { points.push_back(e.point); });
+  } else if (!points_path.empty()) {
+    // Pack and walk exactly as CmdJoin does: the sketch's seeded sample is
+    // input-order sensitive, so `plan` must see the same point sequence as
+    // `join --algo auto` for the two to resolve the same plan.
+    auto entries = LoadEntries(points_path);
+    DieOnError(entries.status());
+    RStarTree<2> tree;
+    PackStr(&tree, *entries);
+    points.reserve(tree.size());
+    ForEachEntryInSubtree(
+        tree, tree.Root(), static_cast<NodeAccessTracker*>(nullptr),
+        [&](const Entry<2>& e) { points.push_back(e.point); });
+  } else {
+    Flags::Die("need --index or --points");
+  }
+  return points;
+}
+
+int CmdJoin(Flags& flags) {
+  std::string index_path;
+  std::string points_path;
+  QuerySpec spec = SpecFromFlags(flags, &index_path, &points_path);
   const std::string out = flags.GetOr("out", "");
-  if (out.empty() && format != OutputFormat::kNone) {
+  if (out.empty() && spec.output != OutputFormat::kNone) {
     Flags::Die("join needs --out (or --output-format none)");
   }
-  const std::string index_path = flags.GetOr("index", "");
-  const std::string points_path = flags.GetOr("points", "");
   const std::string metrics_mode = flags.GetOr("metrics", "off");
   if (metrics_mode != "off" && metrics_mode != "text" &&
       metrics_mode != "json") {
     Flags::Die("--metrics must be off, text or json");
   }
-  const std::string kernel_name = flags.GetOr("leaf-kernel", "sweep");
-  LeafKernel leaf_kernel = LeafKernel::kSweep;
-  if (!ParseLeafKernel(kernel_name, &leaf_kernel)) {
-    Flags::Die("--leaf-kernel must be naive, sweep, simd, avx2 or avx512");
-  }
-  const long leaf_batch = flags.GetInt("leaf-batch", 64);
-  if (leaf_batch < 0) Flags::Die("--leaf-batch must be non-negative");
-  // Checkpoint/resume flags. Any of them selects the crash-safe runner
-  // (docs/ROBUSTNESS.md); without them the join runs exactly as before.
-  const long threads = flags.GetInt("threads", 1);
+  // Checkpoint/resume flags. Any of them — or a resolved thread count above
+  // one — selects the crash-safe runner (docs/ROBUSTNESS.md); without them
+  // the join runs exactly as before.
   const long tasks_per_thread = flags.GetInt("tasks-per-thread", 16);
   const long checkpoint_interval = flags.GetInt("checkpoint-interval", -1);
   const bool resume = flags.GetOr("resume", "0") != "0";
-  const long deadline_ms = flags.GetInt("deadline-ms", 0);
-  const long mem_budget = flags.GetInt("mem-budget", 0);
   std::string manifest_path = flags.GetOr("checkpoint", "");
   flags.CheckAllUsed();
 
-  // A deadline or memory budget alone no longer selects the checkpointed
-  // runner: plain (and ego) joins honor them directly through ExecContext.
-  const bool checkpointed = resume || checkpoint_interval >= 0 ||
-                            threads > 1 || !manifest_path.empty();
-  if (threads < 1) Flags::Die("--threads must be at least 1");
+  const bool checkpoint_flags =
+      resume || checkpoint_interval >= 0 || !manifest_path.empty();
   if (tasks_per_thread < 1) Flags::Die("--tasks-per-thread must be positive");
-  if (deadline_ms < 0) Flags::Die("--deadline-ms must be non-negative");
-  if (mem_budget < 0) Flags::Die("--mem-budget must be non-negative bytes");
-  if (checkpointed && (algo == "ego" || algo == "cego")) {
+  if ((checkpoint_flags || spec.threads > 1) && IsEgoAlgo(spec.algo)) {
     Flags::Die("checkpointing supports the tree algorithms (ssj|ncsj|csj)");
   }
   if (manifest_path.empty()) {
@@ -289,7 +354,7 @@ int CmdJoin(Flags& flags) {
 
   // Governance shared by every join flavor below: SIGINT/SIGTERM cancel,
   // plus the optional memory budget. Drivers layer --deadline-ms on top.
-  MemoryBudget budget(static_cast<uint64_t>(mem_budget));
+  MemoryBudget budget(spec.mem_budget);
   ExecContext exec;
   exec.SetCancelFlag(&g_cancel_requested);
   exec.SetMemoryBudget(&budget);
@@ -298,33 +363,29 @@ int CmdJoin(Flags& flags) {
   // Every sink — text file, binary file, or byte-counting — comes from the
   // same factory, so the join code below is format-agnostic.
   const auto make_sink = [&](uint64_t n) {
-    OutputSpec spec;
-    spec.format = format;
-    spec.path = out;
-    spec.id_width = IdWidthFor(n);
-    spec.budget = &budget;
-    auto sink = MakeSink(spec);
+    OutputSpec out_spec;
+    out_spec.format = spec.output;
+    out_spec.path = out;
+    out_spec.id_width = IdWidthFor(n);
+    out_spec.budget = &budget;
+    auto sink = MakeSink(out_spec);
     DieOnError(sink.status());
     return std::move(sink).value();
   };
 
   JoinStats stats;
   uint64_t n = 0;
-  if (algo == "ego" || algo == "cego") {
+  if (IsEgoAlgo(spec.algo)) {
     if (points_path.empty()) Flags::Die("--algo ego needs --points");
     auto entries = LoadEntries(points_path);
     DieOnError(entries.status());
     n = entries->size();
     auto sink = make_sink(n);
-    EgoOptions options;
-    options.epsilon = eps;
-    options.window_size = g;
-    options.leaf_kernel = leaf_kernel;
-    options.leaf_batch = static_cast<size_t>(leaf_batch);
-    options.deadline_ms = static_cast<uint64_t>(deadline_ms);
+    EgoOptions options = plan::DeriveEgoOptions(spec);
     options.exec = &exec;
-    stats = algo == "ego" ? EgoSimilarityJoin(*entries, options, sink.get())
-                          : CompactEgoJoin(*entries, options, sink.get());
+    stats = spec.algo == QueryAlgo::kEgo
+                ? EgoSimilarityJoin(*entries, options, sink.get())
+                : CompactEgoJoin(*entries, options, sink.get());
     // A governed stop must not leave a partial artifact: skipping Finish()
     // makes the atomic FileSink discard its temp file.
     if (const int code = HandleJoinStatus(stats.status)) return code;
@@ -349,37 +410,46 @@ int CmdJoin(Flags& flags) {
       Flags::Die("join needs --index or --points");
     }
     n = tree.size();
-    JoinOptions options;
-    options.epsilon = eps;
-    options.window_size = g;
-    options.leaf_kernel = leaf_kernel;
-    options.leaf_batch = static_cast<size_t>(leaf_batch);
-    options.deadline_ms = static_cast<uint64_t>(deadline_ms);
-    options.exec = &exec;
-    JoinAlgorithm algorithm = JoinAlgorithm::kCSJ;
-    if (algo == "ssj") {
-      algorithm = JoinAlgorithm::kSSJ;
-    } else if (algo == "ncsj") {
-      algorithm = JoinAlgorithm::kNCSJ;
-    } else if (algo != "csj") {
-      Flags::Die("unknown --algo '" + algo + "' (ssj|ncsj|csj|ego|cego)");
+
+    // --algo auto: sketch the already-loaded dataset and let the planner
+    // resolve every open knob; the plan rides along in the stats.
+    std::optional<plan::QueryPlan> query_plan;
+    if (spec.algo == QueryAlgo::kAuto) {
+      std::vector<Point2> points;
+      points.reserve(n);
+      ForEachEntryInSubtree(
+          tree, tree.Root(), static_cast<NodeAccessTracker*>(nullptr),
+          [&](const Entry<2>& e) { points.push_back(e.point); });
+      query_plan =
+          plan::PlanQuery(spec, plan::BuildSketch(points), IdWidthFor(n));
+      spec = query_plan->resolved;
     }
-    if (checkpointed) {
-      OutputSpec spec;
-      spec.format = format;
-      spec.path = out;
-      spec.id_width = IdWidthFor(n);
-      spec.budget = &budget;
+    const auto finish_plan = [&](JoinStats* s) {
+      if (!query_plan) return;
+      plan::AttachPlan(*query_plan, s);
+      if (s->status.ok()) plan::RecordPlanAccuracy(*s);
+    };
+
+    JoinOptions options = plan::DeriveJoinOptions(spec);
+    options.exec = &exec;
+    const JoinAlgorithm algorithm = TreeAlgorithmFor(spec.algo);
+    if (checkpoint_flags || spec.threads > 1) {
+      OutputSpec out_spec;
+      out_spec.format = spec.output;
+      out_spec.path = out;
+      out_spec.id_width = IdWidthFor(n);
+      out_spec.budget = &budget;
       CheckpointJoinOptions ckpt;
       ckpt.manifest_path = manifest_path;
       ckpt.checkpoint_interval = checkpoint_interval < 0
                                      ? uint64_t{32}
                                      : static_cast<uint64_t>(checkpoint_interval);
-      ckpt.threads = static_cast<int>(threads);
+      ckpt.threads = spec.threads > 0 ? spec.threads : 1;
       ckpt.tasks_per_thread = static_cast<int>(tasks_per_thread);
       ckpt.resume = resume;
       ckpt.cancel = &g_cancel_requested;
-      stats = CheckpointedSelfJoin(tree, algorithm, options, spec, ckpt);
+      stats = CheckpointedSelfJoin(tree, algorithm, options, out_spec, ckpt);
+      finish_plan(&stats);
       // The checkpoint runner already persisted a resumable manifest, so a
       // governed stop here is an orderly exit, not a Die().
       if (const int code = HandleJoinStatus(stats.status)) return code;
@@ -392,6 +462,7 @@ int CmdJoin(Flags& flags) {
       } else {
         stats = CompactSimilarityJoin(tree, options, sink.get());
       }
+      finish_plan(&stats);
       // Skip Finish() on a governed stop so the atomic FileSink discards its
       // temp file instead of publishing a partial result.
       if (const int code = HandleJoinStatus(stats.status)) return code;
@@ -408,7 +479,7 @@ int CmdJoin(Flags& flags) {
     return 0;
   }
   std::printf("%s\n", stats.ToString().c_str());
-  if (format == OutputFormat::kNone) {
+  if (spec.output == OutputFormat::kNone) {
     std::printf("counted %s (%s) of %s output; nothing written\n",
                 HumanBytes(stats.output_bytes).c_str(),
                 WithThousands(stats.output_bytes).c_str(),
@@ -417,10 +488,38 @@ int CmdJoin(Flags& flags) {
     std::printf("wrote %s (%s) of %s output to %s\n",
                 HumanBytes(stats.output_bytes).c_str(),
                 WithThousands(stats.output_bytes).c_str(),
-                OutputFormatName(format), out.c_str());
+                OutputFormatName(spec.output), out.c_str());
   }
   if (metrics_mode == "text") {
     std::printf("%s", metrics::Snapshot().ToText().c_str());
+  }
+  return 0;
+}
+
+int CmdPlan(Flags& flags) {
+  // Explain mode: resolve the spec against the dataset sketch and print the
+  // QueryPlan — chosen knobs, predictions and a rationale per decision —
+  // without executing the join. `--json 1` prints the exact document that
+  // `join --algo auto --metrics json` echoes under stats.plan.
+  std::string index_path;
+  std::string points_path;
+  QuerySpec spec = SpecFromFlags(flags, &index_path, &points_path);
+  // Unlike join (whose historical default is csj), plan defaults to auto:
+  // "what would the planner do" is the question the command answers. An
+  // explicit --algo still prices that configuration instead.
+  if (flags.GetOr("algo", "").empty()) spec.algo = QueryAlgo::kAuto;
+  const bool as_json = flags.GetOr("json", "0") != "0";
+  flags.CheckAllUsed();
+
+  const std::vector<Point2> points =
+      LoadPlanningPoints(index_path, points_path);
+  const auto query_plan = plan::PlanQuery(spec, plan::BuildSketch(points),
+                                          IdWidthFor(points.size()));
+  if (as_json) {
+    std::printf("%s\n",
+                json::Write(query_plan.ToJsonValue(), /*pretty=*/true).c_str());
+  } else {
+    std::printf("%s", query_plan.ToText().c_str());
   }
   return 0;
 }
@@ -573,11 +672,12 @@ int CmdFractal(Flags& flags) {
   points.reserve(entries->size());
   for (const auto& e : *entries) points.push_back(e.point);
 
-  const PowerLawFit d0 = BoxCountingDimension(points);
+  const auto d0 = BoxCountingDimension(points);
+  DieOnError(d0.status());
   const PowerLawFit d2 = CorrelationDimension(points);
   std::printf("points: %s\n", WithThousands(points.size()).c_str());
-  std::printf("box-counting dimension D0 = %.2f (R^2=%.3f)\n", d0.slope,
-              d0.r_squared);
+  std::printf("box-counting dimension D0 = %.2f (R^2=%.3f)\n", d0->slope,
+              d0->r_squared);
   std::printf("correlation dimension D2 = %.2f (R^2=%.3f)\n", d2.slope,
               d2.r_squared);
   if (eps > 0.0) {
@@ -641,8 +741,8 @@ int CmdStats(Flags& flags) {
 int Usage() {
   std::fprintf(stderr,
                "usage: csj_tool "
-               "<generate|build|join|cat|expand|verify|stats|report|fractal|"
-               "suggest-eps> "
+               "<generate|build|join|plan|cat|expand|verify|stats|report|"
+               "fractal|suggest-eps> "
                "[--flag value ...]\n"
                "see the header comment of tools/csj_tool.cc for examples\n");
   return 2;
@@ -660,6 +760,7 @@ int Main(int argc, char** argv) {
   if (command == "generate") return CmdGenerate(flags);
   if (command == "build") return CmdBuild(flags);
   if (command == "join") return CmdJoin(flags);
+  if (command == "plan" || command == "explain") return CmdPlan(flags);
   if (command == "cat") return CmdCat(flags);
   if (command == "expand") return CmdExpand(flags);
   if (command == "verify") return CmdVerify(flags);
