@@ -5,14 +5,19 @@
 /// queries. This bench quantifies what one served query costs over the
 /// in-process join it wraps (protocol framing + socket copy + governance),
 /// and how throughput scales when N clients hammer one shared paged tree.
-/// In --smoke mode it exits non-zero if any served response fails or if the
-/// concurrent clients disagree on the payload size — the byte-level
-/// identity claim is serve_test's job; this guards the bench's own math.
+/// Two lifecycle tables ride along: keep-alive vs single-shot req/s (what a
+/// session saves over connect-per-request) and hot reload under load (ten
+/// back-to-back epoch swaps with a query hammer running — the failed-query
+/// column must read zero). In --smoke mode it exits non-zero if any served
+/// response fails or if the concurrent clients disagree on the payload
+/// size — the byte-level identity claim is serve_test's job; this guards
+/// the bench's own math.
 
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,32 +50,56 @@ int ConnectUnix(const std::string& socket_path) {
   return fd;
 }
 
-/// One full served query; returns payload bytes, or 0 on any failure.
+/// One served query on an existing keep-alive session; returns payload
+/// bytes, or 0 on any failure (including the server rotating the session).
+uint64_t ServedQueryOnSession(int fd, serve::LineReader* reader,
+                              const std::string& request) {
+  if (!serve::WriteAll(fd, request).ok()) return 0;
+  uint64_t bytes = 0;
+  std::string header, trailer;
+  if (reader->ReadLine(&header).ok() &&
+      header.find("\"ok\":true") != std::string::npos) {
+    const Status streamed = serve::StreamFramedPayload(
+        reader, OutputFormat::kText,
+        [&bytes](const char*, size_t size) {
+          bytes += size;
+          return Status::OK();
+        },
+        &trailer);
+    if (!streamed.ok() ||
+        trailer.find("\"code\":\"OK\"") == std::string::npos) {
+      bytes = 0;
+    }
+  }
+  return bytes;
+}
+
+/// One full served query over a fresh connection; returns payload bytes, or
+/// 0 on any failure.
 uint64_t ServedQuery(const std::string& socket_path,
                      const std::string& request) {
   const int fd = ConnectUnix(socket_path);
   if (fd < 0) return 0;
-  uint64_t bytes = 0;
-  if (serve::WriteAll(fd, request).ok()) {
-    serve::LineReader reader(fd, /*timeout_ms=*/60000);
-    std::string header, trailer;
-    if (reader.ReadLine(&header).ok() &&
-        header.find("\"ok\":true") != std::string::npos) {
-      const Status streamed = serve::StreamFramedPayload(
-          &reader, OutputFormat::kText,
-          [&bytes](const char*, size_t size) {
-            bytes += size;
-            return Status::OK();
-          },
-          &trailer);
-      if (!streamed.ok() ||
-          trailer.find("\"code\":\"OK\"") == std::string::npos) {
-        bytes = 0;
-      }
-    }
-  }
+  serve::LineReader reader(fd, /*timeout_ms=*/60000);
+  const uint64_t bytes = ServedQueryOnSession(fd, &reader, request);
   ::close(fd);
   return bytes;
+}
+
+/// One single-line round trip (admin ops); true iff the server said ok.
+bool AdminRoundTrip(const std::string& socket_path,
+                    const std::string& request) {
+  const int fd = ConnectUnix(socket_path);
+  if (fd < 0) return false;
+  bool ok = false;
+  if (serve::WriteAll(fd, request).ok()) {
+    serve::LineReader reader(fd, /*timeout_ms=*/60000);
+    std::string line;
+    ok = reader.ReadLine(&line).ok() &&
+         line.find("\"ok\":true") != std::string::npos;
+  }
+  ::close(fd);
+  return ok;
 }
 
 void Main(const BenchArgs& args) {
@@ -171,6 +200,105 @@ void Main(const BenchArgs& args) {
                   StrFormat("%.2fx", per_query / direct_seconds)});
   }
   EmitTable(table, args, "serve_scaling");
+
+  // Keep-alive amortization: the same query stream pays connect + admission
+  // once per session instead of once per request.
+  {
+    Table ka(StrFormat("csj_serve keep-alive: CSJ(10), eps=%g, %s uniform "
+                       "points, 1 client",
+                       eps, WithThousands(n).c_str()),
+             {"mode", "queries", "wall", "per-query", "req/s"});
+    const int ka_queries = args.smoke ? 8 : 32;
+    bool ka_failed = false;
+    for (const bool keep_alive : {false, true}) {
+      WallTimer wall;
+      uint64_t ok_total = 0;
+      if (keep_alive) {
+        const int fd = ConnectUnix(socket_path);
+        if (fd >= 0) {
+          serve::LineReader reader(fd, /*timeout_ms=*/60000);
+          for (int q = 0; q < ka_queries; ++q) {
+            if (ServedQueryOnSession(fd, &reader, request) == expected_bytes) {
+              ++ok_total;
+            }
+          }
+          ::close(fd);
+        }
+      } else {
+        for (int q = 0; q < ka_queries; ++q) {
+          if (ServedQuery(socket_path, request) == expected_bytes) {
+            ++ok_total;
+          }
+        }
+      }
+      const double seconds = wall.ElapsedSeconds();
+      if (ok_total != static_cast<uint64_t>(ka_queries)) ka_failed = true;
+      const double per_query = seconds / static_cast<double>(ka_queries);
+      ka.AddRow({keep_alive ? "keep-alive" : "single-shot",
+                 StrFormat("%d (%llu ok)", ka_queries,
+                           static_cast<unsigned long long>(ok_total)),
+                 HumanDuration(seconds), HumanDuration(per_query),
+                 StrFormat("%.1f", 1.0 / per_query)});
+    }
+    EmitTable(ka, args, "serve_keepalive");
+    if (args.smoke && ka_failed) {
+      std::fprintf(stderr, "FAIL: keep-alive query failed or differed\n");
+      std::exit(1);
+    }
+  }
+
+  // Hot reload under load: back-to-back epoch swaps must not fail a single
+  // concurrent query (each query finishes on the epoch it pinned). The
+  // hammer session reconnects when the server rotates it — only a query
+  // that also fails on a fresh connection counts as failed.
+  {
+    const int reloads = 10;
+    std::atomic<bool> stop{false};
+    std::atomic<uint64_t> hammer_ok{0};
+    std::atomic<uint64_t> hammer_failed{0};
+    std::thread hammer([&] {
+      while (!stop.load(std::memory_order_relaxed)) {
+        if (ServedQuery(socket_path, request) == expected_bytes) {
+          hammer_ok.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          hammer_failed.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+    const std::string reload_request = StrFormat(
+        "{\"op\":\"reload\",\"dataset\":\"pts\",\"path\":\"%s\"}\n",
+        index_path.c_str());
+    WallTimer wall;
+    int reload_ok = 0;
+    for (int r = 0; r < reloads; ++r) {
+      if (AdminRoundTrip(socket_path, reload_request)) ++reload_ok;
+    }
+    const double seconds = wall.ElapsedSeconds();
+    stop.store(true, std::memory_order_relaxed);
+    hammer.join();
+    Table reload_table(
+        StrFormat("csj_serve hot reload under load: %s uniform points",
+                  WithThousands(n).c_str()),
+        {"reloads", "wall", "per-reload", "queries ok", "queries failed"});
+    reload_table.AddRow(
+        {StrFormat("%d (%d ok)", reloads, reload_ok), HumanDuration(seconds),
+         HumanDuration(seconds / reloads),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(hammer_ok.load())),
+         StrFormat("%llu",
+                   static_cast<unsigned long long>(hammer_failed.load()))});
+    EmitTable(reload_table, args, "serve_reload_under_load");
+    if (args.smoke &&
+        (reload_ok != reloads || hammer_failed.load() != 0 ||
+         hammer_ok.load() == 0)) {
+      std::fprintf(stderr,
+                   "FAIL: reload under load: %d/%d reloads ok, %llu queries "
+                   "failed\n",
+                   reload_ok, reloads,
+                   static_cast<unsigned long long>(hammer_failed.load()));
+      std::exit(1);
+    }
+  }
 
   server.Shutdown();
   ::unlink(index_path.c_str());

@@ -9,6 +9,7 @@
 
 #include "geom/kernels.h"
 #include "storage/binary_format.h"
+#include "util/failpoint.h"
 #include "util/format.h"
 
 namespace csj::serve {
@@ -68,6 +69,9 @@ Result<Request> ParseRequest(const std::string& line) {
         if (!c.is_number()) return FieldError(key, "expected numbers");
         req.center.push_back(c.AsDouble());
       }
+    } else if (key == "path") {
+      if (!value.is_string()) return FieldError(key, "expected a string");
+      req.path = value.AsString();
     } else {
       spec_doc[key] = value;
     }
@@ -81,8 +85,22 @@ Result<Request> ParseRequest(const std::string& line) {
     return Status::InvalidArgument("request is missing 'op'");
   }
   if (req.op != "ping" && req.op != "list" && req.op != "join" &&
-      req.op != "range") {
-    return FieldError("op", "must be ping, list, join or range");
+      req.op != "range" && !req.is_admin()) {
+    return FieldError("op",
+                      "must be ping, list, join, range, load, reload or "
+                      "unload");
+  }
+  if (!req.path.empty() && req.op != "load" && req.op != "reload") {
+    return FieldError("path", "only meaningful for load/reload");
+  }
+  if (req.is_admin()) {
+    if (req.spec.dataset.empty()) return FieldError("dataset", "required");
+    if (req.path.empty() && req.op != "unload") {
+      return FieldError("path", "required");
+    }
+    if (!req.center.empty()) {
+      return FieldError("center", "not meaningful for an admin op");
+    }
   }
   if (req.op == "join" || req.op == "range") {
     if (req.spec.dataset.empty()) return FieldError("dataset", "required");
@@ -268,6 +286,9 @@ Status ReadFramedPayload(LineReader* reader, OutputFormat format,
 }
 
 Status WriteAll(int fd, const char* data, size_t size) {
+  if (CSJ_FAILPOINT("serve.write")) {
+    return Status::Unavailable("injected write fault");
+  }
   size_t done = 0;
   while (done < size) {
     ssize_t n;

@@ -18,18 +18,28 @@
 /// Wire protocol of csj_serve: newline-delimited JSON framing around the
 /// engine's native payload formats.
 ///
-/// A connection carries exactly one request and one response:
+/// A connection is a **keep-alive session** carrying any number of
+/// request/response exchanges in sequence:
 ///
 ///   client -> server   one JSON object on a single line
 ///   server -> client   header line | payload bytes | trailer line
+///   (repeat until either side closes, the idle timeout expires, or the
+///    per-connection request cap is reached)
+///
+/// Every response is self-delimiting (single line, or header + structurally
+/// delimited payload + trailer), so the next request can follow immediately.
+/// A malformed request line ends the session after the error line — framing
+/// is no longer trustworthy; semantic errors (unknown dataset, bad eps) are
+/// answered with an error line and the session continues.
 ///
 /// Request fields (all optional unless noted). Everything except `op`,
-/// `metrics` and `center` is a QuerySpec field (core/query_spec.h) and is
-/// parsed by `QuerySpec::FromJson` — the wire names ARE the QuerySpec JSON
-/// names, so a served query and a one-shot `csj_tool join` run are described
-/// by the same document:
+/// `metrics`, `center` and `path` is a QuerySpec field (core/query_spec.h)
+/// and is parsed by `QuerySpec::FromJson` — the wire names ARE the QuerySpec
+/// JSON names, so a served query and a one-shot `csj_tool join` run are
+/// described by the same document:
 ///
-///   op          (required) "ping" | "list" | "join" | "range"
+///   op          (required) "ping" | "list" | "join" | "range" |
+///               "load" | "reload" | "unload"  (admin, see below)
 ///   dataset     (join/range) registered dataset name
 ///   dataset_b   second dataset: selects a dual (spatial) join
 ///   algo        "auto" | "ssj" | "ncsj" | "csj"    (default "csj"; "auto"
@@ -52,11 +62,19 @@
 ///   mem_budget  per-query bytes, carved from the server-wide budget
 ///   metrics     bool: include a per-query metrics delta in the trailer
 ///   center      (range, required) point coordinates, e.g. [0.5, 0.5]
+///   path        (load/reload, required) dataset source file on the server
+///
+/// Admin ops drive the registry's epoch lifecycle (serve/registry.h):
+/// "load" registers `dataset` from `path`, "reload" replaces it with a
+/// freshly validated epoch (a failure leaves the old epoch serving), and
+/// "unload" drops it (in-flight queries finish on their pinned epoch).
+/// All three answer with a single `{"ok":true,...}` line carrying the
+/// resulting epoch number, or an error line.
 ///
 /// Response framing:
 ///
 ///   * errors before execution: a single `{"ok":false,...}` line, no payload.
-///   * "ping"/"list": a single `{"ok":true,...}` line.
+///   * "ping"/"list"/admin ops: a single `{"ok":true,...}` line.
 ///   * "join"/"range": a header line `{"ok":true,"format":...,"id_width":W}`,
 ///     the payload in the engine's native format (the same bytes a one-shot
 ///     `csj_tool join --out` run writes), then one trailer line with
@@ -73,13 +91,18 @@
 
 namespace csj::serve {
 
-/// One parsed request line: the protocol envelope (op / metrics / center)
-/// around the embedded QuerySpec carrying every query knob.
+/// One parsed request line: the protocol envelope (op / metrics / center /
+/// path) around the embedded QuerySpec carrying every query knob.
 struct Request {
   std::string op;
   bool want_metrics = false;
   std::vector<double> center;
+  std::string path;  ///< source file for the load/reload admin ops
   QuerySpec spec;
+
+  bool is_admin() const {
+    return op == "load" || op == "reload" || op == "unload";
+  }
 };
 
 /// Parses and validates one request line. Unknown fields are rejected (a
@@ -108,6 +131,11 @@ class LineReader {
  public:
   explicit LineReader(int fd, int timeout_ms = -1)
       : fd_(fd), timeout_ms_(timeout_ms) {}
+
+  /// Changes the per-refill timeout; buffered bytes are unaffected. The
+  /// server uses this to give the first request line and keep-alive idle
+  /// waits different budgets over one reader.
+  void set_timeout_ms(int timeout_ms) { timeout_ms_ = timeout_ms; }
 
   /// Reads up to and including '\n'; returns the line without it. EOF with
   /// no buffered bytes is kUnavailable ("peer closed").

@@ -8,10 +8,12 @@
 
 #include <arpa/inet.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
 #include <cstring>
+#include <memory>
 #include <optional>
 
 #include "core/similarity_join.h"
@@ -19,6 +21,7 @@
 #include "plan/planner.h"
 #include "serve/protocol.h"
 #include "storage/output_file.h"
+#include "util/failpoint.h"
 #include "util/format.h"
 #include "util/metrics.h"
 
@@ -82,6 +85,7 @@ json::Value DatasetInfo(const Dataset& dataset) {
   info["points"] = dataset.num_points;
   info["id_width"] = static_cast<int64_t>(dataset.id_width);
   info["source"] = dataset.source_path;
+  info["epoch"] = dataset.epoch;
   return info;
 }
 
@@ -210,6 +214,13 @@ void Server::AcceptLoop() {
     if (rc <= 0) continue;
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
+    if (CSJ_FAILPOINT("serve.accept")) {
+      // Chaos: the connection dies between accept and admission. The client
+      // sees a bare hangup (no error line) and is expected to retry.
+      CSJ_METRIC_COUNT("serve.accept_faults", 1);
+      ::close(fd);
+      continue;
+    }
     bool admitted = false;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -252,13 +263,14 @@ void Server::WorkerLoop() {
       fd = pending_.front();
       pending_.pop_front();
     }
-    HandleConnection(fd);
+    const uint64_t answered = HandleConnection(fd);
     ::close(fd);
     {
       std::lock_guard<std::mutex> lock(mu_);
-      ++counters_.served;
+      ++counters_.sessions;
+      counters_.served += answered;
     }
-    CSJ_METRIC_COUNT("serve.requests", 1);
+    CSJ_METRIC_COUNT("serve.sessions", 1);
   }
 }
 
@@ -307,51 +319,154 @@ void Server::Unwatch(uint64_t ticket) {
   }
 }
 
-void Server::HandleConnection(int fd) {
-  LineReader reader(fd, options_.request_timeout_ms);
-  std::string line;
-  const Status read_status = reader.ReadLine(&line);
-  if (!read_status.ok()) {
-    WriteAll(fd, ErrorLine(read_status)).ok();
-    return;
+Status Server::ReadRequestLine(LineReader* reader, int timeout_ms,
+                               bool respect_drain, std::string* line) {
+  // Short poll slices instead of one long poll: a drain is noticed within a
+  // slice even when the peer is silent, so idle keep-alive sessions cannot
+  // stall a shutdown. Bytes buffered across slices (a slow peer mid-line)
+  // stay in the reader.
+  constexpr int kSliceMs = 50;
+  const auto start = std::chrono::steady_clock::now();
+  for (;;) {
+    if (respect_drain && draining_.load(std::memory_order_acquire)) {
+      return Status::Unavailable("server is draining");
+    }
+    const int elapsed = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    if (timeout_ms >= 0 && elapsed >= timeout_ms) {
+      return Status::DeadlineExceeded(
+          StrFormat("peer sent nothing for %d ms", timeout_ms));
+    }
+    int slice = kSliceMs;
+    if (timeout_ms >= 0) slice = std::min(slice, timeout_ms - elapsed);
+    reader->set_timeout_ms(slice);
+    const Status status = reader->ReadLine(line);
+    if (status.code() == StatusCode::kDeadlineExceeded) continue;
+    return status;
   }
-  auto parsed = ParseRequest(line);
-  if (!parsed.ok()) {
-    WriteAll(fd, ErrorLine(parsed.status())).ok();
-    return;
-  }
-  const Request& req = *parsed;
+}
 
+bool Server::WriteCtrl(int fd, const std::string& line) {
+  const Status status = WriteAll(fd, line);
+  if (!status.ok()) {
+    // A control-plane line (ok/error/header/trailer) the peer never saw:
+    // the session's framing is gone, so the caller must close it. Silently
+    // carrying on would leave the client waiting on a response that will
+    // never arrive.
+    CSJ_METRIC_COUNT("serve.ctrl_write_errors", 1);
+  }
+  return status.ok();
+}
+
+uint64_t Server::HandleConnection(int fd) {
+  LineReader reader(fd, options_.request_timeout_ms);
+  uint64_t served = 0;
+  for (;;) {
+    const int timeout_ms =
+        served == 0 ? options_.request_timeout_ms : options_.idle_timeout_ms;
+    std::string line;
+    // The first request of an admitted connection ignores the drain flag:
+    // drain means "finish admitted work", and an admitted connection that
+    // has not spoken yet is still admitted work.
+    const Status read_status =
+        ReadRequestLine(&reader, timeout_ms, /*respect_drain=*/served > 0,
+                        &line);
+    if (!read_status.ok()) {
+      // A served session whose peer hung up between requests is a normal
+      // session end. Everything else (first-request timeout, drain, idle
+      // expiry) gets a best-effort farewell line — the peer may already be
+      // gone, and we are closing either way, so the result is discarded on
+      // purpose.
+      const bool peer_gone =
+          served > 0 && read_status.code() == StatusCode::kUnavailable &&
+          !draining_.load(std::memory_order_acquire);
+      if (!peer_gone) WriteAll(fd, ErrorLine(read_status)).ok();
+      return served;
+    }
+    auto parsed = ParseRequest(line);
+    if (!parsed.ok()) {
+      // A malformed line means the framing is no longer trustworthy: answer
+      // and close (best effort, the session is over either way).
+      WriteAll(fd, ErrorLine(parsed.status())).ok();
+      return served;
+    }
+    ++served;
+    CSJ_METRIC_COUNT("serve.requests", 1);
+    if (!HandleRequest(fd, *parsed)) return served;
+    if (options_.max_requests_per_conn > 0 &&
+        served >= static_cast<uint64_t>(options_.max_requests_per_conn)) {
+      return served;  // cap reached: the client reconnects through admission
+    }
+    if (options_.idle_timeout_ms == 0) return served;  // keep-alive disabled
+  }
+}
+
+bool Server::HandleAdminOp(int fd, const Request& req) {
+  DatasetSpec spec;
+  spec.name = req.spec.dataset;
+  spec.path = req.path;
+  spec.block_size = options_.admin_block_size;
+  spec.cache_blocks = options_.admin_cache_blocks;
+  Status status;
+  if (req.op == "load") {
+    status = registry_->Load(spec);
+  } else if (req.op == "reload") {
+    status = registry_->Reload(spec);
+  } else {
+    status = registry_->Unload(spec.name);
+  }
+  if (!status.ok()) return WriteCtrl(fd, ErrorLine(status));
+  json::Object extra;
+  extra["dataset"] = spec.name;
+  if (req.op != "unload") {
+    if (auto dataset = registry_->Find(spec.name)) {
+      extra["epoch"] = dataset->epoch;
+      extra["points"] = dataset->num_points;
+    }
+  }
+  extra["live_epochs"] = LiveEpochCount();
+  return WriteCtrl(fd, OkLine(req.op, extra));
+}
+
+bool Server::HandleRequest(int fd, const Request& req) {
   if (req.op == "ping") {
-    WriteAll(fd, OkLine("ping")).ok();
-    return;
+    return WriteCtrl(fd, OkLine("ping"));
   }
   if (req.op == "list") {
     json::Value datasets = json::Array{};
-    for (const Dataset* dataset : registry_->All()) {
+    for (const auto& dataset : registry_->All()) {
       datasets.Append(DatasetInfo(*dataset));
     }
     json::Object extra;
     extra["datasets"] = datasets;
-    WriteAll(fd, OkLine("list", extra)).ok();
-    return;
+    // Registered epochs plus any pinned by in-flight queries or still
+    // draining after an unload — the chaos harness asserts this returns to
+    // baseline once load stops.
+    extra["live_epochs"] = LiveEpochCount();
+    return WriteCtrl(fd, OkLine("list", extra));
+  }
+  if (req.is_admin()) {
+    return HandleAdminOp(fd, req);
   }
 
-  const Dataset* dataset = registry_->Find(req.spec.dataset);
+  // Pinning the epoch: this shared_ptr keeps the dataset (tree, block cache,
+  // budget charge) alive for the whole query even if a reload swaps the
+  // registry entry or an unload drops it mid-flight — the query completes
+  // byte-identically on the epoch it started on.
+  const std::shared_ptr<const Dataset> dataset =
+      registry_->Find(req.spec.dataset);
   if (dataset == nullptr) {
-    WriteAll(fd, ErrorLine(Status::NotFound("unknown dataset: " +
-                                            req.spec.dataset)))
-        .ok();
-    return;
+    return WriteCtrl(fd, ErrorLine(Status::NotFound("unknown dataset: " +
+                                                    req.spec.dataset)));
   }
-  const Dataset* dataset_b = nullptr;
+  std::shared_ptr<const Dataset> dataset_b;
   if (!req.spec.dataset_b.empty()) {
     dataset_b = registry_->Find(req.spec.dataset_b);
     if (dataset_b == nullptr) {
-      WriteAll(fd, ErrorLine(Status::NotFound("unknown dataset: " +
-                                              req.spec.dataset_b)))
-          .ok();
-      return;
+      return WriteCtrl(fd, ErrorLine(Status::NotFound("unknown dataset: " +
+                                                      req.spec.dataset_b)));
     }
   }
 
@@ -383,9 +498,9 @@ void Server::HandleConnection(int fd) {
       dataset_b == nullptr
           ? dataset->id_width
           : std::max(dataset->id_width, dataset_b->id_width);
-  if (!WriteAll(fd, HeaderLine(req.op, req.spec.output, id_width)).ok()) {
+  if (!WriteCtrl(fd, HeaderLine(req.op, req.spec.output, id_width))) {
     Unwatch(ticket);
-    return;
+    return false;
   }
 
   JoinStats stats;
@@ -403,8 +518,8 @@ void Server::HandleConnection(int fd) {
     auto sink_result = MakeSink(spec);
     if (!sink_result.ok()) {
       Unwatch(ticket);
-      WriteAll(fd, TrailerLine(sink_result.status(), stats, 0, nullptr)).ok();
-      return;
+      return WriteCtrl(fd,
+                       TrailerLine(sink_result.status(), stats, 0, nullptr));
     }
     std::unique_ptr<JoinSink> sink = std::move(sink_result).value();
 
@@ -457,9 +572,12 @@ void Server::HandleConnection(int fd) {
 
   metrics::MetricsSnapshot delta;
   if (req.want_metrics) delta = DiffSnapshots(begin, metrics::Snapshot());
-  WriteAll(fd, TrailerLine(status, stats, stats.output_bytes,
-                           req.want_metrics ? &delta : nullptr))
-      .ok();
+  // A payload stream that died (peer hangup, injected fault) usually
+  // surfaces here too: the trailer write fails, WriteCtrl records it, and
+  // the session closes instead of trying to frame another response on a
+  // broken stream.
+  return WriteCtrl(fd, TrailerLine(status, stats, stats.output_bytes,
+                                   req.want_metrics ? &delta : nullptr));
 }
 
 }  // namespace csj::serve

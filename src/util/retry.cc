@@ -25,13 +25,26 @@ bool IsTransientErrno(int err) {
 }
 
 RetryController::RetryController(const RetryPolicy& policy)
-    : policy_(policy), jitter_(policy.jitter_seed) {}
+    : policy_(policy),
+      jitter_(policy.jitter_seed),
+      start_(std::chrono::steady_clock::now()) {}
 
 bool RetryController::BackoffBeforeRetry() {
   CSJ_METRIC_COUNT("retry.transient_errors", 1);
   if (retries_ + 1 >= policy_.max_attempts) {
     CSJ_METRIC_COUNT("retry.exhausted", 1);
     return false;
+  }
+  if (policy_.max_elapsed_ms != 0) {
+    const auto elapsed =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            std::chrono::steady_clock::now() - start_)
+            .count();
+    if (elapsed >= 0 &&
+        static_cast<uint64_t>(elapsed) >= policy_.max_elapsed_ms) {
+      CSJ_METRIC_COUNT("retry.exhausted", 1);
+      return false;
+    }
   }
   // Full jitter: sleep uniform in [0, backoff], with backoff doubling per
   // retry up to the ceiling. Randomizing the whole interval (not a fraction)

@@ -1,6 +1,7 @@
 #ifndef CSJ_UTIL_RETRY_H_
 #define CSJ_UTIL_RETRY_H_
 
+#include <chrono>
 #include <cstdint>
 
 #include "util/random.h"
@@ -34,6 +35,12 @@ struct RetryPolicy {
   double initial_backoff_ms = 2.0;
   /// Backoff ceiling.
   double max_backoff_ms = 100.0;
+  /// Hard wall-clock cap over the whole loop, measured from the
+  /// controller's construction; 0 disables it. Once exceeded,
+  /// BackoffBeforeRetry refuses further attempts even when `max_attempts`
+  /// remain — a caller with a deadline (the serve client, a governed run)
+  /// cannot be held past it by a long string of transient failures.
+  uint64_t max_elapsed_ms = 0;
   /// Seed of the deterministic jitter RNG.
   uint64_t jitter_seed = 0x9e3779b97f4a7c15ULL;
 };
@@ -74,6 +81,7 @@ class RetryController {
   RetryPolicy policy_;
   Rng jitter_;
   int retries_ = 0;
+  std::chrono::steady_clock::time_point start_;
 };
 
 }  // namespace csj

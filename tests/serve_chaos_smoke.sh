@@ -1,0 +1,150 @@
+#!/usr/bin/env bash
+# Chaos soak for the fault-tolerant serving lifecycle.
+#
+# One daemon under injected faults (reload validation failures, dropped
+# accepts, control-plane write faults) serves N concurrent keep-alive
+# clients while an operator loop hammers hot reloads. The invariants:
+#
+#   * every query response either finishes byte-identical to the one-shot
+#     reference or fails with a clean error (a retried client recovers; a
+#     partial out file is never left behind),
+#   * a failed reload leaves the old epoch serving,
+#   * once the load stops, the registry's live-epoch gauge returns to its
+#     baseline (no epoch leaks),
+#   * SIGTERM mid-reload drains and exits 0, leaving no socket or
+#     conversion temp files.
+#
+# Usage:
+#
+#   serve_chaos_smoke.sh /path/to/csj_tool /path/to/csj_serve
+#
+# CSJ_SOAK=1 lengthens the run (more clients, more requests, more reloads)
+# for a nightly-style soak; the default is sized for CI.
+set -u
+
+TOOL=$1
+SERVE=$2
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/csj_serve_chaos.XXXXXX")
+trap '{ [ -n "$SERVER_PID" ] && kill "$SERVER_PID"; rm -rf "$WORK"; } 2>/dev/null || true' EXIT
+cd "$WORK"
+SERVER_PID=
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+if [ "${CSJ_SOAK:-0}" = "1" ]; then
+  CLIENTS=4 REPEAT=24 RELOADS=60 EPS=0.02
+else
+  CLIENTS=3 REPEAT=8 RELOADS=12 EPS=0.02
+fi
+
+"$TOOL" generate --kind clusters --n 5000 --seed 23 --out pts.txt \
+  >/dev/null || fail "generate"
+# A second, byte-identical source file: reload churn swaps epochs without
+# changing the reference bytes, so every surviving response stays comparable.
+cp pts.txt pts_b.txt
+
+"$TOOL" join --points pts.txt --algo csj --eps "$EPS" --out ref.txt \
+  --output-format text >/dev/null || fail "reference join"
+
+# --- Daemon under injected faults -------------------------------------------
+# The failpoint env is set for the server only — the clients must stay
+# healthy so a dropped response is unambiguously the server's doing.
+# max-requests-per-conn is small so keep-alive sessions rotate through
+# admission and can never pin all workers while the churn loop waits.
+CSJ_FAILPOINTS="serve.reload_validate=prob:0.4:7;serve.accept=prob:0.05:11;serve.write=prob:0.02:13" \
+  "$SERVE" serve --datasets pts=pts.txt --socket csj.sock --workers 8 \
+  --max-requests-per-conn 8 > serve.log 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 200); do
+  [ -S csj.sock ] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || { cat serve.log >&2; fail "daemon died on start-up"; }
+  sleep 0.05
+done
+[ -S csj.sock ] || fail "daemon never bound its socket"
+
+query() { "$SERVE" query --socket csj.sock "$@"; }
+
+# Baseline for the leak check: one dataset, one live epoch.
+BASELINE=$(query --op list --retries 8 | sed -n 's/.*"live_epochs":\([0-9]*\).*/\1/p')
+[ -n "$BASELINE" ] || fail "list did not report live_epochs"
+
+# --- Concurrent keep-alive clients vs continuous reloads --------------------
+CLIENT_PIDS=()
+for i in $(seq "$CLIENTS"); do
+  query --dataset pts --algo csj --eps "$EPS" --repeat "$REPEAT" \
+    --retries 8 --retry-max-elapsed-ms 30000 --out "out_$i.txt" \
+    > /dev/null 2> "client_$i.log" &
+  CLIENT_PIDS+=($!)
+done
+
+RELOAD_OK=0
+RELOAD_FAIL=0
+SRC=pts_b.txt
+for _ in $(seq "$RELOADS"); do
+  if query --op reload --dataset pts --path "$SRC" --retries 8 \
+       >/dev/null 2>&1; then
+    RELOAD_OK=$((RELOAD_OK + 1))
+  else
+    # Injected validation fault: the old epoch must still be serving, which
+    # the concurrent clients are busy proving.
+    RELOAD_FAIL=$((RELOAD_FAIL + 1))
+  fi
+  [ "$SRC" = pts_b.txt ] && SRC=pts.txt || SRC=pts_b.txt
+done
+
+for pid in "${CLIENT_PIDS[@]}"; do
+  wait "$pid" || true  # a retries-exhausted client is a clean error, not a bug
+done
+
+# Every response file that exists must be byte-identical to the reference —
+# partial or damaged responses must have been deleted by the client.
+SURVIVORS=0
+for f in out_*.txt*; do
+  [ -e "$f" ] || continue
+  cmp -s ref.txt "$f" || fail "response $f differs from the one-shot reference"
+  SURVIVORS=$((SURVIVORS + 1))
+done
+[ "$SURVIVORS" -ge 1 ] || { cat client_*.log >&2; fail "no response survived the chaos"; }
+
+# --- No epoch leaks: the gauge returns to baseline once the load stops ------
+LIVE=
+for _ in $(seq 100); do
+  LIVE=$(query --op list --retries 8 2>/dev/null \
+           | sed -n 's/.*"live_epochs":\([0-9]*\).*/\1/p')
+  [ "$LIVE" = "$BASELINE" ] && break
+  sleep 0.1
+done
+[ "$LIVE" = "$BASELINE" ] \
+  || fail "live_epochs=$LIVE after the load stopped (baseline $BASELINE): epoch leak"
+
+# A failed reload must not have wedged the dataset: one more query matches.
+query --dataset pts --algo csj --eps "$EPS" --retries 8 --out final.txt \
+  2>/dev/null || fail "query after reload churn"
+cmp -s ref.txt final.txt || fail "post-churn response differs"
+
+# --- SIGTERM mid-reload: drain, exit 0, nothing left behind -----------------
+( while :; do
+    query --op reload --dataset pts --path pts_b.txt >/dev/null 2>&1 || true
+  done ) &
+CHURN_PID=$!
+query --dataset pts --algo csj --eps "$EPS" --out drain.txt 2>/dev/null &
+INFLIGHT=$!
+sleep 0.2
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID"
+SERVER_CODE=$?
+SERVER_PID=
+kill "$CHURN_PID" 2>/dev/null; wait "$CHURN_PID" 2>/dev/null
+[ "$SERVER_CODE" -eq 0 ] || fail "daemon exit=$SERVER_CODE after SIGTERM (want 0)"
+grep -q "drained:" serve.log || fail "daemon did not report a drain"
+if wait "$INFLIGHT" 2>/dev/null; then
+  cmp -s ref.txt drain.txt || fail "drained in-flight response differs"
+fi
+
+[ -S csj.sock ] && fail "socket file survived the drain"
+LEAKED=$(ls ./*.paged.tmp.* 2>/dev/null || true)
+[ -z "$LEAKED" ] || fail "leaked conversion temp files: $LEAKED"
+
+echo "OK: $CLIENTS keep-alive clients x $REPEAT requests survived" \
+  "$RELOAD_OK reloads + $RELOAD_FAIL injected reload faults" \
+  "($SURVIVORS byte-identical responses), no epoch leaks, clean drain"

@@ -5,12 +5,17 @@
 /// identical to the equivalent one-shot run over the same index, (2) one
 /// query's deadline, cancel or budget never leaks into a neighbor running
 /// on the same shared tree, (3) the bounded admission queue rejects with
-/// kResourceExhausted instead of growing, (4) shutdown drains. The whole
-/// file runs under the CSJ_TSAN job — the server's sharing discipline is a
-/// TSan claim, not a comment.
+/// kResourceExhausted instead of growing, (4) shutdown drains, (5) a
+/// keep-alive session carries many governed requests, and (6) the epoch
+/// lifecycle holds: a query pins the epoch it started on through reloads
+/// and unloads, a failed reload leaves the old epoch serving, and a failed
+/// load leaks neither epochs nor conversion temp files. The whole file runs
+/// under the CSJ_TSAN job — the server's sharing discipline is a TSan
+/// claim, not a comment.
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/un.h>
@@ -37,8 +42,10 @@
 #include "serve/protocol.h"
 #include "serve/registry.h"
 #include "serve/server.h"
+#include "util/failpoint.h"
 #include "util/format.h"
 #include "util/json.h"
+#include "util/metrics.h"
 
 namespace csj::serve {
 namespace {
@@ -185,6 +192,61 @@ class ServeTest : public ::testing::Test {
         "{\"op\":\"join\",\"dataset\":\"pts\",\"algo\":\"%s\",\"eps\":%g,"
         "\"g\":%d%s}",
         algo.c_str(), eps, g, extra.c_str());
+  }
+
+  /// Like OneShotPayload but over an arbitrary tree (an epoch's paged tree,
+  /// a second fixture) — the reference for epoch-identity assertions.
+  template <typename TreeT>
+  static std::string PayloadOver(const TreeT& tree, JoinAlgorithm algorithm,
+                                 double eps, int g, int id_width) {
+    static int seq = 0;
+    const std::string path =
+        TempPath(StrFormat("serve_over_%d_%d.out", getpid(), seq++));
+    OutputSpec spec;
+    spec.format = OutputFormat::kText;
+    spec.path = path;
+    spec.id_width = id_width;
+    auto sink = MakeSink(spec);
+    EXPECT_TRUE(sink.ok());
+    JoinOptions options;
+    options.epsilon = eps;
+    options.window_size = g;
+    const JoinStats stats = RunSelfJoin(algorithm, tree, options, sink->get());
+    EXPECT_TRUE(stats.status.ok()) << stats.status.ToString();
+    EXPECT_TRUE((*sink)->Finish().ok());
+    std::FILE* f = std::fopen(path.c_str(), "rb");
+    EXPECT_NE(f, nullptr);
+    std::string bytes;
+    char chunk[1 << 16];
+    size_t n;
+    while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+      bytes.append(chunk, n);
+    }
+    std::fclose(f);
+    ::unlink(path.c_str());
+    return bytes;
+  }
+
+  /// Conversion temp files (`*.paged.tmp.*`) left in `dir` — a failed load
+  /// must never leave any.
+  static std::vector<std::string> TempDroppings(const std::string& dir) {
+    std::vector<std::string> found;
+    DIR* d = ::opendir(dir.c_str());
+    if (d == nullptr) return found;
+    while (struct dirent* entry = ::readdir(d)) {
+      if (std::strstr(entry->d_name, ".paged.tmp.") != nullptr) {
+        found.push_back(entry->d_name);
+      }
+    }
+    ::closedir(d);
+    return found;
+  }
+
+  static uint64_t CounterValue(const std::string& name) {
+    for (const auto& [metric, value] : metrics::Snapshot().counters) {
+      if (metric == name) return value;
+    }
+    return 0;
   }
 
   static std::vector<Entry<2>>* entries_;
@@ -538,6 +600,439 @@ TEST_F(ServeTest, ShutdownDrainsInFlightQueries) {
   struct stat st;
   EXPECT_NE(::stat(socket_path.c_str(), &st), 0);
 }
+
+TEST_F(ServeTest, KeepAliveSessionServesManyRequests) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Load({.name = "pts", .path = *index_path_}).ok());
+  std::unique_ptr<Server> server;
+  const std::string socket_path = StartServer(&registry, {}, &server);
+
+  const std::string ref =
+      OneShotPayload(JoinAlgorithm::kCSJ, 0.01, 10, OutputFormat::kText);
+
+  // ping + governed join, twice, then a semantic error, then another ping —
+  // six framed exchanges on ONE connection.
+  const int fd = ConnectTo(socket_path);
+  LineReader reader(fd, /*timeout_ms=*/30000);
+  std::string line;
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(WriteAll(fd, std::string("{\"op\":\"ping\"}\n")).ok());
+    ASSERT_TRUE(reader.ReadLine(&line).ok()) << round;
+    EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+
+    ASSERT_TRUE(WriteAll(fd, JoinRequest("csj", 0.01, 10) + "\n").ok());
+    ASSERT_TRUE(reader.ReadLine(&line).ok()) << round;
+    std::string payload, trailer;
+    ASSERT_TRUE(
+        ReadFramedPayload(&reader, OutputFormat::kText, &payload, &trailer)
+            .ok())
+        << round;
+    EXPECT_EQ(payload, ref) << "keep-alive round " << round;
+    EXPECT_NE(trailer.find("\"code\":\"OK\""), std::string::npos);
+  }
+  // A semantic error (unknown dataset) answers and KEEPS the session.
+  ASSERT_TRUE(
+      WriteAll(fd, std::string("{\"op\":\"join\",\"dataset\":\"nope\","
+                               "\"eps\":0.01}\n"))
+          .ok());
+  ASSERT_TRUE(reader.ReadLine(&line).ok());
+  EXPECT_NE(line.find("NotFound"), std::string::npos);
+  ASSERT_TRUE(WriteAll(fd, std::string("{\"op\":\"ping\"}\n")).ok());
+  ASSERT_TRUE(reader.ReadLine(&line).ok());
+  EXPECT_NE(line.find("\"ok\":true"), std::string::npos);
+  ::close(fd);
+
+  // The six requests rode one worker claim: served counts requests,
+  // sessions counts connections.
+  for (int spin = 0; spin < 200 && server->counters().sessions < 1; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(server->counters().sessions, 1u);
+  EXPECT_EQ(server->counters().served, 6u);
+  server->Shutdown();
+}
+
+TEST_F(ServeTest, RequestCapAndIdleTimeoutRotateSessions) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Load({.name = "pts", .path = *index_path_}).ok());
+  std::unique_ptr<Server> server;
+  ServerOptions options;
+  options.max_requests_per_conn = 2;
+  options.idle_timeout_ms = 300;
+  const std::string socket_path = StartServer(&registry, options, &server);
+
+  // Request cap: the session closes after the second answer; the client
+  // reconnects through admission.
+  const int fd = ConnectTo(socket_path);
+  LineReader reader(fd, 30000);
+  std::string line;
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(WriteAll(fd, std::string("{\"op\":\"ping\"}\n")).ok());
+    ASSERT_TRUE(reader.ReadLine(&line).ok()) << i;
+    EXPECT_NE(line.find("\"ok\":true"), std::string::npos) << i;
+  }
+  WriteAll(fd, std::string("{\"op\":\"ping\"}\n")).ok();  // may race the close
+  EXPECT_FALSE(reader.ReadLine(&line).ok())
+      << "session outlived max_requests_per_conn: " << line;
+  ::close(fd);
+
+  // Idle timeout: a session that goes quiet is told why and closed.
+  const int idle = ConnectTo(socket_path);
+  LineReader idle_reader(idle, 30000);
+  ASSERT_TRUE(WriteAll(idle, std::string("{\"op\":\"ping\"}\n")).ok());
+  ASSERT_TRUE(idle_reader.ReadLine(&line).ok());
+  ASSERT_TRUE(idle_reader.ReadLine(&line).ok());  // the idle farewell line
+  EXPECT_NE(line.find("DeadlineExceeded"), std::string::npos) << line;
+  EXPECT_FALSE(idle_reader.ReadLine(&line).ok());  // then EOF
+  ::close(idle);
+
+  // Fresh connections still served.
+  EXPECT_NE(RoundTrip(socket_path, "{\"op\":\"ping\"}")
+                .first_line.find("\"ok\":true"),
+            std::string::npos);
+  server->Shutdown();
+}
+
+TEST_F(ServeTest, EpochPinSurvivesReloadAndUnload) {
+  // Registry-level epoch lifecycle: a Find() pin keeps the old epoch fully
+  // queryable and byte-identical across a reload that swaps in DIFFERENT
+  // data, and across an unload; memory (the live-epoch gauge) drains only
+  // when the last pin drops.
+  const std::string index2 = TempPath("serve_fixture2.csjt");
+  auto entries2 = FixtureEntries(3000, 77);
+  RStarTree<2> tree2;
+  PackStr(&tree2, entries2);
+  ASSERT_TRUE(SaveTree(tree2, index2).ok());
+
+  const int64_t live_before = LiveEpochCount();
+  {
+    DatasetRegistry registry;
+    ASSERT_TRUE(registry.Load({.name = "pts", .path = *index_path_}).ok());
+    const std::shared_ptr<const Dataset> pin = registry.Find("pts");
+    ASSERT_NE(pin, nullptr);
+    EXPECT_EQ(pin->num_points, 4000u);
+    EXPECT_EQ(LiveEpochCount(), live_before + 1);
+
+    ASSERT_TRUE(registry.Reload({.name = "pts", .path = index2}).ok());
+    const std::shared_ptr<const Dataset> fresh = registry.Find("pts");
+    ASSERT_NE(fresh, nullptr);
+    EXPECT_GT(fresh->epoch, pin->epoch);
+    EXPECT_EQ(fresh->num_points, 3000u);
+    EXPECT_EQ(LiveEpochCount(), live_before + 2);  // old epoch pinned alive
+
+    // The pinned old epoch still answers byte-identically to its one-shot
+    // reference — the swap is invisible to it.
+    EXPECT_EQ(PayloadOver(pin->tree, JoinAlgorithm::kCSJ, 0.01, 10,
+                          pin->id_width),
+              OneShotPayload(JoinAlgorithm::kCSJ, 0.01, 10,
+                             OutputFormat::kText));
+    // And the new epoch answers with the new data.
+    EXPECT_EQ(PayloadOver(fresh->tree, JoinAlgorithm::kCSJ, 0.01, 10,
+                          fresh->id_width),
+              PayloadOver(tree2, JoinAlgorithm::kCSJ, 0.01, 10,
+                          fresh->id_width));
+
+    ASSERT_TRUE(registry.Unload("pts").ok());
+    EXPECT_EQ(registry.Find("pts"), nullptr);
+    EXPECT_EQ(registry.Unload("pts").code(), StatusCode::kNotFound);
+    // Both pins (`pin`, `fresh`) still hold their epochs.
+    EXPECT_EQ(LiveEpochCount(), live_before + 2);
+  }
+  // Registry and pins gone: every epoch released.
+  EXPECT_EQ(LiveEpochCount(), live_before);
+  ::unlink(index2.c_str());
+}
+
+TEST_F(ServeTest, QueryStartedOnOldEpochCompletesOnItThroughReload) {
+  const std::string index2 = TempPath("serve_fixture3.csjt");
+  auto entries2 = FixtureEntries(3000, 91);
+  RStarTree<2> tree2;
+  PackStr(&tree2, entries2);
+  ASSERT_TRUE(SaveTree(tree2, index2).ok());
+  const std::string ref_old =
+      OneShotPayload(JoinAlgorithm::kCSJ, 0.01, 10, OutputFormat::kText);
+  const std::string ref_new = PayloadOver(tree2, JoinAlgorithm::kCSJ, 0.01,
+                                          10, IdWidthFor(entries2.size()));
+
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Load({.name = "pts", .path = *index_path_}).ok());
+  std::unique_ptr<Server> server;
+  ServerOptions options;
+  options.workers = 2;  // the in-flight query must not block the reload
+  const std::string socket_path = StartServer(&registry, options, &server);
+  const int64_t live_baseline = LiveEpochCount();
+
+  // Start a query and read its HEADER: the header is only written after the
+  // query pinned its epoch, so everything from here on is deterministic.
+  const int fd = ConnectTo(socket_path);
+  ASSERT_TRUE(WriteAll(fd, JoinRequest("csj", 0.01, 10) + "\n").ok());
+  LineReader reader(fd, 30000);
+  std::string header;
+  ASSERT_TRUE(reader.ReadLine(&header).ok());
+  ASSERT_NE(header.find("\"ok\":true"), std::string::npos);
+
+  // Swap the dataset mid-query — on a second connection, through the admin
+  // op, waiting for the server to acknowledge the new epoch.
+  Response reload = RoundTrip(
+      socket_path, StrFormat("{\"op\":\"reload\",\"dataset\":\"pts\","
+                             "\"path\":\"%s\"}",
+                             index2.c_str()));
+  ASSERT_TRUE(reload.transport.ok()) << reload.transport.ToString();
+  EXPECT_NE(reload.first_line.find("\"ok\":true"), std::string::npos)
+      << reload.first_line;
+
+  // The in-flight query finishes byte-identical on the epoch it started on.
+  std::string payload, trailer;
+  ASSERT_TRUE(
+      ReadFramedPayload(&reader, OutputFormat::kText, &payload, &trailer)
+          .ok());
+  EXPECT_NE(trailer.find("\"code\":\"OK\""), std::string::npos);
+  EXPECT_EQ(payload, ref_old);
+  ::close(fd);
+
+  // New queries run on the new epoch; the old one drains once its last pin
+  // (the finished query) is gone.
+  Response fresh = RoundTrip(socket_path, JoinRequest("csj", 0.01, 10));
+  ASSERT_TRUE(fresh.transport.ok());
+  EXPECT_EQ(fresh.code, "OK");
+  EXPECT_EQ(fresh.payload, ref_new);
+  for (int spin = 0; spin < 200 && LiveEpochCount() != live_baseline;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_EQ(LiveEpochCount(), live_baseline) << "old epoch leaked";
+  server->Shutdown();
+  ::unlink(index2.c_str());
+}
+
+TEST_F(ServeTest, AdminOpsValidateAndDriveTheLifecycle) {
+  const std::string index2 = TempPath("serve_fixture4.csjt");
+  auto entries2 = FixtureEntries(1000, 5);
+  RStarTree<2> tree2;
+  PackStr(&tree2, entries2);
+  ASSERT_TRUE(SaveTree(tree2, index2).ok());
+
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Load({.name = "pts", .path = *index_path_}).ok());
+  std::unique_ptr<Server> server;
+  const std::string socket_path = StartServer(&registry, {}, &server);
+
+  // Validation: the protocol rejects malformed admin requests up front.
+  EXPECT_EQ(RoundTrip(socket_path, "{\"op\":\"load\",\"dataset\":\"x\"}").code,
+            "InvalidArgument");  // no path
+  EXPECT_EQ(RoundTrip(socket_path, "{\"op\":\"reload\",\"path\":\"x\"}").code,
+            "InvalidArgument");  // no dataset
+  EXPECT_EQ(RoundTrip(socket_path,
+                      "{\"op\":\"unload\",\"dataset\":\"x\","
+                      "\"center\":[0.5,0.5]}")
+                .code,
+            "InvalidArgument");  // center is not an admin field
+  EXPECT_EQ(RoundTrip(socket_path,
+                      "{\"op\":\"ping\",\"path\":\"x\"}")
+                .code,
+            "InvalidArgument");  // path outside load/reload
+
+  // Lifecycle: load a second dataset, see it in list (with epochs), query
+  // it, unload it, and watch the name disappear.
+  Response loaded = RoundTrip(
+      socket_path, StrFormat("{\"op\":\"load\",\"dataset\":\"pts2\","
+                             "\"path\":\"%s\"}",
+                             index2.c_str()));
+  ASSERT_TRUE(loaded.transport.ok());
+  EXPECT_NE(loaded.first_line.find("\"ok\":true"), std::string::npos)
+      << loaded.first_line;
+  EXPECT_NE(loaded.first_line.find("\"epoch\":"), std::string::npos);
+  EXPECT_NE(loaded.first_line.find("\"live_epochs\":"), std::string::npos);
+
+  EXPECT_EQ(RoundTrip(socket_path,
+                      StrFormat("{\"op\":\"load\",\"dataset\":\"pts2\","
+                                "\"path\":\"%s\"}",
+                                index2.c_str()))
+                .code,
+            "InvalidArgument");  // duplicate: load does not replace
+  EXPECT_EQ(RoundTrip(socket_path,
+                      "{\"op\":\"reload\",\"dataset\":\"ghost\","
+                      "\"path\":\"x\"}")
+                .code,
+            "NotFound");  // reload does not register
+
+  Response list = RoundTrip(socket_path, "{\"op\":\"list\"}");
+  EXPECT_NE(list.first_line.find("\"pts2\""), std::string::npos);
+  EXPECT_NE(list.first_line.find("\"live_epochs\":"), std::string::npos);
+
+  Response join = RoundTrip(
+      socket_path,
+      "{\"op\":\"join\",\"dataset\":\"pts2\",\"algo\":\"csj\",\"eps\":0.01}");
+  EXPECT_EQ(join.code, "OK");
+  EXPECT_EQ(join.payload, PayloadOver(tree2, JoinAlgorithm::kCSJ, 0.01, 10,
+                                      IdWidthFor(entries2.size())));
+
+  EXPECT_NE(RoundTrip(socket_path, "{\"op\":\"unload\","
+                                   "\"dataset\":\"pts2\"}")
+                .first_line.find("\"ok\":true"),
+            std::string::npos);
+  EXPECT_EQ(RoundTrip(socket_path,
+                      "{\"op\":\"join\",\"dataset\":\"pts2\",\"eps\":0.01}")
+                .code,
+            "NotFound");
+  EXPECT_EQ(RoundTrip(socket_path, "{\"op\":\"unload\","
+                                   "\"dataset\":\"pts2\"}")
+                .code,
+            "NotFound");
+  server->Shutdown();
+  ::unlink(index2.c_str());
+}
+
+TEST_F(ServeTest, RegistryRejectsCorruptTruncatedAndMissingSources) {
+  // Read the good CSJTREE2 fixture once.
+  std::FILE* f = std::fopen(index_path_->c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string bytes;
+  char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) bytes.append(chunk, n);
+  std::fclose(f);
+  ASSERT_GT(bytes.size(), 1024u);
+
+  const auto write_file = [](const std::string& path, const std::string& data) {
+    std::FILE* out = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(out, nullptr);
+    ASSERT_EQ(std::fwrite(data.data(), 1, data.size(), out), data.size());
+    std::fclose(out);
+  };
+  std::string corrupt_bytes = bytes;
+  for (size_t i = corrupt_bytes.size() / 2; i < corrupt_bytes.size() / 2 + 32;
+       ++i) {
+    corrupt_bytes[i] = static_cast<char>(~corrupt_bytes[i]);
+  }
+  const std::string corrupt = TempPath("serve_corrupt.csjt");
+  const std::string truncated = TempPath("serve_truncated.csjt");
+  write_file(corrupt, corrupt_bytes);
+  write_file(truncated, bytes.substr(0, bytes.size() * 3 / 5));
+
+  const int64_t live_before = LiveEpochCount();
+  DatasetRegistry registry;
+  EXPECT_FALSE(registry.Load({.name = "bad", .path = corrupt}).ok());
+  EXPECT_FALSE(registry.Load({.name = "bad2", .path = truncated}).ok());
+  EXPECT_EQ(registry.Load({.name = "bad3", .path = TempPath("nope.csjt")})
+                .code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.Find("bad"), nullptr);
+  // No epoch came alive and no conversion temp survived a failed load.
+  EXPECT_EQ(LiveEpochCount(), live_before);
+  EXPECT_TRUE(TempDroppings(testing::TempDir()).empty());
+
+  // The same registry still accepts a good load afterwards.
+  EXPECT_TRUE(registry.Load({.name = "good", .path = *index_path_}).ok());
+  EXPECT_EQ(registry.size(), 1u);
+  ::unlink(corrupt.c_str());
+  ::unlink(truncated.c_str());
+}
+
+TEST_F(ServeTest, RegistryBudgetExhaustionFailsLoadCleanly) {
+  // A budget smaller than ONE page charge: the validation probe cannot even
+  // cache the first block, so the load must fail with kResourceExhausted —
+  // before any epoch exists — and leave no temp files behind.
+  const int64_t live_before = LiveEpochCount();
+  DatasetRegistry registry(/*memory_budget_bytes=*/1024);
+  const Status status = registry.Load({.name = "pts", .path = *index_path_});
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted)
+      << status.ToString();
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(LiveEpochCount(), live_before);
+  EXPECT_TRUE(TempDroppings(testing::TempDir()).empty());
+}
+
+#ifndef CSJ_NO_FAILPOINTS
+TEST_F(ServeTest, ReloadFailureLeavesOldEpochServing) {
+  const std::string index2 = TempPath("serve_fixture5.csjt");
+  auto entries2 = FixtureEntries(1000, 13);
+  RStarTree<2> tree2;
+  PackStr(&tree2, entries2);
+  ASSERT_TRUE(SaveTree(tree2, index2).ok());
+
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Load({.name = "pts", .path = *index_path_}).ok());
+  std::unique_ptr<Server> server;
+  const std::string socket_path = StartServer(&registry, {}, &server);
+  const std::string ref =
+      OneShotPayload(JoinAlgorithm::kCSJ, 0.01, 10, OutputFormat::kText);
+  const int64_t live_before = LiveEpochCount();
+
+  const std::string reload_request = StrFormat(
+      "{\"op\":\"reload\",\"dataset\":\"pts\",\"path\":\"%s\"}",
+      index2.c_str());
+  {
+    failpoint::ScopedFailpoint fault("serve.reload_validate",
+                                     failpoint::Spec::Always());
+    Response failed = RoundTrip(socket_path, reload_request);
+    ASSERT_TRUE(failed.transport.ok());
+    EXPECT_NE(failed.first_line.find("\"ok\":false"), std::string::npos)
+        << failed.first_line;
+    EXPECT_NE(failed.first_line.find("injected"), std::string::npos);
+  }
+  // Also exercise a real (non-injected) validation failure: reload from a
+  // missing file.
+  EXPECT_EQ(RoundTrip(socket_path,
+                      "{\"op\":\"reload\",\"dataset\":\"pts\","
+                      "\"path\":\"/nonexistent/no.csjt\"}")
+                .code,
+            "NotFound");
+
+  // Both failures left the old epoch serving, byte-identically, with no
+  // extra epoch alive.
+  EXPECT_EQ(LiveEpochCount(), live_before);
+  Response join = RoundTrip(socket_path, JoinRequest("csj", 0.01, 10));
+  EXPECT_EQ(join.code, "OK");
+  EXPECT_EQ(join.payload, ref);
+
+  // With the fault gone the same reload succeeds.
+  Response reloaded = RoundTrip(socket_path, reload_request);
+  EXPECT_NE(reloaded.first_line.find("\"ok\":true"), std::string::npos)
+      << reloaded.first_line;
+  server->Shutdown();
+  ::unlink(index2.c_str());
+}
+
+TEST_F(ServeTest, ControlWriteFaultClosesSessionAndCounts) {
+  DatasetRegistry registry;
+  ASSERT_TRUE(registry.Load({.name = "pts", .path = *index_path_}).ok());
+  std::unique_ptr<Server> server;
+  const std::string socket_path = StartServer(&registry, {}, &server);
+
+  const uint64_t errors_before = CounterValue("serve.ctrl_write_errors");
+  const int fd = ConnectTo(socket_path);
+  {
+    // Once: the server's response write is the first (and only) evaluation
+    // — the request below is sent with raw send() so the client side never
+    // touches the failpoint.
+    failpoint::ScopedFailpoint fault("serve.write", failpoint::Spec::Once());
+    const std::string request = "{\"op\":\"ping\"}\n";
+    size_t done = 0;
+    while (done < request.size()) {
+      const ssize_t sent =
+          ::send(fd, request.data() + done, request.size() - done, 0);
+      ASSERT_GT(sent, 0);
+      done += static_cast<size_t>(sent);
+    }
+    // The injected write fault must close the session, not leave the
+    // client hanging on a response that was silently dropped.
+    LineReader reader(fd, 30000);
+    std::string line;
+    EXPECT_FALSE(reader.ReadLine(&line).ok());
+  }
+  ::close(fd);
+  EXPECT_EQ(CounterValue("serve.ctrl_write_errors"), errors_before + 1);
+
+  // The failure was scoped to that session; the server still serves.
+  EXPECT_NE(RoundTrip(socket_path, "{\"op\":\"ping\"}")
+                .first_line.find("\"ok\":true"),
+            std::string::npos);
+  server->Shutdown();
+}
+#endif  // CSJ_NO_FAILPOINTS
 
 TEST_F(ServeTest, PerQueryMetricsDeltaInTrailer) {
   DatasetRegistry registry;

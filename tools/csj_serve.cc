@@ -6,14 +6,16 @@
 ///                   [--workers 4] [--max-pending 16] [--mem-budget BYTES]
 ///                   [--default-deadline-ms 0] [--max-deadline-ms 0]
 ///                   [--cache-blocks 1024] [--block-size 4096]
-///                   [--request-timeout-ms 10000]
+///                   [--request-timeout-ms 10000] [--idle-timeout-ms 10000]
+///                   [--max-requests-per-conn 256]
 ///   csj_serve serve --datasets a=a.csjt,b=b.csjt --port 7707
 ///
-/// Datasets load once — any mix of CSJPAGE1 paged images, CSJTREE1/2
+/// Datasets load at startup — any mix of CSJPAGE1 paged images, CSJTREE1/2
 /// indexes and point text files (the latter two are converted to a paged
 /// image on the fly) — and are then shared read-only by every concurrent
-/// query. SIGTERM/SIGINT drain: in-flight queries finish, then the daemon
-/// exits 0.
+/// query. At runtime the load/reload/unload admin ops swap datasets as
+/// validated, refcounted epochs without a restart (docs/SERVING.md).
+/// SIGTERM/SIGINT drain: in-flight queries finish, then the daemon exits 0.
 ///
 ///   csj_serve query --socket /tmp/csj.sock --dataset pts --eps 0.05
 ///                   [--algo auto|ssj|ncsj|csj] [--g 10]
@@ -23,13 +25,29 @@
 ///                   [--output-format text|binary|none] [--out result.txt]
 ///                   [--deadline-ms N] [--mem-budget BYTES] [--metrics 1]
 ///                   [--dataset-b other]           (dual/spatial join)
+///                   [--repeat N]    (keep-alive: N requests, one session)
+///                   [--retries N] [--retry-max-elapsed-ms 15000]
 ///   csj_serve query ... --op range --center 0.5,0.5
 ///   csj_serve query ... --op ping | --op list
+///   csj_serve query ... --op load|reload --dataset pts --path pts.txt
+///   csj_serve query ... --op unload --dataset pts
 ///
 /// The client streams the payload to --out (default stdout) as it arrives,
 /// prints the trailer JSON to stderr, and exits with csj_tool's governance
 /// codes: 0 OK, 2 error, 3 cancelled, 4 deadline exceeded, 5 resource
 /// exhausted. Piping into `head` cancels just that query server-side.
+///
+/// `--repeat N` issues the same request N times over one keep-alive
+/// session (reconnecting transparently if the server rotates the
+/// connection); with `--out FILE` each response lands in FILE.<i>, and an
+/// iteration that does not finish OK removes its partial file so every
+/// file that exists is complete. `--retries N` arms bounded
+/// full-jitter-backoff retry: a connect failure, or an Unavailable
+/// error before any payload byte arrived (admission reject, drain,
+/// injected fault), is retried on a fresh connection up to N times and
+/// `--retry-max-elapsed-ms` of wall clock. A request whose payload has
+/// started streaming is NEVER silently re-run — a retry there could
+/// duplicate output bytes.
 
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -45,6 +63,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <memory>
 #include <set>
 #include <string>
 #include <thread>
@@ -56,6 +75,7 @@
 #include "serve/server.h"
 #include "util/format.h"
 #include "util/json.h"
+#include "util/retry.h"
 
 namespace csj::serve_tool {
 namespace {
@@ -153,6 +173,8 @@ int CmdServe(Flags& flags) {
   const long cache_blocks = flags.GetInt("cache-blocks", 1024);
   const long block_size = flags.GetInt("block-size", 4096);
   const long request_timeout = flags.GetInt("request-timeout-ms", 10000);
+  const long idle_timeout = flags.GetInt("idle-timeout-ms", 10000);
+  const long max_requests_per_conn = flags.GetInt("max-requests-per-conn", 256);
   flags.CheckAllUsed();
   if (socket_path.empty() && port < 0) {
     Flags::Die("serve needs --socket PATH or --port N");
@@ -172,11 +194,13 @@ int CmdServe(Flags& flags) {
     spec.cache_blocks = static_cast<size_t>(cache_blocks);
     spec.block_size = static_cast<uint32_t>(block_size);
     DieOnError(registry.Load(spec));
-    const serve::Dataset* dataset = registry.Find(spec.name);
-    std::printf("loaded dataset '%s': %s points from %s\n",
+    const std::shared_ptr<const serve::Dataset> dataset =
+        registry.Find(spec.name);
+    std::printf("loaded dataset '%s': %s points from %s (epoch %llu)\n",
                 dataset->name.c_str(),
                 WithThousands(dataset->num_points).c_str(),
-                dataset->source_path.c_str());
+                dataset->source_path.c_str(),
+                static_cast<unsigned long long>(dataset->epoch));
   }
 
   serve::ServerOptions options;
@@ -188,6 +212,10 @@ int CmdServe(Flags& flags) {
   options.default_deadline_ms = static_cast<uint64_t>(default_deadline);
   options.max_deadline_ms = static_cast<uint64_t>(max_deadline);
   options.request_timeout_ms = static_cast<int>(request_timeout);
+  options.idle_timeout_ms = static_cast<int>(idle_timeout);
+  options.max_requests_per_conn = static_cast<int>(max_requests_per_conn);
+  options.admin_block_size = static_cast<uint32_t>(block_size);
+  options.admin_cache_blocks = static_cast<size_t>(cache_blocks);
 
   serve::Server server(&registry, options);
   DieOnError(server.Start());
@@ -207,14 +235,20 @@ int CmdServe(Flags& flags) {
   }
   server.Shutdown();
   const serve::ServerCounters counters = server.counters();
-  std::printf("drained: served %llu, rejected %llu\n",
+  std::printf("drained: served %llu over %llu sessions, rejected %llu\n",
               static_cast<unsigned long long>(counters.served),
+              static_cast<unsigned long long>(counters.sessions),
               static_cast<unsigned long long>(counters.rejected));
   return 0;
 }
 
-int Connect(const std::string& socket_path, const std::string& host,
-            long port) {
+/// Connects to the server. A connect failure is transient from the
+/// client's point of view (the daemon may be mid-restart, the listener
+/// backlog full): it returns -1 with `*error` set so the retry loop can
+/// back off and try again. Configuration mistakes (bad host, oversized
+/// path) still die immediately.
+int TryConnect(const std::string& socket_path, const std::string& host,
+               long port, std::string* error) {
   int fd = -1;
   if (!socket_path.empty()) {
     struct sockaddr_un addr;
@@ -229,8 +263,10 @@ int Connect(const std::string& socket_path, const std::string& host,
                  sizeof(addr.sun_path) - 1);
     if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
                   sizeof(addr)) != 0) {
-      Flags::Die("cannot connect to " + socket_path + ": " +
-                 std::strerror(errno));
+      *error = "cannot connect to " + socket_path + ": " +
+               std::strerror(errno);
+      ::close(fd);
+      return -1;
     }
   } else {
     fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -244,8 +280,10 @@ int Connect(const std::string& socket_path, const std::string& host,
     }
     if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
                   sizeof(addr)) != 0) {
-      Flags::Die(StrFormat("cannot connect to %s:%ld: %s", host.c_str(), port,
-                           std::strerror(errno)));
+      *error = StrFormat("cannot connect to %s:%ld: %s", host.c_str(), port,
+                         std::strerror(errno));
+      ::close(fd);
+      return -1;
     }
   }
   return fd;
@@ -266,7 +304,9 @@ int CmdQuery(Flags& flags) {
   const std::string host = flags.GetOr("host", "127.0.0.1");
   const std::string op = flags.GetOr("op", "join");
   const std::string out_path = flags.GetOr("out", "");
-  flags.GetOr("dataset", "");  // consumed below via the request builder
+  const long repeat = flags.GetInt("repeat", 1);
+  const long retries = flags.GetInt("retries", 0);
+  const long retry_elapsed_ms = flags.GetInt("retry-max-elapsed-ms", 15000);
 
   // Build the request line from flags; the server validates semantics.
   json::Value request = json::Object{};
@@ -275,6 +315,8 @@ int CmdQuery(Flags& flags) {
   if (!dataset.empty()) request["dataset"] = dataset;
   const std::string dataset_b = flags.GetOr("dataset-b", "");
   if (!dataset_b.empty()) request["dataset_b"] = dataset_b;
+  const std::string admin_path = flags.GetOr("path", "");
+  if (!admin_path.empty()) request["path"] = admin_path;
   const std::string algo = flags.GetOr("algo", "");
   if (!algo.empty()) request["algo"] = algo;
   const double eps = flags.GetDouble("eps", 0.0);
@@ -308,74 +350,194 @@ int CmdQuery(Flags& flags) {
   if (socket_path.empty() && port < 0) {
     Flags::Die("query needs --socket PATH or --port N");
   }
+  if (repeat < 1) Flags::Die("--repeat must be at least 1");
+  if (retries < 0) Flags::Die("--retries must be non-negative");
 
-  const int fd = Connect(socket_path, host, port);
-  DieOnError(serve::WriteAll(fd, json::Write(request) + "\n"));
+  const std::string request_line = json::Write(request) + "\n";
+  const bool control_op = op == "ping" || op == "list" || op == "load" ||
+                          op == "reload" || op == "unload";
 
-  serve::LineReader reader(fd);
-  std::string line;
-  DieOnError(reader.ReadLine(&line));
-  auto head = json::Parse(line);
-  DieOnError(head.status());
-  const json::Value* ok = head->Find("ok");
-  if (ok == nullptr || !ok->is_bool()) Flags::Die("malformed response: " + line);
-  if (!ok->AsBool()) {
-    const json::Value* error = head->Find("error");
-    const json::Value* code = head->Find("code");
-    std::fprintf(stderr, "csj_serve: server error: %s\n",
-                 error != nullptr && error->is_string()
-                     ? error->AsString().c_str()
-                     : line.c_str());
-    ::close(fd);
-    const int rc = code != nullptr && code->is_string()
-                       ? ExitCodeFor(code->AsString())
-                       : 2;
-    return rc == 0 ? 2 : rc;
-  }
-  if (op == "ping" || op == "list") {
-    std::printf("%s\n", line.c_str());
-    ::close(fd);
-    return 0;
-  }
-
-  // Stream the payload to --out (or stdout) as it arrives. If our own
-  // consumer hangs up (`csj_serve query ... | head`), close the socket —
-  // the server's disconnect watcher cancels the query — and exit 3.
-  std::FILE* out = stdout;
-  if (!out_path.empty()) {
-    out = std::fopen(out_path.c_str(), "wb");
-    if (out == nullptr) Flags::Die("cannot open for write: " + out_path);
-  }
-  const auto write_out = [out](const char* data, size_t size) {
-    if (std::fwrite(data, 1, size, out) != size) {
-      if (errno == EPIPE) {
-        return Status::Cancelled("output consumer closed the stream");
-      }
-      return Status::IoError(std::string("write failed: ") +
-                             std::strerror(errno));
-    }
-    return Status::OK();
+  // One keep-alive session carries all --repeat iterations; a broken
+  // connection is dropped and the next attempt reconnects (re-entering the
+  // server's admission queue, where overload control lives).
+  int fd = -1;
+  std::unique_ptr<serve::LineReader> reader;
+  const auto drop_connection = [&fd, &reader] {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+    reader.reset();
   };
-  std::string trailer_line;
-  errno = 0;
-  Status streamed =
-      serve::StreamFramedPayload(&reader, format, write_out, &trailer_line);
-  if (streamed.ok() && std::fflush(out) != 0 && errno == EPIPE) {
-    streamed = Status::Cancelled("output consumer closed the stream");
-  }
-  if (out != stdout) std::fclose(out);
-  ::close(fd);
-  if (!streamed.ok()) {
-    std::fprintf(stderr, "csj_serve: %s\n", streamed.ToString().c_str());
-    return streamed.code() == StatusCode::kCancelled ? kExitInterrupted : 2;
-  }
 
-  std::fprintf(stderr, "%s\n", trailer_line.c_str());
-  auto trailer = json::Parse(trailer_line);
-  DieOnError(trailer.status());
-  const json::Value* code = trailer->Find("code");
-  return code != nullptr && code->is_string() ? ExitCodeFor(code->AsString())
-                                              : 2;
+  for (long iter = 0; iter < repeat; ++iter) {
+    const std::string iter_out =
+        (!out_path.empty() && repeat > 1)
+            ? StrFormat("%s.%ld", out_path.c_str(), iter)
+            : out_path;
+
+    // Retry budget is per request: bounded attempts AND bounded wall clock,
+    // whichever runs out first. The jitter RNG is deterministic, so a
+    // retried run is reproducible under test.
+    RetryPolicy policy;
+    policy.max_attempts = static_cast<int>(retries) + 1;
+    policy.initial_backoff_ms = 10.0;
+    policy.max_backoff_ms = 250.0;
+    policy.max_elapsed_ms =
+        static_cast<uint64_t>(retry_elapsed_ms < 0 ? 0 : retry_elapsed_ms);
+    RetryController retry(policy);
+
+    for (;;) {
+      std::string transient;  // set = this attempt failed retriably
+      int exit_code = -1;     // >= 0 = the request reached a terminal answer
+
+      do {
+        if (fd < 0) {
+          fd = TryConnect(socket_path, host, port, &transient);
+          if (fd < 0) break;
+          reader = std::make_unique<serve::LineReader>(fd);
+        }
+        const Status sent = serve::WriteAll(fd, request_line);
+        if (!sent.ok()) {
+          // Nothing of the response was consumed — safe to re-issue on a
+          // fresh connection (the server also rotates sessions at its
+          // request cap, which surfaces here as a dead socket).
+          transient = sent.ToString();
+          drop_connection();
+          break;
+        }
+        std::string line;
+        const Status head_read = reader->ReadLine(&line);
+        if (!head_read.ok()) {
+          transient = head_read.ToString();  // zero payload bytes: retriable
+          drop_connection();
+          break;
+        }
+        auto head = json::Parse(line);
+        DieOnError(head.status());
+        const json::Value* ok = head->Find("ok");
+        if (ok == nullptr || !ok->is_bool()) {
+          Flags::Die("malformed response: " + line);
+        }
+        if (!ok->AsBool()) {
+          const json::Value* code = head->Find("code");
+          const std::string code_name =
+              code != nullptr && code->is_string() ? code->AsString() : "";
+          const json::Value* error = head->Find("error");
+          const std::string message = error != nullptr && error->is_string()
+                                          ? error->AsString()
+                                          : line;
+          if (code_name == "Unavailable") {
+            // Admission reject, drain, injected fault: the query never
+            // ran. The server closes these sessions, so reconnect.
+            transient = "server unavailable: " + message;
+            drop_connection();
+            break;
+          }
+          std::fprintf(stderr, "csj_serve: server error: %s\n",
+                       message.c_str());
+          const int rc = code_name.empty() ? 2 : ExitCodeFor(code_name);
+          exit_code = rc == 0 ? 2 : rc;
+          break;  // semantic error: the session itself stays usable
+        }
+        if (control_op) {
+          std::printf("%s\n", line.c_str());
+          std::fflush(stdout);
+          exit_code = 0;
+          break;
+        }
+
+        // Stream the payload to --out (or stdout) as it arrives. If our own
+        // consumer hangs up (`csj_serve query ... | head`), close the
+        // socket — the server's disconnect watcher cancels the query — and
+        // exit 3.
+        std::FILE* out = stdout;
+        if (!iter_out.empty()) {
+          out = std::fopen(iter_out.c_str(), "wb");
+          if (out == nullptr) {
+            Flags::Die("cannot open for write: " + iter_out);
+          }
+        }
+        uint64_t payload_bytes = 0;
+        const auto write_out = [out, &payload_bytes](const char* data,
+                                                     size_t size) {
+          if (std::fwrite(data, 1, size, out) != size) {
+            if (errno == EPIPE) {
+              return Status::Cancelled("output consumer closed the stream");
+            }
+            return Status::IoError(std::string("write failed: ") +
+                                   std::strerror(errno));
+          }
+          payload_bytes += size;
+          return Status::OK();
+        };
+        std::string trailer_line;
+        errno = 0;
+        Status streamed = serve::StreamFramedPayload(reader.get(), format,
+                                                     write_out, &trailer_line);
+        if (streamed.ok() && std::fflush(out) != 0 && errno == EPIPE) {
+          streamed = Status::Cancelled("output consumer closed the stream");
+        }
+        if (out != stdout) std::fclose(out);
+        if (!streamed.ok()) {
+          if (!iter_out.empty()) std::remove(iter_out.c_str());
+          drop_connection();
+          if (streamed.code() == StatusCode::kCancelled) {
+            std::fprintf(stderr, "csj_serve: %s\n",
+                         streamed.ToString().c_str());
+            exit_code = kExitInterrupted;
+            break;
+          }
+          if (payload_bytes == 0) {
+            // The response died before its first payload byte (peer closed,
+            // injected write fault on the header): re-running cannot
+            // duplicate output.
+            transient = streamed.ToString();
+            break;
+          }
+          // Payload already started: NEVER silently re-run the query.
+          std::fprintf(stderr, "csj_serve: %s\n", streamed.ToString().c_str());
+          exit_code = 2;
+          break;
+        }
+        auto trailer = json::Parse(trailer_line);
+        DieOnError(trailer.status());
+        const json::Value* code = trailer->Find("code");
+        const std::string code_name =
+            code != nullptr && code->is_string() ? code->AsString() : "";
+        if (code_name == "Unavailable" && payload_bytes == 0) {
+          if (!iter_out.empty()) std::remove(iter_out.c_str());
+          transient = "server unavailable: " + trailer_line;
+          break;  // clean trailer: the session can carry the retry
+        }
+        std::fprintf(stderr, "%s\n", trailer_line.c_str());
+        exit_code = code_name.empty() ? 2 : ExitCodeFor(code_name);
+        if (exit_code != 0 && !iter_out.empty() && repeat > 1) {
+          // Keep the per-iteration file set comparable: under --repeat a
+          // file exists iff its response completed OK.
+          std::remove(iter_out.c_str());
+        }
+      } while (false);
+
+      if (exit_code == 0) {
+        if (retry.retries() > 0) {
+          std::fprintf(stderr, "csj_serve: recovered after %d retries\n",
+                       retry.retries());
+        }
+        break;  // iteration answered OK; next --repeat round
+      }
+      if (exit_code > 0) {
+        drop_connection();
+        return exit_code;
+      }
+      if (!retry.BackoffBeforeRetry()) {
+        std::fprintf(stderr, "csj_serve: %s (gave up after %d retries)\n",
+                     transient.c_str(), retry.retries());
+        drop_connection();
+        return 2;
+      }
+    }
+  }
+  drop_connection();
+  return 0;
 }
 
 int Usage() {
